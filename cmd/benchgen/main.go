@@ -1,0 +1,66 @@
+// Command benchgen emits the synthetic benchmark programs that stand in
+// for the paper's C subjects (Table 1 plus muh and gcc). Use it to
+// inspect the workloads or to feed blastlite/pathslice by hand.
+//
+// Usage:
+//
+//	benchgen [-scale f] [-list] [-o dir] [name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pathslice/internal/synth"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	list := flag.Bool("list", false, "list available benchmark names")
+	outDir := flag.String("o", "", "write <name>.mc files into this directory instead of stdout")
+	flag.Parse()
+
+	profiles := synth.PaperProfiles(*scale)
+	profiles = append(profiles, synth.MuhProfile(*scale), synth.GccProfile(*scale))
+
+	if *list {
+		for _, p := range profiles {
+			fmt.Printf("%-8s %-22s paper: %s LOC, %d procs, checks %s\n",
+				p.Name, p.Description, p.PaperLOC, p.PaperProcedures, p.PaperChecks)
+		}
+		return
+	}
+
+	selected := profiles
+	if flag.NArg() == 1 {
+		selected = nil
+		for _, p := range profiles {
+			if p.Name == flag.Arg(0) {
+				selected = []synth.Profile{p}
+			}
+		}
+		if selected == nil {
+			fmt.Fprintf(os.Stderr, "benchgen: unknown benchmark %q (try -list)\n", flag.Arg(0))
+			os.Exit(2)
+		}
+	}
+
+	for _, p := range selected {
+		src := synth.Generate(p)
+		if *outDir == "" {
+			if len(selected) > 1 {
+				fmt.Printf("// ===== %s =====\n", p.Name)
+			}
+			fmt.Print(src)
+			continue
+		}
+		path := filepath.Join(*outDir, p.Name+".mc")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}

@@ -1,0 +1,84 @@
+// Command cfadump prints the control flow automata of a MiniC program,
+// as text or Graphviz dot, optionally highlighting the path slice to an
+// error location.
+//
+// Usage:
+//
+//	cfadump [-dot] [-fn name] [-slice] file.mc
+//	cfadump -dot -slice prog.mc | dot -Tsvg > prog.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/compile"
+	"pathslice/internal/core"
+)
+
+func main() {
+	dot := flag.Bool("dot", false, "emit Graphviz dot instead of text")
+	fn := flag.String("fn", "", "restrict to one function")
+	slice := flag.Bool("slice", false, "highlight the path slice to the first error location")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cfadump [flags] file.mc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := compile.Source(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	var highlight map[int]bool
+	if *slice {
+		locs := prog.ErrorLocs()
+		if len(locs) == 0 {
+			fatal(fmt.Errorf("-slice: program has no error locations"))
+		}
+		path := cfa.FindPath(prog, locs[0], cfa.FindOptions{})
+		if path == nil {
+			fatal(fmt.Errorf("-slice: no path to %s", locs[0]))
+		}
+		res, err := core.New(prog).Slice(path)
+		if err != nil {
+			fatal(err)
+		}
+		highlight = cfa.HighlightPath(res.Slice)
+	}
+	if *dot {
+		opts := cfa.DotOptions{Highlight: highlight}
+		if *fn != "" {
+			opts.Funcs = []string{*fn}
+		}
+		fmt.Print(prog.Dot(opts))
+		return
+	}
+	if *fn != "" {
+		f := prog.Funcs[*fn]
+		if f == nil {
+			fatal(fmt.Errorf("no function %s", *fn))
+		}
+		fmt.Printf("cfa %s entry=%s exit=%s\n", f.Name, f.Entry, f.Exit)
+		for _, e := range f.Edges {
+			marker := "  "
+			if highlight[e.ID] {
+				marker = "* "
+			}
+			fmt.Printf("%s%s\n", marker, e)
+		}
+		return
+	}
+	fmt.Print(prog.Dump())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfadump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Ex1 — the paper's Figure 2: path slicing vs static program slicing.
+//
+// The result of complexfn flows into x on the then-branch, so a sound
+// STATIC slice can never drop complexfn. The PATH slice of the
+// else-path drops it entirely: without reasoning about complexfn at
+// all, it proves that every state with a <= 0 reaches the target
+// (provided complexfn terminates).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/compile"
+	"pathslice/internal/core"
+	"pathslice/internal/progslice"
+	"pathslice/internal/smt"
+)
+
+const ex1 = `
+int a;
+int x;
+
+int complexfn(int n) {
+  // Stands in for the paper's complex(): think factoring large numbers.
+  int r = 1;
+  for (int i = 0; i < n; i = i + 1) {
+    r = r * r + i;
+  }
+  return r;
+}
+
+void main() {
+  a = nondet();
+  if (a > 0) {
+    x = complexfn(a);
+  } else {
+    x = 5;
+  }
+  if (x == 5) {
+    error;
+  }
+}
+`
+
+func main() {
+	prog, err := compile.Source(ex1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := prog.ErrorLocs()[0]
+
+	// Static program slice (baseline).
+	static := progslice.New(prog).Slice(target)
+	fmt.Printf("static slice: %d of %d edges (%.0f%%), retains complexfn: %v\n",
+		static.RetainedEdges(), static.ProgramEdges, 100*static.Ratio(),
+		static.RetainsFunc(prog, "complexfn"))
+
+	// Path slice of the else-path.
+	path := cfa.FindPath(prog, target, cfa.FindOptions{})
+	slicer := core.New(prog)
+	res, err := slicer.Slice(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inComplex := false
+	for _, e := range res.Slice {
+		if e.Src.Fn.Name == "complexfn" {
+			inComplex = true
+		}
+	}
+	fmt.Printf("path slice:   %d of %d path edges (%.0f%%), retains complexfn: %v\n",
+		res.Stats.SliceEdges, res.Stats.InputEdges, 100*res.Stats.Ratio(), inComplex)
+	fmt.Print(res.Slice)
+
+	verdict, _ := slicer.CheckFeasibility(res.Slice)
+	if verdict.Status == smt.StatusSat {
+		fmt.Printf("slice feasible: any state with a <= 0 reaches the target; witness %v\n",
+			verdict.Model)
+	} else {
+		fmt.Println("unexpected:", verdict.Status)
+	}
+}

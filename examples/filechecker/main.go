@@ -1,0 +1,122 @@
+// Filechecker: the full §5 pipeline on a multi-procedure program —
+// instrumentation, per-cluster CEGAR checks, and the trace-vs-slice
+// statistics the paper's figures are made of. One cluster is safe, one
+// has a use-after-close bug, one diverges through the heap (the muh
+// phenomenon).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathslice/internal/cegar"
+	"pathslice/internal/cfa"
+	"pathslice/internal/instrument"
+	"pathslice/internal/lang/parser"
+	"pathslice/internal/lang/types"
+)
+
+const app = `
+int config;
+
+void logmsg() {
+  int t = 0;
+  for (int i = 0; i < 20; i = i + 1) { t = t + i; }
+}
+
+// Correct open/use/close discipline.
+void session() {
+  int f = fopen();
+  if (f != 0) {
+    logmsg();
+    fgets(f);
+    fputs(f);
+    fclose(f);
+  }
+}
+
+// Use after close, guarded by an unrelated config flag.
+void flushlog() {
+  int f = fopen();
+  if (f != 0) {
+    fprintf(f);
+    fclose(f);
+    logmsg();
+    if (config > 3) {
+      fprintf(f);   // BUG
+    }
+  }
+}
+
+// The muh pattern: the handle takes a detour through the heap, the
+// typestate is lost, and the checker reports a (false) alarm.
+int slot;
+int *table;
+void cached() {
+  table = &slot;
+  int f = fopen();
+  if (f != 0) {
+    *table = f;
+    int h = *table;
+    fgets(h);
+    fclose(h);
+  }
+}
+
+void main() {
+  config = nondet();
+  session();
+  flushlog();
+  cached();
+}
+`
+
+func main() {
+	astProg, err := parser.Parse([]byte(app))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ins, err := instrument.Instrument(astProg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checking %d clusters (%d instrumented sites), like the paper's methodology\n\n",
+		len(ins.Clusters), ins.TotalSites)
+
+	for _, cl := range ins.Clusters {
+		prog, err := instrument.ForCluster(ins.Prog, cl.Function)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info, err := types.Check(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cprog, err := cfa.Build(info)
+		if err != nil {
+			log.Fatal(err)
+		}
+		checker := cegar.New(cprog, cegar.Options{UseSlicing: true})
+		verdict := cegar.VerdictSafe
+		refinements := 0
+		var traces []cegar.TraceStat
+		for _, loc := range cprog.ErrorLocs() {
+			r := checker.Check(loc)
+			refinements += r.Refinements
+			traces = append(traces, r.Traces...)
+			if r.Verdict == cegar.VerdictUnsafe {
+				verdict = cegar.VerdictUnsafe
+				break
+			}
+			if r.Verdict != cegar.VerdictSafe {
+				verdict = r.Verdict
+			}
+		}
+		fmt.Printf("cluster %-9s -> %-7s (refinements %d)\n", cl.Function, verdict, refinements)
+		for _, ts := range traces {
+			fmt.Printf("    counterexample %4d blocks -> slice %2d blocks (%5.1f%%)\n",
+				ts.TraceBlocks, ts.SliceBlocks, ts.RatioPercent())
+		}
+	}
+	fmt.Println("\nsession: safe; flushlog: real use-after-close; cached: alarm from heap imprecision")
+}

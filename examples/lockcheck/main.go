@@ -1,0 +1,77 @@
+// Lockcheck: the second classic typestate property (double lock /
+// unlock without lock — the device-driver checks the BLAST line of
+// work was built around, the paper's refs [3, 17]) on the same
+// machinery: instrument, check with CEGAR, read the sliced witness.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathslice/internal/cegar"
+	"pathslice/internal/cfa"
+	"pathslice/internal/instrument"
+	"pathslice/internal/lang/parser"
+	"pathslice/internal/lang/types"
+	"pathslice/internal/report"
+)
+
+const driver = `
+int mtx;
+int npackets;
+int got;
+
+void process() {
+  int t = 0;
+  for (int i = 0; i < 10; i = i + 1) { t = t + i; }
+  npackets = npackets + t;
+}
+
+void main() {
+  got = nondet();
+  lock(mtx);
+  process();
+  if (got != 0) {
+    unlock(mtx);
+    process();
+  }
+  // BUG: when got == 0 the lock is still held here, so this second
+  // lock double-acquires. The checker finds exactly that case and the
+  // slice shows it in four operations.
+  lock(mtx);
+  unlock(mtx);
+}
+`
+
+func main() {
+	astProg, err := parser.Parse([]byte(driver))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ins, err := instrument.InstrumentLocks(astProg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lock property: %d clusters, %d sites\n\n", len(ins.Clusters), ins.TotalSites)
+	for _, cl := range ins.Clusters {
+		prog, err := instrument.ForCluster(ins.Prog, cl.Function)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info, err := types.Check(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cprog, err := cfa.Build(info)
+		if err != nil {
+			log.Fatal(err)
+		}
+		checker := cegar.New(cprog, cegar.Options{UseSlicing: true})
+		for _, loc := range cprog.ErrorLocs() {
+			r := checker.Check(loc)
+			fmt.Print(report.CheckReport(fmt.Sprintf("%s @ %s", cl.Function, loc), r))
+		}
+	}
+	fmt.Println("\nThe sliced witness shows only the lock operations and the `got` branch —")
+	fmt.Println("the packet-processing loops are gone, exactly the paper's value proposition.")
+}

@@ -1,0 +1,118 @@
+// The wuftpd bug of the paper's Figure 4, as a MiniC program.
+//
+// ftpd_popen can return a NULL file pointer (when getrlimit, which the
+// checker does not model, returns nonzero), and statfilecmd calls fgets
+// on the result without checking it. The instrumented program is
+// verified with the CEGAR checker; path slicing reduces the
+// counterexample to the handful of operations a human needs to read.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathslice/internal/cegar"
+	"pathslice/internal/cfa"
+	"pathslice/internal/instrument"
+	"pathslice/internal/lang/parser"
+	"pathslice/internal/lang/types"
+)
+
+const wuftpd = `
+// getrlimit is unmodeled: it can return anything.
+int getrlimit() {
+  return nondet();
+}
+
+int ftpd_popen() {
+  int iop = fopen();
+  int tmp = getrlimit();
+  if (tmp != 0) {
+    return 0;          // NULL file pointer
+  }
+  return iop;
+}
+
+void statfilecmd() {
+  int fin = ftpd_popen();
+  int guard = 1;
+  while (guard == 1) {
+    int tmp2 = fgets(fin);   // BUG: fin may be NULL here
+    if (tmp2 == 0) {
+      guard = 0;
+    }
+  }
+  if (fin != 0) {
+    fclose(fin);
+  }
+}
+
+void main() {
+  statfilecmd();
+}
+`
+
+func main() {
+	astProg, err := parser.Parse([]byte(wuftpd))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ins, err := instrument.Instrument(astProg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instrumented: clusters %v, %d sites\n", ins.Clusters, ins.TotalSites)
+
+	for _, cl := range ins.Clusters {
+		prog, err := instrument.ForCluster(ins.Prog, cl.Function)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info, err := types.Check(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cprog, err := cfa.Build(info)
+		if err != nil {
+			log.Fatal(err)
+		}
+		checker := cegar.New(cprog, cegar.Options{UseSlicing: true})
+		for _, loc := range cprog.ErrorLocs() {
+			r := checker.Check(loc)
+			fmt.Printf("cluster %s, %s: %s (refinements %d)\n",
+				cl.Function, loc, r.Verdict, r.Refinements)
+			if r.Verdict == cegar.VerdictUnsafe {
+				fmt.Printf("  raw counterexample: %d edges; sliced witness: %d edges:\n",
+					len(r.RawCounterexample), len(r.Witness))
+				fmt.Print(indent(r.Witness.String()))
+			}
+		}
+	}
+	fmt.Println("\nAs in the paper: fgets in statfilecmd can fail because ftpd_popen")
+	fmt.Println("may return a NULL file pointer when getrlimit is nonzero.")
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			lines = append(lines, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}

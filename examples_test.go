@@ -1,0 +1,53 @@
+package pathslice
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example, checking the headline
+// line of each — the examples double as end-to-end acceptance tests of
+// the paper's worked figures.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries; skipped in -short mode")
+	}
+	cases := []struct {
+		dir   string
+		wants []string
+	}{
+		{"quickstart", []string{"path slice:", "FEASIBLE: the bug is real"}},
+		{"ex2loop", []string{
+			"slice feasibility: sat",   // unshaded: complete
+			"slice feasibility: unsat", // shaded: sound
+			"=> COMPLETE", "=> SOUND",
+		}},
+		{"ex1complex", []string{
+			"retains complexfn: true",  // static slice cannot drop it
+			"retains complexfn: false", // path slice does
+			"slice feasible",
+		}},
+		{"wuftpd", []string{"error (refinements", "sliced witness"}},
+		{"filechecker", []string{
+			"session", "flushlog", "cached",
+			"error", "safe",
+		}},
+		{"lockcheck", []string{"error (refinements", "witness slice"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+c.dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			for _, want := range c.wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("missing %q in output:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

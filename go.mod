@@ -1,0 +1,3 @@
+module pathslice
+
+go 1.22

@@ -1,0 +1,223 @@
+// Package alias implements the may- and must-alias analyses required by
+// the pointer generalization of path slicing (§3.4 of the paper).
+//
+// The analysis is a flow-insensitive, Andersen-style points-to
+// computation specialized to MiniC, where pointers arise only from
+// address-of expressions (&x), pointer copies (p := q), and null
+// (p := 0); MiniC has no pointers-to-pointers, so no indirect stores of
+// pointers exist and the constraint system is a pure copy graph.
+//
+// MayAlias is an over-approximation and MustAlias an under-approximation
+// of the true aliasing relation, as §3.4 requires.
+package alias
+
+import (
+	"sort"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/lang/token"
+)
+
+// Info is the result of the points-to analysis over a whole program.
+type Info struct {
+	prog *cfa.Program
+	// pts maps each pointer variable to the set of variables it may
+	// point to.
+	pts map[string]map[string]struct{}
+}
+
+// Analyze computes points-to sets for every pointer variable in prog.
+func Analyze(prog *cfa.Program) *Info {
+	in := &Info{prog: prog, pts: make(map[string]map[string]struct{})}
+
+	// Copy graph: copyTo[q] = pointers that receive q's points-to set.
+	copyTo := make(map[string][]string)
+	ensure := func(p string) map[string]struct{} {
+		s, ok := in.pts[p]
+		if !ok {
+			s = make(map[string]struct{})
+			in.pts[p] = s
+		}
+		return s
+	}
+
+	for _, fname := range prog.Order {
+		fn := prog.Funcs[fname]
+		for _, e := range fn.Edges {
+			if e.Op.Kind != cfa.OpAssign || e.Op.LHS.Deref {
+				continue // stores through *p cannot store pointers in MiniC
+			}
+			lhs := e.Op.LHS.Var
+			if prog.Types[lhs] != ast.TypeIntPtr {
+				continue
+			}
+			switch rhs := e.Op.RHS.(type) {
+			case *ast.Unary:
+				if rhs.Op == token.AMP {
+					if id, ok := rhs.X.(*ast.Ident); ok {
+						ensure(lhs)[id.Name] = struct{}{}
+					}
+				}
+			case *ast.Ident:
+				copyTo[rhs.Name] = append(copyTo[rhs.Name], lhs)
+				ensure(lhs)
+			case *ast.IntLit:
+				// p := 0 (null): points to nothing.
+				ensure(lhs)
+			}
+		}
+	}
+
+	// Propagate to a fixpoint over the copy graph.
+	changed := true
+	for changed {
+		changed = false
+		for src, dsts := range copyTo {
+			srcSet := in.pts[src]
+			for _, dst := range dsts {
+				dstSet := ensure(dst)
+				for v := range srcSet {
+					if _, ok := dstSet[v]; !ok {
+						dstSet[v] = struct{}{}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return in
+}
+
+// Pts returns the points-to set of pointer variable p, sorted.
+func (in *Info) Pts(p string) []string {
+	set := in.pts[p]
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MayAlias reports whether two lvalues may denote the same storage
+// location (over-approximation).
+func (in *Info) MayAlias(a, b cfa.Lvalue) bool {
+	if a == b {
+		return true
+	}
+	switch {
+	case !a.Deref && !b.Deref:
+		return a.Var == b.Var
+	case a.Deref && !b.Deref:
+		_, ok := in.pts[a.Var][b.Var]
+		return ok
+	case !a.Deref && b.Deref:
+		_, ok := in.pts[b.Var][a.Var]
+		return ok
+	default: // both derefs
+		pa, pb := in.pts[a.Var], in.pts[b.Var]
+		if len(pb) < len(pa) {
+			pa, pb = pb, pa
+		}
+		for v := range pa {
+			if _, ok := pb[v]; ok {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// MustAlias reports whether two lvalues definitely denote the same
+// storage location (under-approximation). *p must-aliases x exactly
+// when the over-approximate points-to set of p is the singleton {x}:
+// then every run-time target of p is x.
+func (in *Info) MustAlias(a, b cfa.Lvalue) bool {
+	if a == b {
+		return true
+	}
+	single := func(p string) (string, bool) {
+		s := in.pts[p]
+		if len(s) != 1 {
+			return "", false
+		}
+		for v := range s {
+			return v, true
+		}
+		return "", false
+	}
+	switch {
+	case a.Deref && !b.Deref:
+		v, ok := single(a.Var)
+		return ok && v == b.Var
+	case !a.Deref && b.Deref:
+		v, ok := single(b.Var)
+		return ok && v == a.Var
+	case a.Deref && b.Deref:
+		va, oka := single(a.Var)
+		vb, okb := single(b.Var)
+		return oka && okb && va == vb
+	}
+	return false
+}
+
+// WrittenVars returns the concrete variables that assigning to lv may
+// write: {x} for a variable, pts(p) for *p.
+func (in *Info) WrittenVars(lv cfa.Lvalue) []string {
+	if !lv.Deref {
+		return []string{lv.Var}
+	}
+	return in.Pts(lv.Var)
+}
+
+// Touches reports whether writing the variables in written may change
+// the value or meaning of lvalue lv: a variable is touched if written;
+// a dereference *p is touched if p itself is written (retargeting the
+// pointer) or any may-target of p is written.
+func (in *Info) Touches(lv cfa.Lvalue, written map[string]struct{}) bool {
+	if _, ok := written[lv.Var]; ok {
+		return true
+	}
+	if !lv.Deref {
+		return false
+	}
+	for v := range in.pts[lv.Var] {
+		if _, ok := written[v]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// MustWritten returns the lvalues certainly overwritten by an
+// assignment to lv (used to kill entries of the live set, §3.4): lv
+// itself when it is a variable; the must-alias target for *p. An
+// assignment to a variable x also certainly overwrites *q for every
+// pointer q whose points-to set is exactly {x}.
+func (in *Info) MustWritten(lv cfa.Lvalue) []cfa.Lvalue {
+	if lv.Deref {
+		s := in.pts[lv.Var]
+		if len(s) == 1 {
+			for v := range s {
+				return []cfa.Lvalue{lv, {Var: v}}
+			}
+		}
+		return []cfa.Lvalue{lv}
+	}
+	out := []cfa.Lvalue{lv}
+	for p, s := range in.pts {
+		if len(s) == 1 {
+			if _, ok := s[lv.Var]; ok {
+				out = append(out, cfa.Lvalue{Var: p, Deref: true})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Var != out[j].Var {
+			return out[i].Var < out[j].Var
+		}
+		return !out[i].Deref && out[j].Deref
+	})
+	return out
+}

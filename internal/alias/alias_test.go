@@ -1,0 +1,202 @@
+package alias_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pathslice/internal/alias"
+	"pathslice/internal/cfa"
+	"pathslice/internal/compile"
+)
+
+func analyze(t *testing.T, src string) *alias.Info {
+	t.Helper()
+	return alias.Analyze(compile.MustSource(src))
+}
+
+func lv(v string) cfa.Lvalue    { return cfa.Lvalue{Var: v} }
+func deref(v string) cfa.Lvalue { return cfa.Lvalue{Var: v, Deref: true} }
+
+func TestPtsDirect(t *testing.T) {
+	in := analyze(t, `
+		int x; int y; int *p; int *q;
+		void main() {
+			p = &x;
+			q = &y;
+		}`)
+	if got := in.Pts("p"); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("pts(p) = %v", got)
+	}
+	if got := in.Pts("q"); !reflect.DeepEqual(got, []string{"y"}) {
+		t.Errorf("pts(q) = %v", got)
+	}
+}
+
+func TestPtsCopyPropagation(t *testing.T) {
+	in := analyze(t, `
+		int x; int y; int *p; int *q; int *r;
+		void main() {
+			p = &x;
+			q = p;
+			r = q;
+			q = &y;
+		}`)
+	if got := in.Pts("r"); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("pts(r) = %v (flow-insensitive: q's &y flows through the copy)", got)
+	}
+	if got := in.Pts("q"); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("pts(q) = %v", got)
+	}
+}
+
+func TestPtsThroughCalls(t *testing.T) {
+	// Pointer parameters flow through the $arg transfer variables.
+	in := analyze(t, `
+		int x; int *g;
+		void set(int *p) { g = p; }
+		void main() { set(&x); }`)
+	if got := in.Pts("g"); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("pts(g) = %v", got)
+	}
+	if got := in.Pts("set::p"); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("pts(set::p) = %v", got)
+	}
+}
+
+func TestMayAlias(t *testing.T) {
+	in := analyze(t, `
+		int x; int y; int *p; int *q;
+		void main() {
+			if (nondet()) { p = &x; } else { p = &y; }
+			q = &y;
+		}`)
+	cases := []struct {
+		a, b cfa.Lvalue
+		want bool
+	}{
+		{lv("x"), lv("x"), true},
+		{lv("x"), lv("y"), false},
+		{deref("p"), lv("x"), true},
+		{deref("p"), lv("y"), true},
+		{deref("q"), lv("x"), false},
+		{deref("q"), lv("y"), true},
+		{deref("p"), deref("q"), true}, // both may target y
+		{lv("p"), deref("p"), false},   // the pointer is not its target
+	}
+	for _, c := range cases {
+		if got := in.MayAlias(c.a, c.b); got != c.want {
+			t.Errorf("MayAlias(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := in.MayAlias(c.b, c.a); got != c.want {
+			t.Errorf("MayAlias(%v, %v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestMustAlias(t *testing.T) {
+	in := analyze(t, `
+		int x; int y; int *p; int *q; int *r;
+		void main() {
+			p = &x;
+			if (nondet()) { q = &x; } else { q = &y; }
+			r = &x;
+		}`)
+	if !in.MustAlias(deref("p"), lv("x")) {
+		t.Error("*p must alias x (singleton points-to)")
+	}
+	if in.MustAlias(deref("q"), lv("x")) {
+		t.Error("*q may also be y: not a must alias")
+	}
+	if !in.MustAlias(deref("p"), deref("r")) {
+		t.Error("*p and *r both must target x")
+	}
+	if !in.MustAlias(lv("x"), lv("x")) {
+		t.Error("reflexivity")
+	}
+	if in.MustAlias(lv("x"), lv("y")) {
+		t.Error("distinct variables never must-alias")
+	}
+}
+
+func TestMustAliasUnderapproximatesMayAlias(t *testing.T) {
+	in := analyze(t, `
+		int a; int b; int *p; int *q;
+		void main() {
+			p = &a;
+			q = p;
+			if (nondet()) { q = &b; }
+			*p = 1;
+			*q = 2;
+		}`)
+	all := []cfa.Lvalue{lv("a"), lv("b"), lv("p"), lv("q"), deref("p"), deref("q")}
+	for _, x := range all {
+		for _, y := range all {
+			if in.MustAlias(x, y) && !in.MayAlias(x, y) {
+				t.Errorf("MustAlias(%v,%v) without MayAlias", x, y)
+			}
+		}
+	}
+}
+
+func TestWrittenVarsAndTouches(t *testing.T) {
+	in := analyze(t, `
+		int x; int y; int *p;
+		void main() {
+			if (nondet()) { p = &x; } else { p = &y; }
+			*p = 3;
+		}`)
+	if got := in.WrittenVars(deref("p")); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("WrittenVars(*p) = %v", got)
+	}
+	if got := in.WrittenVars(lv("x")); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("WrittenVars(x) = %v", got)
+	}
+	written := map[string]struct{}{"x": {}}
+	if !in.Touches(lv("x"), written) {
+		t.Error("x touched by writing x")
+	}
+	if in.Touches(lv("y"), written) {
+		t.Error("y not touched by writing x")
+	}
+	if !in.Touches(deref("p"), written) {
+		t.Error("*p touched by writing a may-target")
+	}
+	if !in.Touches(deref("p"), map[string]struct{}{"p": {}}) {
+		t.Error("*p touched by retargeting p")
+	}
+}
+
+func TestMustWritten(t *testing.T) {
+	in := analyze(t, `
+		int x; int y; int *p; int *q;
+		void main() {
+			p = &x;
+			if (nondet()) { q = &x; } else { q = &y; }
+			*p = 1;
+			x = 2;
+		}`)
+	// Assigning *p (pts(p) = {x}) certainly writes x too.
+	got := in.MustWritten(deref("p"))
+	wantHas := func(l cfa.Lvalue) {
+		for _, g := range got {
+			if g == l {
+				return
+			}
+		}
+		t.Errorf("MustWritten(*p) = %v missing %v", got, l)
+	}
+	wantHas(deref("p"))
+	wantHas(lv("x"))
+	// Assigning x certainly overwrites *p (singleton pts) but not *q.
+	got = in.MustWritten(lv("x"))
+	found := map[cfa.Lvalue]bool{}
+	for _, g := range got {
+		found[g] = true
+	}
+	if !found[lv("x")] || !found[deref("p")] {
+		t.Errorf("MustWritten(x) = %v", got)
+	}
+	if found[deref("q")] {
+		t.Errorf("MustWritten(x) must not include *q: %v", got)
+	}
+}

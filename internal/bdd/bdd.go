@@ -1,0 +1,343 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (ROBDDs) with hash-consing and memoized apply operations — the
+// representation the paper proposes for scaling the By and WrBt
+// analyses ("efficient implementations of these analyses using
+// state-of-the-art techniques like BDDs [5, 26, 20] ... can ensure that
+// the techniques scale to large programs", §5). Package bddrel builds
+// the relational analyses on top.
+package bdd
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Ref is a node reference in a Manager. The constants False and True
+// are the terminal nodes.
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level  int32 // variable index; terminals use maxLevel
+	lo, hi Ref
+}
+
+const maxLevel = int32(1<<31 - 1)
+
+// Manager owns a DAG of hash-consed BDD nodes over variables
+// 0..NumVars-1 in natural order.
+type Manager struct {
+	nodes  []node
+	unique map[node]Ref
+	// operation caches
+	andCache map[[2]Ref]Ref
+	orCache  map[[2]Ref]Ref
+	xorCache map[[2]Ref]Ref
+	notCache map[Ref]Ref
+}
+
+// New returns an empty manager.
+func New() *Manager {
+	m := &Manager{
+		unique:   make(map[node]Ref),
+		andCache: make(map[[2]Ref]Ref),
+		orCache:  make(map[[2]Ref]Ref),
+		xorCache: make(map[[2]Ref]Ref),
+		notCache: make(map[Ref]Ref),
+	}
+	// Terminals at indices 0 and 1.
+	m.nodes = append(m.nodes,
+		node{level: maxLevel}, // False
+		node{level: maxLevel}, // True
+	)
+	return m
+}
+
+// NumNodes returns the number of live nodes (including terminals).
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// mk returns the canonical node (level, lo, hi), applying the ROBDD
+// reduction rules.
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	n := node{level: level, lo: lo, hi: hi}
+	if r, ok := m.unique[n]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, n)
+	m.unique[n] = r
+	return r
+}
+
+// Var returns the BDD for variable v (hi branch true).
+func (m *Manager) Var(v int) Ref {
+	return m.mk(int32(v), False, True)
+}
+
+// NVar returns the BDD for ¬variable v.
+func (m *Manager) NVar(v int) Ref {
+	return m.mk(int32(v), True, False)
+}
+
+func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
+
+// And returns a ∧ b.
+func (m *Manager) And(a, b Ref) Ref {
+	switch {
+	case a == False || b == False:
+		return False
+	case a == True:
+		return b
+	case b == True:
+		return a
+	case a == b:
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]Ref{a, b}
+	if r, ok := m.andCache[key]; ok {
+		return r
+	}
+	la, lb := m.level(a), m.level(b)
+	top := la
+	if lb < top {
+		top = lb
+	}
+	alo, ahi := m.cofactors(a, top)
+	blo, bhi := m.cofactors(b, top)
+	r := m.mk(top, m.And(alo, blo), m.And(ahi, bhi))
+	m.andCache[key] = r
+	return r
+}
+
+// Or returns a ∨ b.
+func (m *Manager) Or(a, b Ref) Ref {
+	switch {
+	case a == True || b == True:
+		return True
+	case a == False:
+		return b
+	case b == False:
+		return a
+	case a == b:
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]Ref{a, b}
+	if r, ok := m.orCache[key]; ok {
+		return r
+	}
+	la, lb := m.level(a), m.level(b)
+	top := la
+	if lb < top {
+		top = lb
+	}
+	alo, ahi := m.cofactors(a, top)
+	blo, bhi := m.cofactors(b, top)
+	r := m.mk(top, m.Or(alo, blo), m.Or(ahi, bhi))
+	m.orCache[key] = r
+	return r
+}
+
+// Xor returns a ⊕ b.
+func (m *Manager) Xor(a, b Ref) Ref {
+	switch {
+	case a == False:
+		return b
+	case b == False:
+		return a
+	case a == b:
+		return False
+	case a == True:
+		return m.Not(b)
+	case b == True:
+		return m.Not(a)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]Ref{a, b}
+	if r, ok := m.xorCache[key]; ok {
+		return r
+	}
+	la, lb := m.level(a), m.level(b)
+	top := la
+	if lb < top {
+		top = lb
+	}
+	alo, ahi := m.cofactors(a, top)
+	blo, bhi := m.cofactors(b, top)
+	r := m.mk(top, m.Xor(alo, blo), m.Xor(ahi, bhi))
+	m.xorCache[key] = r
+	return r
+}
+
+// Not returns ¬a.
+func (m *Manager) Not(a Ref) Ref {
+	switch a {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	if r, ok := m.notCache[a]; ok {
+		return r
+	}
+	n := m.nodes[a]
+	r := m.mk(n.level, m.Not(n.lo), m.Not(n.hi))
+	m.notCache[a] = r
+	return r
+}
+
+// Ite returns if-then-else(f, g, h) = (f∧g) ∨ (¬f∧h).
+func (m *Manager) Ite(f, g, h Ref) Ref {
+	return m.Or(m.And(f, g), m.And(m.Not(f), h))
+}
+
+// Diff returns a ∧ ¬b.
+func (m *Manager) Diff(a, b Ref) Ref { return m.And(a, m.Not(b)) }
+
+// cofactors returns the (lo, hi) cofactors of r with respect to the
+// variable at the given level.
+func (m *Manager) cofactors(r Ref, level int32) (Ref, Ref) {
+	n := m.nodes[r]
+	if n.level != level {
+		return r, r
+	}
+	return n.lo, n.hi
+}
+
+// Eval evaluates r under the assignment (indexed by variable level).
+func (m *Manager) Eval(r Ref, assign func(v int) bool) bool {
+	for r != True && r != False {
+		n := m.nodes[r]
+		if assign(int(n.level)) {
+			r = n.hi
+		} else {
+			r = n.lo
+		}
+	}
+	return r == True
+}
+
+// Exists existentially quantifies the given variables out of r.
+func (m *Manager) Exists(r Ref, vars []int) Ref {
+	want := make(map[int32]bool, len(vars))
+	for _, v := range vars {
+		want[int32(v)] = true
+	}
+	memo := make(map[Ref]Ref)
+	var ex func(x Ref) Ref
+	ex = func(x Ref) Ref {
+		if x == True || x == False {
+			return x
+		}
+		if r, ok := memo[x]; ok {
+			return r
+		}
+		n := m.nodes[x]
+		lo, hi := ex(n.lo), ex(n.hi)
+		var out Ref
+		if want[n.level] {
+			out = m.Or(lo, hi)
+		} else {
+			out = m.mk(n.level, lo, hi)
+		}
+		memo[x] = out
+		return out
+	}
+	return ex(r)
+}
+
+// SatCount returns the number of satisfying assignments of r over
+// nvars variables.
+func (m *Manager) SatCount(r Ref, nvars int) *big.Int {
+	memo := make(map[Ref]*big.Rat)
+	var count func(x Ref) *big.Rat
+	count = func(x Ref) *big.Rat {
+		switch x {
+		case False:
+			return new(big.Rat)
+		case True:
+			return big.NewRat(1, 1)
+		}
+		if c, ok := memo[x]; ok {
+			return c
+		}
+		n := m.nodes[x]
+		half := big.NewRat(1, 2)
+		c := new(big.Rat).Add(
+			new(big.Rat).Mul(half, count(n.lo)),
+			new(big.Rat).Mul(half, count(n.hi)))
+		memo[x] = c
+		return c
+	}
+	frac := count(r)
+	total := new(big.Rat).SetInt(new(big.Int).Lsh(big.NewInt(1), uint(nvars)))
+	out := new(big.Rat).Mul(frac, total)
+	if !out.IsInt() {
+		// r mentions variables ≥ nvars; caller error.
+		panic(fmt.Sprintf("bdd: SatCount with nvars=%d too small", nvars))
+	}
+	return out.Num()
+}
+
+// AllSat calls fn for every satisfying assignment over variables
+// 0..nvars-1, presented as a bit slice. fn returning false stops the
+// enumeration.
+func (m *Manager) AllSat(r Ref, nvars int, fn func(bits []bool) bool) {
+	bits := make([]bool, nvars)
+	var walk func(x Ref, v int) bool
+	walk = func(x Ref, v int) bool {
+		if x == False {
+			return true
+		}
+		if v == nvars {
+			return fn(bits)
+		}
+		n := m.nodes[x]
+		if x == True || n.level > int32(v) {
+			// Free variable: both branches.
+			bits[v] = false
+			if !walk(x, v+1) {
+				return false
+			}
+			bits[v] = true
+			return walk(x, v+1)
+		}
+		bits[v] = false
+		if !walk(n.lo, v+1) {
+			return false
+		}
+		bits[v] = true
+		return walk(n.hi, v+1)
+	}
+	walk(r, 0)
+}
+
+// Minterm returns the conjunction of literals encoding the integer
+// value over the given consecutive variable levels (LSB first).
+func (m *Manager) Minterm(value, firstVar, width int) Ref {
+	r := True
+	for i := width - 1; i >= 0; i-- {
+		v := firstVar + i
+		if value&(1<<uint(i)) != 0 {
+			r = m.And(m.Var(v), r)
+		} else {
+			r = m.And(m.NVar(v), r)
+		}
+	}
+	return r
+}

@@ -1,0 +1,250 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTerminalsAndVars(t *testing.T) {
+	m := New()
+	if m.And(True, False) != False || m.Or(True, False) != True {
+		t.Fatal("terminal ops wrong")
+	}
+	x := m.Var(0)
+	if m.And(x, x) != x || m.Or(x, x) != x {
+		t.Error("idempotence")
+	}
+	if m.And(x, m.Not(x)) != False {
+		t.Error("x ∧ ¬x must be false")
+	}
+	if m.Or(x, m.Not(x)) != True {
+		t.Error("x ∨ ¬x must be true")
+	}
+	if m.NVar(0) != m.Not(x) {
+		t.Error("NVar must equal Not(Var)")
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	m := New()
+	x, y := m.Var(0), m.Var(1)
+	a := m.And(x, y)
+	b := m.And(y, x)
+	if a != b {
+		t.Error("structural equality must give identical refs (canonicity)")
+	}
+	c := m.Or(m.And(x, y), m.And(x, y))
+	if c != a {
+		t.Error("or-idempotence through cache")
+	}
+}
+
+// evalFormula is the reference: evaluate the boolean combination
+// directly.
+func TestAgainstTruthTables(t *testing.T) {
+	m := New()
+	x, y, z := m.Var(0), m.Var(1), m.Var(2)
+	f := m.Or(m.And(x, m.Not(y)), m.Xor(y, z)) // x¬y ∨ (y⊕z)
+	for bits := 0; bits < 8; bits++ {
+		bx, by, bz := bits&1 != 0, bits&2 != 0, bits&4 != 0
+		want := (bx && !by) || (by != bz)
+		got := m.Eval(f, func(v int) bool {
+			switch v {
+			case 0:
+				return bx
+			case 1:
+				return by
+			default:
+				return bz
+			}
+		})
+		if got != want {
+			t.Errorf("bits %03b: got %v want %v", bits, got, want)
+		}
+	}
+}
+
+func TestIteAndDiff(t *testing.T) {
+	m := New()
+	x, y, z := m.Var(0), m.Var(1), m.Var(2)
+	ite := m.Ite(x, y, z)
+	for bits := 0; bits < 8; bits++ {
+		bx, by, bz := bits&1 != 0, bits&2 != 0, bits&4 != 0
+		want := (bx && by) || (!bx && bz)
+		got := m.Eval(ite, func(v int) bool { return []bool{bx, by, bz}[v] })
+		if got != want {
+			t.Errorf("ite bits %03b", bits)
+		}
+	}
+	if m.Diff(x, x) != False {
+		t.Error("x \\ x = false")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New()
+	x, y, z := m.Var(0), m.Var(1), m.Var(2)
+	cases := []struct {
+		r    Ref
+		want int64
+	}{
+		{True, 8},
+		{False, 0},
+		{x, 4},
+		{m.And(x, y), 2},
+		{m.And(m.And(x, y), z), 1},
+		{m.Or(x, y), 6},
+	}
+	for i, c := range cases {
+		if got := m.SatCount(c.r, 3); got.Int64() != c.want {
+			t.Errorf("case %d: %d want %d", i, got.Int64(), c.want)
+		}
+	}
+}
+
+func TestExists(t *testing.T) {
+	m := New()
+	x, y := m.Var(0), m.Var(1)
+	// ∃x. x∧y == y
+	if got := m.Exists(m.And(x, y), []int{0}); got != y {
+		t.Error("∃x. x∧y must be y")
+	}
+	// ∃x. x∧¬x == false
+	if got := m.Exists(m.And(x, m.Not(x)), []int{0}); got != False {
+		t.Error("∃x. false must be false")
+	}
+	// ∃y. x⊕y == true
+	if got := m.Exists(m.Xor(x, y), []int{1}); got != True {
+		t.Error("∃y. x⊕y must be true")
+	}
+}
+
+func TestAllSatAndMinterm(t *testing.T) {
+	m := New()
+	const width = 4
+	// The set {3, 5, 11}.
+	set := False
+	for _, v := range []int{3, 5, 11} {
+		set = m.Or(set, m.Minterm(v, 0, width))
+	}
+	var got []int
+	m.AllSat(set, width, func(bits []bool) bool {
+		v := 0
+		for i, b := range bits {
+			if b {
+				v |= 1 << uint(i)
+			}
+		}
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("members: %v", got)
+	}
+	want := map[int]bool{3: true, 5: true, 11: true}
+	for _, v := range got {
+		if !want[v] {
+			t.Errorf("spurious member %d", v)
+		}
+	}
+	if m.SatCount(set, width).Int64() != 3 {
+		t.Error("satcount disagrees")
+	}
+	// Early stop.
+	n := 0
+	m.AllSat(set, width, func([]bool) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("AllSat did not stop: %d", n)
+	}
+}
+
+// Property: random formulas vs truth tables over 5 variables.
+func TestQuickRandomFormulas(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	const nvars = 5
+	type tree struct {
+		op   int // 0 var, 1 not, 2 and, 3 or, 4 xor
+		v    int
+		l, r *tree
+	}
+	var gen func(depth int) *tree
+	gen = func(depth int) *tree {
+		if depth == 0 || r.Intn(4) == 0 {
+			return &tree{op: 0, v: r.Intn(nvars)}
+		}
+		op := 1 + r.Intn(4)
+		tr := &tree{op: op, l: gen(depth - 1)}
+		if op != 1 {
+			tr.r = gen(depth - 1)
+		}
+		return tr
+	}
+	var build func(m *Manager, t *tree) Ref
+	build = func(m *Manager, tr *tree) Ref {
+		switch tr.op {
+		case 0:
+			return m.Var(tr.v)
+		case 1:
+			return m.Not(build(m, tr.l))
+		case 2:
+			return m.And(build(m, tr.l), build(m, tr.r))
+		case 3:
+			return m.Or(build(m, tr.l), build(m, tr.r))
+		default:
+			return m.Xor(build(m, tr.l), build(m, tr.r))
+		}
+	}
+	var eval func(tr *tree, bits int) bool
+	eval = func(tr *tree, bits int) bool {
+		switch tr.op {
+		case 0:
+			return bits&(1<<uint(tr.v)) != 0
+		case 1:
+			return !eval(tr.l, bits)
+		case 2:
+			return eval(tr.l, bits) && eval(tr.r, bits)
+		case 3:
+			return eval(tr.l, bits) || eval(tr.r, bits)
+		default:
+			return eval(tr.l, bits) != eval(tr.r, bits)
+		}
+	}
+	m := New()
+	for trial := 0; trial < 200; trial++ {
+		tr := gen(5)
+		f := build(m, tr)
+		count := 0
+		for bits := 0; bits < 1<<nvars; bits++ {
+			want := eval(tr, bits)
+			b := bits
+			got := m.Eval(f, func(v int) bool { return b&(1<<uint(v)) != 0 })
+			if got != want {
+				t.Fatalf("trial %d bits %05b: got %v want %v", trial, bits, got, want)
+			}
+			if want {
+				count++
+			}
+		}
+		if got := m.SatCount(f, nvars); got.Int64() != int64(count) {
+			t.Fatalf("trial %d: satcount %d want %d", trial, got.Int64(), count)
+		}
+	}
+}
+
+// Canonicity: equivalent formulas share one node.
+func TestQuickCanonicity(t *testing.T) {
+	m := New()
+	x, y, z := m.Var(0), m.Var(1), m.Var(2)
+	// De Morgan.
+	a := m.Not(m.And(x, y))
+	b := m.Or(m.Not(x), m.Not(y))
+	if a != b {
+		t.Error("De Morgan pairs must be the same node")
+	}
+	// Distribution.
+	c := m.And(x, m.Or(y, z))
+	d := m.Or(m.And(x, y), m.And(x, z))
+	if c != d {
+		t.Error("distribution pairs must be the same node")
+	}
+}

@@ -1,0 +1,258 @@
+// Package bddrel implements the WrBt and By analyses of §4.1 with
+// BDD-encoded sets — the scaling avenue the paper proposes in §5
+// ("efficient implementations of these analyses using state-of-the-art
+// techniques like BDDs ... can ensure that the techniques scale to
+// large programs. We are currently investigating such algorithms.").
+//
+// Encoding: within each CFA, edges are numbered 0..m-1 and locations
+// 0..n-1; a set is a BDD over ⌈log₂⌉ boolean variables holding the
+// binary encoding of the member index. Reach-from/reach-to sets per
+// location are computed with the same least-fixpoint equations as
+// internal/dataflow, but unions become BDD disjunctions that share
+// structure across locations.
+//
+// The results are definitionally equal to internal/dataflow's; the
+// equivalence is asserted by this package's tests, and the ablation
+// benchmark in the repository root compares the two.
+package bddrel
+
+import (
+	"math/bits"
+
+	"pathslice/internal/alias"
+	"pathslice/internal/bdd"
+	"pathslice/internal/cfa"
+	"pathslice/internal/modref"
+)
+
+// Info answers WrBt/By queries with BDD-backed sets.
+type Info struct {
+	prog  *cfa.Program
+	alias *alias.Info
+	mods  *modref.Info
+	fns   map[string]*fnInfo
+}
+
+type fnInfo struct {
+	fn *cfa.CFA
+	m  *bdd.Manager
+	// edgeBits / locBits: width of the index encodings.
+	edgeBits, locBits int
+	// edgeOf[i]: minterm for edge i (variables 0..edgeBits-1).
+	edgeOf []bdd.Ref
+	// out[loc] / in[loc]: edge sets reachable-from / reaching.
+	out, in []bdd.Ref
+	// writes[edge]: variables the edge may write.
+	writes []map[string]struct{}
+	// byCache[pcStep]: location set that can bypass pcStep.
+	byCache map[int]bdd.Ref
+	// locOf[i]: minterm for location i.
+	locOf []bdd.Ref
+	// wrBtCache: per (src,dst) written-variable union.
+	wrBtCache map[int]map[string]struct{}
+}
+
+// Analyze computes the per-function relations.
+func Analyze(prog *cfa.Program, al *alias.Info, mr *modref.Info) *Info {
+	info := &Info{prog: prog, alias: al, mods: mr, fns: make(map[string]*fnInfo)}
+	for _, name := range prog.Order {
+		info.fns[name] = info.analyzeFn(prog.Funcs[name])
+	}
+	return info
+}
+
+func width(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+func (info *Info) analyzeFn(fn *cfa.CFA) *fnInfo {
+	nLocs, nEdges := len(fn.Locs), len(fn.Edges)
+	fi := &fnInfo{
+		fn:        fn,
+		m:         bdd.New(),
+		edgeBits:  width(nEdges),
+		locBits:   width(nLocs),
+		edgeOf:    make([]bdd.Ref, nEdges),
+		locOf:     make([]bdd.Ref, nLocs),
+		out:       make([]bdd.Ref, nLocs),
+		in:        make([]bdd.Ref, nLocs),
+		writes:    make([]map[string]struct{}, nEdges),
+		byCache:   make(map[int]bdd.Ref),
+		wrBtCache: make(map[int]map[string]struct{}),
+	}
+	for i := range fi.edgeOf {
+		fi.edgeOf[i] = fi.m.Minterm(i, 0, fi.edgeBits)
+	}
+	// Location minterms live above the edge variables so the two
+	// vocabularies never collide.
+	for i := range fi.locOf {
+		fi.locOf[i] = fi.m.Minterm(i, fi.edgeBits, fi.locBits)
+	}
+	for _, e := range fn.Edges {
+		w := make(map[string]struct{})
+		switch e.Op.Kind {
+		case cfa.OpAssign:
+			for _, v := range info.alias.WrittenVars(e.Op.LHS) {
+				w[v] = struct{}{}
+			}
+		case cfa.OpCall:
+			for v := range info.mods.ModsVarSet(e.Op.Callee) {
+				w[v] = struct{}{}
+			}
+		}
+		fi.writes[e.Index] = w
+	}
+	for i := range fi.out {
+		fi.out[i] = bdd.False
+		fi.in[i] = bdd.False
+	}
+	// Least fixpoints, as in §4.1:
+	//   Out.pc = ∪_{e:(pc,·,pc')} {e} ∪ Out.pc'
+	//   In.pc  = ∪_{e:(pc',·,pc)} {e} ∪ In.pc'
+	changed := true
+	for changed {
+		changed = false
+		for i := nEdges - 1; i >= 0; i-- {
+			e := fn.Edges[i]
+			src := fi.out[e.Src.Index]
+			next := fi.m.Or(src, fi.m.Or(fi.edgeOf[e.Index], fi.out[e.Dst.Index]))
+			if next != src {
+				fi.out[e.Src.Index] = next
+				changed = true
+			}
+		}
+	}
+	changed = true
+	for changed {
+		changed = false
+		for i := 0; i < nEdges; i++ {
+			e := fn.Edges[i]
+			dst := fi.in[e.Dst.Index]
+			next := fi.m.Or(dst, fi.m.Or(fi.edgeOf[e.Index], fi.in[e.Src.Index]))
+			if next != dst {
+				fi.in[e.Dst.Index] = next
+				changed = true
+			}
+		}
+	}
+	return fi
+}
+
+func (info *Info) fnOf(loc *cfa.Loc) *fnInfo { return info.fns[loc.Fn.Name] }
+
+// WrittenBetween returns the variables that may be written on some path
+// from src to dst (same CFA): the members of Out.src ∧ In.dst.
+func (info *Info) WrittenBetween(src, dst *cfa.Loc) map[string]struct{} {
+	if src.Fn != dst.Fn {
+		panic("bddrel: WrittenBetween across CFAs")
+	}
+	fi := info.fnOf(src)
+	key := src.Index*len(fi.fn.Locs) + dst.Index
+	if cached, ok := fi.wrBtCache[key]; ok {
+		return cached
+	}
+	between := fi.m.And(fi.out[src.Index], fi.in[dst.Index])
+	union := make(map[string]struct{})
+	fi.m.AllSat(between, fi.edgeBits, func(b []bool) bool {
+		idx := 0
+		for i, set := range b {
+			if set {
+				idx |= 1 << uint(i)
+			}
+		}
+		if idx < len(fi.writes) {
+			for v := range fi.writes[idx] {
+				union[v] = struct{}{}
+			}
+		}
+		return true
+	})
+	fi.wrBtCache[key] = union
+	return union
+}
+
+// WrBt reports WrBt.(src, dst).L.
+func (info *Info) WrBt(src, dst *cfa.Loc, live cfa.LvalSet) bool {
+	written := info.WrittenBetween(src, dst)
+	if len(written) == 0 {
+		return false
+	}
+	for l := range live {
+		if info.alias.Touches(l, written) {
+			return true
+		}
+	}
+	return false
+}
+
+// By reports pc ∈ By.pcStep: pc can reach the exit avoiding pcStep. The
+// bypass set is computed as a BDD over the location vocabulary with the
+// backward fixpoint of §4.1.
+func (info *Info) By(pc, pcStep *cfa.Loc) bool {
+	if pc.Fn != pcStep.Fn {
+		panic("bddrel: By across CFAs")
+	}
+	fi := info.fnOf(pc)
+	set, ok := fi.byCache[pcStep.Index]
+	if !ok {
+		set = info.computeBy(fi, pcStep)
+		fi.byCache[pcStep.Index] = set
+	}
+	// Membership: evaluate the set BDD at pc's encoding.
+	idx := pc.Index
+	return fi.m.Eval(set, func(v int) bool {
+		bit := v - fi.edgeBits
+		return bit >= 0 && idx&(1<<uint(bit)) != 0
+	})
+}
+
+// computeBy: least fixpoint By.pcStep = ({exit} ∪ {pc' | ∃ succ ∈ By})
+// \ {pcStep}, as a location-set BDD.
+func (info *Info) computeBy(fi *fnInfo, stepIdx *cfa.Loc) bdd.Ref {
+	fn := fi.fn
+	set := bdd.False
+	if fn.Exit != stepIdx {
+		set = fi.locOf[fn.Exit.Index]
+	} else {
+		return bdd.False
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, e := range fn.Edges {
+			if e.Src == stepIdx || e.Src.Fn != fn {
+				continue
+			}
+			// e.Src joins when e.Dst is in the set.
+			if !info.member(fi, set, e.Dst.Index) {
+				continue
+			}
+			next := fi.m.Or(set, fi.locOf[e.Src.Index])
+			if next != set {
+				set = next
+				changed = true
+			}
+		}
+	}
+	return set
+}
+
+func (info *Info) member(fi *fnInfo, set bdd.Ref, locIdx int) bool {
+	return fi.m.Eval(set, func(v int) bool {
+		bit := v - fi.edgeBits
+		return bit >= 0 && locIdx&(1<<uint(bit)) != 0
+	})
+}
+
+// Nodes returns the total BDD nodes allocated across all functions, a
+// proxy for the representation's footprint.
+func (info *Info) Nodes() int {
+	total := 0
+	for _, fi := range info.fns {
+		total += fi.m.NumNodes()
+	}
+	return total
+}

@@ -1,0 +1,375 @@
+// Package bench runs the paper's evaluation (§5) over the synthetic
+// benchmark suite and renders its artifacts: Table 1 (per-benchmark
+// check outcomes, times, refinement counts), Figure 5 (trace size vs
+// slice ratio across application benchmarks), and Figure 6 (the same
+// for the gcc-class subject), plus the ablations listed in DESIGN.md.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pathslice/internal/cegar"
+	"pathslice/internal/cfa"
+	"pathslice/internal/core"
+	"pathslice/internal/instrument"
+	"pathslice/internal/lang/parser"
+	"pathslice/internal/lang/types"
+	"pathslice/internal/synth"
+)
+
+// CheckOutcome is the result of one clustered check.
+type CheckOutcome struct {
+	Cluster     string
+	Verdict     cegar.Verdict
+	Work        int
+	Refinements int
+	Duration    time.Duration
+	Traces      []cegar.TraceStat
+}
+
+// BenchmarkResult aggregates one benchmark's checks (one Table 1 row).
+type BenchmarkResult struct {
+	Profile      synth.Profile
+	GeneratedLOC int
+	Procedures   int
+	Clusters     int
+	Sites        int
+
+	Safe, Err, Timeout int
+	TotalTime          time.Duration
+	MaxTime            time.Duration
+	Refinements        int
+
+	Checks []CheckOutcome
+	// Traces pools every abstract counterexample analyzed (Figure 5/6
+	// raw data).
+	Traces []cegar.TraceStat
+}
+
+// CompileProfile generates and compiles a profile into an instrumented
+// program ready for checking.
+func CompileProfile(p synth.Profile) (*instrument.Result, error) {
+	src := synth.Generate(p)
+	prog, err := parser.Parse([]byte(src))
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: parse: %w", p.Name, err)
+	}
+	ins, err := instrument.Instrument(prog)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: instrument: %w", p.Name, err)
+	}
+	return ins, nil
+}
+
+// RunBenchmark checks every cluster of the profile's program and
+// aggregates the row, sequentially.
+func RunBenchmark(p synth.Profile, opts cegar.Options) (*BenchmarkResult, error) {
+	return RunBenchmarkParallel(p, opts, 1)
+}
+
+// RunBenchmarkParallel checks clusters with the given worker count.
+// Checks are independent (each gets its own program copy and checker),
+// so the row's verdicts are identical to the sequential run; only the
+// wall-clock Total/Max times change meaning (they still sum and max the
+// per-check durations, not the elapsed wall time).
+func RunBenchmarkParallel(p synth.Profile, opts cegar.Options, workers int) (*BenchmarkResult, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	ins, err := CompileProfile(p)
+	if err != nil {
+		return nil, err
+	}
+	src := synth.Generate(p)
+	res := &BenchmarkResult{
+		Profile:      p,
+		GeneratedLOC: strings.Count(src, "\n") + 1,
+		Clusters:     len(ins.Clusters),
+		Sites:        ins.TotalSites,
+		Procedures:   len(ins.Prog.Funcs),
+	}
+	outs := make([]*CheckOutcome, len(ins.Clusters))
+	errs := make([]error, len(ins.Clusters))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, cl := range ins.Clusters {
+		wg.Add(1)
+		go func(i int, fn string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outs[i], errs[i] = runCluster(ins, fn, opts)
+		}(i, cl.Function)
+	}
+	wg.Wait()
+	for i := range outs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out := outs[i]
+		res.Checks = append(res.Checks, *out)
+		switch out.Verdict {
+		case cegar.VerdictSafe:
+			res.Safe++
+		case cegar.VerdictUnsafe:
+			res.Err++
+		default:
+			res.Timeout++
+		}
+		if out.Verdict != cegar.VerdictTimeout && out.Verdict != cegar.VerdictDiverged {
+			res.TotalTime += out.Duration
+			if out.Duration > res.MaxTime {
+				res.MaxTime = out.Duration
+			}
+		}
+		res.Refinements += out.Refinements
+		res.Traces = append(res.Traces, out.Traces...)
+	}
+	return res, nil
+}
+
+// runCluster checks one cluster (all error locations of one function's
+// sites, checked together like the paper).
+func runCluster(ins *instrument.Result, fn string, opts cegar.Options) (*CheckOutcome, error) {
+	clusterProg, err := instrument.ForCluster(ins.Prog, fn)
+	if err != nil {
+		return nil, err
+	}
+	info, err := types.Check(clusterProg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: typecheck: %w", fn, err)
+	}
+	cprog, err := cfa.Build(info)
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: cfa: %w", fn, err)
+	}
+	out := &CheckOutcome{Cluster: fn, Verdict: cegar.VerdictSafe}
+	start := time.Now()
+	checker := cegar.New(cprog, opts)
+	for _, loc := range cprog.ErrorLocs() {
+		r := checker.Check(loc)
+		out.Work += r.Work
+		out.Refinements += r.Refinements
+		out.Traces = append(out.Traces, r.Traces...)
+		switch r.Verdict {
+		case cegar.VerdictUnsafe:
+			out.Verdict = cegar.VerdictUnsafe
+		case cegar.VerdictTimeout, cegar.VerdictDiverged:
+			if out.Verdict != cegar.VerdictUnsafe {
+				out.Verdict = cegar.VerdictTimeout
+			}
+		}
+		if out.Verdict == cegar.VerdictUnsafe {
+			break // first violation settles the cluster, like the paper's error rows
+		}
+	}
+	out.Duration = time.Since(start)
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 rendering
+
+// RenderTable1 renders the measured rows next to the paper's reported
+// numbers. Absolute times are not comparable (different hardware,
+// substituted subjects); the comparison is the *shape*: which rows are
+// all-safe, which contain errors, which time out, and how refinement
+// counts scale.
+func RenderTable1(rows []*BenchmarkResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: benchmarks and analysis results (measured | paper)\n")
+	fmt.Fprintf(&b, "%-9s %-18s %9s %6s %9s %11s %11s %10s %9s %12s\n",
+		"Program", "Description", "GenLOC", "Procs", "Checks",
+		"Results", "PaperRes", "TotalTime", "MaxTime", "Refinements")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %-18s %9d %6d %5d/%-3d %4d/%d/%-4d %11s %10.2fs %8.2fs %5d | %3d\n",
+			r.Profile.Name, r.Profile.Description, r.GeneratedLOC, r.Procedures,
+			r.Clusters, r.Sites,
+			r.Safe, r.Err, r.Timeout,
+			r.Profile.PaperResults,
+			r.TotalTime.Seconds(), r.MaxTime.Seconds(),
+			r.Refinements, r.Profile.PaperRefinements)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5 and 6: slice-ratio scatter data
+
+// Point is one counterexample trace: its size and its slice's relative
+// size.
+type Point struct {
+	Blocks  int     // original trace size in basic blocks (x)
+	Percent float64 // slice size as % of original (y, log scale)
+}
+
+// PointsFromTraces converts recorded trace stats to scatter points,
+// dropping degenerate traces.
+func PointsFromTraces(traces []cegar.TraceStat) []Point {
+	var pts []Point
+	for _, ts := range traces {
+		if ts.TraceBlocks <= 0 {
+			continue
+		}
+		pct := ts.RatioPercent()
+		if pct <= 0 {
+			pct = 0.01 // clamp empty slices to the plot floor
+		}
+		pts = append(pts, Point{Blocks: ts.TraceBlocks, Percent: pct})
+	}
+	return pts
+}
+
+// SliceSweep generates counterexample traces of increasing length
+// directly from the CFA (candidate paths from an imprecise analysis,
+// like the abstract counterexamples BLAST's DFS produces) and slices
+// each, producing the scatter data for the large-trace regime. The
+// unrollings list controls trace lengths; maxTraces bounds the total.
+func SliceSweep(ins *instrument.Result, unrollings []int, maxTraces int) ([]cegar.TraceStat, error) {
+	info, err := types.Check(ins.Prog)
+	if err != nil {
+		return nil, err
+	}
+	cprog, err := cfa.Build(info)
+	if err != nil {
+		return nil, err
+	}
+	slicer := core.New(cprog)
+	var out []cegar.TraceStat
+	// Location-outer so every unrolling level is represented even when
+	// maxTraces truncates the sweep.
+	for _, loc := range cprog.ErrorLocs() {
+		for _, k := range unrollings {
+			if len(out) >= maxTraces {
+				return out, nil
+			}
+			path := cfa.WalkLongPath(cprog, loc, k, 0)
+			if path == nil {
+				path = cfa.FindPath(cprog, loc, cfa.FindOptions{})
+			}
+			if path == nil {
+				continue
+			}
+			sr, err := slicer.Slice(path)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cegar.TraceStat{
+				TraceEdges:  sr.Stats.InputEdges,
+				TraceBlocks: sr.Stats.InputBlocks,
+				SliceEdges:  sr.Stats.SliceEdges,
+				SliceBlocks: sr.Stats.SliceBlocks,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderScatter renders an ASCII log-log scatter like Figures 5 and 6:
+// x = trace size in basic blocks, y = slice size as % of the original.
+func RenderScatter(title string, pts []Point) string {
+	const (
+		cols = 64
+		rows = 16
+	)
+	if len(pts) == 0 {
+		return title + ": (no data)\n"
+	}
+	// x: log10 from 1 to max; y: log10 percent from 0.01 to 100.
+	maxBlocks := 1
+	for _, p := range pts {
+		if p.Blocks > maxBlocks {
+			maxBlocks = p.Blocks
+		}
+	}
+	xMaxLog := log10f(float64(maxBlocks))
+	if xMaxLog < 1 {
+		xMaxLog = 1
+	}
+	const yMinLog, yMaxLog = -2.0, 2.0 // 0.01% .. 100%
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	for _, p := range pts {
+		x := int(log10f(float64(p.Blocks)) / xMaxLog * float64(cols-1))
+		yl := log10f(p.Percent)
+		if yl < yMinLog {
+			yl = yMinLog
+		}
+		if yl > yMaxLog {
+			yl = yMaxLog
+		}
+		y := int((yMaxLog - yl) / (yMaxLog - yMinLog) * float64(rows-1))
+		if x >= 0 && x < cols && y >= 0 && y < rows {
+			grid[y][x] = '+'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "slice size (%% of original, log scale) vs trace size (basic blocks, log scale)\n")
+	labels := []string{"100%", " 10%", "  1%", "0.1%", ".01%"}
+	for i, row := range grid {
+		label := "     "
+		if i%((rows-1)/(len(labels)-1)) == 0 {
+			idx := i / ((rows - 1) / (len(labels) - 1))
+			if idx < len(labels) {
+				label = labels[idx]
+			}
+		}
+		fmt.Fprintf(&b, "%5s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "       %s\n", strings.Repeat("-", cols))
+	fmt.Fprintf(&b, "       1%sblocks≈%d\n", strings.Repeat(" ", cols-12), maxBlocks)
+	fmt.Fprintf(&b, "%s\n", SummarizePoints(pts))
+	return b.String()
+}
+
+// SummarizePoints reports the headline statistics the paper quotes:
+// average ratio, the max, and the ratio for large traces.
+func SummarizePoints(pts []Point) string {
+	if len(pts) == 0 {
+		return "no traces"
+	}
+	var sum, maxPct float64
+	var largeSum float64
+	largeN := 0
+	maxBlocks, maxOps := 0, 0
+	for _, p := range pts {
+		sum += p.Percent
+		if p.Percent > maxPct {
+			maxPct = p.Percent
+		}
+		if p.Blocks > 1000 {
+			largeSum += p.Percent
+			largeN++
+		}
+		if p.Blocks > maxBlocks {
+			maxBlocks = p.Blocks
+			maxOps = int(float64(p.Blocks) * p.Percent / 100)
+		}
+	}
+	s := fmt.Sprintf("n=%d traces; mean slice ratio %.2f%%; max %.2f%%; largest trace %d blocks -> %d blocks",
+		len(pts), sum/float64(len(pts)), maxPct, maxBlocks, maxOps)
+	if largeN > 0 {
+		s += fmt.Sprintf("; traces >1000 blocks: mean %.3f%% (n=%d)", largeSum/float64(largeN), largeN)
+	}
+	return s
+}
+
+// SortPoints orders points by trace size (for stable output).
+func SortPoints(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Blocks < pts[j].Blocks })
+}
+
+func log10f(x float64) float64 {
+	if x <= 0 {
+		return -10
+	}
+	return math.Log10(x)
+}

@@ -1,0 +1,122 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"pathslice/internal/bench"
+	"pathslice/internal/cegar"
+	"pathslice/internal/synth"
+)
+
+func TestRunBenchmarkSmallProfile(t *testing.T) {
+	p := synth.PaperProfiles(0.1)[0] // fcron-class, tiny
+	res, err := bench.RunBenchmark(p, cegar.Options{UseSlicing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters == 0 || res.Safe+res.Err+res.Timeout != res.Clusters {
+		t.Errorf("cluster accounting wrong: %+v", res)
+	}
+	if res.GeneratedLOC < 20 {
+		t.Errorf("LOC: %d", res.GeneratedLOC)
+	}
+	// fcron-class has no seeded bugs: everything should be safe.
+	if res.Err != 0 {
+		t.Errorf("fcron-class should be all-safe, got %d errors", res.Err)
+	}
+}
+
+func TestRunBenchmarkFindsSeededBugs(t *testing.T) {
+	// wuftpd-class at small scale keeps its 3 seeded bugs only if the
+	// scaled check count covers their indices; use a scale that does.
+	p := synth.PaperProfiles(1.0)[1]
+	p.CheckFns = 13 // covers seeded bug indices 2 and 11
+	p.NoiseFns = 6
+	res, err := bench.RunBenchmark(p, cegar.Options{
+		UseSlicing: true, MaxWork: 20000, MaxRefinements: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err < 2 {
+		t.Errorf("expected at least the two covered seeded bugs, got %d errors (safe %d, timeout %d)",
+			res.Err, res.Safe, res.Timeout)
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	p := synth.PaperProfiles(0.1)[0]
+	res, err := bench.RunBenchmark(p, cegar.Options{UseSlicing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := bench.RenderTable1([]*bench.BenchmarkResult{res})
+	for _, want := range []string{"fcron", "Refinements", "cron daemon"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSliceSweepAndScatter(t *testing.T) {
+	p := synth.PaperProfiles(0.15)[1]
+	ins, err := bench.CompileProfile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := bench.SliceSweep(ins, []int{2, 4, 8}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) < 10 {
+		t.Fatalf("sweep produced too few traces: %d", len(traces))
+	}
+	pts := bench.PointsFromTraces(traces)
+	bench.SortPoints(pts)
+	// The paper's key shape: larger traces have smaller ratios. Compare
+	// the mean ratio of the smallest third vs the largest third.
+	third := len(pts) / 3
+	if third > 0 {
+		var small, large float64
+		for _, p := range pts[:third] {
+			small += p.Percent
+		}
+		for _, p := range pts[len(pts)-third:] {
+			large += p.Percent
+		}
+		small /= float64(third)
+		large /= float64(third)
+		if large >= small {
+			t.Errorf("slice ratio should fall as traces grow: small-third mean %.2f%%, large-third mean %.2f%%",
+				small, large)
+		}
+	}
+	out := bench.RenderScatter("Figure 5 (test)", pts)
+	if !strings.Contains(out, "+") {
+		t.Errorf("scatter has no points:\n%s", out)
+	}
+	if !strings.Contains(out, "mean slice ratio") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	out := bench.RenderScatter("empty", nil)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty scatter: %q", out)
+	}
+}
+
+func TestSummarizePoints(t *testing.T) {
+	pts := []bench.Point{
+		{Blocks: 100, Percent: 10},
+		{Blocks: 2000, Percent: 0.5},
+	}
+	s := bench.SummarizePoints(pts)
+	for _, want := range []string{"n=2", ">1000 blocks"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}

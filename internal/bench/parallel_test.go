@@ -1,0 +1,42 @@
+package bench_test
+
+import (
+	"testing"
+
+	"pathslice/internal/bench"
+	"pathslice/internal/cegar"
+	"pathslice/internal/synth"
+)
+
+// TestParallelMatchesSequential: cluster checks are independent, so the
+// parallel runner must produce the same verdict counts.
+func TestParallelMatchesSequential(t *testing.T) {
+	p := synth.PaperProfiles(0.12)[1] // wuftpd-class, has bugs
+	opts := cegar.Options{UseSlicing: true, MaxWork: 20000}
+	seq, err := bench.RunBenchmark(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := bench.RunBenchmarkParallel(p, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Safe != par.Safe || seq.Err != par.Err || seq.Timeout != par.Timeout {
+		t.Errorf("verdicts differ: seq %d/%d/%d vs par %d/%d/%d",
+			seq.Safe, seq.Err, seq.Timeout, par.Safe, par.Err, par.Timeout)
+	}
+	if seq.Refinements != par.Refinements {
+		t.Errorf("refinements differ: %d vs %d", seq.Refinements, par.Refinements)
+	}
+	if len(seq.Checks) != len(par.Checks) {
+		t.Fatalf("check counts differ")
+	}
+	for i := range seq.Checks {
+		if seq.Checks[i].Cluster != par.Checks[i].Cluster ||
+			seq.Checks[i].Verdict != par.Checks[i].Verdict {
+			t.Errorf("check %d: %s/%s vs %s/%s", i,
+				seq.Checks[i].Cluster, seq.Checks[i].Verdict,
+				par.Checks[i].Cluster, par.Checks[i].Verdict)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package bitset provides a dense bit set used by the intraprocedural
+// fixpoint analyses (reachability, WrBt, By) where universe sizes are
+// the location/edge counts of one CFA.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-universe bit set. The zero value is an empty set over
+// an empty universe; use New for a sized one.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set over the universe {0, ..., n-1}.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the universe size.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts i.
+func (s *Set) Add(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Remove deletes i.
+func (s *Set) Remove(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports membership of i.
+func (s *Set) Has(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of elements.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// UnionWith adds every element of other; it reports whether s changed.
+func (s *Set) UnionWith(other *Set) bool {
+	changed := false
+	for i, w := range other.words {
+		if nw := s.words[i] | w; nw != s.words[i] {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IntersectionWith removes elements not in other.
+func (s *Set) IntersectionWith(other *Set) {
+	for i := range s.words {
+		s.words[i] &= other.words[i]
+	}
+}
+
+// Copy returns an independent copy.
+func (s *Set) Copy() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// ForEach calls fn for each element in ascending order; fn returning
+// false stops the iteration.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*64 + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// IntersectsWith reports whether s and other share an element.
+func (s *Set) IntersectsWith(other *Set) bool {
+	for i, w := range other.words {
+		if s.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Elements returns the members in ascending order.
+func (s *Set) Elements() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}

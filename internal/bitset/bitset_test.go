@@ -1,0 +1,136 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Count() != 0 || s.Len() != 130 {
+		t.Fatal("new set not empty")
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if s.Count() != 3 {
+		t.Errorf("count: %d", s.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !s.Has(i) {
+			t.Errorf("missing %d", i)
+		}
+	}
+	if s.Has(1) || s.Has(-1) || s.Has(1000) {
+		t.Error("spurious membership")
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 2 {
+		t.Error("remove failed")
+	}
+	if got := s.Elements(); len(got) != 2 || got[0] != 0 || got[1] != 129 {
+		t.Errorf("elements: %v", got)
+	}
+}
+
+func TestUnionIntersection(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Add(1)
+	a.Add(2)
+	b.Add(2)
+	b.Add(3)
+	if !a.IntersectsWith(b) {
+		t.Error("should intersect at 2")
+	}
+	c := a.Copy()
+	if changed := c.UnionWith(b); !changed {
+		t.Error("union should change")
+	}
+	if c.Count() != 3 {
+		t.Errorf("union count: %d", c.Count())
+	}
+	if changed := c.UnionWith(b); changed {
+		t.Error("second union should not change")
+	}
+	c.IntersectionWith(b)
+	if c.Count() != 2 || !c.Has(2) || !c.Has(3) {
+		t.Errorf("intersection wrong: %v", c.Elements())
+	}
+	c.Clear()
+	if c.Count() != 0 {
+		t.Error("clear failed")
+	}
+}
+
+func TestForEachStops(t *testing.T) {
+	s := New(10)
+	for i := 0; i < 10; i++ {
+		s.Add(i)
+	}
+	seen := 0
+	s.ForEach(func(i int) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Errorf("ForEach did not stop: %d", seen)
+	}
+}
+
+// Property: a set built from any list of indices contains exactly the
+// distinct indices.
+func TestQuickMembership(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New(1 << 16)
+		want := make(map[int]bool)
+		for _, r := range raw {
+			s.Add(int(r))
+			want[int(r)] = true
+		}
+		if s.Count() != len(want) {
+			return false
+		}
+		for i := range want {
+			if !s.Has(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative on membership.
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a1, b1 := New(256), New(256)
+		for _, x := range xs {
+			a1.Add(int(x))
+		}
+		for _, y := range ys {
+			b1.Add(int(y))
+		}
+		u1 := a1.Copy()
+		u1.UnionWith(b1)
+		u2 := b1.Copy()
+		u2.UnionWith(a1)
+		if u1.Count() != u2.Count() {
+			return false
+		}
+		eq := true
+		u1.ForEach(func(i int) bool {
+			if !u2.Has(i) {
+				eq = false
+				return false
+			}
+			return true
+		})
+		return eq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,693 @@
+// Package cegar implements a BLAST-style counterexample-guided
+// abstraction refinement model checker over CFAs (§5 of the paper: the
+// application context in which path slicing runs).
+//
+// The checker performs predicate-abstraction reachability: abstract
+// states are (location, call stack, three-valued predicate valuation);
+// the abstract post is computed with weakest-precondition entailment
+// queries against the SMT solver. When an abstract path reaches the
+// target location, the counterexample-analysis phase runs Algorithm
+// PathSlice on it (exactly as the paper's implementation does inside
+// BLAST), decides feasibility of the *slice*, and either reports a bug
+// with the succinct slice as the witness, or mines new predicates from
+// the infeasible slice and restarts.
+//
+// Without slicing (Options.UseSlicing = false), the raw counterexample
+// is analyzed instead — the configuration the paper reports "did not
+// scale to any of these examples".
+package cegar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/core"
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/lang/token"
+	"pathslice/internal/logic"
+	"pathslice/internal/smt"
+	"pathslice/internal/wp"
+)
+
+// Verdict classifies a check outcome.
+type Verdict int
+
+// The verdicts.
+const (
+	// VerdictSafe: the target location is unreachable.
+	VerdictSafe Verdict = iota
+	// VerdictUnsafe: a feasible (slice of a) path to the target exists.
+	VerdictUnsafe
+	// VerdictTimeout: the work budget was exhausted.
+	VerdictTimeout
+	// VerdictDiverged: refinement found no new predicates.
+	VerdictDiverged
+)
+
+// String renders the verdict like the paper's Results column.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSafe:
+		return "safe"
+	case VerdictUnsafe:
+		return "error"
+	case VerdictTimeout:
+		return "timeout"
+	case VerdictDiverged:
+		return "diverged"
+	}
+	return "?"
+}
+
+// Options configures a check.
+type Options struct {
+	// UseSlicing runs PathSlice on abstract counterexamples before
+	// feasibility analysis and refinement (the paper's contribution).
+	UseSlicing bool
+	// SlicerOpts forwards options to the path slicer.
+	SlicerOpts core.Options
+	// MaxRefinements bounds refinement rounds (default 40).
+	MaxRefinements int
+	// MaxWork bounds total work units — abstract states explored plus
+	// solver queries — emulating the paper's wall-clock timeout
+	// deterministically (default 200000).
+	MaxWork int
+	// MaxTraceLen aborts counterexamples longer than this (default
+	// 200000 edges).
+	MaxTraceLen int
+	// DFS makes the reachability search depth-first, which produces the
+	// long counterexamples the paper observes with BLAST (§5,
+	// Limitations); otherwise breadth-first.
+	DFS bool
+	// MaxPreds caps the predicate set (default 60).
+	MaxPreds int
+	// ExactCover disables subsumption-based covering: a state is then
+	// only covered by an identical (location, stack, valuation) state.
+	// With subsumption (the default, as in lazy abstraction), a state
+	// is covered by any visited state at the same location and stack
+	// whose valuation is weaker — it represents a superset of concrete
+	// states, so exploring the new state cannot reach anything new.
+	ExactCover bool
+	// NoLocalize disables predicate localization. With localization
+	// (the default, in the spirit of lazy abstraction's per-region
+	// predicates), a predicate mentioning some function's locals is
+	// only evaluated while that function is on the call stack; outside
+	// it the value is unknown. This is sound (unknown never constrains)
+	// and loses no precision: a MiniC local is always written before it
+	// is read within an activation, so stale cross-activation facts are
+	// never needed.
+	NoLocalize bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRefinements <= 0 {
+		o.MaxRefinements = 40
+	}
+	if o.MaxWork <= 0 {
+		o.MaxWork = 200000
+	}
+	if o.MaxTraceLen <= 0 {
+		o.MaxTraceLen = 200000
+	}
+	if o.MaxPreds <= 0 {
+		o.MaxPreds = 60
+	}
+	return o
+}
+
+// TraceStat records one abstract counterexample and its slice — the
+// per-trace data behind Figures 5 and 6.
+type TraceStat struct {
+	TraceEdges  int
+	TraceBlocks int
+	SliceEdges  int
+	SliceBlocks int
+	Feasible    bool
+}
+
+// RatioPercent returns slice size as a percentage of trace size (in
+// basic blocks), the y-axis of Figures 5 and 6.
+func (ts TraceStat) RatioPercent() float64 {
+	if ts.TraceBlocks == 0 {
+		return 0
+	}
+	return 100 * float64(ts.SliceBlocks) / float64(ts.TraceBlocks)
+}
+
+// Result reports one check.
+type Result struct {
+	Verdict     Verdict
+	Refinements int
+	Work        int
+	Predicates  int
+	// Witness is the feasible slice (or raw trace without slicing)
+	// demonstrating the bug, when Verdict is VerdictUnsafe.
+	Witness cfa.Path
+	// RawCounterexample is the last abstract counterexample.
+	RawCounterexample cfa.Path
+	// Traces records every abstract counterexample analyzed.
+	Traces []TraceStat
+}
+
+// Checker holds the per-program machinery shared across checks.
+type Checker struct {
+	prog      *cfa.Program
+	slicer    *core.Slicer
+	opts      Options
+	predScope map[string][]string // predicate → functions whose locals it mentions
+}
+
+// New builds a checker for prog.
+func New(prog *cfa.Program, opts Options) *Checker {
+	opts = opts.withDefaults()
+	return &Checker{
+		prog:      prog,
+		slicer:    core.NewWithOptions(prog, opts.SlicerOpts),
+		opts:      opts,
+		predScope: make(map[string][]string),
+	}
+}
+
+// Check decides reachability of target.
+func (c *Checker) Check(target *cfa.Loc) *Result {
+	res := &Result{}
+	var preds []logic.Formula
+	seen := make(map[string]bool) // predicate strings, for dedup
+
+	for {
+		if res.Refinements >= c.opts.MaxRefinements {
+			res.Verdict = VerdictTimeout
+			return res
+		}
+		path, work, exhausted := c.reach(target, preds, c.opts.MaxWork-res.Work)
+		res.Work += work
+		if path == nil {
+			if exhausted || res.Work >= c.opts.MaxWork {
+				res.Verdict = VerdictTimeout
+			} else {
+				res.Verdict = VerdictSafe
+			}
+			res.Predicates = len(preds)
+			return res
+		}
+		res.RawCounterexample = path
+		res.Refinements++
+
+		// Counterexample analysis phase: slice, then decide.
+		analyzed := path
+		var stat TraceStat
+		stat.TraceEdges = len(path)
+		stat.TraceBlocks = path.BasicBlocks()
+		if c.opts.UseSlicing {
+			sr, err := c.slicer.Slice(path)
+			if err != nil {
+				res.Verdict = VerdictDiverged
+				return res
+			}
+			analyzed = sr.Slice
+			stat.SliceEdges = sr.Stats.SliceEdges
+			stat.SliceBlocks = sr.Stats.SliceBlocks
+			if sr.KnownInfeasible {
+				// Early-stop already proved infeasibility.
+				res.Traces = append(res.Traces, stat)
+				newPreds, grew := c.refine(analyzed, preds, seen)
+				if !grew {
+					res.Verdict = VerdictDiverged
+					res.Predicates = len(preds)
+					return res
+				}
+				preds = newPreds
+				continue
+			}
+		} else {
+			stat.SliceEdges = stat.TraceEdges
+			stat.SliceBlocks = stat.TraceBlocks
+		}
+
+		fr, _ := c.slicer.CheckFeasibility(analyzed)
+		res.Work += 50 // a feasibility query is heavy
+		switch fr.Status {
+		case smt.StatusSat, smt.StatusUnknown:
+			// Feasible slice (completeness: the target is reachable, or
+			// the program diverges). Unknown is reported as a potential
+			// bug, like tools do for unconfirmed counterexamples.
+			stat.Feasible = true
+			res.Traces = append(res.Traces, stat)
+			res.Verdict = VerdictUnsafe
+			res.Witness = analyzed
+			res.Predicates = len(preds)
+			return res
+		case smt.StatusUnsat:
+			res.Traces = append(res.Traces, stat)
+			newPreds, grew := c.refine(analyzed, preds, seen)
+			if !grew {
+				res.Verdict = VerdictDiverged
+				res.Predicates = len(preds)
+				return res
+			}
+			preds = newPreds
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Abstract reachability
+
+// absState is an abstract state: location, call stack, and a
+// three-valued predicate valuation (+1 true, -1 false, 0 unknown).
+type absState struct {
+	loc   *cfa.Loc
+	stack []*cfa.Edge // call edges; Dst is the resume location
+	vals  []int8
+	// parent and via reconstruct the abstract counterexample.
+	parent *absState
+	via    *cfa.Edge
+}
+
+// ctxKey identifies a state's control context (location + stack); the
+// predicate valuation is handled by the covering relation.
+func (st *absState) ctxKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", st.loc.ID)
+	for _, e := range st.stack {
+		fmt.Fprintf(&b, "%d,", e.ID)
+	}
+	return b.String()
+}
+
+// covers reports whether a visited valuation a subsumes b: every
+// literal a determines, b determines the same way. Then a represents a
+// superset of b's concrete states, and b's successors add nothing.
+func covers(a, b []int8) bool {
+	for i := range a {
+		if a[i] != 0 && a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// coverSet tracks visited valuations per control context.
+type coverSet struct {
+	exact bool
+	m     map[string][][]int8
+}
+
+func newCoverSet(exact bool) *coverSet {
+	return &coverSet{exact: exact, m: make(map[string][][]int8)}
+}
+
+// add registers the state and reports whether it was already covered.
+func (cs *coverSet) add(st *absState) bool {
+	k := st.ctxKey()
+	for _, vals := range cs.m[k] {
+		if cs.exact {
+			same := true
+			for i := range vals {
+				if vals[i] != st.vals[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return true
+			}
+		} else if covers(vals, st.vals) {
+			return true
+		}
+	}
+	cs.m[k] = append(cs.m[k], st.vals)
+	return false
+}
+
+// stateFormula is the conjunction of determined predicates.
+func stateFormula(preds []logic.Formula, vals []int8) logic.Formula {
+	var fs []logic.Formula
+	for i, v := range vals {
+		switch v {
+		case 1:
+			fs = append(fs, preds[i])
+		case -1:
+			fs = append(fs, logic.MkNot(preds[i]))
+		}
+	}
+	return logic.MkAnd(fs...)
+}
+
+// reach explores the abstract state space; it returns an abstract path
+// to target (or nil), the work spent, and whether the budget ran out
+// before the frontier was exhausted.
+func (c *Checker) reach(target *cfa.Loc, preds []logic.Formula, budget int) (cfa.Path, int, bool) {
+	if budget <= 0 {
+		return nil, 0, true
+	}
+	work := 0
+	main := c.prog.Funcs[c.prog.Main]
+	root := &absState{loc: main.Entry, vals: make([]int8, len(preds))}
+	visited := newCoverSet(c.opts.ExactCover)
+	visited.add(root)
+	frontier := []*absState{root}
+
+	pop := func() *absState {
+		var st *absState
+		if c.opts.DFS {
+			st = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+		} else {
+			st = frontier[0]
+			frontier = frontier[1:]
+		}
+		return st
+	}
+
+	for len(frontier) > 0 {
+		if work >= budget {
+			return nil, work, true
+		}
+		st := pop()
+		if st.loc == target {
+			return extractPath(st), work, false
+		}
+		work++
+		for _, e := range st.loc.Out {
+			succ, w := c.post(st, e, preds)
+			work += w
+			if succ == nil {
+				continue
+			}
+			if visited.add(succ) {
+				continue // covered
+			}
+			frontier = append(frontier, succ)
+		}
+	}
+	return nil, work, false
+}
+
+// post computes the abstract successor of st via edge e, or nil when
+// the edge is abstractly infeasible. The work counter counts solver
+// queries.
+func (c *Checker) post(st *absState, e *cfa.Edge, preds []logic.Formula) (*absState, int) {
+	work := 0
+	cur := stateFormula(preds, st.vals)
+	fresh := 0
+
+	switch e.Op.Kind {
+	case cfa.OpCall:
+		callee := c.prog.Funcs[e.Op.Callee]
+		if callee == nil {
+			return nil, work
+		}
+		succ := &absState{loc: callee.Entry, vals: st.vals, parent: st, via: e}
+		succ.stack = append(append([]*cfa.Edge{}, st.stack...), e)
+		return succ, work
+	case cfa.OpReturn:
+		if len(st.stack) == 0 {
+			return nil, work // program exit: never the target
+		}
+		resume := st.stack[len(st.stack)-1].Dst
+		succ := &absState{loc: resume, vals: st.vals, parent: st, via: e}
+		succ.stack = append([]*cfa.Edge{}, st.stack[:len(st.stack)-1]...)
+		return succ, work
+	case cfa.OpAssume:
+		// Prune when the state cannot take the branch.
+		predF, side := assumeFormula(e.Op, c.slicer, &fresh)
+		work++
+		if r := smt.Solve(logic.MkAnd(append(side, cur, predF)...)); r.Status == smt.StatusUnsat {
+			return nil, work
+		}
+	}
+
+	// New valuation via WP entailment per predicate. Localization:
+	// predicates scoped to functions not on the successor's stack stay
+	// unknown and cost no solver queries.
+	vals := make([]int8, len(preds))
+	for i, p := range preds {
+		if !c.opts.NoLocalize && !c.predInScope(i, p, e.Dst, st.stack) {
+			vals[i] = 0
+			continue
+		}
+		wpP := wp.WPOp(p, e.Op, c.slicer.Alias, c.slicer.Addrs, &fresh)
+		wpNotP := wp.WPOp(logic.MkNot(p), e.Op, c.slicer.Alias, c.slicer.Addrs, &fresh)
+		pre := cur
+		if e.Op.Kind == cfa.OpAssume {
+			predF, side := assumeFormula(e.Op, c.slicer, &fresh)
+			pre = logic.MkAnd(append(side, cur, predF)...)
+		}
+		work += 2
+		switch {
+		case smt.Solve(logic.MkAnd(pre, wpNotP)).Status == smt.StatusUnsat:
+			vals[i] = 1 // every post-state satisfies p
+		case smt.Solve(logic.MkAnd(pre, wpP)).Status == smt.StatusUnsat:
+			vals[i] = -1
+		default:
+			vals[i] = 0
+		}
+	}
+	succ := &absState{loc: e.Dst, vals: vals, parent: st, via: e,
+		stack: st.stack}
+	return succ, work
+}
+
+// predInScope reports whether predicate p may be evaluated at a state
+// whose location is loc with the given stack: every function whose
+// locals the predicate mentions must be the current function or on the
+// stack. Global-only predicates are always in scope.
+func (c *Checker) predInScope(idx int, p logic.Formula, loc *cfa.Loc, stack []*cfa.Edge) bool {
+	key := p.String()
+	fns, ok := c.predScope[key]
+	if !ok {
+		seen := map[string]struct{}{}
+		for _, v := range logic.Vars(p) {
+			if fn := c.prog.FuncOf(v); fn != nil && !cfa.IsTransferVar(v) {
+				seen[fn.Name] = struct{}{}
+			}
+		}
+		for name := range seen {
+			fns = append(fns, name)
+		}
+		c.predScope[key] = fns
+	}
+	for _, name := range fns {
+		if loc.Fn.Name == name {
+			continue
+		}
+		onStack := false
+		for _, call := range stack {
+			if call.Src.Fn.Name == name {
+				onStack = true
+				break
+			}
+		}
+		if !onStack {
+			return false
+		}
+	}
+	_ = idx
+	return true
+}
+
+// assumeFormula converts an assume predicate to a formula over plain
+// variable names (reusing the WP machinery's conversion).
+func assumeFormula(op cfa.Op, s *core.Slicer, fresh *int) (logic.Formula, []logic.Formula) {
+	f := wp.WPOp(logic.True, op, s.Alias, s.Addrs, fresh)
+	return f, nil
+}
+
+// extractPath walks parent pointers back to the root.
+func extractPath(st *absState) cfa.Path {
+	var rev cfa.Path
+	for cur := st; cur.parent != nil; cur = cur.parent {
+		rev = append(rev, cur.via)
+	}
+	out := make(cfa.Path, len(rev))
+	for i, e := range rev {
+		out[len(rev)-1-i] = e
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Refinement
+
+// refine mines new predicates from the atoms of the infeasible slice's
+// trace formula, mapped back to unversioned program variables ("the
+// refinement algorithm analyzes the output of the path slicer to find
+// why a path is infeasible" — §1, after [16]).
+func (c *Checker) refine(slice cfa.Path, preds []logic.Formula, seen map[string]bool) ([]logic.Formula, bool) {
+	grew := false
+	add := func(g logic.Formula) {
+		if g == nil || len(preds) >= c.opts.MaxPreds {
+			return
+		}
+		key := g.String()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		preds = append(preds, g)
+		grew = true
+	}
+	// 1. Atoms of the slice's trace formula, unversioned. When the
+	// formula is unsatisfiable (the usual case during refinement), mine
+	// only the atoms of a minimized unsat core: the operations that
+	// actually cause the infeasibility, per the parsimonious-abstraction
+	// idea the paper cites ([16], "Abstractions from proofs").
+	enc := wp.NewTraceEncoder(c.slicer.Prog, c.slicer.Alias, c.slicer.Addrs)
+	solver := smt.NewSolver()
+	for _, op := range slice.Ops() {
+		solver.Assert(enc.EncodeOp(op))
+	}
+	var mineFrom []logic.Formula
+	if r := solver.Check(); r.Status == smt.StatusUnsat {
+		core, _ := solver.UnsatCore()
+		mineFrom = core
+	} else {
+		mineFrom = []logic.Formula{c.slicer.TraceFormula(slice)}
+	}
+	for _, f := range mineFrom {
+		for _, a := range collectAtoms(f) {
+			add(unversion(a))
+		}
+	}
+	// 2. Constant facts established along the slice: propagate known
+	// constants forward through the slice's assignments and record
+	// `x == c` at every point a constant is produced. This recovers the
+	// facts an interpolating prover would find for increment chains
+	// ("Abstractions from proofs"-lite).
+	consts := make(map[string]int64)
+	for _, e := range slice {
+		op := e.Op
+		if op.Kind != cfa.OpAssign {
+			continue
+		}
+		if op.LHS.Deref {
+			// A store through a pointer invalidates may-targets.
+			for _, v := range c.slicer.Alias.Pts(op.LHS.Var) {
+				delete(consts, v)
+			}
+			continue
+		}
+		if v, ok := evalConst(op.RHS, consts); ok {
+			consts[op.LHS.Var] = v
+			add(logic.Cmp{Op: logic.CmpEq,
+				X: logic.Var{Name: op.LHS.Var}, Y: logic.Const{V: v}})
+		} else {
+			delete(consts, op.LHS.Var)
+		}
+	}
+	return preds, grew
+}
+
+// evalConst evaluates an expression under a constant environment.
+func evalConst(e ast.Expr, consts map[string]int64) (int64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, true
+	case *ast.Ident:
+		v, ok := consts[e.Name]
+		return v, ok
+	case *ast.Unary:
+		if e.Op == token.MINUS {
+			v, ok := evalConst(e.X, consts)
+			return -v, ok
+		}
+		if e.Op == token.NOT {
+			v, ok := evalConst(e.X, consts)
+			if !ok {
+				return 0, false
+			}
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *ast.Binary:
+		x, okx := evalConst(e.X, consts)
+		y, oky := evalConst(e.Y, consts)
+		if !okx || !oky {
+			return 0, false
+		}
+		switch e.Op {
+		case token.PLUS:
+			return x + y, true
+		case token.MINUS:
+			return x - y, true
+		case token.STAR:
+			return x * y, true
+		case token.SLASH:
+			if y == 0 {
+				return 0, false
+			}
+			return x / y, true
+		case token.PERCENT:
+			if y == 0 {
+				return 0, false
+			}
+			return x % y, true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// collectAtoms gathers the comparison atoms of a formula.
+func collectAtoms(f logic.Formula) []logic.Cmp {
+	var out []logic.Cmp
+	var walk func(g logic.Formula)
+	walk = func(g logic.Formula) {
+		switch g := g.(type) {
+		case logic.Cmp:
+			out = append(out, g)
+		case logic.Not:
+			walk(g.F)
+		case logic.And:
+			for _, h := range g.Fs {
+				walk(h)
+			}
+		case logic.Or:
+			for _, h := range g.Fs {
+				walk(h)
+			}
+		}
+	}
+	walk(f)
+	return out
+}
+
+// unversion strips SSA "@k" suffixes from an atom's variables and drops
+// atoms that mention solver-internal variables ($in, $u, $f, $h).
+func unversion(a logic.Cmp) logic.Formula {
+	vars := make(map[string]struct{})
+	logic.TermVars(a.X, vars)
+	logic.TermVars(a.Y, vars)
+	if len(vars) == 0 {
+		return nil // ground atom: useless as a predicate
+	}
+	sub := make(map[string]logic.Term, len(vars))
+	for name := range vars {
+		if strings.HasPrefix(name, "$") {
+			return nil
+		}
+		base := name
+		if i := strings.LastIndex(name, "@"); i >= 0 {
+			base = name[:i]
+		}
+		sub[name] = logic.Var{Name: base}
+	}
+	return logic.Subst(logic.Formula(a), sub)
+}
+
+// PredicateStrings renders a predicate list deterministically (for
+// tests and debugging).
+func PredicateStrings(preds []logic.Formula) []string {
+	out := make([]string, len(preds))
+	for i, p := range preds {
+		out[i] = p.String()
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,241 @@
+package cegar_test
+
+import (
+	"testing"
+
+	"pathslice/internal/cegar"
+	"pathslice/internal/cfa"
+	"pathslice/internal/compile"
+	"pathslice/internal/core"
+)
+
+func check(t *testing.T, src string, opts cegar.Options) *cegar.Result {
+	t.Helper()
+	prog := compile.MustSource(src)
+	locs := prog.ErrorLocs()
+	if len(locs) == 0 {
+		t.Fatal("program has no error location")
+	}
+	c := cegar.New(prog, opts)
+	return c.Check(locs[0])
+}
+
+func defaultOpts() cegar.Options {
+	return cegar.Options{UseSlicing: true}
+}
+
+func TestCheckTrivialUnsafe(t *testing.T) {
+	res := check(t, `void main() { error; }`, defaultOpts())
+	if res.Verdict != cegar.VerdictUnsafe {
+		t.Fatalf("verdict: %s (%+v)", res.Verdict, res)
+	}
+	// The slice witness may legitimately be EMPTY here: main's entry
+	// cannot bypass the error location, so no edge is taken and the
+	// empty (trivially feasible) slice proves reachability.
+	if len(res.RawCounterexample) == 0 {
+		t.Error("missing raw counterexample")
+	}
+}
+
+func TestCheckTrivialSafe(t *testing.T) {
+	res := check(t, `void main() { if (1 == 2) { error; } }`, defaultOpts())
+	if res.Verdict != cegar.VerdictSafe {
+		t.Fatalf("verdict: %s", res.Verdict)
+	}
+}
+
+func TestCheckNeedsRefinement(t *testing.T) {
+	// Safe, but only visible after tracking x == 0.
+	res := check(t, `
+		int x;
+		void main() {
+			x = 0;
+			x = x + 1;
+			if (x == 0) { error; }
+		}`, defaultOpts())
+	if res.Verdict != cegar.VerdictSafe {
+		t.Fatalf("verdict: %s (refinements %d, preds %d)", res.Verdict, res.Refinements, res.Predicates)
+	}
+	if res.Refinements == 0 {
+		t.Error("expected at least one refinement round")
+	}
+}
+
+func TestCheckRealBugFound(t *testing.T) {
+	res := check(t, `
+		int a;
+		void main() {
+			a = nondet();
+			if (a > 10) {
+				if (a < 20) {
+					error;
+				}
+			}
+		}`, defaultOpts())
+	if res.Verdict != cegar.VerdictUnsafe {
+		t.Fatalf("verdict: %s", res.Verdict)
+	}
+	if len(res.Witness) == 0 || !res.Witness.Subsequence(res.Witness) {
+		t.Error("bad witness")
+	}
+}
+
+func TestCheckGuardedUpdateSafe(t *testing.T) {
+	// The shaded-Ex2 pattern: x set to 1 exactly when the error branch
+	// needs x == 0 under the same guard.
+	res := check(t, `
+		int x = 0;
+		int a;
+		void main() {
+			if (a >= 0) { x = 1; }
+			if (a >= 0) {
+				if (x == 0) { error; }
+			}
+		}`, defaultOpts())
+	if res.Verdict != cegar.VerdictSafe {
+		t.Fatalf("verdict: %s (refinements %d)", res.Verdict, res.Refinements)
+	}
+}
+
+// The paper's headline claim: with slicing, the loop that bounds the
+// refinement loop's progress is cut out of the counterexample, so the
+// checker proves reachability without unrolling; without slicing it
+// diverges or times out.
+func TestSlicingEnablesLoopVerdict(t *testing.T) {
+	src := `
+		int x;
+		int a;
+		void f() { skip; }
+		void main() {
+			for (int i = 1; i <= 50; i = i + 1) { f(); }
+			if (a >= 0) {
+				if (x == 0) { error; }
+			}
+		}`
+	withSlicing := check(t, src, cegar.Options{UseSlicing: true, MaxWork: 400000})
+	if withSlicing.Verdict != cegar.VerdictUnsafe {
+		t.Fatalf("with slicing: %s (refinements %d, work %d)",
+			withSlicing.Verdict, withSlicing.Refinements, withSlicing.Work)
+	}
+	// The witness must not contain the loop.
+	for _, e := range withSlicing.Witness {
+		if e.Src.Fn.Name == "f" {
+			t.Errorf("witness contains irrelevant f edge: %s", e)
+		}
+		if e.Op.Kind == cfa.OpAssign && e.Op.LHS.Var == "main::i" {
+			t.Errorf("witness contains loop counter: %s", e)
+		}
+	}
+
+	noSlicing := check(t, src, cegar.Options{UseSlicing: false, MaxWork: 60000, MaxRefinements: 12})
+	if noSlicing.Verdict == cegar.VerdictUnsafe {
+		// Without slicing the loop's infeasible unrolling pollutes the
+		// trace: refinement keeps discovering loop facts. If it does
+		// terminate Unsafe it must at least work much harder.
+		if noSlicing.Work <= withSlicing.Work {
+			t.Errorf("no-slicing should cost more: %d <= %d", noSlicing.Work, withSlicing.Work)
+		}
+	}
+}
+
+func TestCheckInterprocedural(t *testing.T) {
+	res := check(t, `
+		int g;
+		void set(int v) { g = v; }
+		void main() {
+			set(3);
+			if (g == 3) { error; }
+		}`, defaultOpts())
+	if res.Verdict != cegar.VerdictUnsafe {
+		t.Fatalf("verdict: %s", res.Verdict)
+	}
+	res = check(t, `
+		int g;
+		void set(int v) { g = v; }
+		void main() {
+			set(3);
+			if (g == 4) { error; }
+		}`, defaultOpts())
+	if res.Verdict != cegar.VerdictSafe {
+		t.Fatalf("verdict: %s (refinements %d)", res.Verdict, res.Refinements)
+	}
+}
+
+func TestCheckTimeout(t *testing.T) {
+	res := check(t, `
+		int x;
+		void main() {
+			x = 0;
+			while (x < 1000000) { x = x + 1; }
+			if (x == 999) { error; }
+		}`, cegar.Options{UseSlicing: true, MaxWork: 500, MaxRefinements: 2})
+	if res.Verdict == cegar.VerdictUnsafe {
+		t.Fatalf("tiny budget must not prove unsafe: %s", res.Verdict)
+	}
+}
+
+func TestTraceStatsRecorded(t *testing.T) {
+	res := check(t, `
+		int x;
+		void main() {
+			x = 0;
+			x = x + 1;
+			x = x + 1;
+			if (x == 0) { error; }
+		}`, defaultOpts())
+	if res.Verdict != cegar.VerdictSafe {
+		t.Fatalf("verdict: %s", res.Verdict)
+	}
+	if len(res.Traces) == 0 {
+		t.Fatal("no trace stats recorded")
+	}
+	for _, ts := range res.Traces {
+		if ts.SliceBlocks > ts.TraceBlocks {
+			t.Errorf("slice larger than trace: %+v", ts)
+		}
+		if ts.RatioPercent() < 0 || ts.RatioPercent() > 100 {
+			t.Errorf("ratio out of range: %+v", ts)
+		}
+	}
+}
+
+func TestDFSProducesLongerTraces(t *testing.T) {
+	src := `
+		int x;
+		void main() {
+			int i = 0;
+			while (i < 3) { i = i + 1; }
+			if (x == 0) { error; }
+		}`
+	prog := compile.MustSource(src)
+	target := prog.ErrorLocs()[0]
+	bfs := cegar.New(prog, cegar.Options{UseSlicing: true, DFS: false}).Check(target)
+	dfs := cegar.New(prog, cegar.Options{UseSlicing: true, DFS: true}).Check(target)
+	if bfs.Verdict != cegar.VerdictUnsafe || dfs.Verdict != cegar.VerdictUnsafe {
+		t.Fatalf("verdicts: bfs=%s dfs=%s", bfs.Verdict, dfs.Verdict)
+	}
+	if len(bfs.Traces) == 0 || len(dfs.Traces) == 0 {
+		t.Fatal("missing traces")
+	}
+	if dfs.Traces[0].TraceEdges < bfs.Traces[0].TraceEdges {
+		t.Errorf("DFS trace (%d) should be at least as long as BFS trace (%d)",
+			dfs.Traces[0].TraceEdges, bfs.Traces[0].TraceEdges)
+	}
+}
+
+func TestEarlyUnsatStopInsideCegar(t *testing.T) {
+	res := check(t, `
+		int x;
+		void main() {
+			x = 5;
+			if (x == 5) {
+				if (x == 6) { error; }
+			}
+		}`, cegar.Options{
+		UseSlicing: true,
+		SlicerOpts: core.Options{EarlyUnsatStop: true},
+	})
+	if res.Verdict != cegar.VerdictSafe {
+		t.Fatalf("verdict: %s", res.Verdict)
+	}
+}

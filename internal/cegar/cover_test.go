@@ -1,0 +1,107 @@
+package cegar_test
+
+import (
+	"testing"
+
+	"pathslice/internal/cegar"
+	"pathslice/internal/compile"
+)
+
+const coverProg = `
+int a; int b; int c;
+void main() {
+	a = nondet();
+	b = nondet();
+	c = 0;
+	if (a > 0) { c = c + 1; }
+	if (b > 0) { c = c + 1; }
+	if (a > 0) {
+		if (b > 0) {
+			if (c == 0) { error; }
+		}
+	}
+}
+`
+
+// TestSubsumptionAgreesWithExact: both covering modes must reach the
+// same verdict; subsumption should not explore more work.
+func TestSubsumptionAgreesWithExact(t *testing.T) {
+	prog := compile.MustSource(coverProg)
+	target := prog.ErrorLocs()[0]
+	sub := cegar.New(prog, cegar.Options{UseSlicing: true}).Check(target)
+	exact := cegar.New(prog, cegar.Options{UseSlicing: true, ExactCover: true}).Check(target)
+	if sub.Verdict != exact.Verdict {
+		t.Fatalf("verdicts differ: subsumption %s vs exact %s", sub.Verdict, exact.Verdict)
+	}
+	if sub.Verdict != cegar.VerdictSafe {
+		t.Fatalf("program is safe (c >= 2 on the error-guarded branch): %s", sub.Verdict)
+	}
+	if sub.Work > exact.Work {
+		t.Errorf("subsumption covering should not cost more: %d > %d", sub.Work, exact.Work)
+	}
+}
+
+// TestLocalizationAgreesWithGlobal: predicate localization must not
+// change any verdict (it only skips queries whose answers cannot
+// matter).
+func TestLocalizationAgreesWithGlobal(t *testing.T) {
+	sources := []string{
+		coverProg,
+		`int g;
+		 void set(int v) { int tmp = v + 1; g = tmp - 1; }
+		 void main() { set(3); if (g != 3) { error; } }`,
+		`int g;
+		 void a() { int x = 1; g = g + x; }
+		 void b() { int x = 2; g = g + x; }
+		 void main() { g = 0; a(); b(); if (g != 3) { error; } }`,
+		`int u;
+		 void helper(int k) {
+			int local = k * 2;
+			if (local > 100) { u = 1; }
+		 }
+		 void main() {
+			u = 0;
+			helper(3);
+			if (u == 1) { error; }
+		 }`,
+	}
+	for i, src := range sources {
+		prog := compile.MustSource(src)
+		target := prog.ErrorLocs()[0]
+		loc := cegar.New(prog, cegar.Options{UseSlicing: true}).Check(target)
+		glob := cegar.New(prog, cegar.Options{UseSlicing: true, NoLocalize: true}).Check(target)
+		if loc.Verdict != glob.Verdict {
+			t.Errorf("source %d: localized %s vs global %s", i, loc.Verdict, glob.Verdict)
+		}
+		if loc.Work > glob.Work {
+			t.Errorf("source %d: localization should not cost more (%d > %d)", i, loc.Work, glob.Work)
+		}
+	}
+}
+
+// TestSubsumptionAcrossVerdicts spot-checks agreement on a batch of
+// small programs with different outcomes.
+func TestSubsumptionAcrossVerdicts(t *testing.T) {
+	sources := []string{
+		`int x; void main() { x = 1; if (x == 2) { error; } }`,
+		`int x; void main() { x = nondet(); if (x == 2) { error; } }`,
+		`int g;
+		 void up() { g = g + 1; }
+		 void main() { g = 0; up(); up(); if (g != 2) { error; } }`,
+		`int a;
+		 void main() {
+			int s = 0;
+			for (int i = 0; i < 3; i = i + 1) { s = s + 1; }
+			if (s == 3) { if (a > a) { error; } }
+		 }`,
+	}
+	for i, src := range sources {
+		prog := compile.MustSource(src)
+		target := prog.ErrorLocs()[0]
+		sub := cegar.New(prog, cegar.Options{UseSlicing: true}).Check(target)
+		exact := cegar.New(prog, cegar.Options{UseSlicing: true, ExactCover: true}).Check(target)
+		if sub.Verdict != exact.Verdict {
+			t.Errorf("source %d: subsumption %s vs exact %s", i, sub.Verdict, exact.Verdict)
+		}
+	}
+}

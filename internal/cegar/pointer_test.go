@@ -1,0 +1,126 @@
+package cegar_test
+
+import (
+	"testing"
+
+	"pathslice/internal/cegar"
+)
+
+func TestCheckPointerSafe(t *testing.T) {
+	// The store through *p definitely hits x (singleton points-to), so
+	// the guard makes the error unreachable.
+	res := check(t, `
+		int x; int *p;
+		void main() {
+			p = &x;
+			*p = 5;
+			if (x != 5) { error; }
+		}`, defaultOpts())
+	if res.Verdict != cegar.VerdictSafe {
+		t.Fatalf("verdict: %s (refinements %d)", res.Verdict, res.Refinements)
+	}
+}
+
+func TestCheckPointerAmbiguousUnsafe(t *testing.T) {
+	// p may point to x or y; one resolution reaches the error.
+	res := check(t, `
+		int x; int y; int *p;
+		void main() {
+			x = 0;
+			if (nondet()) { p = &x; } else { p = &y; }
+			*p = 5;
+			if (x == 5) { error; }
+		}`, defaultOpts())
+	if res.Verdict != cegar.VerdictUnsafe {
+		t.Fatalf("verdict: %s", res.Verdict)
+	}
+}
+
+func TestCheckNullCheckPattern(t *testing.T) {
+	// The classic: error guarded by two contradictory tests on one
+	// variable, across a helper call.
+	res := check(t, `
+		int v;
+		int pick(int a, int b) {
+			if (a > b) { return a; }
+			return b;
+		}
+		void main() {
+			v = pick(3, 7);
+			if (v == 7) { skip; } else { error; }
+		}`, defaultOpts())
+	if res.Verdict != cegar.VerdictSafe {
+		t.Fatalf("pick(3,7)=7 always: %s (refinements %d)", res.Verdict, res.Refinements)
+	}
+}
+
+func TestCheckAssumeBlocks(t *testing.T) {
+	res := check(t, `
+		int a;
+		void main() {
+			assume(a > 10);
+			if (a < 5) { error; }
+		}`, defaultOpts())
+	if res.Verdict != cegar.VerdictSafe {
+		t.Fatalf("assume must block the error branch: %s", res.Verdict)
+	}
+}
+
+func TestCheckAssertSugar(t *testing.T) {
+	res := check(t, `
+		int a;
+		void main() {
+			a = 3;
+			assert(a == 3);
+		}`, defaultOpts())
+	if res.Verdict != cegar.VerdictSafe {
+		t.Fatalf("valid assert: %s", res.Verdict)
+	}
+	res = check(t, `
+		int a;
+		void main() {
+			a = nondet();
+			assert(a == 3);
+		}`, defaultOpts())
+	if res.Verdict != cegar.VerdictUnsafe {
+		t.Fatalf("failing assert: %s", res.Verdict)
+	}
+}
+
+func TestCheckNestedCallsAndGlobals(t *testing.T) {
+	res := check(t, `
+		int acc;
+		void addone() { acc = acc + 1; }
+		void addtwo() { addone(); addone(); }
+		void main() {
+			acc = 0;
+			addtwo();
+			addone();
+			if (acc != 3) { error; }
+		}`, defaultOpts())
+	if res.Verdict != cegar.VerdictSafe {
+		t.Fatalf("acc is always 3: %s (refinements %d, preds %d)",
+			res.Verdict, res.Refinements, res.Predicates)
+	}
+}
+
+func TestCheckWitnessIsSubsequenceOfRaw(t *testing.T) {
+	res := check(t, `
+		int a;
+		void noise() { int t = 0; for (int i = 0; i < 4; i = i + 1) { t = t + 1; } }
+		void main() {
+			a = nondet();
+			noise();
+			if (a == 9) { error; }
+		}`, defaultOpts())
+	if res.Verdict != cegar.VerdictUnsafe {
+		t.Fatalf("verdict: %s", res.Verdict)
+	}
+	if !res.RawCounterexample.Subsequence(res.Witness) {
+		t.Error("witness must be a subsequence of the raw counterexample")
+	}
+	if len(res.Witness) >= len(res.RawCounterexample) {
+		t.Errorf("witness (%d) should be smaller than the raw trace (%d)",
+			len(res.Witness), len(res.RawCounterexample))
+	}
+}

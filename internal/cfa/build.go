@@ -1,0 +1,398 @@
+package cfa
+
+import (
+	"fmt"
+
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/lang/token"
+	"pathslice/internal/lang/types"
+)
+
+// Build lowers a type-checked program to control flow automata.
+//
+// Lowering conventions:
+//   - Conditions become assume edges: `if (e)` yields assume(pred(e))
+//     and assume(!pred(e)) edges, where pred(e) is e itself when e is
+//     already boolean-structured and (e != 0) otherwise.
+//   - `assert(p)` desugars to `if (!p) error;` (§2: asserts are branch
+//     checks guarding the target location).
+//   - `error;` jumps to a fresh error location with no successors.
+//   - Call `x = f(a, b)` becomes: f::$arg0 := a; f::$arg1 := b; call f();
+//     x := f::$ret — parameter passing through transfer variables (§4).
+//   - Uninitialized local declarations become havoc assignments
+//     `x := nondet()` (C garbage values are unconstrained inputs).
+//   - Global initializers become assignment edges at the entry of main;
+//     globals without initializers are unconstrained inputs.
+func Build(info *types.Info) (*Program, error) {
+	b := &builder{
+		info: info,
+		prog: &Program{
+			Funcs:      make(map[string]*CFA),
+			Order:      info.TopoOrder,
+			GlobalInit: make(map[string]int64),
+			Types:      make(map[string]ast.Type),
+			Main:       "main",
+		},
+	}
+	if _, ok := info.Funcs["main"]; !ok {
+		return nil, fmt.Errorf("cfa: program has no main function")
+	}
+	for _, g := range info.Prog.Globals {
+		b.prog.Globals = append(b.prog.Globals, g.Name)
+		b.prog.Types[g.Name] = g.Type
+		if g.Init != nil {
+			b.prog.GlobalInit[g.Name] = g.Init.Value
+		}
+	}
+	// Declare transfer variables before building bodies so that every
+	// function can reference every other's $arg/$ret.
+	for _, name := range info.TopoOrder {
+		fi := info.Funcs[name]
+		for i, p := range fi.Decl.Params {
+			av := ArgVar(name, i)
+			b.prog.Globals = append(b.prog.Globals, av)
+			b.prog.Types[av] = p.Type
+		}
+		if fi.Decl.Result != ast.TypeVoid {
+			rv := RetVar(name)
+			b.prog.Globals = append(b.prog.Globals, rv)
+			b.prog.Types[rv] = fi.Decl.Result
+		}
+	}
+	for _, name := range info.TopoOrder {
+		if err := b.buildFunc(info.Funcs[name]); err != nil {
+			return nil, err
+		}
+	}
+	return b.prog, nil
+}
+
+// MustBuild builds the CFA program for a checked program, panicking on
+// error. Intended for tests and embedded examples.
+func MustBuild(info *types.Info) *Program {
+	p, err := Build(info)
+	if err != nil {
+		panic("cfa.MustBuild: " + err.Error())
+	}
+	return p
+}
+
+type loopCtx struct {
+	breakTo    *Loc
+	continueTo *Loc
+}
+
+type builder struct {
+	info  *types.Info
+	prog  *Program
+	fn    *CFA
+	fi    *types.FuncInfo
+	loops []loopCtx
+	err   error
+}
+
+func (b *builder) setErr(pos fmt.Stringer, format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+	}
+}
+
+func trueExpr() ast.Expr { return &ast.IntLit{Value: 1} }
+
+func (b *builder) buildFunc(fi *types.FuncInfo) error {
+	name := fi.Decl.Name
+	fn := &CFA{Name: name}
+	b.fn = fn
+	b.fi = fi
+	b.prog.Funcs[name] = fn
+
+	for _, p := range fi.Decl.Params {
+		q := Qualify(name, p.Name)
+		fn.Params = append(fn.Params, q)
+		b.prog.Types[q] = p.Type
+	}
+	for i := range fi.Decl.Params {
+		fn.ArgVars = append(fn.ArgVars, ArgVar(name, i))
+	}
+	if fi.Decl.Result != ast.TypeVoid {
+		fn.RetVar = RetVar(name)
+	}
+	for v, t := range fi.Vars {
+		q := Qualify(name, v)
+		b.prog.Types[q] = t
+		isParam := false
+		for _, p := range fi.Decl.Params {
+			if p.Name == v {
+				isParam = true
+				break
+			}
+		}
+		if !isParam {
+			fn.Locals = append(fn.Locals, q)
+		}
+	}
+
+	fn.Entry = b.prog.newLoc(fn, fi.Decl.PosInfo.Line)
+	fn.Exit = b.prog.newLoc(fn, fi.Decl.PosInfo.Line)
+
+	cur := fn.Entry
+	// Global initializers at the start of main.
+	if name == b.prog.Main {
+		for _, g := range b.info.Prog.Globals {
+			if g.Init == nil {
+				continue
+			}
+			next := b.prog.newLoc(fn, g.PosInfo.Line)
+			b.prog.newEdge(cur, next, Op{Kind: OpAssign,
+				LHS: Lvalue{Var: g.Name},
+				RHS: &ast.IntLit{Value: g.Init.Value, PosInfo: g.PosInfo}})
+			cur = next
+		}
+	}
+	// Parameter copies from transfer variables (§4: the called procedure
+	// copies the values from the globals into its own locals).
+	for i, q := range fn.Params {
+		next := b.prog.newLoc(fn, fi.Decl.PosInfo.Line)
+		b.prog.newEdge(cur, next, Op{Kind: OpAssign,
+			LHS: Lvalue{Var: q},
+			RHS: &ast.Ident{Name: fn.ArgVars[i], PosInfo: fi.Decl.PosInfo}})
+		cur = next
+	}
+
+	preExit := b.prog.newLoc(fn, fi.Decl.PosInfo.Line)
+	b.buildBlock(fi.Decl.Body, cur, preExit)
+	// Implicit return for control that falls off the end.
+	b.prog.newEdge(preExit, fn.Exit, Op{Kind: OpReturn})
+
+	b.fn = nil
+	b.fi = nil
+	return b.err
+}
+
+// buildBlock wires the statements of blk between entry and exit.
+func (b *builder) buildBlock(blk *ast.BlockStmt, entry, exit *Loc) {
+	cur := entry
+	for i, s := range blk.Stmts {
+		var next *Loc
+		if i == len(blk.Stmts)-1 {
+			next = exit
+		} else {
+			next = b.prog.newLoc(b.fn, s.Pos().Line)
+		}
+		b.buildStmt(s, cur, next)
+		cur = next
+	}
+	if len(blk.Stmts) == 0 {
+		b.prog.newEdge(entry, exit, Op{Kind: OpAssume, Pred: trueExpr()})
+	}
+}
+
+// buildStmt wires statement s between entry and exit.
+func (b *builder) buildStmt(s ast.Stmt, entry, exit *Loc) {
+	switch s := s.(type) {
+	case *ast.DeclStmt:
+		q := Qualify(b.fn.Name, s.Name)
+		init := s.Init
+		if init == nil {
+			init = &ast.Nondet{PosInfo: s.PosInfo}
+		}
+		b.buildAssign(Lvalue{Var: q}, init, entry, exit, s.PosInfo.Line)
+	case *ast.AssignStmt:
+		lv := Lvalue{Var: b.qualifyName(s.LHS), Deref: s.Deref}
+		b.buildAssign(lv, s.RHS, entry, exit, s.PosInfo.Line)
+	case *ast.ExprStmt:
+		b.buildCall(s.Call, nil, entry, exit)
+	case *ast.IfStmt:
+		pred := b.condPred(s.Cond)
+		thenEntry := b.prog.newLoc(b.fn, s.PosInfo.Line)
+		b.prog.newEdge(entry, thenEntry, Op{Kind: OpAssume, Pred: pred})
+		if s.Else == nil {
+			b.prog.newEdge(entry, exit, Op{Kind: OpAssume, Pred: negate(pred)})
+			b.buildBlock(s.Then, thenEntry, exit)
+		} else {
+			elseEntry := b.prog.newLoc(b.fn, s.PosInfo.Line)
+			b.prog.newEdge(entry, elseEntry, Op{Kind: OpAssume, Pred: negate(pred)})
+			b.buildBlock(s.Then, thenEntry, exit)
+			b.buildBlock(s.Else, elseEntry, exit)
+		}
+	case *ast.WhileStmt:
+		pred := b.condPred(s.Cond)
+		bodyEntry := b.prog.newLoc(b.fn, s.PosInfo.Line)
+		b.prog.newEdge(entry, bodyEntry, Op{Kind: OpAssume, Pred: pred})
+		b.prog.newEdge(entry, exit, Op{Kind: OpAssume, Pred: negate(pred)})
+		b.loops = append(b.loops, loopCtx{breakTo: exit, continueTo: entry})
+		b.buildBlock(s.Body, bodyEntry, entry)
+		b.loops = b.loops[:len(b.loops)-1]
+	case *ast.ForStmt:
+		head := entry
+		if s.Init != nil {
+			head = b.prog.newLoc(b.fn, s.PosInfo.Line)
+			b.buildStmt(s.Init, entry, head)
+		}
+		cond := s.Cond
+		if cond == nil {
+			cond = &ast.IntLit{Value: 1, PosInfo: s.PosInfo}
+		}
+		pred := b.condPred(cond)
+		bodyEntry := b.prog.newLoc(b.fn, s.PosInfo.Line)
+		b.prog.newEdge(head, bodyEntry, Op{Kind: OpAssume, Pred: pred})
+		b.prog.newEdge(head, exit, Op{Kind: OpAssume, Pred: negate(pred)})
+		// The continue target is the post statement (or the head).
+		contTo := head
+		var postEntry *Loc
+		if s.Post != nil {
+			postEntry = b.prog.newLoc(b.fn, s.PosInfo.Line)
+			contTo = postEntry
+		}
+		b.loops = append(b.loops, loopCtx{breakTo: exit, continueTo: contTo})
+		if s.Post != nil {
+			b.buildBlock(s.Body, bodyEntry, postEntry)
+			b.buildStmt(s.Post, postEntry, head)
+		} else {
+			b.buildBlock(s.Body, bodyEntry, head)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+	case *ast.ReturnStmt:
+		cur := entry
+		if s.Value != nil {
+			mid := b.prog.newLoc(b.fn, s.PosInfo.Line)
+			b.buildAssign(Lvalue{Var: b.fn.RetVar}, s.Value, cur, mid, s.PosInfo.Line)
+			cur = mid
+		}
+		b.prog.newEdge(cur, b.fn.Exit, Op{Kind: OpReturn})
+		// exit is left unconnected: code after return is unreachable.
+	case *ast.BreakStmt:
+		if len(b.loops) == 0 {
+			b.setErr(s.PosInfo, "break outside loop")
+			return
+		}
+		b.prog.newEdge(entry, b.loops[len(b.loops)-1].breakTo, Op{Kind: OpAssume, Pred: trueExpr()})
+	case *ast.ContinueStmt:
+		if len(b.loops) == 0 {
+			b.setErr(s.PosInfo, "continue outside loop")
+			return
+		}
+		b.prog.newEdge(entry, b.loops[len(b.loops)-1].continueTo, Op{Kind: OpAssume, Pred: trueExpr()})
+	case *ast.AssumeStmt:
+		b.prog.newEdge(entry, exit, Op{Kind: OpAssume, Pred: b.condPred(s.Pred)})
+	case *ast.AssertStmt:
+		// assert(p) == if (!p) error;
+		pred := b.condPred(s.Pred)
+		errLoc := b.prog.newLoc(b.fn, s.PosInfo.Line)
+		errLoc.IsError = true
+		b.prog.newEdge(entry, errLoc, Op{Kind: OpAssume, Pred: negate(pred)})
+		b.prog.newEdge(entry, exit, Op{Kind: OpAssume, Pred: pred})
+	case *ast.ErrorStmt:
+		errLoc := b.prog.newLoc(b.fn, s.PosInfo.Line)
+		errLoc.IsError = true
+		b.prog.newEdge(entry, errLoc, Op{Kind: OpAssume, Pred: trueExpr()})
+	case *ast.SkipStmt:
+		b.prog.newEdge(entry, exit, Op{Kind: OpAssume, Pred: trueExpr()})
+	case *ast.BlockStmt:
+		b.buildBlock(s, entry, exit)
+	default:
+		b.setErr(s.Pos(), "cfa: unknown statement %T", s)
+	}
+}
+
+// buildAssign wires `lv := rhs` between entry and exit, expanding call
+// right-hand sides into the transfer-variable protocol.
+func (b *builder) buildAssign(lv Lvalue, rhs ast.Expr, entry, exit *Loc, line int) {
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		b.buildCall(call, &lv, entry, exit)
+		return
+	}
+	b.prog.newEdge(entry, exit, Op{Kind: OpAssign, LHS: lv, RHS: b.qualifyExpr(rhs)})
+}
+
+// buildCall wires a call (optionally assigning its result to dst)
+// between entry and exit: argument transfers, the call edge, and the
+// result copy.
+func (b *builder) buildCall(call *ast.CallExpr, dst *Lvalue, entry, exit *Loc) {
+	callee := call.Callee
+	cur := entry
+	for i, a := range call.Args {
+		next := b.prog.newLoc(b.fn, call.PosInfo.Line)
+		b.prog.newEdge(cur, next, Op{Kind: OpAssign,
+			LHS: Lvalue{Var: ArgVar(callee, i)},
+			RHS: b.qualifyExpr(a)})
+		cur = next
+	}
+	if dst == nil {
+		b.prog.newEdge(cur, exit, Op{Kind: OpCall, Callee: callee})
+		return
+	}
+	mid := b.prog.newLoc(b.fn, call.PosInfo.Line)
+	b.prog.newEdge(cur, mid, Op{Kind: OpCall, Callee: callee})
+	b.prog.newEdge(mid, exit, Op{Kind: OpAssign,
+		LHS: *dst,
+		RHS: &ast.Ident{Name: RetVar(callee), PosInfo: call.PosInfo}})
+}
+
+// qualifyName maps a source variable name to its qualified CFA name.
+func (b *builder) qualifyName(name string) string {
+	if _, ok := b.fi.Vars[name]; ok {
+		return Qualify(b.fn.Name, name)
+	}
+	return name
+}
+
+// qualifyExpr clones e with all variable references qualified.
+func (b *builder) qualifyExpr(e ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case *ast.IntLit, *ast.Nondet:
+		return e
+	case *ast.Ident:
+		return &ast.Ident{Name: b.qualifyName(e.Name), PosInfo: e.PosInfo}
+	case *ast.Unary:
+		return &ast.Unary{Op: e.Op, X: b.qualifyExpr(e.X), PosInfo: e.PosInfo}
+	case *ast.Binary:
+		return &ast.Binary{Op: e.Op, X: b.qualifyExpr(e.X), Y: b.qualifyExpr(e.Y), PosInfo: e.PosInfo}
+	case *ast.CallExpr:
+		b.setErr(e.PosInfo, "cfa: call %s(...) in expression position survived type checking", e.Callee)
+		return &ast.IntLit{Value: 0}
+	}
+	b.setErr(e.Pos(), "cfa: unknown expression %T", e)
+	return &ast.IntLit{Value: 0}
+}
+
+// condPred converts a condition expression (qualified) into a boolean
+// predicate: boolean-structured expressions are kept, anything else
+// becomes (e != 0).
+func (b *builder) condPred(e ast.Expr) ast.Expr {
+	return condToPred(b.qualifyExpr(e))
+}
+
+func condToPred(e ast.Expr) ast.Expr {
+	switch ex := e.(type) {
+	case *ast.Binary:
+		switch ex.Op {
+		case token.LAND, token.LOR:
+			return &ast.Binary{Op: ex.Op, X: condToPred(ex.X), Y: condToPred(ex.Y), PosInfo: ex.PosInfo}
+		case token.EQ, token.NEQ, token.LT, token.LEQ, token.GT, token.GEQ:
+			return ex
+		}
+	case *ast.Unary:
+		if ex.Op == token.NOT {
+			return negate(condToPred(ex.X))
+		}
+	case *ast.IntLit:
+		return ex // literal truth values stay literal
+	}
+	return &ast.Binary{Op: token.NEQ, X: e, Y: &ast.IntLit{Value: 0}, PosInfo: e.Pos()}
+}
+
+// negate returns the logical negation of a predicate, pushing through
+// nothing (normalization happens in the logic package).
+func negate(p ast.Expr) ast.Expr {
+	if u, ok := p.(*ast.Unary); ok && u.Op == token.NOT {
+		return u.X
+	}
+	if lit, ok := p.(*ast.IntLit); ok {
+		if lit.Value != 0 {
+			return &ast.IntLit{Value: 0, PosInfo: lit.PosInfo}
+		}
+		return &ast.IntLit{Value: 1, PosInfo: lit.PosInfo}
+	}
+	return &ast.Unary{Op: token.NOT, X: p, PosInfo: p.Pos()}
+}

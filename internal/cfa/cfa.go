@@ -1,0 +1,234 @@
+// Package cfa implements control flow automata (CFA), the program
+// representation of the paper: per-procedure rooted directed graphs
+// whose edges are labeled with operations (assignments, assumes, calls,
+// returns), plus program paths over them (§3.1, §4).
+//
+// Variable naming: globals keep their source names; locals and
+// parameters of a function f are qualified as "f::x". Parameter and
+// return-value passing is desugared through per-function transfer
+// variables "f::$argN" and "f::$ret", which are treated as globals —
+// exactly the convention of §4 of the paper ("parameters are passed to
+// procedures via global variables").
+package cfa
+
+import (
+	"fmt"
+	"strings"
+
+	"pathslice/internal/lang/ast"
+)
+
+// Lvalue is a storage location reference: a variable x, or a
+// dereference *p of a pointer variable p.
+type Lvalue struct {
+	Var   string
+	Deref bool
+}
+
+// String renders the lvalue in source syntax.
+func (l Lvalue) String() string {
+	if l.Deref {
+		return "*" + l.Var
+	}
+	return l.Var
+}
+
+// OpKind classifies CFA edge operations.
+type OpKind int
+
+// The four operation kinds of the paper (§3.1, §4).
+const (
+	OpAssign OpKind = iota
+	OpAssume
+	OpCall
+	OpReturn
+)
+
+// String names the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpAssign:
+		return "assign"
+	case OpAssume:
+		return "assume"
+	case OpCall:
+		return "call"
+	case OpReturn:
+		return "return"
+	}
+	return "?"
+}
+
+// Op is a CFA edge label.
+//
+//   - OpAssign: LHS := RHS (RHS is an ast.Expr over qualified names;
+//     it may be *ast.Nondet, meaning an unconstrained input).
+//   - OpAssume: Pred must evaluate to true (nonzero) to pass.
+//   - OpCall: transfer of control to Callee's entry location.
+//   - OpReturn: transfer back to the successor of the matching call.
+type Op struct {
+	Kind   OpKind
+	LHS    Lvalue   // OpAssign
+	RHS    ast.Expr // OpAssign
+	Pred   ast.Expr // OpAssume
+	Callee string   // OpCall
+}
+
+// String renders the operation in source-like syntax.
+func (op Op) String() string {
+	switch op.Kind {
+	case OpAssign:
+		return op.LHS.String() + " := " + ast.ExprString(op.RHS)
+	case OpAssume:
+		return "assume(" + ast.ExprString(op.Pred) + ")"
+	case OpCall:
+		return op.Callee + "()"
+	case OpReturn:
+		return "return"
+	}
+	return "?"
+}
+
+// Loc is a CFA control location.
+type Loc struct {
+	ID      int  // unique within the whole Program
+	Index   int  // index within Fn.Locs
+	Fn      *CFA // owning automaton
+	In, Out []*Edge
+	IsError bool // the target (error) location of the paper
+	// Line is the source line this location corresponds to (best effort).
+	Line int
+}
+
+// String renders the location as fn#index.
+func (l *Loc) String() string {
+	tag := ""
+	if l.IsError {
+		tag = "!"
+	}
+	return fmt.Sprintf("%s#%d%s", l.Fn.Name, l.Index, tag)
+}
+
+// Edge is a CFA edge (pc, op, pc').
+type Edge struct {
+	ID       int // unique within the whole Program
+	Index    int // index within Fn.Edges
+	Src, Dst *Loc
+	Op       Op
+}
+
+// String renders the edge with its operation.
+func (e *Edge) String() string {
+	return fmt.Sprintf("%s -[%s]-> %s", e.Src, e.Op, e.Dst)
+}
+
+// CFA is the control flow automaton of one procedure.
+type CFA struct {
+	Name        string
+	Entry, Exit *Loc
+	Locs        []*Loc
+	Edges       []*Edge
+	Params      []string // qualified parameter names, in order
+	ArgVars     []string // "f::$argN" transfer variables, in order
+	RetVar      string   // "f::$ret", or "" for void procedures
+	Locals      []string // qualified local names (excluding params)
+}
+
+// ErrorLocs returns the error locations of the CFA.
+func (c *CFA) ErrorLocs() []*Loc {
+	var out []*Loc
+	for _, l := range c.Locs {
+		if l.IsError {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Program is a set of CFAs with shared globals (§4).
+type Program struct {
+	Funcs      map[string]*CFA
+	Order      []string // callee-before-caller topological order
+	Globals    []string // source globals plus transfer variables
+	GlobalInit map[string]int64
+	Types      map[string]ast.Type // every qualified variable
+	Main       string
+	nextLocID  int
+	nextEdgeID int
+}
+
+// NumLocs returns the total number of locations across all CFAs.
+func (p *Program) NumLocs() int { return p.nextLocID }
+
+// NumEdges returns the total number of edges across all CFAs.
+func (p *Program) NumEdges() int { return p.nextEdgeID }
+
+// FuncOf returns the CFA owning the given qualified variable name, or
+// nil for globals.
+func (p *Program) FuncOf(qualified string) *CFA {
+	if i := strings.Index(qualified, "::"); i >= 0 {
+		return p.Funcs[qualified[:i]]
+	}
+	return nil
+}
+
+// IsGlobal reports whether the qualified name names a global (including
+// transfer variables).
+func (p *Program) IsGlobal(qualified string) bool {
+	return !strings.Contains(qualified, "::")
+}
+
+// ErrorLocs returns every error location in the program.
+func (p *Program) ErrorLocs() []*Loc {
+	var out []*Loc
+	for _, name := range p.Order {
+		out = append(out, p.Funcs[name].ErrorLocs()...)
+	}
+	return out
+}
+
+func (p *Program) newLoc(fn *CFA, line int) *Loc {
+	l := &Loc{ID: p.nextLocID, Index: len(fn.Locs), Fn: fn, Line: line}
+	p.nextLocID++
+	fn.Locs = append(fn.Locs, l)
+	return l
+}
+
+func (p *Program) newEdge(src, dst *Loc, op Op) *Edge {
+	e := &Edge{ID: p.nextEdgeID, Index: len(src.Fn.Edges), Src: src, Dst: dst, Op: op}
+	p.nextEdgeID++
+	src.Fn.Edges = append(src.Fn.Edges, e)
+	src.Out = append(src.Out, e)
+	dst.In = append(dst.In, e)
+	return e
+}
+
+// Qualify returns the qualified name of a variable declared in function
+// fn ("fn::name").
+func Qualify(fn, name string) string { return fn + "::" + name }
+
+// ArgVar returns the i-th argument transfer variable of fn.
+func ArgVar(fn string, i int) string { return fmt.Sprintf("%s::$arg%d", fn, i) }
+
+// RetVar returns the return transfer variable of fn.
+func RetVar(fn string) string { return fn + "::$ret" }
+
+// IsTransferVar reports whether the qualified name is an $arg/$ret
+// transfer variable (which are semantically global, per §4).
+func IsTransferVar(name string) bool {
+	return strings.Contains(name, "::$")
+}
+
+// Dump renders the whole program's CFAs as text, for debugging and
+// golden tests.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	for _, name := range p.Order {
+		fn := p.Funcs[name]
+		fmt.Fprintf(&b, "cfa %s entry=%s exit=%s\n", fn.Name, fn.Entry, fn.Exit)
+		for _, e := range fn.Edges {
+			fmt.Fprintf(&b, "  %s\n", e)
+		}
+	}
+	return b.String()
+}

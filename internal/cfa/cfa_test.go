@@ -1,0 +1,360 @@
+package cfa_test
+
+import (
+	"strings"
+	"testing"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/compile"
+)
+
+// ex2 is the paper's Figure 1 program Ex2 including the shaded code
+// (the initial `x = 0` and the `if (a >= 0) x = 1;` guard).
+const ex2Shaded = `
+int x = 0;
+int a;
+
+void f() { skip; }
+
+void main() {
+  a = nondet();
+  if (a >= 0) {
+    x = 1;
+  }
+  for (int i = 1; i <= 1000; i = i + 1) {
+    f();
+  }
+  if (a > 0) {
+    if (x == 0) {
+      error;
+    }
+  }
+}
+`
+
+func TestBuildEx2(t *testing.T) {
+	prog := compile.MustSource(ex2Shaded)
+	main := prog.Funcs["main"]
+	if main == nil {
+		t.Fatal("no main CFA")
+	}
+	errs := main.ErrorLocs()
+	if len(errs) != 1 {
+		t.Fatalf("error locations: got %d, want 1", len(errs))
+	}
+	if len(errs[0].Out) != 0 {
+		t.Error("error location must have no successors")
+	}
+	// The global initializer `x = 0` must appear as main's first edge.
+	first := main.Entry.Out
+	if len(first) != 1 || first[0].Op.Kind != cfa.OpAssign || first[0].Op.LHS.Var != "x" {
+		t.Errorf("main entry edge: %v", first)
+	}
+	// f has an entry, an exit, and a return edge.
+	f := prog.Funcs["f"]
+	foundRet := false
+	for _, e := range f.Edges {
+		if e.Op.Kind == cfa.OpReturn {
+			foundRet = true
+			if e.Dst != f.Exit {
+				t.Error("return edge must target the exit location")
+			}
+		}
+	}
+	if !foundRet {
+		t.Error("f has no return edge")
+	}
+}
+
+func TestBuildCallProtocol(t *testing.T) {
+	prog := compile.MustSource(`
+		int add(int a, int b) { return a + b; }
+		void main() { int r = add(1, 2); assert(r == 3); }`)
+	main := prog.Funcs["main"]
+	var kinds []string
+	for _, e := range main.Edges {
+		kinds = append(kinds, e.Op.String())
+	}
+	joined := strings.Join(kinds, "; ")
+	for _, want := range []string{
+		"add::$arg0 := 1",
+		"add::$arg1 := 2",
+		"add()",
+		"main::r := add::$ret",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing edge %q in:\n%s", want, joined)
+		}
+	}
+	add := prog.Funcs["add"]
+	var addOps []string
+	for _, e := range add.Edges {
+		addOps = append(addOps, e.Op.String())
+	}
+	j := strings.Join(addOps, "; ")
+	for _, want := range []string{
+		"add::a := add::$arg0",
+		"add::b := add::$arg1",
+		"add::$ret := (add::a + add::b)",
+	} {
+		if !strings.Contains(j, want) {
+			t.Errorf("missing callee edge %q in:\n%s", want, j)
+		}
+	}
+}
+
+func TestBuildBranchPredicates(t *testing.T) {
+	prog := compile.MustSource(`int a; void main() { if (a) { skip; } else { skip; } if (a > 1) skip; }`)
+	main := prog.Funcs["main"]
+	var assumes []string
+	for _, e := range main.Edges {
+		if e.Op.Kind == cfa.OpAssume {
+			assumes = append(assumes, e.Op.String())
+		}
+	}
+	j := strings.Join(assumes, "; ")
+	// Non-boolean condition becomes (a != 0), negation wraps with !.
+	for _, want := range []string{"assume((a != 0))", "assume((!(a != 0)))", "assume((a > 1))", "assume((!(a > 1)))"} {
+		if !strings.Contains(j, want) {
+			t.Errorf("missing assume %q in %s", want, j)
+		}
+	}
+}
+
+func TestBuildUninitializedLocalIsHavoc(t *testing.T) {
+	prog := compile.MustSource(`void main() { int x; assert(x == 0); }`)
+	main := prog.Funcs["main"]
+	found := false
+	for _, e := range main.Edges {
+		if e.Op.Kind == cfa.OpAssign && e.Op.LHS.Var == "main::x" &&
+			strings.Contains(e.Op.String(), "nondet()") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("uninitialized local must become x := nondet()")
+	}
+}
+
+func TestBuildRejectsNoMain(t *testing.T) {
+	if _, err := compile.Source(`void f() { skip; }`); err == nil {
+		t.Fatal("program without main must be rejected")
+	}
+}
+
+func TestBuildBreakContinue(t *testing.T) {
+	prog := compile.MustSource(`
+		void main() {
+			int i = 0;
+			while (i < 10) {
+				i = i + 1;
+				if (i == 5) { break; }
+				if (i == 2) { continue; }
+				skip;
+			}
+		}`)
+	if prog.Funcs["main"] == nil {
+		t.Fatal("build failed")
+	}
+	if _, err := compile.Source(`void main() { break; }`); err == nil {
+		t.Error("break outside loop must be rejected")
+	}
+	if _, err := compile.Source(`void main() { continue; }`); err == nil {
+		t.Error("continue outside loop must be rejected")
+	}
+}
+
+func TestFindPathEx2(t *testing.T) {
+	prog := compile.MustSource(ex2Shaded)
+	path := cfa.FindPathToError(prog, cfa.FindOptions{})
+	if path == nil {
+		t.Fatal("no path to error found")
+	}
+	if err := path.Validate(prog); err != nil {
+		t.Fatalf("invalid path: %v\n%s", err, path)
+	}
+	if !path.Target().IsError {
+		t.Error("path does not end at the error location")
+	}
+}
+
+func TestFindPathPreferLongUnrollsLoop(t *testing.T) {
+	prog := compile.MustSource(ex2Shaded)
+	short := cfa.FindPathToError(prog, cfa.FindOptions{MaxEdgeUses: 3})
+	long := cfa.FindPathToError(prog, cfa.FindOptions{MaxEdgeUses: 3, PreferLong: true})
+	if short == nil || long == nil {
+		t.Fatal("paths not found")
+	}
+	if len(long) <= len(short) {
+		t.Errorf("PreferLong path (%d edges) should exceed short path (%d edges)", len(long), len(short))
+	}
+	if err := long.Validate(prog); err != nil {
+		t.Fatalf("long path invalid: %v", err)
+	}
+}
+
+func TestFindPathUnreachable(t *testing.T) {
+	prog := compile.MustSource(`void main() { if (1 == 2) { skip; } }`)
+	// No error statement at all: pick exit of main as target via a probe.
+	main := prog.Funcs["main"]
+	p := cfa.FindPath(prog, main.Exit, cfa.FindOptions{})
+	if p == nil {
+		t.Fatal("exit should be reachable")
+	}
+	// An artificial unreachable location.
+	if locs := prog.ErrorLocs(); len(locs) != 0 {
+		t.Fatal("program has no error locations")
+	}
+}
+
+func TestCallIdxAndValidate(t *testing.T) {
+	prog := compile.MustSource(`
+		void g() { skip; }
+		void f() { g(); }
+		void main() { f(); error; }`)
+	path := cfa.FindPathToError(prog, cfa.FindOptions{})
+	if path == nil {
+		t.Fatal("no path")
+	}
+	if err := path.Validate(prog); err != nil {
+		t.Fatalf("validate: %v\n%s", err, path)
+	}
+	call := path.CallIdx()
+	// Every edge inside g's frame must map to the call edge into g.
+	for i, e := range path {
+		if e.Src.Fn.Name == "g" {
+			j := call[i]
+			if j < 0 || path[j].Op.Callee != "g" {
+				t.Errorf("edge %d in g maps to call idx %d", i, j)
+			}
+		}
+		if e.Src.Fn.Name == "main" && call[i] != -1 {
+			t.Errorf("edge %d in main should be outermost, got %d", i, call[i])
+		}
+	}
+}
+
+func TestValidateRejectsBadPaths(t *testing.T) {
+	prog := compile.MustSource(`void f() { skip; } void main() { f(); error; }`)
+	good := cfa.FindPathToError(prog, cfa.FindOptions{})
+	if good == nil {
+		t.Fatal("no path")
+	}
+	// Dropping an interior edge must break adjacency.
+	bad := append(cfa.Path{}, good[:1]...)
+	bad = append(bad, good[2:]...)
+	if err := bad.Validate(prog); err == nil {
+		t.Error("gap in path should fail validation")
+	}
+	if err := (cfa.Path{}).Validate(prog); err == nil {
+		t.Error("empty path should fail validation")
+	}
+}
+
+func TestBasicBlocksMonotone(t *testing.T) {
+	prog := compile.MustSource(ex2Shaded)
+	short := cfa.FindPathToError(prog, cfa.FindOptions{})
+	long := cfa.FindPathToError(prog, cfa.FindOptions{PreferLong: true, MaxEdgeUses: 4})
+	if short.BasicBlocks() <= 0 {
+		t.Error("block count must be positive")
+	}
+	if long.BasicBlocks() < short.BasicBlocks() {
+		t.Errorf("longer path has fewer blocks: %d < %d", long.BasicBlocks(), short.BasicBlocks())
+	}
+	if short.BasicBlocks() > len(short) {
+		t.Error("block count cannot exceed edge count")
+	}
+}
+
+func TestSubsequence(t *testing.T) {
+	prog := compile.MustSource(ex2Shaded)
+	p := cfa.FindPathToError(prog, cfa.FindOptions{})
+	if !p.Subsequence(nil) {
+		t.Error("empty is a subsequence")
+	}
+	if !p.Subsequence(p) {
+		t.Error("path is a subsequence of itself")
+	}
+	sub := cfa.Path{p[0], p[len(p)-1]}
+	if !p.Subsequence(sub) {
+		t.Error("first+last is a subsequence")
+	}
+	rev := cfa.Path{p[len(p)-1], p[0]}
+	if p.Subsequence(rev) && p[0] != p[len(p)-1] {
+		t.Error("reversed pair is not a subsequence")
+	}
+}
+
+func TestQualificationHelpers(t *testing.T) {
+	prog := compile.MustSource(`int g; void f(int a) { int b; b = a + g; } void main() { f(1); }`)
+	if !prog.IsGlobal("g") {
+		t.Error("g is global")
+	}
+	if prog.IsGlobal("f::a") {
+		t.Error("f::a is not global")
+	}
+	if fn := prog.FuncOf("f::b"); fn == nil || fn.Name != "f" {
+		t.Errorf("FuncOf(f::b) = %v", fn)
+	}
+	if fn := prog.FuncOf("g"); fn != nil {
+		t.Errorf("FuncOf(g) = %v, want nil", fn)
+	}
+	if !cfa.IsTransferVar("f::$arg0") || cfa.IsTransferVar("f::a") {
+		t.Error("IsTransferVar misclassifies")
+	}
+}
+
+func TestLvsAndRd(t *testing.T) {
+	prog := compile.MustSource(`
+		int x; int y; int *p;
+		void main() {
+			p = &x;
+			*p = y + 1;
+			if (*p > x) { skip; }
+		}`)
+	main := prog.Funcs["main"]
+	for _, e := range main.Edges {
+		switch e.Op.String() {
+		case "p := (&x)":
+			rd := e.Op.Rd()
+			if rd.Has(cfa.Lvalue{Var: "x"}) {
+				t.Error("&x must not read x")
+			}
+		case "*p := (y + 1)":
+			rd := e.Op.Rd()
+			if !rd.Has(cfa.Lvalue{Var: "y"}) || !rd.Has(cfa.Lvalue{Var: "p"}) {
+				t.Errorf("write through *p must read p and y: %v", rd)
+			}
+			if lv, ok := e.Op.WtSyntactic(); !ok || !lv.Deref || lv.Var != "p" {
+				t.Errorf("WtSyntactic: %v %v", lv, ok)
+			}
+		case "assume(((*p) > x))":
+			rd := e.Op.Rd()
+			for _, want := range []cfa.Lvalue{{Var: "p"}, {Var: "p", Deref: true}, {Var: "x"}} {
+				if !rd.Has(want) {
+					t.Errorf("assume read set missing %v: %v", want, rd)
+				}
+			}
+		}
+	}
+}
+
+func TestLvalSetOps(t *testing.T) {
+	a := cfa.NewLvalSet(cfa.Lvalue{Var: "x"}, cfa.Lvalue{Var: "p", Deref: true})
+	b := cfa.NewLvalSet(cfa.Lvalue{Var: "y"})
+	if a.Intersects(b) {
+		t.Error("disjoint sets intersect")
+	}
+	b.Add(cfa.Lvalue{Var: "x"})
+	if !a.Intersects(b) {
+		t.Error("sets share x")
+	}
+	c := a.Copy()
+	c.Remove(cfa.Lvalue{Var: "x"})
+	if !a.Has(cfa.Lvalue{Var: "x"}) {
+		t.Error("copy is not independent")
+	}
+	if got := a.String(); got != "{p*, x}" && got != "{*p, x}" {
+		t.Errorf("String: %s", got)
+	}
+}

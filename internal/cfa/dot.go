@@ -1,0 +1,88 @@
+package cfa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DotOptions configures Graphviz export.
+type DotOptions struct {
+	// Highlight marks the given edges (by ID) in bold red — used to
+	// show a path slice on top of the CFA.
+	Highlight map[int]bool
+	// Funcs restricts output to the named functions (nil = all).
+	Funcs []string
+	// RankDir is the graph direction ("TB" default, "LR" for wide CFAs).
+	RankDir string
+}
+
+// Dot renders the program's CFAs as a Graphviz digraph, one cluster per
+// function. Error locations are drawn as red double circles, entry and
+// exit as labeled boxes.
+func (p *Program) Dot(opts DotOptions) string {
+	if opts.RankDir == "" {
+		opts.RankDir = "TB"
+	}
+	include := func(name string) bool {
+		if opts.Funcs == nil {
+			return true
+		}
+		for _, f := range opts.Funcs {
+			if f == name {
+				return true
+			}
+		}
+		return false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph program {\n")
+	fmt.Fprintf(&b, "  rankdir=%s;\n", opts.RankDir)
+	fmt.Fprintf(&b, "  node [shape=circle, fontsize=10];\n")
+	names := make([]string, 0, len(p.Funcs))
+	for name := range p.Funcs {
+		if include(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for ci, name := range names {
+		fn := p.Funcs[name]
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n", ci)
+		fmt.Fprintf(&b, "    label=%q;\n", name)
+		for _, l := range fn.Locs {
+			attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%d", l.Index))
+			switch {
+			case l.IsError:
+				attrs += ", shape=doublecircle, color=red"
+			case l == fn.Entry:
+				attrs += ", shape=box, style=rounded, label=\"entry\""
+			case l == fn.Exit:
+				attrs += ", shape=box, style=rounded, label=\"exit\""
+			}
+			fmt.Fprintf(&b, "    n%d [%s];\n", l.ID, attrs)
+		}
+		for _, e := range fn.Edges {
+			attrs := fmt.Sprintf("label=%q", e.Op.String())
+			if opts.Highlight[e.ID] {
+				attrs += ", color=red, penwidth=2"
+			}
+			if e.Op.Kind == OpCall {
+				attrs += ", style=dashed"
+			}
+			fmt.Fprintf(&b, "    n%d -> n%d [%s];\n", e.Src.ID, e.Dst.ID, attrs)
+		}
+		fmt.Fprintf(&b, "  }\n")
+	}
+	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}
+
+// HighlightPath builds a Highlight set from a path or slice.
+func HighlightPath(p Path) map[int]bool {
+	out := make(map[int]bool, len(p))
+	for _, e := range p {
+		out[e.ID] = true
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package cfa
+
+import (
+	"fmt"
+)
+
+// FindOptions configures FindPath.
+type FindOptions struct {
+	// MaxEdgeUses bounds how many times a single edge may appear on the
+	// path (loop unrolling bound). Default 2.
+	MaxEdgeUses int
+	// MaxLen bounds the total path length. Default 100000.
+	MaxLen int
+	// PreferLong makes the search explore loop-entering and
+	// call-entering edges first, mimicking the depth-first search of
+	// BLAST that the paper notes "results in very long counterexamples"
+	// (§5, Limitations). When false, edges that make progress toward
+	// the target are preferred, yielding short paths.
+	PreferLong bool
+}
+
+func (o FindOptions) withDefaults() FindOptions {
+	if o.MaxEdgeUses <= 0 {
+		o.MaxEdgeUses = 2
+	}
+	if o.MaxLen <= 0 {
+		o.MaxLen = 100000
+	}
+	return o
+}
+
+// FindPath searches for a program path from main's entry to target,
+// ignoring all data (every assume is treated as passable). This is the
+// kind of possibly-infeasible candidate path an overapproximate static
+// analysis returns (§1). It returns nil if the target is unreachable in
+// the CFA graph within the configured bounds.
+func FindPath(prog *Program, target *Loc, opts FindOptions) Path {
+	opts = opts.withDefaults()
+	main := prog.Funcs[prog.Main]
+	if main == nil {
+		return nil
+	}
+	f := &finder{prog: prog, target: target, opts: opts,
+		edgeUses: make(map[int]int),
+		dist:     computeDistToTarget(prog, target),
+		exitable: computeCanExit(prog),
+	}
+	if f.dfs(main.Entry, nil) {
+		// The path was accumulated in reverse during unwinding.
+		for i, j := 0, len(f.path)-1; i < j; i, j = i+1, j-1 {
+			f.path[i], f.path[j] = f.path[j], f.path[i]
+		}
+		return f.path
+	}
+	return nil
+}
+
+// FindPathToError returns a path to the first error location of the
+// program (in topological CFA order), or nil.
+func FindPathToError(prog *Program, opts FindOptions) Path {
+	for _, loc := range prog.ErrorLocs() {
+		if p := FindPath(prog, loc, opts); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+type finder struct {
+	prog     *Program
+	target   *Loc
+	opts     FindOptions
+	edgeUses map[int]int
+	path     Path // reversed: filled during unwind
+	length   int
+	// dist[loc.ID] is the BFS distance from loc to the target in the
+	// interprocedural graph (ignoring the call stack), or -1 when the
+	// target is unreachable; used for pruning and short-path ordering.
+	dist []int
+	// exitable[loc.ID]: the enclosing function's exit is reachable.
+	exitable []bool
+}
+
+func (f *finder) canReach(l *Loc) bool { return f.dist[l.ID] >= 0 }
+
+// dfs explores from loc with the given call stack (innermost last).
+// The stack holds the call edges whose Dst is the resume location.
+func (f *finder) dfs(loc *Loc, stack []*Edge) bool {
+	if loc == f.target {
+		return true
+	}
+	if f.length >= f.opts.MaxLen {
+		return false
+	}
+	if !f.reachable(loc, stack) {
+		return false
+	}
+	order := loc.Out
+	if !f.opts.PreferLong {
+		// Prefer edges with the shortest remaining distance to the
+		// target, so the found path is close to minimal. In PreferLong
+		// mode, source order is kept: the builder emits loop-entering
+		// and call edges first, so DFS unrolls loops to the bound —
+		// mimicking BLAST's long DFS counterexamples.
+		order = make([]*Edge, len(loc.Out))
+		copy(order, loc.Out)
+		key := func(e *Edge) int {
+			d := f.dist[e.Dst.ID]
+			if d < 0 {
+				return int(^uint(0) >> 1) // unreachable last
+			}
+			return d
+		}
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				if key(order[j]) < key(order[i]) {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+	}
+	for _, e := range order {
+		if f.edgeUses[e.ID] >= f.opts.MaxEdgeUses {
+			continue
+		}
+		f.edgeUses[e.ID]++
+		f.length++
+		ok := false
+		switch e.Op.Kind {
+		case OpCall:
+			callee := f.prog.Funcs[e.Op.Callee]
+			if callee != nil {
+				// Copy: plain append could overwrite a popped slot that
+				// a backtracking caller still references.
+				newStack := make([]*Edge, len(stack)+1)
+				copy(newStack, stack)
+				newStack[len(stack)] = e
+				ok = f.dfs(callee.Entry, newStack)
+			}
+		case OpReturn:
+			if len(stack) > 0 {
+				resume := stack[len(stack)-1].Dst
+				ok = f.dfs(resume, stack[:len(stack)-1])
+			} else {
+				// A return in the outermost frame ends the program; it
+				// reaches the target only if the exit IS the target.
+				ok = e.Dst == f.target
+			}
+		default:
+			ok = f.dfs(e.Dst, stack)
+		}
+		f.length--
+		f.edgeUses[e.ID]--
+		if ok {
+			f.path = append(f.path, e)
+			return true
+		}
+	}
+	return false
+}
+
+// reachable prunes states from which the target is graph-unreachable:
+// either directly, or by returning into some frame on the stack from
+// which it is reachable.
+func (f *finder) reachable(loc *Loc, stack []*Edge) bool {
+	return stackReachable(loc, stack, f.canReach, f.exitable)
+}
+
+// computeDistToTarget computes, for every location, the BFS distance to
+// target in the interprocedural edge graph where call edges jump to
+// callee entries and exits connect back to every call site's successor
+// (-1 when unreachable). This overapproximates stack-respecting
+// reachability and is used for pruning and edge ordering.
+func computeDistToTarget(prog *Program, target *Loc) []int {
+	n := prog.NumLocs()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	// Build reverse adjacency.
+	radj := make([][]int, n)
+	addArc := func(from, to *Loc) {
+		radj[to.ID] = append(radj[to.ID], from.ID)
+	}
+	for _, fn := range prog.Funcs {
+		for _, e := range fn.Edges {
+			switch e.Op.Kind {
+			case OpCall:
+				callee := prog.Funcs[e.Op.Callee]
+				if callee != nil {
+					addArc(e.Src, callee.Entry)
+					addArc(callee.Exit, e.Dst)
+				}
+			case OpReturn:
+				addArc(e.Src, e.Dst) // e.Dst is the function exit
+			default:
+				addArc(e.Src, e.Dst)
+			}
+		}
+	}
+	// BFS from target in the reverse graph.
+	queue := []int{target.ID}
+	dist[target.ID] = 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, pred := range radj[id] {
+			if dist[pred] < 0 {
+				dist[pred] = dist[id] + 1
+				queue = append(queue, pred)
+			}
+		}
+	}
+	return dist
+}
+
+// LocByLine returns the first location in fn whose source line matches,
+// for test convenience.
+func LocByLine(fn *CFA, line int) (*Loc, error) {
+	for _, l := range fn.Locs {
+		if l.Line == line {
+			return l, nil
+		}
+	}
+	return nil, fmt.Errorf("cfa: no location at line %d in %s", line, fn.Name)
+}

@@ -1,0 +1,47 @@
+package cfa_test
+
+import (
+	"strings"
+	"testing"
+
+	"pathslice/internal/compile"
+)
+
+// TestGoldenDump pins the exact CFA lowering of a representative
+// program: any change to the builder's conventions (transfer variables,
+// branch desugaring, global initializers, implicit returns) shows up
+// here first.
+func TestGoldenDump(t *testing.T) {
+	prog := compile.MustSource(`
+int g = 2;
+int inc(int k) {
+  return k + 1;
+}
+void main() {
+  int v = inc(g);
+  if (v > 2) {
+    error;
+  }
+}
+`)
+	got := prog.Dump()
+	want := strings.TrimLeft(`
+cfa inc entry=inc#0 exit=inc#1
+  inc#0 -[inc::k := inc::$arg0]-> inc#2
+  inc#2 -[inc::$ret := (inc::k + 1)]-> inc#4
+  inc#4 -[return]-> inc#1
+  inc#3 -[return]-> inc#1
+cfa main entry=main#0 exit=main#1
+  main#0 -[g := 2]-> main#2
+  main#2 -[inc::$arg0 := g]-> main#5
+  main#5 -[inc()]-> main#6
+  main#6 -[main::v := inc::$ret]-> main#4
+  main#4 -[assume((main::v > 2))]-> main#7
+  main#4 -[assume((!(main::v > 2)))]-> main#3
+  main#7 -[assume(1)]-> main#8!
+  main#3 -[return]-> main#1
+`, "\n")
+	if got != want {
+		t.Errorf("CFA lowering changed:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

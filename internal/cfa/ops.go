@@ -1,0 +1,176 @@
+package cfa
+
+import (
+	"sort"
+
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/lang/token"
+)
+
+// LvalSet is a set of lvalues. The zero value is an empty, usable set
+// for reads; use NewLvalSet or Add.
+type LvalSet map[Lvalue]struct{}
+
+// NewLvalSet returns a set containing the given lvalues.
+func NewLvalSet(ls ...Lvalue) LvalSet {
+	s := make(LvalSet, len(ls))
+	for _, l := range ls {
+		s[l] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts l.
+func (s LvalSet) Add(l Lvalue) { s[l] = struct{}{} }
+
+// Has reports membership.
+func (s LvalSet) Has(l Lvalue) bool {
+	_, ok := s[l]
+	return ok
+}
+
+// Remove deletes l.
+func (s LvalSet) Remove(l Lvalue) { delete(s, l) }
+
+// Copy returns an independent copy.
+func (s LvalSet) Copy() LvalSet {
+	c := make(LvalSet, len(s))
+	for l := range s {
+		c[l] = struct{}{}
+	}
+	return c
+}
+
+// AddAll inserts every element of other.
+func (s LvalSet) AddAll(other LvalSet) {
+	for l := range other {
+		s[l] = struct{}{}
+	}
+}
+
+// Intersects reports whether the two sets share an element.
+func (s LvalSet) Intersects(other LvalSet) bool {
+	a, b := s, other
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for l := range a {
+		if b.Has(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// Sorted returns the elements in deterministic order.
+func (s LvalSet) Sorted() []Lvalue {
+	out := make([]Lvalue, 0, len(s))
+	for l := range s {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Var != out[j].Var {
+			return out[i].Var < out[j].Var
+		}
+		return !out[i].Deref && out[j].Deref
+	})
+	return out
+}
+
+// String renders the set as {a, b, *p}.
+func (s LvalSet) String() string {
+	out := "{"
+	for i, l := range s.Sorted() {
+		if i > 0 {
+			out += ", "
+		}
+		out += l.String()
+	}
+	return out + "}"
+}
+
+// Lvs returns the lvalues read when evaluating expression e (the Lvs
+// relation of §3.3). A dereference *p reads both p and *p; an
+// address-of &x reads neither (only the address is taken).
+func Lvs(e ast.Expr) LvalSet {
+	s := make(LvalSet)
+	addLvs(e, s)
+	return s
+}
+
+func addLvs(e ast.Expr, s LvalSet) {
+	switch e := e.(type) {
+	case *ast.IntLit, *ast.Nondet:
+	case *ast.Ident:
+		s.Add(Lvalue{Var: e.Name})
+	case *ast.Unary:
+		switch e.Op {
+		case token.STAR:
+			if id, ok := e.X.(*ast.Ident); ok {
+				s.Add(Lvalue{Var: id.Name})
+				s.Add(Lvalue{Var: id.Name, Deref: true})
+				return
+			}
+			addLvs(e.X, s)
+		case token.AMP:
+			// &x reads no value.
+		default:
+			addLvs(e.X, s)
+		}
+	case *ast.Binary:
+		addLvs(e.X, s)
+		addLvs(e.Y, s)
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			addLvs(a, s)
+		}
+	}
+}
+
+// Rd returns the set of lvalues read by op (Fig. 3 of the paper,
+// extended so that an assignment through *p also reads p).
+func (op Op) Rd() LvalSet {
+	switch op.Kind {
+	case OpAssign:
+		s := Lvs(op.RHS)
+		if op.LHS.Deref {
+			s.Add(Lvalue{Var: op.LHS.Var})
+		}
+		return s
+	case OpAssume:
+		return Lvs(op.Pred)
+	}
+	return make(LvalSet)
+}
+
+// WtSyntactic returns the lvalue written by op without alias
+// information: {LHS} for assignments, nothing otherwise. Call edges
+// write Mods(f), which requires the modref analysis and is handled by
+// the callers that need it.
+func (op Op) WtSyntactic() (Lvalue, bool) {
+	if op.Kind == OpAssign {
+		return op.LHS, true
+	}
+	return Lvalue{}, false
+}
+
+// AddrTaken collects variables whose address is taken in e (&x).
+func AddrTaken(e ast.Expr, out map[string]struct{}) {
+	switch e := e.(type) {
+	case *ast.Unary:
+		if e.Op == token.AMP {
+			if id, ok := e.X.(*ast.Ident); ok {
+				out[id.Name] = struct{}{}
+				return
+			}
+		}
+		AddrTaken(e.X, out)
+	case *ast.Binary:
+		AddrTaken(e.X, out)
+		AddrTaken(e.Y, out)
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			AddrTaken(a, out)
+		}
+	}
+}

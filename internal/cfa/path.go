@@ -1,0 +1,138 @@
+package cfa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Path is a program path: a sequence of CFA edges where calls and
+// returns are balanced and, within each frame, each edge's source is
+// the previous edge's target (§3.1, §4).
+type Path []*Edge
+
+// CallIdx computes the Call relation of §4: CallIdx[i] is the index of
+// the call edge that begins the frame to which the i-th edge belongs,
+// or -1 for edges in the outermost frame. (The paper's Call.i points at
+// the call edge itself; we use -1 rather than 1 for the outermost frame
+// so callers can distinguish it.)
+func (p Path) CallIdx() []int {
+	call := make([]int, len(p))
+	for i := range p {
+		if i == 0 {
+			call[0] = -1
+			continue
+		}
+		prev := p[i-1]
+		switch prev.Op.Kind {
+		case OpCall:
+			call[i] = i - 1
+		case OpReturn:
+			// Pop: the frame of the edge before the matching call.
+			j := call[i-1]
+			if j < 0 {
+				call[i] = -1 // unbalanced return; Validate reports it
+			} else {
+				call[i] = call[j]
+			}
+		default:
+			call[i] = call[i-1]
+		}
+	}
+	return call
+}
+
+// Validate checks that p is a well-formed program path: non-empty,
+// frame-wise edge adjacency, calls entering callee entries, and returns
+// resuming at the successor of the matching call.
+func (p Path) Validate(prog *Program) error {
+	if len(p) == 0 {
+		return fmt.Errorf("cfa: empty path")
+	}
+	call := p.CallIdx()
+	for i := 1; i < len(p); i++ {
+		prev, cur := p[i-1], p[i]
+		switch prev.Op.Kind {
+		case OpCall:
+			callee := prog.Funcs[prev.Op.Callee]
+			if callee == nil {
+				return fmt.Errorf("cfa: edge %d calls unknown function %s", i-1, prev.Op.Callee)
+			}
+			if cur.Src != callee.Entry {
+				return fmt.Errorf("cfa: edge %d after call to %s starts at %s, want entry %s",
+					i, prev.Op.Callee, cur.Src, callee.Entry)
+			}
+		case OpReturn:
+			j := call[i-1]
+			if j < 0 {
+				return fmt.Errorf("cfa: edge %d returns from the outermost frame", i-1)
+			}
+			callEdge := p[j]
+			if cur.Src != callEdge.Dst {
+				return fmt.Errorf("cfa: edge %d after return resumes at %s, want %s (successor of call at %d)",
+					i, cur.Src, callEdge.Dst, j)
+			}
+		default:
+			if cur.Src != prev.Dst {
+				return fmt.Errorf("cfa: edge %d source %s does not follow edge %d target %s",
+					i, cur.Src, i-1, prev.Dst)
+			}
+		}
+	}
+	return nil
+}
+
+// Target returns the final location of the path.
+func (p Path) Target() *Loc {
+	if len(p) == 0 {
+		return nil
+	}
+	return p[len(p)-1].Dst
+}
+
+// Ops returns the trace Tr.π: the operation sequence labeling the path.
+func (p Path) Ops() []Op {
+	ops := make([]Op, len(p))
+	for i, e := range p {
+		ops[i] = e.Op
+	}
+	return ops
+}
+
+// BasicBlocks counts the basic blocks along the path: maximal runs of
+// edges whose interior locations have a single successor. This is the
+// unit the paper's Figures 5 and 6 use for trace size.
+func (p Path) BasicBlocks() int {
+	if len(p) == 0 {
+		return 0
+	}
+	blocks := 1
+	for i := 1; i < len(p); i++ {
+		// A new block starts where the previous location branches or a
+		// call/return transfers control.
+		if len(p[i].Src.Out) > 1 || p[i-1].Op.Kind == OpCall || p[i-1].Op.Kind == OpReturn {
+			blocks++
+		}
+	}
+	return blocks
+}
+
+// String renders the path compactly, one edge per line.
+func (p Path) String() string {
+	var b strings.Builder
+	for i, e := range p {
+		fmt.Fprintf(&b, "%4d: %s\n", i, e)
+	}
+	return b.String()
+}
+
+// Subsequence reports whether sub is a subsequence of p (edge identity,
+// in order) — the defining property of a path slice (§3.2).
+func (p Path) Subsequence(sub Path) bool {
+	i := 0
+	for _, e := range p {
+		if i < len(sub) && sub[i] == e {
+			i++
+		}
+	}
+	return i == len(sub)
+}

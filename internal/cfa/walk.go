@@ -1,0 +1,262 @@
+package cfa
+
+// WalkLongPath generates a long candidate path to target with a single
+// greedy forward walk: at each location it takes the first out-edge (in
+// builder order, which puts loop-entering and call edges first) whose
+// use budget is not exhausted and from which the target remains
+// reachable. Only edges lying on an intraprocedural cycle consume
+// budget, so the bound k controls loop unrolling without throttling how
+// often straight-line code (and hence call sites) may be traversed.
+// Loops are unrolled up to k times before their exit edge is taken —
+// the long, possibly-infeasible counterexamples a depth-first model
+// checker produces (§5, Limitations) — with no backtracking.
+//
+// It returns nil when the walk gets stuck or exceeds maxLen; callers
+// should fall back to FindPath or try a smaller k.
+func WalkLongPath(prog *Program, target *Loc, k int, maxLen int) Path {
+	if k <= 0 {
+		k = 2
+	}
+	if maxLen <= 0 {
+		maxLen = 2_000_000
+	}
+	main := prog.Funcs[prog.Main]
+	if main == nil {
+		return nil
+	}
+	dist := computeDistToTarget(prog, target)
+	exitable := computeCanExit(prog)
+	cyclic := computeCycleEdges(prog)
+	canReach := func(l *Loc) bool { return dist[l.ID] >= 0 }
+	reachable := func(l *Loc, stack []*Edge) bool {
+		return stackReachable(l, stack, canReach, exitable)
+	}
+	overBudget := func(e *Edge, uses map[int]int) bool {
+		return cyclic[e.ID] && uses[e.ID] >= k
+	}
+
+	uses := make(map[int]int)
+	var path Path
+	var stack []*Edge
+	loc := main.Entry
+	for len(path) < maxLen {
+		if loc == target {
+			return path
+		}
+		var chosen *Edge
+		for _, e := range loc.Out {
+			if overBudget(e, uses) {
+				continue
+			}
+			viable := false
+			switch e.Op.Kind {
+			case OpCall:
+				callee := prog.Funcs[e.Op.Callee]
+				if callee != nil {
+					ns := append(stack, e)
+					if reachable(callee.Entry, ns) {
+						viable = true
+					}
+				}
+			case OpReturn:
+				if len(stack) == 0 {
+					viable = e.Dst == target
+				} else {
+					viable = reachable(stack[len(stack)-1].Dst, stack[:len(stack)-1])
+				}
+			default:
+				viable = reachable(e.Dst, stack)
+			}
+			if viable {
+				chosen = e
+				break
+			}
+		}
+		if chosen == nil {
+			return nil // stuck: caller falls back
+		}
+		uses[chosen.ID]++
+		path = append(path, chosen)
+		switch chosen.Op.Kind {
+		case OpCall:
+			// Copy before push: the popped slot must stay intact.
+			ns := make([]*Edge, len(stack)+1)
+			copy(ns, stack)
+			ns[len(stack)] = chosen
+			stack = ns
+			loc = prog.Funcs[chosen.Op.Callee].Entry
+		case OpReturn:
+			if len(stack) == 0 {
+				if chosen.Dst == target {
+					return path
+				}
+				return nil
+			}
+			loc = stack[len(stack)-1].Dst
+			stack = stack[:len(stack)-1]
+		default:
+			loc = chosen.Dst
+		}
+	}
+	return nil
+}
+
+// stackReachable reports whether the target can still be reached from l
+// given the call stack: either directly, or by exiting the current
+// function and resuming at some stack frame from which the target is
+// reachable — where every frame popped on the way must itself be
+// exitable from its resume point.
+func stackReachable(l *Loc, stack []*Edge, canReach func(*Loc) bool, exitable []bool) bool {
+	if canReach(l) {
+		return true
+	}
+	if !exitable[l.ID] {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		resume := stack[i].Dst
+		if canReach(resume) {
+			return true
+		}
+		if !exitable[resume.ID] {
+			return false
+		}
+	}
+	return false
+}
+
+// computeCanExit computes, for every location, whether its own
+// function's exit is reachable from it intraprocedurally (call edges
+// count as traversable, i.e. callees are assumed to return).
+func computeCanExit(prog *Program) []bool {
+	out := make([]bool, prog.NumLocs())
+	for _, fn := range prog.Funcs {
+		stack := []*Loc{fn.Exit}
+		out[fn.Exit.ID] = true
+		for len(stack) > 0 {
+			l := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range l.In {
+				if !out[e.Src.ID] {
+					out[e.Src.ID] = true
+					stack = append(stack, e.Src)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// computeCycleEdges marks every edge whose source and destination lie
+// in the same nontrivial strongly connected component of its function's
+// graph — the edges that can be traversed repeatedly within one frame.
+func computeCycleEdges(prog *Program) map[int]bool {
+	cyclic := make(map[int]bool)
+	for _, fn := range prog.Funcs {
+		comp := sccLocs(fn)
+		for _, e := range fn.Edges {
+			// Trivial single-node SCCs without self-loops get distinct
+			// component ids in sccLocs, so equality means a real cycle.
+			if comp[e.Src.Index] == comp[e.Dst.Index] {
+				cyclic[e.ID] = true
+			}
+		}
+	}
+	return cyclic
+}
+
+// sccLocs computes strongly connected components of a function's
+// locations (iterative Tarjan), assigning trivial single-location
+// components unique ids so that only true cycles compare equal.
+func sccLocs(fn *CFA) []int {
+	n := len(fn.Locs)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var stack []int
+	counter := 0
+	compCount := 0
+	sizes := make(map[int]int)
+
+	type frame struct {
+		v  int
+		ei int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		callStack := []frame{{v: start}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			outs := fn.Locs[v].Out
+			if f.ei < len(outs) {
+				w := outs[f.ei].Dst.Index
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			// Finish v.
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				id := compCount
+				compCount++
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = id
+					sizes[id]++
+					if w == v {
+						break
+					}
+				}
+			}
+		}
+	}
+	// Re-id trivial components (size 1 without self-loop) uniquely so
+	// edge-cycle detection only fires on real cycles.
+	next := compCount
+	selfLoop := make(map[int]bool)
+	for _, e := range fn.Edges {
+		if e.Src == e.Dst {
+			selfLoop[e.Src.Index] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		if sizes[comp[i]] == 1 && !selfLoop[i] {
+			comp[i] = next
+			next++
+		}
+	}
+	return comp
+}

@@ -1,0 +1,114 @@
+package cfa_test
+
+import (
+	"testing"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/compile"
+)
+
+const walkProg = `
+int g;
+void helper() {
+  int t = 0;
+  for (int j = 0; j < 3; j = j + 1) { t = t + j; }
+}
+void main() {
+  for (int i = 0; i < 10; i = i + 1) {
+    helper();
+  }
+  if (g == 0) { error; }
+}
+`
+
+func TestWalkLongPathValidAndLong(t *testing.T) {
+	prog := compile.MustSource(walkProg)
+	target := prog.ErrorLocs()[0]
+	short := cfa.FindPath(prog, target, cfa.FindOptions{})
+	for _, k := range []int{1, 2, 5, 10} {
+		p := cfa.WalkLongPath(prog, target, k, 0)
+		if p == nil {
+			t.Fatalf("k=%d: walker stuck", k)
+		}
+		if err := p.Validate(prog); err != nil {
+			t.Fatalf("k=%d: invalid path: %v", k, err)
+		}
+		if p.Target() != target {
+			t.Fatalf("k=%d: wrong target", k)
+		}
+		if k >= 5 && len(p) <= len(short) {
+			t.Errorf("k=%d: walk (%d edges) should exceed short path (%d)", k, len(p), len(short))
+		}
+	}
+	// Monotone-ish growth with k.
+	p2 := cfa.WalkLongPath(prog, target, 2, 0)
+	p8 := cfa.WalkLongPath(prog, target, 8, 0)
+	if len(p8) <= len(p2) {
+		t.Errorf("k=8 path (%d) should be longer than k=2 path (%d)", len(p8), len(p2))
+	}
+}
+
+func TestWalkLongPathCallBudgetNotThrottled(t *testing.T) {
+	// A helper called more times than k must still be traversable:
+	// only loop edges consume budget.
+	prog := compile.MustSource(`
+		void h() { skip; }
+		void main() {
+			h(); h(); h(); h(); h(); h();
+			error;
+		}`)
+	target := prog.ErrorLocs()[0]
+	p := cfa.WalkLongPath(prog, target, 2, 0)
+	if p == nil {
+		t.Fatal("walker must not be throttled by call counts")
+	}
+	if err := p.Validate(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkLongPathAvoidsForeignDeadEnds(t *testing.T) {
+	// Another error location lies on the way; the walker must not fall
+	// into it.
+	prog := compile.MustSource(`
+		int a;
+		void first() { if (a == 1) { error; } }
+		void second() { if (a == 2) { error; } }
+		void main() { first(); second(); }`)
+	locs := prog.ErrorLocs()
+	if len(locs) != 2 {
+		t.Fatalf("locs: %d", len(locs))
+	}
+	// Target the error in second(): the walk passes through first().
+	var target *cfa.Loc
+	for _, l := range locs {
+		if l.Fn.Name == "second" {
+			target = l
+		}
+	}
+	p := cfa.WalkLongPath(prog, target, 3, 0)
+	if p == nil {
+		t.Fatal("walker stuck")
+	}
+	if p.Target() != target {
+		t.Fatal("reached the wrong error location")
+	}
+	if err := p.Validate(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkLongPathUnreachable(t *testing.T) {
+	prog := compile.MustSource(`void main() { skip; }`)
+	// Use a location that is graph-unreachable from entry: none exists
+	// here, so aim at main's exit — reachable, fine; then aim at a
+	// fabricated dead target via an unreachable-error program.
+	prog2 := compile.MustSource(`
+		void never() { error; }
+		void main() { skip; }`)
+	target := prog2.ErrorLocs()[0]
+	if p := cfa.WalkLongPath(prog2, target, 2, 0); p != nil {
+		t.Fatal("never() is not called; no path must exist")
+	}
+	_ = prog
+}

@@ -1,0 +1,39 @@
+// Package compile ties the frontend together: source text in, control
+// flow automata out. It is the entry point used by the CLIs, examples,
+// and tests.
+package compile
+
+import (
+	"fmt"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/lang/parser"
+	"pathslice/internal/lang/types"
+)
+
+// Source parses, checks, and lowers a MiniC program.
+func Source(src string) (*cfa.Program, error) {
+	prog, err := parser.Parse([]byte(src))
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	p, err := cfa.Build(info)
+	if err != nil {
+		return nil, fmt.Errorf("cfa: %w", err)
+	}
+	return p, nil
+}
+
+// MustSource compiles src and panics on error; for tests and embedded
+// example programs.
+func MustSource(src string) *cfa.Program {
+	p, err := Source(src)
+	if err != nil {
+		panic("compile.MustSource: " + err.Error())
+	}
+	return p
+}

@@ -1,0 +1,344 @@
+// Package core implements Algorithm PathSlice, the primary contribution
+// of "Path Slicing" (Jhala & Majumdar, PLDI 2005).
+//
+// Given a (possibly infeasible) program path π to a target location,
+// PathSlice computes a subsequence of π's edges — a path slice — that is
+//
+//   - sound: if the slice's trace is infeasible, π is infeasible, and
+//   - complete: if the slice's trace is feasible, then every state that
+//     can execute it either reaches the target location along some
+//     (possibly different) program path, or diverges (§3.2).
+//
+// The algorithm (Figure 1 / Algorithm 1) iterates backward over the
+// path, maintaining the set of live lvalues and the step location (the
+// source of the last edge taken), and decides each edge with the Take
+// predicate of Figure 3, generalized to pointers (§3.4) and procedure
+// calls (§4). The optimizations of §4.2 — stopping as soon as the
+// accumulated slice constraints are unsatisfiable, and skipping
+// irrelevant guard chains on deep call stacks — are available through
+// Options.
+package core
+
+import (
+	"fmt"
+
+	"pathslice/internal/alias"
+	"pathslice/internal/cfa"
+	"pathslice/internal/dataflow"
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/logic"
+	"pathslice/internal/modref"
+	"pathslice/internal/smt"
+	"pathslice/internal/wp"
+)
+
+// Options configures the slicer.
+type Options struct {
+	// EarlyUnsatStop enables the §4.2 "unsatisfiable path slices"
+	// optimization: every taken operation is asserted (backward SSA) to
+	// an incremental decision procedure, and slicing stops at the first
+	// unsatisfiable prefix, since adding more operations cannot make it
+	// satisfiable again.
+	EarlyUnsatStop bool
+	// CheckEvery controls how many taken assume edges elapse between
+	// satisfiability checks when EarlyUnsatStop is set (default 1).
+	CheckEvery int
+	// SkipFunctions enables the §4.2 "skipping functions" optimization:
+	// when an edge is not taken and no live lvalue can be written
+	// between the enclosing function's entry and the edge, the rest of
+	// the frame (its guard chain) is skipped. The resulting slice is
+	// still sound but no longer guaranteed complete.
+	SkipFunctions bool
+	// SolverLimits bounds the incremental solver.
+	SolverLimits smt.Limits
+	// RecordTrace captures the live set and step location at every
+	// point of the backward pass (Result.Trace) — the annotations of
+	// the paper's Figures 1(C) and 2(B). Costs a live-set copy per
+	// edge; leave off in production runs.
+	RecordTrace bool
+}
+
+// TracePoint is the slicer's state when it considered one path edge:
+// the live lvalues and step location *before* processing the edge (the
+// values shown to the right of each edge in Fig. 1(C)), and the
+// decision taken.
+type TracePoint struct {
+	Index    int // index into the input path
+	Live     cfa.LvalSet
+	StepLoc  *cfa.Loc
+	Taken    bool
+	Skipped  bool // reached via a frame/guard-chain skip, not examined
+	EdgeRepr string
+}
+
+// Stats describes one slicing run.
+type Stats struct {
+	InputEdges  int
+	SliceEdges  int
+	InputBlocks int
+	SliceBlocks int
+
+	TakenAssign, TakenAssume, TakenCall, TakenReturn int
+	SkippedFrames                                    int // frames skipped at an untaken return
+	SkippedGuardChains                               int // §4.2 function-skipping jumps
+	SolverChecks                                     int
+	EarlyStopped                                     bool
+}
+
+// Ratio returns slice size as a fraction of the input size (in edges).
+func (s Stats) Ratio() float64 {
+	if s.InputEdges == 0 {
+		return 0
+	}
+	return float64(s.SliceEdges) / float64(s.InputEdges)
+}
+
+// Result is the outcome of slicing one path.
+type Result struct {
+	// Slice is the computed path slice (a subsequence of the input).
+	Slice cfa.Path
+	// Taken[i] reports whether input edge i is in the slice.
+	Taken []bool
+	// Live is the live lvalue set at the point slicing stopped (the
+	// start of the path unless EarlyStopped).
+	Live cfa.LvalSet
+	// KnownInfeasible is set when the early-stop optimization proved
+	// the slice trace unsatisfiable during slicing.
+	KnownInfeasible bool
+	// Trace is the per-edge analysis record (only with
+	// Options.RecordTrace), in backward processing order.
+	Trace []TracePoint
+	Stats Stats
+}
+
+// Slicer holds the program and the precomputed analyses PathSlice
+// queries (alias, mod-ref, WrBt/By). Build one per program and reuse it
+// across paths: the analyses are cached.
+type Slicer struct {
+	Prog  *cfa.Program
+	Alias *alias.Info
+	Mods  *modref.Info
+	DF    *dataflow.Info
+	Addrs *wp.AddrMap
+	Opts  Options
+}
+
+// New builds a Slicer with default options, running all required
+// analyses.
+func New(prog *cfa.Program) *Slicer {
+	return NewWithOptions(prog, Options{})
+}
+
+// NewWithOptions builds a Slicer with the given options.
+func NewWithOptions(prog *cfa.Program, opts Options) *Slicer {
+	al := alias.Analyze(prog)
+	mr := modref.Analyze(prog, al)
+	df := dataflow.Analyze(prog, al, mr)
+	if opts.CheckEvery <= 0 {
+		opts.CheckEvery = 1
+	}
+	return &Slicer{
+		Prog:  prog,
+		Alias: al,
+		Mods:  mr,
+		DF:    df,
+		Addrs: wp.NewAddrMap(prog),
+		Opts:  opts,
+	}
+}
+
+// Slice runs Algorithm PathSlice on path (which must be a valid program
+// path ending at the location of interest).
+func (s *Slicer) Slice(path cfa.Path) (*Result, error) {
+	if err := path.Validate(s.Prog); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res := &Result{
+		Taken: make([]bool, len(path)),
+		Live:  cfa.NewLvalSet(),
+	}
+	res.Stats.InputEdges = len(path)
+	res.Stats.InputBlocks = path.BasicBlocks()
+
+	callIdx := path.CallIdx()
+	live := res.Live
+	pcStep := path[len(path)-1].Dst
+
+	var enc *wp.TraceEncoder
+	var solver *smt.Solver
+	if s.Opts.EarlyUnsatStop {
+		enc = wp.NewTraceEncoder(s.Prog, s.Alias, s.Addrs)
+		solver = smt.NewSolverWithLimits(s.Opts.SolverLimits)
+	}
+	assumesSinceCheck := 0
+
+	record := func(i int, taken bool) {
+		if !s.Opts.RecordTrace {
+			return
+		}
+		res.Trace = append(res.Trace, TracePoint{
+			Index:    i,
+			Live:     live.Copy(),
+			StepLoc:  pcStep,
+			Taken:    taken,
+			EdgeRepr: path[i].String(),
+		})
+	}
+
+	i := len(path) - 1
+	for i >= 0 {
+		e := path[i]
+		op := e.Op
+		tk := s.take(op, e, live, pcStep)
+		record(i, tk)
+		if tk {
+			res.Taken[i] = true
+			s.updateLive(op, live)
+			pcStep = e.Src
+			switch op.Kind {
+			case cfa.OpAssign:
+				res.Stats.TakenAssign++
+			case cfa.OpAssume:
+				res.Stats.TakenAssume++
+			case cfa.OpCall:
+				res.Stats.TakenCall++
+			case cfa.OpReturn:
+				res.Stats.TakenReturn++
+			}
+			if s.Opts.EarlyUnsatStop {
+				solver.Assert(enc.EncodeOpBackward(op))
+				if op.Kind == cfa.OpAssume {
+					assumesSinceCheck++
+					if assumesSinceCheck >= s.Opts.CheckEvery {
+						assumesSinceCheck = 0
+						res.Stats.SolverChecks++
+						if r := solver.Check(); r.Status == smt.StatusUnsat {
+							res.KnownInfeasible = true
+							res.Stats.EarlyStopped = true
+							i-- // the current edge is already taken
+							break
+						}
+					}
+				}
+			}
+			i--
+			continue
+		}
+		// Not taken: Algorithm 1 line 12 with the §4 and §4.2 index
+		// adjustments.
+		recordSkipped := func(from, to int) {
+			if !s.Opts.RecordTrace {
+				return
+			}
+			for j := from; j > to; j-- {
+				res.Trace = append(res.Trace, TracePoint{
+					Index: j, Live: live.Copy(), StepLoc: pcStep,
+					Skipped: true, EdgeRepr: path[j].String(),
+				})
+			}
+		}
+		switch {
+		case op.Kind == cfa.OpReturn:
+			// Skip the entire irrelevant frame: resume just before the
+			// call edge that opened it.
+			res.Stats.SkippedFrames++
+			next := callIdx[i] - 1
+			recordSkipped(i-1, next)
+			i = next
+		case s.Opts.SkipFunctions && callIdx[i] >= 0 &&
+			!s.DF.WrBt(e.Src.Fn.Entry, e.Src, live):
+			// §4.2: no live lvalue can be written between the frame's
+			// entry and here — jump straight to the call edge (which is
+			// then taken), dropping the guard chain. Sacrifices
+			// completeness.
+			res.Stats.SkippedGuardChains++
+			next := callIdx[i]
+			recordSkipped(i-1, next)
+			i = next
+		default:
+			i--
+		}
+	}
+
+	// Collect the taken edges in order.
+	for idx, tk := range res.Taken {
+		if tk {
+			res.Slice = append(res.Slice, path[idx])
+		}
+	}
+	res.Stats.SliceEdges = len(res.Slice)
+	res.Stats.SliceBlocks = res.Slice.BasicBlocks()
+	return res, nil
+}
+
+// take implements the Take predicate (Figure 3, with the §3.4 pointer
+// generalization and the §4 call/return rules).
+func (s *Slicer) take(op cfa.Op, e *cfa.Edge, live cfa.LvalSet, pcStep *cfa.Loc) bool {
+	switch op.Kind {
+	case cfa.OpAssign:
+		// Take if the written lvalue may alias a live lvalue.
+		for l := range live {
+			if s.Alias.MayAlias(op.LHS, l) {
+				return true
+			}
+		}
+		return false
+	case cfa.OpAssume:
+		// A lone assume with no sibling branch (MiniC's `assume(p);`
+		// statement) can halt the program outright; the paper's model
+		// only has complementary branch pairs, where the By test covers
+		// this. Taking such an edge is always sound and strengthens
+		// completeness beyond the paper's "cannot reach pc_out" escape
+		// clause — see DESIGN.md §6. Trivially-true assumes (the
+		// builder's skip/jump edges) can never block and keep the
+		// original rule.
+		if len(e.Src.Out) == 1 && !predIsTriviallyTrue(op.Pred) {
+			return true
+		}
+		// Take if a live lvalue may be written between here and the
+		// step location, or if this location can bypass it.
+		return s.DF.WrBt(e.Src, pcStep, live) || s.DF.By(e.Src, pcStep)
+	case cfa.OpCall:
+		// Calls are always taken, keeping WrBt/By queries
+		// intraprocedural (§4.1).
+		return true
+	case cfa.OpReturn:
+		// Take (and hence analyze the call body) only if the callee
+		// may modify a live lvalue.
+		return s.Mods.ModsAny(e.Src.Fn.Name, live)
+	}
+	return false
+}
+
+// predIsTriviallyTrue recognizes the builder's unconditional edges.
+func predIsTriviallyTrue(p ast.Expr) bool {
+	lit, ok := p.(*ast.IntLit)
+	return ok && lit.Value != 0
+}
+
+// updateLive applies Live := (Live \ Wt.op) ∪ Rd.op with the must-alias
+// kill set of §3.4.
+func (s *Slicer) updateLive(op cfa.Op, live cfa.LvalSet) {
+	if op.Kind == cfa.OpAssign {
+		for _, l := range s.Alias.MustWritten(op.LHS) {
+			live.Remove(l)
+		}
+	}
+	live.AddAll(op.Rd())
+}
+
+// CheckFeasibility encodes the trace of a slice (or any path) and asks
+// the decision procedure for a verdict. On StatusSat the returned model
+// gives an initial state witnessing WP.true.(Tr.slice).
+func (s *Slicer) CheckFeasibility(p cfa.Path) (smt.Result, *wp.TraceEncoder) {
+	enc := wp.NewTraceEncoder(s.Prog, s.Alias, s.Addrs)
+	f := enc.EncodeTrace(p.Ops())
+	return smt.SolveWithLimits(f, s.Opts.SolverLimits), enc
+}
+
+// TraceFormula returns the forward SSA constraint formula of a path's
+// trace, for callers that want to inspect or reuse it.
+func (s *Slicer) TraceFormula(p cfa.Path) logic.Formula {
+	enc := wp.NewTraceEncoder(s.Prog, s.Alias, s.Addrs)
+	return enc.EncodeTrace(p.Ops())
+}

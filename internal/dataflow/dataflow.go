@@ -1,0 +1,304 @@
+// Package dataflow implements the intraprocedural relations the path
+// slicer queries (§4.1 of the paper):
+//
+//   - In.pc / Out.pc: the CFA edges that can reach / be reached from a
+//     location, computed as least fixpoints;
+//   - WrBt.(pc, pc').L: whether some lvalue of L may be written on a
+//     path from pc to pc' (edges in Out.pc ∩ In.pc', with call edges
+//     contributing their callees' Mods sets);
+//   - By.pc: the locations that can bypass pc, i.e. reach the function
+//     exit without visiting pc;
+//   - postdominators (used by the static-slicing baseline and tests).
+//
+// All queries are intraprocedural: the slicer always "takes" call edges
+// precisely so that every (pc, pc') query stays within one CFA (§4.1).
+package dataflow
+
+import (
+	"pathslice/internal/alias"
+	"pathslice/internal/bitset"
+	"pathslice/internal/cfa"
+	"pathslice/internal/modref"
+)
+
+// Info answers WrBt/By/postdominance queries for a whole program.
+type Info struct {
+	prog  *cfa.Program
+	alias *alias.Info
+	mods  *modref.Info
+	fns   map[string]*fnInfo
+
+	// Stats counts analysis work for the ablation benchmarks.
+	Stats Stats
+}
+
+// Stats counts the queries answered and fixpoints computed.
+type Stats struct {
+	WrBtQueries    int
+	ByQueries      int
+	WrBtCacheMiss  int
+	ByCacheMiss    int
+	FixpointPasses int
+}
+
+type fnInfo struct {
+	fn *cfa.CFA
+	// out[loc.Index] = edges reachable from loc (by edge Index).
+	out []*bitset.Set
+	// in[loc.Index] = edges that can reach loc.
+	in []*bitset.Set
+	// writes[edge.Index] = concrete variables the edge may write.
+	writes []map[string]struct{}
+	// wrBtCache caches the union of written variables between location
+	// pairs, keyed by srcIndex*nLocs + dstIndex.
+	wrBtCache map[int]map[string]struct{}
+	// byCache caches By.pc as a location-index set, keyed by pc.Index.
+	byCache map[int]*bitset.Set
+	// postdom[i] = set of locations postdominating location i
+	// (computed lazily).
+	postdom []*bitset.Set
+}
+
+// Analyze computes the per-function reachability fixpoints.
+func Analyze(prog *cfa.Program, al *alias.Info, mr *modref.Info) *Info {
+	info := &Info{prog: prog, alias: al, mods: mr, fns: make(map[string]*fnInfo)}
+	for _, name := range prog.Order {
+		info.fns[name] = info.analyzeFn(prog.Funcs[name])
+	}
+	return info
+}
+
+func (info *Info) analyzeFn(fn *cfa.CFA) *fnInfo {
+	n := len(fn.Locs)
+	m := len(fn.Edges)
+	fi := &fnInfo{
+		fn:        fn,
+		out:       make([]*bitset.Set, n),
+		in:        make([]*bitset.Set, n),
+		writes:    make([]map[string]struct{}, m),
+		wrBtCache: make(map[int]map[string]struct{}),
+		byCache:   make(map[int]*bitset.Set),
+	}
+	for i := 0; i < n; i++ {
+		fi.out[i] = bitset.New(m)
+		fi.in[i] = bitset.New(m)
+	}
+	for _, e := range fn.Edges {
+		w := make(map[string]struct{})
+		switch e.Op.Kind {
+		case cfa.OpAssign:
+			for _, v := range info.alias.WrittenVars(e.Op.LHS) {
+				w[v] = struct{}{}
+			}
+		case cfa.OpCall:
+			for v := range info.mods.ModsVarSet(e.Op.Callee) {
+				w[v] = struct{}{}
+			}
+		}
+		fi.writes[e.Index] = w
+	}
+
+	// Out.pc: least fixpoint of Out.pc = ∪_{e:(pc,·,pc')} {e} ∪ Out.pc'.
+	// Iterate in reverse postorder-ish sweeps until stable.
+	changed := true
+	for changed {
+		changed = false
+		info.Stats.FixpointPasses++
+		for i := m - 1; i >= 0; i-- {
+			e := fn.Edges[i]
+			src := fi.out[e.Src.Index]
+			before := src.Count()
+			src.Add(e.Index)
+			src.UnionWith(fi.out[e.Dst.Index])
+			if src.Count() != before {
+				changed = true
+			}
+		}
+	}
+	// In.pc: least fixpoint of In.pc = ∪_{e:(pc',·,pc)} {e} ∪ In.pc'.
+	changed = true
+	for changed {
+		changed = false
+		info.Stats.FixpointPasses++
+		for i := 0; i < m; i++ {
+			e := fn.Edges[i]
+			dst := fi.in[e.Dst.Index]
+			before := dst.Count()
+			dst.Add(e.Index)
+			dst.UnionWith(fi.in[e.Src.Index])
+			if dst.Count() != before {
+				changed = true
+			}
+		}
+	}
+	return fi
+}
+
+func (info *Info) fnOf(loc *cfa.Loc) *fnInfo { return info.fns[loc.Fn.Name] }
+
+// WrittenBetween returns the set of concrete variables that may be
+// written on some path from src to dst within one CFA (both locations
+// must belong to the same function). Results are cached per location
+// pair.
+func (info *Info) WrittenBetween(src, dst *cfa.Loc) map[string]struct{} {
+	if src.Fn != dst.Fn {
+		panic("dataflow: WrittenBetween across CFAs: " + src.String() + " vs " + dst.String())
+	}
+	fi := info.fnOf(src)
+	key := src.Index*len(fi.fn.Locs) + dst.Index
+	if cached, ok := fi.wrBtCache[key]; ok {
+		return cached
+	}
+	info.Stats.WrBtCacheMiss++
+	between := fi.out[src.Index].Copy()
+	between.IntersectionWith(fi.in[dst.Index])
+	union := make(map[string]struct{})
+	between.ForEach(func(ei int) bool {
+		for v := range fi.writes[ei] {
+			union[v] = struct{}{}
+		}
+		return true
+	})
+	fi.wrBtCache[key] = union
+	return union
+}
+
+// WrBt reports WrBt.(src, dst).L: whether an lvalue of live may be
+// written between src and dst (§3.3, §4.1).
+func (info *Info) WrBt(src, dst *cfa.Loc, live cfa.LvalSet) bool {
+	info.Stats.WrBtQueries++
+	written := info.WrittenBetween(src, dst)
+	if len(written) == 0 {
+		return false
+	}
+	for l := range live {
+		if info.alias.Touches(l, written) {
+			return true
+		}
+	}
+	return false
+}
+
+// By reports pc ∈ By.pc': whether pc can reach the function exit
+// without visiting pc' (§3.3, §4.1). Both locations must belong to the
+// same CFA. Per the paper's definition, pc' itself never bypasses pc',
+// and locations that cannot reach the exit at all bypass nothing.
+func (info *Info) By(pc, pcStep *cfa.Loc) bool {
+	if pc.Fn != pcStep.Fn {
+		panic("dataflow: By across CFAs: " + pc.String() + " vs " + pcStep.String())
+	}
+	info.Stats.ByQueries++
+	fi := info.fnOf(pc)
+	set, ok := fi.byCache[pcStep.Index]
+	if !ok {
+		info.Stats.ByCacheMiss++
+		set = info.computeBy(fi, pcStep)
+		fi.byCache[pcStep.Index] = set
+	}
+	return set.Has(pc.Index)
+}
+
+// computeBy computes By.pcStep: backward reachability from the exit in
+// the CFA with pcStep removed.
+func (info *Info) computeBy(fi *fnInfo, pcStep *cfa.Loc) *bitset.Set {
+	fn := fi.fn
+	set := bitset.New(len(fn.Locs))
+	if fn.Exit == pcStep {
+		return set // nothing bypasses the exit... except nothing: exit removed
+	}
+	// Reverse adjacency walk from exit, never entering pcStep.
+	set.Add(fn.Exit.Index)
+	stack := []*cfa.Loc{fn.Exit}
+	for len(stack) > 0 {
+		loc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range loc.In {
+			pred := e.Src
+			if pred == pcStep || set.Has(pred.Index) {
+				continue
+			}
+			set.Add(pred.Index)
+			stack = append(stack, pred)
+		}
+	}
+	set.Remove(pcStep.Index)
+	return set
+}
+
+// Postdominates reports whether a postdominates b in their CFA: every
+// path from b to the exit passes through a. By definition the exit
+// postdominates everything that reaches it, and a location that cannot
+// reach the exit is postdominated by everything (vacuously).
+func (info *Info) Postdominates(a, b *cfa.Loc) bool {
+	if a.Fn != b.Fn {
+		panic("dataflow: Postdominates across CFAs")
+	}
+	fi := info.fnOf(a)
+	if fi.postdom == nil {
+		info.computePostdom(fi)
+	}
+	return fi.postdom[b.Index].Has(a.Index)
+}
+
+// computePostdom runs the standard iterative dataflow for
+// postdominators over the reversed CFA.
+func (info *Info) computePostdom(fi *fnInfo) {
+	fn := fi.fn
+	n := len(fn.Locs)
+	full := bitset.New(n)
+	for i := 0; i < n; i++ {
+		full.Add(i)
+	}
+	pd := make([]*bitset.Set, n)
+	for i := 0; i < n; i++ {
+		if fn.Locs[i] == fn.Exit {
+			pd[i] = bitset.New(n)
+			pd[i].Add(i)
+		} else {
+			pd[i] = full.Copy()
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			loc := fn.Locs[i]
+			if loc == fn.Exit {
+				continue
+			}
+			var meet *bitset.Set
+			for _, e := range loc.Out {
+				s := pd[e.Dst.Index]
+				if meet == nil {
+					meet = s.Copy()
+				} else {
+					meet.IntersectionWith(s)
+				}
+			}
+			if meet == nil {
+				meet = full.Copy() // no successors: vacuous
+				meet.Remove(i)
+			}
+			meet.Add(i)
+			// The iteration is monotone decreasing from the full set,
+			// so a count change detects any set change.
+			if meet.Count() != pd[i].Count() {
+				changed = true
+			}
+			pd[i] = meet
+		}
+	}
+	fi.postdom = pd
+}
+
+// ReachableEdgesFrom returns how many edges are reachable from loc in
+// its CFA (exposed for tests).
+func (info *Info) ReachableEdgesFrom(loc *cfa.Loc) int {
+	return info.fnOf(loc).out[loc.Index].Count()
+}
+
+// EdgesReaching returns how many edges can reach loc in its CFA
+// (exposed for tests).
+func (info *Info) EdgesReaching(loc *cfa.Loc) int {
+	return info.fnOf(loc).in[loc.Index].Count()
+}

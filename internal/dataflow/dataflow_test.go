@@ -1,0 +1,306 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"pathslice/internal/alias"
+	"pathslice/internal/cfa"
+	"pathslice/internal/compile"
+	"pathslice/internal/dataflow"
+	"pathslice/internal/modref"
+)
+
+func analyze(t *testing.T, src string) (*cfa.Program, *dataflow.Info) {
+	t.Helper()
+	prog := compile.MustSource(src)
+	al := alias.Analyze(prog)
+	mr := modref.Analyze(prog, al)
+	return prog, dataflow.Analyze(prog, al, mr)
+}
+
+// locAfter returns the destination location of the first edge in fn
+// whose op string matches.
+func locAfter(t *testing.T, fn *cfa.CFA, op string) *cfa.Loc {
+	t.Helper()
+	for _, e := range fn.Edges {
+		if e.Op.String() == op {
+			return e.Dst
+		}
+	}
+	t.Fatalf("no edge %q in %s; have:\n%s", op, fn.Name, dump(fn))
+	return nil
+}
+
+func locBefore(t *testing.T, fn *cfa.CFA, op string) *cfa.Loc {
+	t.Helper()
+	for _, e := range fn.Edges {
+		if e.Op.String() == op {
+			return e.Src
+		}
+	}
+	t.Fatalf("no edge %q in %s; have:\n%s", op, fn.Name, dump(fn))
+	return nil
+}
+
+func dump(fn *cfa.CFA) string {
+	out := ""
+	for _, e := range fn.Edges {
+		out += e.String() + "\n"
+	}
+	return out
+}
+
+const straightLine = `
+int a; int b; int c;
+void main() {
+  a = 1;
+  b = 2;
+  c = 3;
+}
+`
+
+func TestWrBtStraightLine(t *testing.T) {
+	prog, df := analyze(t, straightLine)
+	main := prog.Funcs["main"]
+	afterA := locAfter(t, main, "a := 1")
+	beforeC := locBefore(t, main, "c := 3")
+	liveB := cfa.NewLvalSet(cfa.Lvalue{Var: "b"})
+	liveA := cfa.NewLvalSet(cfa.Lvalue{Var: "a"})
+	if !df.WrBt(afterA, beforeC, liveB) {
+		t.Error("b is written between after-a and before-c")
+	}
+	if df.WrBt(afterA, beforeC, liveA) {
+		t.Error("a is not written between after-a and before-c")
+	}
+	// Degenerate interval: nothing is written between a location and itself.
+	if df.WrBt(beforeC, beforeC, cfa.NewLvalSet(cfa.Lvalue{Var: "a"}, cfa.Lvalue{Var: "b"}, cfa.Lvalue{Var: "c"})) {
+		t.Error("empty interval writes nothing")
+	}
+}
+
+func TestWrBtAcrossBranches(t *testing.T) {
+	prog, df := analyze(t, `
+		int x; int y;
+		void main() {
+			if (nondet()) { x = 1; } else { y = 2; }
+			skip;
+		}`)
+	main := prog.Funcs["main"]
+	entry := main.Entry
+	exitish := locBefore(t, main, "assume(1)") // the skip edge
+	if !df.WrBt(entry, exitish, cfa.NewLvalSet(cfa.Lvalue{Var: "x"})) {
+		t.Error("x written on the then branch")
+	}
+	if !df.WrBt(entry, exitish, cfa.NewLvalSet(cfa.Lvalue{Var: "y"})) {
+		t.Error("y written on the else branch")
+	}
+	if df.WrBt(entry, exitish, cfa.NewLvalSet(cfa.Lvalue{Var: "z"})) {
+		t.Error("z is never written")
+	}
+}
+
+func TestWrBtThroughCallEdges(t *testing.T) {
+	prog, df := analyze(t, `
+		int g;
+		void setg() { g = 1; }
+		void main() { skip; setg(); skip; }`)
+	main := prog.Funcs["main"]
+	start := locBefore(t, main, "setg()")
+	end := locAfter(t, main, "setg()")
+	if !df.WrBt(start, end, cfa.NewLvalSet(cfa.Lvalue{Var: "g"})) {
+		t.Error("call edge must contribute Mods(setg) = {g}")
+	}
+	if df.WrBt(start, end, cfa.NewLvalSet(cfa.Lvalue{Var: "h"})) {
+		t.Error("setg does not write h")
+	}
+}
+
+func TestWrBtRespectsLoops(t *testing.T) {
+	prog, df := analyze(t, `
+		int i; int s;
+		void main() {
+			i = 0;
+			while (i < 10) { s = s + i; i = i + 1; }
+			skip;
+		}`)
+	main := prog.Funcs["main"]
+	// From loop head to after-loop, both i and s may be written.
+	head := locAfter(t, main, "i := 0")
+	after := locBefore(t, main, "assume(1)")
+	if !df.WrBt(head, after, cfa.NewLvalSet(cfa.Lvalue{Var: "s"})) {
+		t.Error("s written inside loop between head and after")
+	}
+	if !df.WrBt(head, after, cfa.NewLvalSet(cfa.Lvalue{Var: "i"})) {
+		t.Error("i written inside loop")
+	}
+}
+
+func TestByBasics(t *testing.T) {
+	prog, df := analyze(t, `
+		int a;
+		void main() {
+			if (a > 0) {
+				skip;
+			}
+			a = 2;
+		}`)
+	main := prog.Funcs["main"]
+	branch := locBefore(t, main, "assume((a > 0))")
+	join := locBefore(t, main, "a := 2")
+	// Every path from the branch reaches the join: branch cannot bypass it.
+	if df.By(branch, join) {
+		t.Error("join postdominates branch: no bypass")
+	}
+	// But the branch can bypass the then-block's interior.
+	thenLoc := locAfter(t, main, "assume((a > 0))")
+	if !df.By(branch, thenLoc) {
+		t.Error("branch can bypass the then block via the else edge")
+	}
+	// Nothing can bypass the exit.
+	if df.By(branch, main.Exit) {
+		t.Error("By.exit is empty by definition")
+	}
+	// A location never bypasses itself.
+	if df.By(join, join) {
+		t.Error("a location does not bypass itself")
+	}
+}
+
+func TestByErrorLocationsBypassNothing(t *testing.T) {
+	prog, df := analyze(t, `
+		int a;
+		void main() {
+			if (a == 0) { error; }
+			skip;
+		}`)
+	main := prog.Funcs["main"]
+	errLoc := main.ErrorLocs()[0]
+	after := locBefore(t, main, "assume(1)")
+	// The error location cannot reach the exit, so it is in no By set.
+	if df.By(errLoc, after) {
+		t.Error("error location cannot bypass anything (cannot reach exit)")
+	}
+	// The branch point can bypass the error location.
+	branch := locBefore(t, main, "assume((a == 0))")
+	if !df.By(branch, errLoc) {
+		t.Error("branch can bypass the error location")
+	}
+}
+
+func TestPostdominates(t *testing.T) {
+	prog, df := analyze(t, `
+		int a;
+		void main() {
+			if (a > 0) { a = 1; } else { a = 2; }
+			a = 3;
+		}`)
+	main := prog.Funcs["main"]
+	branch := locBefore(t, main, "assume((a > 0))")
+	join := locBefore(t, main, "a := 3")
+	thenLoc := locBefore(t, main, "a := 1")
+	if !df.Postdominates(join, branch) {
+		t.Error("join postdominates the branch")
+	}
+	if !df.Postdominates(main.Exit, branch) {
+		t.Error("exit postdominates the branch")
+	}
+	if df.Postdominates(thenLoc, branch) {
+		t.Error("then block does not postdominate the branch")
+	}
+	if !df.Postdominates(join, join) {
+		t.Error("postdominance is reflexive")
+	}
+}
+
+// By and postdominance are complementary: pc can bypass pc' iff pc' does
+// not postdominate pc (for locations that can reach the exit). This is
+// exactly the paper's remark "the set of all locations that pc' does not
+// postdominate".
+func TestByMatchesPostdominance(t *testing.T) {
+	prog, df := analyze(t, `
+		int a; int b;
+		void main() {
+			if (a > 0) {
+				b = 1;
+				if (b > a) { b = 2; }
+			} else {
+				while (b < 10) { b = b + 1; }
+			}
+			a = b;
+		}`)
+	main := prog.Funcs["main"]
+	// Restrict to locations that can reach the exit.
+	reachesExit := func(l *cfa.Loc) bool {
+		seen := map[*cfa.Loc]bool{}
+		var walk func(x *cfa.Loc) bool
+		walk = func(x *cfa.Loc) bool {
+			if x == main.Exit {
+				return true
+			}
+			if seen[x] {
+				return false
+			}
+			seen[x] = true
+			for _, e := range x.Out {
+				if walk(e.Dst) {
+					return true
+				}
+			}
+			return false
+		}
+		return walk(l)
+	}
+	for _, pc := range main.Locs {
+		if !reachesExit(pc) {
+			continue
+		}
+		for _, step := range main.Locs {
+			if pc == step {
+				continue
+			}
+			by := df.By(pc, step)
+			pd := df.Postdominates(step, pc)
+			if by == pd {
+				t.Errorf("By(%v,%v)=%v but Postdominates(%v,%v)=%v; should be complementary",
+					pc, step, by, step, pc, pd)
+			}
+		}
+	}
+}
+
+func TestStatsAndCaching(t *testing.T) {
+	prog, df := analyze(t, straightLine)
+	main := prog.Funcs["main"]
+	a := main.Entry
+	b := main.Exit
+	live := cfa.NewLvalSet(cfa.Lvalue{Var: "a"})
+	df.WrBt(a, b, live)
+	miss1 := df.Stats.WrBtCacheMiss
+	df.WrBt(a, b, live)
+	if df.Stats.WrBtCacheMiss != miss1 {
+		t.Error("second WrBt query must hit the cache")
+	}
+	df.By(a, b)
+	miss2 := df.Stats.ByCacheMiss
+	df.By(a, b)
+	if df.Stats.ByCacheMiss != miss2 {
+		t.Error("second By query must hit the cache")
+	}
+	if df.Stats.WrBtQueries != 2 || df.Stats.ByQueries != 2 {
+		t.Errorf("query counters: %+v", df.Stats)
+	}
+}
+
+func TestReachabilityCounters(t *testing.T) {
+	prog, df := analyze(t, straightLine)
+	main := prog.Funcs["main"]
+	if got := df.ReachableEdgesFrom(main.Entry); got != len(main.Edges) {
+		t.Errorf("all %d edges reachable from entry, got %d", len(main.Edges), got)
+	}
+	if got := df.EdgesReaching(main.Exit); got != len(main.Edges) {
+		t.Errorf("all %d edges reach exit, got %d", len(main.Edges), got)
+	}
+	if got := df.ReachableEdgesFrom(main.Exit); got != 0 {
+		t.Errorf("no edges reachable from exit, got %d", got)
+	}
+}

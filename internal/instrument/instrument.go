@@ -1,0 +1,621 @@
+// Package instrument implements the file-handling property
+// instrumentation of §5 of the paper:
+//
+//	"We instrumented the code to track the system calls fopen and
+//	fdopen to mark the return value as an open file pointer (in case
+//	it is non-null). For every fprintf, fgets, or fputs, we check that
+//	the file argument is an open file. Finally, we instrument fclose
+//	to expect an open file, and change the file state to closed."
+//
+// The pass is source-to-source on the MiniC AST. File handles are int
+// values returned by the intrinsic fopen()/fdopen(); each file-typed
+// variable x gains a shadow typestate variable x__state (0 closed,
+// 1 open) threaded through copies, calls, and returns. Property
+// violations become `error;` statements, which the model checker then
+// tries to reach.
+//
+// Check clustering follows the paper's methodology: "we cluster calls
+// to __error__ according to their calling functions, and then check
+// each function that can potentially call __error__ independently."
+package instrument
+
+import (
+	"fmt"
+	"sort"
+
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/lang/parser"
+	"pathslice/internal/lang/token"
+)
+
+// Intrinsics recognized by the pass.
+var intrinsics = map[string]bool{
+	"fopen":   true,
+	"fdopen":  true,
+	"fclose":  true,
+	"fgets":   true,
+	"fprintf": true,
+	"fputs":   true,
+}
+
+// IsIntrinsic reports whether name is one of the modeled libc calls.
+func IsIntrinsic(name string) bool { return intrinsics[name] }
+
+// Cluster identifies one independent check: a function containing
+// instrumented error sites.
+type Cluster struct {
+	Function string
+	Sites    int
+}
+
+// Result is the outcome of instrumenting a program.
+type Result struct {
+	// Prog is the instrumented program (all error sites active).
+	Prog *ast.Program
+	// Clusters lists functions with error sites, sorted by name.
+	Clusters []Cluster
+	// TotalSites is the total number of instrumented error points.
+	TotalSites int
+}
+
+// stateVar returns the shadow variable name for a file variable.
+func stateVar(name string) string { return name + "__state" }
+
+// retStateVar returns the global carrying a file-returning function's
+// result state.
+func retStateVar(fn string) string { return fn + "__retstate" }
+
+// Instrument rewrites prog (which may call the file intrinsics) into a
+// pure MiniC program with the property encoded as error-location
+// reachability. The input AST is not modified.
+func Instrument(prog *ast.Program) (*Result, error) {
+	// Deep-copy via print/reparse so the caller's AST stays intact.
+	clone, err := parser.Parse([]byte(ast.Print(prog)))
+	if err != nil {
+		return nil, fmt.Errorf("instrument: reparse failed: %w", err)
+	}
+	ins := &instrumenter{
+		prog:      clone,
+		fileVars:  make(map[string]bool),
+		fileRet:   make(map[string]bool),
+		fileParam: make(map[string]map[int]bool),
+	}
+	ins.inferFileVars()
+	if err := ins.rewrite(); err != nil {
+		return nil, err
+	}
+	res := &Result{Prog: ins.prog}
+	counts := make(map[string]int)
+	for _, f := range ins.prog.Funcs {
+		n := countErrors(f.Body)
+		if n > 0 {
+			counts[f.Name] = n
+			res.TotalSites += n
+		}
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		res.Clusters = append(res.Clusters, Cluster{Function: n, Sites: counts[n]})
+	}
+	return res, nil
+}
+
+// ForCluster returns a copy of the instrumented program in which only
+// the error sites of the given function remain; all other clusters'
+// error statements become skips. This is the per-check program of the
+// paper's methodology.
+func ForCluster(instrumented *ast.Program, fn string) (*ast.Program, error) {
+	clone, err := parser.Parse([]byte(ast.Print(instrumented)))
+	if err != nil {
+		return nil, fmt.Errorf("instrument: reparse failed: %w", err)
+	}
+	for _, f := range clone.Funcs {
+		if f.Name == fn {
+			continue
+		}
+		disableErrors(f.Body)
+	}
+	return clone, nil
+}
+
+func countErrors(b *ast.BlockStmt) int {
+	n := 0
+	walkStmts(b, func(s ast.Stmt) {
+		if _, ok := s.(*ast.ErrorStmt); ok {
+			n++
+		}
+		if _, ok := s.(*ast.AssertStmt); ok {
+			n++
+		}
+	})
+	return n
+}
+
+func disableErrors(b *ast.BlockStmt) {
+	mapStmts(b, func(s ast.Stmt) []ast.Stmt {
+		switch s := s.(type) {
+		case *ast.ErrorStmt:
+			return []ast.Stmt{&ast.SkipStmt{PosInfo: s.PosInfo}}
+		case *ast.AssertStmt:
+			// assert(p) keeps its assume power but loses the error site.
+			return []ast.Stmt{&ast.AssumeStmt{Pred: s.Pred, PosInfo: s.PosInfo}}
+		}
+		return nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+
+type instrumenter struct {
+	prog *ast.Program
+	// fileVars: qualified "fn::x" or global "x" names holding handles.
+	fileVars map[string]bool
+	// fileRet: functions returning a file handle.
+	fileRet map[string]bool
+	// fileParam[fn][i]: parameter i of fn receives a handle.
+	fileParam map[string]map[int]bool
+}
+
+func (ins *instrumenter) qual(fn *ast.FuncDecl, name string) string {
+	for _, p := range fn.Params {
+		if p.Name == name {
+			return fn.Name + "::" + name
+		}
+	}
+	// Locals shadowing is forbidden by the checker, but at this stage we
+	// have not type-checked; qualify if declared anywhere in the body.
+	declared := false
+	walkStmts(fn.Body, func(s ast.Stmt) {
+		if d, ok := s.(*ast.DeclStmt); ok && d.Name == name {
+			declared = true
+		}
+	})
+	if declared {
+		return fn.Name + "::" + name
+	}
+	return name
+}
+
+// inferFileVars runs a fixpoint marking variables that may hold file
+// handles: targets of fopen/fdopen results, copies of file variables,
+// parameters receiving file arguments, and results of file-returning
+// functions.
+func (ins *instrumenter) inferFileVars() {
+	changed := true
+	for changed {
+		changed = false
+		mark := func(q string) {
+			if !ins.fileVars[q] {
+				ins.fileVars[q] = true
+				changed = true
+			}
+		}
+		for _, fn := range ins.prog.Funcs {
+			fn := fn
+			walkStmts(fn.Body, func(s ast.Stmt) {
+				lhs, rhs := assignParts(s)
+				if lhs == "" {
+					// Calls in statement position still propagate into
+					// parameters.
+					if es, ok := s.(*ast.ExprStmt); ok {
+						ins.propagateCallArgs(fn, es.Call)
+					}
+					return
+				}
+				q := ins.qual(fn, lhs)
+				switch r := rhs.(type) {
+				case *ast.CallExpr:
+					ins.propagateCallArgs(fn, r)
+					if r.Callee == "fopen" || r.Callee == "fdopen" {
+						mark(q)
+					} else if ins.fileRet[r.Callee] {
+						mark(q)
+					}
+				case *ast.Ident:
+					if ins.fileVars[ins.qual(fn, r.Name)] {
+						mark(q)
+					}
+				}
+			})
+			// Returns of file variables mark the function.
+			walkStmts(fn.Body, func(s ast.Stmt) {
+				if r, ok := s.(*ast.ReturnStmt); ok && r.Value != nil {
+					if id, ok := r.Value.(*ast.Ident); ok && ins.fileVars[ins.qual(fn, id.Name)] {
+						if !ins.fileRet[fn.Name] {
+							ins.fileRet[fn.Name] = true
+							changed = true
+						}
+					}
+				}
+			})
+			// Parameters marked as file params mark the local copies.
+			if fp := ins.fileParam[fn.Name]; fp != nil {
+				for i := range fp {
+					if i < len(fn.Params) {
+						mark(fn.Name + "::" + fn.Params[i].Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (ins *instrumenter) propagateCallArgs(fn *ast.FuncDecl, call *ast.CallExpr) {
+	if intrinsics[call.Callee] {
+		return
+	}
+	for i, a := range call.Args {
+		id, ok := a.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if ins.fileVars[ins.qual(fn, id.Name)] {
+			if ins.fileParam[call.Callee] == nil {
+				ins.fileParam[call.Callee] = make(map[int]bool)
+			}
+			ins.fileParam[call.Callee][i] = true
+		}
+	}
+}
+
+// assignParts extracts (lhs, rhs) from assignment-like statements.
+func assignParts(s ast.Stmt) (string, ast.Expr) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s.Deref {
+			return "", nil
+		}
+		return s.LHS, s.RHS
+	case *ast.DeclStmt:
+		if s.Init == nil {
+			return "", nil
+		}
+		return s.Name, s.Init
+	}
+	return "", nil
+}
+
+// rewrite performs the actual transformation.
+func (ins *instrumenter) rewrite() error {
+	// 1. Shadow globals for file globals, ret-state globals.
+	var newGlobals []*ast.GlobalDecl
+	for _, g := range ins.prog.Globals {
+		newGlobals = append(newGlobals, g)
+		if ins.fileVars[g.Name] {
+			newGlobals = append(newGlobals, &ast.GlobalDecl{
+				Name: stateVar(g.Name), Type: ast.TypeInt, PosInfo: g.PosInfo,
+			})
+		}
+	}
+	for _, fn := range ins.prog.Funcs {
+		if ins.fileRet[fn.Name] {
+			newGlobals = append(newGlobals, &ast.GlobalDecl{
+				Name: retStateVar(fn.Name), Type: ast.TypeInt, PosInfo: fn.PosInfo,
+			})
+		}
+	}
+	ins.prog.Globals = newGlobals
+
+	// 2. Extra state parameters for file params; shadow locals; call and
+	// intrinsic rewriting.
+	for _, fn := range ins.prog.Funcs {
+		fn := fn
+		if fp := ins.fileParam[fn.Name]; fp != nil {
+			idxs := make([]int, 0, len(fp))
+			for i := range fp {
+				idxs = append(idxs, i)
+			}
+			sort.Ints(idxs)
+			for _, i := range idxs {
+				if i < len(fn.Params) {
+					fn.Params = append(fn.Params, ast.Param{
+						Name: stateVar(fn.Params[i].Name), Type: ast.TypeInt,
+					})
+				}
+			}
+		}
+		ins.rewriteBlock(fn, fn.Body)
+		// Declare shadow locals for file locals at function entry.
+		var decls []ast.Stmt
+		seen := map[string]bool{}
+		walkStmts(fn.Body, func(s ast.Stmt) {
+			if d, ok := s.(*ast.DeclStmt); ok {
+				q := fn.Name + "::" + d.Name
+				if ins.fileVars[q] && !seen[d.Name] {
+					seen[d.Name] = true
+					decls = append(decls, &ast.DeclStmt{
+						Name: stateVar(d.Name), Type: ast.TypeInt,
+						Init: &ast.IntLit{Value: 0}, PosInfo: d.PosInfo,
+					})
+				}
+			}
+		})
+		fn.Body.Stmts = append(decls, fn.Body.Stmts...)
+	}
+	return nil
+}
+
+// stateRef builds a reference to a variable's shadow state.
+func stateRef(name string) *ast.Ident { return &ast.Ident{Name: stateVar(name)} }
+
+// openCheck builds `if (x__state != 1) error;` when x is a tracked file
+// variable. For an unknown handle (e.g. one that flowed through the
+// heap, which the analysis does not model — the muh phenomenon of §5,
+// Limitations), the state is unconstrained: `if (nondet() != 1) error;`,
+// so the checker reports a possible violation, exactly as BLAST did.
+func (ins *instrumenter) openCheck(fn *ast.FuncDecl, name string, pos token.Position) ast.Stmt {
+	var state ast.Expr = stateRef(name)
+	if !ins.fileVars[ins.qual(fn, name)] {
+		state = &ast.Nondet{PosInfo: pos}
+	}
+	return &ast.IfStmt{
+		Cond:    &ast.Binary{Op: token.NEQ, X: state, Y: &ast.IntLit{Value: 1}},
+		Then:    &ast.BlockStmt{Stmts: []ast.Stmt{&ast.ErrorStmt{PosInfo: pos}}, PosInfo: pos},
+		PosInfo: pos,
+	}
+}
+
+// tracked reports whether name is a tracked file variable in fn.
+func (ins *instrumenter) tracked(fn *ast.FuncDecl, name string) bool {
+	return ins.fileVars[ins.qual(fn, name)]
+}
+
+// rewriteBlock rewrites intrinsic calls and file-variable copies inside
+// a block, splicing multi-statement expansions.
+func (ins *instrumenter) rewriteBlock(fn *ast.FuncDecl, b *ast.BlockStmt) {
+	var out []ast.Stmt
+	for _, s := range b.Stmts {
+		out = append(out, ins.rewriteStmt(fn, s)...)
+	}
+	b.Stmts = out
+}
+
+func (ins *instrumenter) rewriteStmt(fn *ast.FuncDecl, s ast.Stmt) []ast.Stmt {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		ins.rewriteBlock(fn, s)
+		return []ast.Stmt{s}
+	case *ast.IfStmt:
+		ins.rewriteBlock(fn, s.Then)
+		if s.Else != nil {
+			ins.rewriteBlock(fn, s.Else)
+		}
+		return []ast.Stmt{s}
+	case *ast.WhileStmt:
+		ins.rewriteBlock(fn, s.Body)
+		return []ast.Stmt{s}
+	case *ast.ForStmt:
+		ins.rewriteBlock(fn, s.Body)
+		return []ast.Stmt{s}
+	case *ast.ExprStmt:
+		return ins.rewriteCallStmt(fn, s)
+	case *ast.AssignStmt:
+		return ins.rewriteAssign(fn, s, s.LHS, s.RHS, s.Deref)
+	case *ast.DeclStmt:
+		if s.Init == nil {
+			return []ast.Stmt{s}
+		}
+		return ins.rewriteAssign(fn, s, s.Name, s.Init, false)
+	case *ast.ReturnStmt:
+		if s.Value != nil && ins.fileRet[fn.Name] {
+			if id, ok := s.Value.(*ast.Ident); ok && ins.fileVars[ins.qual(fn, id.Name)] {
+				set := &ast.AssignStmt{
+					LHS: retStateVar(fn.Name), RHS: stateRef(id.Name), PosInfo: s.PosInfo,
+				}
+				return []ast.Stmt{set, s}
+			}
+		}
+		return []ast.Stmt{s}
+	}
+	return []ast.Stmt{s}
+}
+
+// rewriteCallStmt handles intrinsics and user calls in statement
+// position.
+func (ins *instrumenter) rewriteCallStmt(fn *ast.FuncDecl, s *ast.ExprStmt) []ast.Stmt {
+	call := s.Call
+	pos := s.PosInfo
+	switch call.Callee {
+	case "fclose":
+		name, ok := argVarName(call, 0)
+		if !ok {
+			return []ast.Stmt{&ast.SkipStmt{PosInfo: pos}}
+		}
+		out := []ast.Stmt{ins.openCheck(fn, name, pos)}
+		if ins.tracked(fn, name) {
+			out = append(out, &ast.AssignStmt{LHS: stateVar(name), RHS: &ast.IntLit{Value: 0}, PosInfo: pos})
+		}
+		return out
+	case "fgets", "fprintf", "fputs":
+		name, ok := argVarName(call, 0)
+		if !ok {
+			return []ast.Stmt{&ast.SkipStmt{PosInfo: pos}}
+		}
+		return []ast.Stmt{ins.openCheck(fn, name, pos)}
+	case "fopen", "fdopen":
+		// Result discarded: leaks are not part of the checked property.
+		return []ast.Stmt{&ast.SkipStmt{PosInfo: pos}}
+	}
+	// User call: append state args for file params.
+	ins.appendStateArgs(fn, call)
+	return []ast.Stmt{s}
+}
+
+// rewriteAssign handles `lhs = rhs` where rhs may be an intrinsic call,
+// a file-returning call, or a file-variable copy.
+func (ins *instrumenter) rewriteAssign(fn *ast.FuncDecl, orig ast.Stmt, lhs string, rhs ast.Expr, deref bool) []ast.Stmt {
+	pos := orig.Pos()
+	if deref {
+		// A handle stored through a pointer escapes the tracked set
+		// (imprecise heap modeling, §5 Limitations): replace intrinsic
+		// results with unconstrained data so the program stays closed.
+		if r, ok := rhs.(*ast.CallExpr); ok && intrinsics[r.Callee] {
+			return []ast.Stmt{replaceRHS(orig, &ast.Nondet{PosInfo: pos})}
+		}
+		return []ast.Stmt{orig}
+	}
+	switch r := rhs.(type) {
+	case *ast.CallExpr:
+		switch r.Callee {
+		case "fopen", "fdopen":
+			// lhs = nondet(); if (lhs != 0) lhs__state = 1; else lhs__state = 0;
+			assign := replaceRHS(orig, &ast.Nondet{PosInfo: pos})
+			setState := &ast.IfStmt{
+				Cond: &ast.Binary{Op: token.NEQ, X: &ast.Ident{Name: lhs}, Y: &ast.IntLit{Value: 0}},
+				Then: &ast.BlockStmt{Stmts: []ast.Stmt{
+					&ast.AssignStmt{LHS: stateVar(lhs), RHS: &ast.IntLit{Value: 1}, PosInfo: pos},
+				}, PosInfo: pos},
+				Else: &ast.BlockStmt{Stmts: []ast.Stmt{
+					&ast.AssignStmt{LHS: stateVar(lhs), RHS: &ast.IntLit{Value: 0}, PosInfo: pos},
+				}, PosInfo: pos},
+				PosInfo: pos,
+			}
+			return []ast.Stmt{assign, setState}
+		case "fgets":
+			// v = fgets(f): check f open, v becomes nondet data.
+			name, ok := argVarName(r, 0)
+			out := []ast.Stmt{}
+			if ok {
+				out = append(out, ins.openCheck(fn, name, pos))
+			}
+			out = append(out, replaceRHS(orig, &ast.Nondet{PosInfo: pos}))
+			return out
+		case "fclose", "fprintf", "fputs":
+			name, ok := argVarName(r, 0)
+			out := []ast.Stmt{}
+			if ok {
+				out = append(out, ins.openCheck(fn, name, pos))
+				if r.Callee == "fclose" && ins.tracked(fn, name) {
+					out = append(out, &ast.AssignStmt{LHS: stateVar(name), RHS: &ast.IntLit{Value: 0}, PosInfo: pos})
+				}
+			}
+			out = append(out, replaceRHS(orig, &ast.Nondet{PosInfo: pos}))
+			return out
+		}
+		// User call.
+		ins.appendStateArgs(fn, r)
+		out := []ast.Stmt{orig}
+		if ins.fileRet[r.Callee] && ins.fileVars[ins.qual(fn, lhs)] {
+			out = append(out, &ast.AssignStmt{
+				LHS: stateVar(lhs), RHS: &ast.Ident{Name: retStateVar(r.Callee)}, PosInfo: pos,
+			})
+		}
+		return out
+	case *ast.Ident:
+		// File-variable copy: thread the state.
+		if ins.fileVars[ins.qual(fn, lhs)] && ins.fileVars[ins.qual(fn, r.Name)] {
+			return []ast.Stmt{orig, &ast.AssignStmt{
+				LHS: stateVar(lhs), RHS: stateRef(r.Name), PosInfo: pos,
+			}}
+		}
+	}
+	return []ast.Stmt{orig}
+}
+
+// appendStateArgs extends a user call with the shadow-state arguments
+// for its file parameters.
+func (ins *instrumenter) appendStateArgs(fn *ast.FuncDecl, call *ast.CallExpr) {
+	fp := ins.fileParam[call.Callee]
+	if fp == nil {
+		return
+	}
+	idxs := make([]int, 0, len(fp))
+	for i := range fp {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		if i >= len(call.Args) {
+			continue
+		}
+		if id, ok := call.Args[i].(*ast.Ident); ok && ins.fileVars[ins.qual(fn, id.Name)] {
+			call.Args = append(call.Args, stateRef(id.Name))
+		} else {
+			// Unknown handle: state unconstrained.
+			call.Args = append(call.Args, &ast.Nondet{PosInfo: call.PosInfo})
+		}
+	}
+}
+
+// argVarName extracts the i-th argument if it is a plain variable.
+func argVarName(call *ast.CallExpr, i int) (string, bool) {
+	if i >= len(call.Args) {
+		return "", false
+	}
+	id, ok := call.Args[i].(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// replaceRHS clones an assignment-like statement with a new RHS.
+func replaceRHS(s ast.Stmt, rhs ast.Expr) ast.Stmt {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return &ast.AssignStmt{Deref: s.Deref, LHS: s.LHS, RHS: rhs, PosInfo: s.PosInfo}
+	case *ast.DeclStmt:
+		return &ast.DeclStmt{Name: s.Name, Type: s.Type, Init: rhs, PosInfo: s.PosInfo}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// AST walking helpers
+
+// walkStmts visits every statement in a block, recursively.
+func walkStmts(b *ast.BlockStmt, fn func(ast.Stmt)) {
+	for _, s := range b.Stmts {
+		fn(s)
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			walkStmts(s, fn)
+		case *ast.IfStmt:
+			walkStmts(s.Then, fn)
+			if s.Else != nil {
+				walkStmts(s.Else, fn)
+			}
+		case *ast.WhileStmt:
+			walkStmts(s.Body, fn)
+		case *ast.ForStmt:
+			if s.Init != nil {
+				fn(s.Init)
+			}
+			if s.Post != nil {
+				fn(s.Post)
+			}
+			walkStmts(s.Body, fn)
+		}
+	}
+}
+
+// mapStmts rewrites statements in place: repl returns a replacement
+// list or nil to keep the statement (children are still visited).
+func mapStmts(b *ast.BlockStmt, repl func(ast.Stmt) []ast.Stmt) {
+	var out []ast.Stmt
+	for _, s := range b.Stmts {
+		if r := repl(s); r != nil {
+			out = append(out, r...)
+			continue
+		}
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			mapStmts(s, repl)
+		case *ast.IfStmt:
+			mapStmts(s.Then, repl)
+			if s.Else != nil {
+				mapStmts(s.Else, repl)
+			}
+		case *ast.WhileStmt:
+			mapStmts(s.Body, repl)
+		case *ast.ForStmt:
+			mapStmts(s.Body, repl)
+		}
+		out = append(out, s)
+	}
+	b.Stmts = out
+}

@@ -1,0 +1,264 @@
+package instrument_test
+
+import (
+	"strings"
+	"testing"
+
+	"pathslice/internal/cegar"
+	"pathslice/internal/cfa"
+	"pathslice/internal/instrument"
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/lang/parser"
+	"pathslice/internal/lang/types"
+)
+
+func instrumentSrc(t *testing.T, src string) *instrument.Result {
+	t.Helper()
+	prog, err := parser.Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := instrument.Instrument(prog)
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	// The instrumented program must be a closed, type-correct MiniC
+	// program (no intrinsics remain).
+	if _, err := types.Check(res.Prog); err != nil {
+		t.Fatalf("instrumented program fails type check: %v\n%s", err, ast.Print(res.Prog))
+	}
+	return res
+}
+
+// checkCluster runs the CEGAR checker on every error location of the
+// per-cluster program and returns the combined verdict (error if any
+// location is reachable).
+func checkCluster(t *testing.T, prog *ast.Program, fn string) cegar.Verdict {
+	t.Helper()
+	clusterProg, err := instrument.ForCluster(prog, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Check(clusterProg)
+	if err != nil {
+		t.Fatalf("cluster program: %v\n%s", err, ast.Print(clusterProg))
+	}
+	cprog, err := cfa.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := cegar.New(cprog, cegar.Options{UseSlicing: true})
+	verdict := cegar.VerdictSafe
+	for _, loc := range cprog.ErrorLocs() {
+		r := checker.Check(loc)
+		if r.Verdict == cegar.VerdictUnsafe {
+			return cegar.VerdictUnsafe
+		}
+		if r.Verdict != cegar.VerdictSafe {
+			verdict = r.Verdict
+		}
+	}
+	return verdict
+}
+
+func TestInstrumentBasicShape(t *testing.T) {
+	res := instrumentSrc(t, `
+		void main() {
+			int f = fopen();
+			fgets(f);
+			fclose(f);
+		}`)
+	out := ast.Print(res.Prog)
+	for _, want := range []string{"f__state", "nondet()", "error;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("instrumented program missing %q:\n%s", want, out)
+		}
+	}
+	if res.TotalSites != 2 { // fgets check + fclose check
+		t.Errorf("sites: %d, want 2\n%s", res.TotalSites, out)
+	}
+	if len(res.Clusters) != 1 || res.Clusters[0].Function != "main" {
+		t.Errorf("clusters: %+v", res.Clusters)
+	}
+}
+
+func TestCorrectUsageIsSafe(t *testing.T) {
+	res := instrumentSrc(t, `
+		void main() {
+			int f = fopen();
+			if (f != 0) {
+				fgets(f);
+				fclose(f);
+			}
+		}`)
+	if v := checkCluster(t, res.Prog, "main"); v != cegar.VerdictSafe {
+		t.Fatalf("correct usage: verdict %s\n%s", v, ast.Print(res.Prog))
+	}
+}
+
+func TestMissingNullCheckIsBug(t *testing.T) {
+	// The wuftpd pattern (Fig. 4): the fopen result is used without a
+	// NULL check — fopen may fail, leaving the state closed.
+	res := instrumentSrc(t, `
+		void main() {
+			int f = fopen();
+			fgets(f);
+		}`)
+	if v := checkCluster(t, res.Prog, "main"); v != cegar.VerdictUnsafe {
+		t.Fatalf("missing null check must be reported: verdict %s\n%s", v, ast.Print(res.Prog))
+	}
+}
+
+func TestDoubleCloseIsBug(t *testing.T) {
+	res := instrumentSrc(t, `
+		void main() {
+			int f = fopen();
+			if (f != 0) {
+				fclose(f);
+				fclose(f);
+			}
+		}`)
+	if v := checkCluster(t, res.Prog, "main"); v != cegar.VerdictUnsafe {
+		t.Fatalf("double close must be reported: verdict %s", v)
+	}
+}
+
+func TestUseAfterCloseIsBug(t *testing.T) {
+	res := instrumentSrc(t, `
+		void main() {
+			int f = fopen();
+			if (f != 0) {
+				fclose(f);
+				fputs(f);
+			}
+		}`)
+	if v := checkCluster(t, res.Prog, "main"); v != cegar.VerdictUnsafe {
+		t.Fatalf("use after close must be reported: verdict %s", v)
+	}
+}
+
+func TestHandleFlowsThroughCall(t *testing.T) {
+	// File handle passed to a helper that reads from it.
+	res := instrumentSrc(t, `
+		void reader(int h) {
+			fgets(h);
+		}
+		void main() {
+			int f = fopen();
+			if (f != 0) {
+				reader(f);
+				fclose(f);
+			}
+		}`)
+	if v := checkCluster(t, res.Prog, "reader"); v != cegar.VerdictSafe {
+		t.Fatalf("handle state must flow into reader: verdict %s\n%s", v, ast.Print(res.Prog))
+	}
+	// Buggy variant: helper called with a possibly-NULL handle.
+	res2 := instrumentSrc(t, `
+		void reader(int h) {
+			fgets(h);
+		}
+		void main() {
+			int f = fopen();
+			reader(f);
+		}`)
+	if v := checkCluster(t, res2.Prog, "reader"); v != cegar.VerdictUnsafe {
+		t.Fatalf("unchecked handle through call must be reported: verdict %s\n%s", v, ast.Print(res2.Prog))
+	}
+}
+
+func TestHandleReturnedFromFunction(t *testing.T) {
+	// The ftpd_popen pattern: a helper returns a possibly-NULL handle.
+	res := instrumentSrc(t, `
+		int myopen() {
+			int h = fopen();
+			return h;
+		}
+		void main() {
+			int f = myopen();
+			fgets(f);
+		}`)
+	if v := checkCluster(t, res.Prog, "main"); v != cegar.VerdictUnsafe {
+		t.Fatalf("NULL return through helper must be reported: verdict %s\n%s", v, ast.Print(res.Prog))
+	}
+	// Checked variant is safe.
+	res2 := instrumentSrc(t, `
+		int myopen() {
+			int h = fopen();
+			return h;
+		}
+		void main() {
+			int f = myopen();
+			if (f != 0) {
+				fgets(f);
+			}
+		}`)
+	if v := checkCluster(t, res2.Prog, "main"); v != cegar.VerdictSafe {
+		t.Fatalf("checked return must be safe: verdict %s\n%s", v, ast.Print(res2.Prog))
+	}
+}
+
+func TestHandleCopyThreadsState(t *testing.T) {
+	res := instrumentSrc(t, `
+		void main() {
+			int f = fopen();
+			if (f != 0) {
+				int g = f;
+				fgets(g);
+				fclose(g);
+			}
+		}`)
+	if v := checkCluster(t, res.Prog, "main"); v != cegar.VerdictSafe {
+		t.Fatalf("copied handle must inherit state: verdict %s\n%s", v, ast.Print(res.Prog))
+	}
+}
+
+func TestClusterIsolation(t *testing.T) {
+	res := instrumentSrc(t, `
+		void buggy() {
+			int f = fopen();
+			fgets(f);
+		}
+		void fine() {
+			int g = fopen();
+			if (g != 0) { fclose(g); }
+		}
+		void main() {
+			buggy();
+			fine();
+		}`)
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters: %+v", res.Clusters)
+	}
+	if v := checkCluster(t, res.Prog, "buggy"); v != cegar.VerdictUnsafe {
+		t.Errorf("buggy cluster: %s", v)
+	}
+	if v := checkCluster(t, res.Prog, "fine"); v != cegar.VerdictSafe {
+		t.Errorf("fine cluster: %s", v)
+	}
+	// The per-cluster program for `fine` must contain no error sites
+	// outside fine.
+	cp, err := instrument.ForCluster(res.Prog, "fine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := ast.Print(cp)
+	if strings.Count(printed, "error;") != 1 {
+		t.Errorf("cluster isolation failed:\n%s", printed)
+	}
+}
+
+func TestFgetsResultIsData(t *testing.T) {
+	res := instrumentSrc(t, `
+		void main() {
+			int f = fopen();
+			if (f != 0) {
+				int data = fgets(f);
+				if (data > 0) { skip; }
+				fclose(f);
+			}
+		}`)
+	if v := checkCluster(t, res.Prog, "main"); v != cegar.VerdictSafe {
+		t.Fatalf("verdict %s\n%s", v, ast.Print(res.Prog))
+	}
+}

@@ -1,0 +1,322 @@
+package instrument
+
+import (
+	"fmt"
+	"sort"
+
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/lang/parser"
+	"pathslice/internal/lang/token"
+)
+
+// Lock-discipline instrumentation: the other classic typestate check
+// the BLAST line of work (the paper's refs [3, 17]) was built around.
+// Programs declare integer "lock" globals and call the intrinsics
+//
+//	lock(l)    // l must be unlocked; afterwards locked
+//	unlock(l)  // l must be locked; afterwards unlocked
+//
+// InstrumentLocks lowers these to pure MiniC with a shadow variable
+// l__lk per lock and `error;` at every violation (double lock, double
+// unlock). Unlike file handles, locks are identified by variable, so no
+// value-flow inference is needed — but locks passed to procedures still
+// thread their state through extra parameters.
+var lockIntrinsics = map[string]bool{
+	"lock":   true,
+	"unlock": true,
+}
+
+// IsLockIntrinsic reports whether name is lock or unlock.
+func IsLockIntrinsic(name string) bool { return lockIntrinsics[name] }
+
+func lkVar(name string) string { return name + "__lk" }
+
+// InstrumentLocks rewrites prog's lock/unlock intrinsics into typestate
+// checks. The returned Result uses the same clustering scheme as the
+// file property.
+func InstrumentLocks(prog *ast.Program) (*Result, error) {
+	clone, err := parser.Parse([]byte(ast.Print(prog)))
+	if err != nil {
+		return nil, fmt.Errorf("instrument: reparse failed: %w", err)
+	}
+	li := &lockInstrumenter{
+		prog:      clone,
+		lockVars:  make(map[string]bool),
+		lockParam: make(map[string]map[int]bool),
+	}
+	li.inferLockVars()
+	li.rewrite()
+	res := &Result{Prog: li.prog}
+	counts := make(map[string]int)
+	for _, f := range li.prog.Funcs {
+		if n := countErrors(f.Body); n > 0 {
+			counts[f.Name] = n
+			res.TotalSites += n
+		}
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		res.Clusters = append(res.Clusters, Cluster{Function: n, Sites: counts[n]})
+	}
+	return res, nil
+}
+
+type lockInstrumenter struct {
+	prog      *ast.Program
+	lockVars  map[string]bool // qualified names that are locks
+	lockParam map[string]map[int]bool
+}
+
+func (li *lockInstrumenter) qual(fn *ast.FuncDecl, name string) string {
+	for _, p := range fn.Params {
+		if p.Name == name {
+			return fn.Name + "::" + name
+		}
+	}
+	declared := false
+	walkStmts(fn.Body, func(s ast.Stmt) {
+		if d, ok := s.(*ast.DeclStmt); ok && d.Name == name {
+			declared = true
+		}
+	})
+	if declared {
+		return fn.Name + "::" + name
+	}
+	return name
+}
+
+// inferLockVars marks variables used as lock/unlock arguments, and
+// propagates through call parameters.
+func (li *lockInstrumenter) inferLockVars() {
+	changed := true
+	for changed {
+		changed = false
+		mark := func(q string) {
+			if !li.lockVars[q] {
+				li.lockVars[q] = true
+				changed = true
+			}
+		}
+		for _, fn := range li.prog.Funcs {
+			fn := fn
+			walkStmts(fn.Body, func(s ast.Stmt) {
+				call := callOf(s)
+				if call == nil {
+					return
+				}
+				if lockIntrinsics[call.Callee] {
+					if name, ok := argVarName(call, 0); ok {
+						mark(li.qual(fn, name))
+					}
+					return
+				}
+				// User call: propagate lock-ness into parameters.
+				for i, a := range call.Args {
+					id, ok := a.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if li.lockVars[li.qual(fn, id.Name)] {
+						if li.lockParam[call.Callee] == nil {
+							li.lockParam[call.Callee] = make(map[int]bool)
+						}
+						if !li.lockParam[call.Callee][i] {
+							li.lockParam[call.Callee][i] = true
+							changed = true
+						}
+					}
+				}
+			})
+			if lp := li.lockParam[fn.Name]; lp != nil {
+				for i := range lp {
+					if i < len(fn.Params) {
+						mark(fn.Name + "::" + fn.Params[i].Name)
+					}
+				}
+			}
+			// Reverse direction: a parameter used as a lock inside fn
+			// makes the position a lock parameter, so callers thread
+			// state (and their argument variables become locks).
+			for i, p := range fn.Params {
+				if li.lockVars[fn.Name+"::"+p.Name] {
+					if li.lockParam[fn.Name] == nil {
+						li.lockParam[fn.Name] = make(map[int]bool)
+					}
+					if !li.lockParam[fn.Name][i] {
+						li.lockParam[fn.Name][i] = true
+						changed = true
+					}
+				}
+			}
+		}
+		// Call-site back-propagation: arguments in lock positions are
+		// locks in the caller.
+		for _, fn := range li.prog.Funcs {
+			fn := fn
+			walkStmts(fn.Body, func(s ast.Stmt) {
+				call := callOf(s)
+				if call == nil || lockIntrinsics[call.Callee] {
+					return
+				}
+				lp := li.lockParam[call.Callee]
+				for i := range lp {
+					if i < len(call.Args) {
+						if id, ok := call.Args[i].(*ast.Ident); ok {
+							mark(li.qual(fn, id.Name))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func callOf(s ast.Stmt) *ast.CallExpr {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return s.Call
+	case *ast.AssignStmt:
+		if c, ok := s.RHS.(*ast.CallExpr); ok {
+			return c
+		}
+	case *ast.DeclStmt:
+		if c, ok := s.Init.(*ast.CallExpr); ok {
+			return c
+		}
+	}
+	return nil
+}
+
+func (li *lockInstrumenter) rewrite() {
+	// Shadow globals.
+	var newGlobals []*ast.GlobalDecl
+	for _, g := range li.prog.Globals {
+		newGlobals = append(newGlobals, g)
+		if li.lockVars[g.Name] {
+			// Locks start unlocked: the shadow must be initialized,
+			// unlike file states (which are always written by fopen
+			// before any check).
+			newGlobals = append(newGlobals, &ast.GlobalDecl{
+				Name: lkVar(g.Name), Type: ast.TypeInt,
+				Init: &ast.IntLit{Value: 0}, PosInfo: g.PosInfo,
+			})
+		}
+	}
+	li.prog.Globals = newGlobals
+
+	for _, fn := range li.prog.Funcs {
+		fn := fn
+		// Extra state parameters for lock params.
+		if lp := li.lockParam[fn.Name]; lp != nil {
+			idxs := make([]int, 0, len(lp))
+			for i := range lp {
+				idxs = append(idxs, i)
+			}
+			sort.Ints(idxs)
+			for _, i := range idxs {
+				if i < len(fn.Params) {
+					fn.Params = append(fn.Params, ast.Param{
+						Name: lkVar(fn.Params[i].Name), Type: ast.TypeInt,
+					})
+				}
+			}
+		}
+		li.rewriteBlock(fn, fn.Body)
+		// Shadow locals for lock locals.
+		var decls []ast.Stmt
+		seen := map[string]bool{}
+		walkStmts(fn.Body, func(s ast.Stmt) {
+			if d, ok := s.(*ast.DeclStmt); ok {
+				if li.lockVars[fn.Name+"::"+d.Name] && !seen[d.Name] {
+					seen[d.Name] = true
+					decls = append(decls, &ast.DeclStmt{
+						Name: lkVar(d.Name), Type: ast.TypeInt,
+						Init: &ast.IntLit{Value: 0}, PosInfo: d.PosInfo,
+					})
+				}
+			}
+		})
+		fn.Body.Stmts = append(decls, fn.Body.Stmts...)
+	}
+}
+
+func (li *lockInstrumenter) rewriteBlock(fn *ast.FuncDecl, b *ast.BlockStmt) {
+	var out []ast.Stmt
+	for _, s := range b.Stmts {
+		out = append(out, li.rewriteStmt(fn, s)...)
+	}
+	b.Stmts = out
+}
+
+func (li *lockInstrumenter) rewriteStmt(fn *ast.FuncDecl, s ast.Stmt) []ast.Stmt {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		li.rewriteBlock(fn, s)
+	case *ast.IfStmt:
+		li.rewriteBlock(fn, s.Then)
+		if s.Else != nil {
+			li.rewriteBlock(fn, s.Else)
+		}
+	case *ast.WhileStmt:
+		li.rewriteBlock(fn, s.Body)
+	case *ast.ForStmt:
+		li.rewriteBlock(fn, s.Body)
+	case *ast.ExprStmt:
+		return li.rewriteCall(fn, s)
+	}
+	return []ast.Stmt{s}
+}
+
+// rewriteCall lowers lock/unlock and threads state args on user calls.
+func (li *lockInstrumenter) rewriteCall(fn *ast.FuncDecl, s *ast.ExprStmt) []ast.Stmt {
+	call := s.Call
+	pos := s.PosInfo
+	check := func(name string, mustBe int64, setTo int64) []ast.Stmt {
+		state := stateExprLock(name)
+		return []ast.Stmt{
+			&ast.IfStmt{
+				Cond:    &ast.Binary{Op: token.NEQ, X: state, Y: &ast.IntLit{Value: mustBe}},
+				Then:    &ast.BlockStmt{Stmts: []ast.Stmt{&ast.ErrorStmt{PosInfo: pos}}, PosInfo: pos},
+				PosInfo: pos,
+			},
+			&ast.AssignStmt{LHS: lkVar(name), RHS: &ast.IntLit{Value: setTo}, PosInfo: pos},
+		}
+	}
+	switch call.Callee {
+	case "lock":
+		if name, ok := argVarName(call, 0); ok {
+			return check(name, 0, 1) // must be unlocked; lock it
+		}
+		return []ast.Stmt{&ast.SkipStmt{PosInfo: pos}}
+	case "unlock":
+		if name, ok := argVarName(call, 0); ok {
+			return check(name, 1, 0) // must be locked; unlock it
+		}
+		return []ast.Stmt{&ast.SkipStmt{PosInfo: pos}}
+	}
+	// User call: append lock-state arguments.
+	if lp := li.lockParam[call.Callee]; lp != nil {
+		idxs := make([]int, 0, len(lp))
+		for i := range lp {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			if i >= len(call.Args) {
+				continue
+			}
+			if id, ok := call.Args[i].(*ast.Ident); ok && li.lockVars[li.qual(fn, id.Name)] {
+				call.Args = append(call.Args, &ast.Ident{Name: lkVar(id.Name)})
+			} else {
+				call.Args = append(call.Args, &ast.Nondet{PosInfo: call.PosInfo})
+			}
+		}
+	}
+	return []ast.Stmt{s}
+}
+
+func stateExprLock(name string) ast.Expr { return &ast.Ident{Name: lkVar(name)} }

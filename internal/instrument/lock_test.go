@@ -1,0 +1,170 @@
+package instrument_test
+
+import (
+	"strings"
+	"testing"
+
+	"pathslice/internal/cegar"
+	"pathslice/internal/cfa"
+	"pathslice/internal/instrument"
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/lang/parser"
+	"pathslice/internal/lang/types"
+)
+
+func instrumentLocks(t *testing.T, src string) *instrument.Result {
+	t.Helper()
+	prog, err := parser.Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := instrument.InstrumentLocks(prog)
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	if _, err := types.Check(res.Prog); err != nil {
+		t.Fatalf("instrumented program fails type check: %v\n%s", err, ast.Print(res.Prog))
+	}
+	return res
+}
+
+func checkLockCluster(t *testing.T, prog *ast.Program, fn string) cegar.Verdict {
+	t.Helper()
+	clusterProg, err := instrument.ForCluster(prog, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Check(clusterProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cprog, err := cfa.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := cegar.New(cprog, cegar.Options{UseSlicing: true})
+	for _, loc := range cprog.ErrorLocs() {
+		if r := checker.Check(loc); r.Verdict != cegar.VerdictSafe {
+			return r.Verdict
+		}
+	}
+	return cegar.VerdictSafe
+}
+
+func TestLockDisciplineSafe(t *testing.T) {
+	res := instrumentLocks(t, `
+		int mtx;
+		void main() {
+			lock(mtx);
+			unlock(mtx);
+			lock(mtx);
+			unlock(mtx);
+		}`)
+	if v := checkLockCluster(t, res.Prog, "main"); v != cegar.VerdictSafe {
+		t.Fatalf("balanced locking: %s\n%s", v, ast.Print(res.Prog))
+	}
+}
+
+func TestDoubleLockIsBug(t *testing.T) {
+	res := instrumentLocks(t, `
+		int mtx;
+		void main() {
+			lock(mtx);
+			lock(mtx);
+		}`)
+	if v := checkLockCluster(t, res.Prog, "main"); v != cegar.VerdictUnsafe {
+		t.Fatalf("double lock: %s", v)
+	}
+}
+
+func TestUnlockWithoutLockIsBug(t *testing.T) {
+	res := instrumentLocks(t, `
+		int mtx;
+		void main() {
+			unlock(mtx);
+		}`)
+	if v := checkLockCluster(t, res.Prog, "main"); v != cegar.VerdictUnsafe {
+		t.Fatalf("unlock without lock: %s", v)
+	}
+}
+
+func TestConditionalDoubleLock(t *testing.T) {
+	// The classic BLAST example: lock taken in a loop iteration where
+	// the flag did not reset.
+	res := instrumentLocks(t, `
+		int mtx;
+		int got;
+		void main() {
+			got = nondet();
+			lock(mtx);
+			if (got != 0) {
+				unlock(mtx);
+			}
+			lock(mtx);   // double lock when got == 0...
+		}`)
+	if v := checkLockCluster(t, res.Prog, "main"); v != cegar.VerdictUnsafe {
+		t.Fatalf("conditional double lock: %s\n%s", v, ast.Print(res.Prog))
+	}
+	// The guarded-correct variant is safe.
+	res2 := instrumentLocks(t, `
+		int mtx;
+		int got;
+		void main() {
+			got = nondet();
+			lock(mtx);
+			unlock(mtx);
+			if (got != 0) {
+				lock(mtx);
+				unlock(mtx);
+			}
+		}`)
+	if v := checkLockCluster(t, res2.Prog, "main"); v != cegar.VerdictSafe {
+		t.Fatalf("correct variant: %s", v)
+	}
+}
+
+func TestLockThroughCall(t *testing.T) {
+	res := instrumentLocks(t, `
+		int mtx;
+		void critical(int m) {
+			lock(m);
+			unlock(m);
+		}
+		void main() {
+			critical(mtx);
+			critical(mtx);
+		}`)
+	if v := checkLockCluster(t, res.Prog, "critical"); v != cegar.VerdictSafe {
+		t.Fatalf("lock state must thread through the call: %s\n%s", v, ast.Print(res.Prog))
+	}
+	// Buggy: caller holds the lock already.
+	res2 := instrumentLocks(t, `
+		int mtx;
+		void critical(int m) {
+			lock(m);
+			unlock(m);
+		}
+		void main() {
+			lock(mtx);
+			critical(mtx);
+		}`)
+	if v := checkLockCluster(t, res2.Prog, "critical"); v != cegar.VerdictUnsafe {
+		t.Fatalf("re-lock through call must be reported: %s\n%s", v, ast.Print(res2.Prog))
+	}
+}
+
+func TestLockInstrumentShape(t *testing.T) {
+	res := instrumentLocks(t, `
+		int mtx;
+		void main() { lock(mtx); unlock(mtx); }`)
+	out := ast.Print(res.Prog)
+	if !strings.Contains(out, "mtx__lk") {
+		t.Errorf("missing shadow variable:\n%s", out)
+	}
+	if res.TotalSites != 2 {
+		t.Errorf("sites: %d", res.TotalSites)
+	}
+	if !instrument.IsLockIntrinsic("lock") || instrument.IsLockIntrinsic("fopen") {
+		t.Error("IsLockIntrinsic misclassifies")
+	}
+}

@@ -1,0 +1,373 @@
+// Package interp is a concrete interpreter for CFA programs: it
+// executes operations, traces, and whole programs over integer states.
+// It provides the ground-truth semantics (§3.1) against which weakest
+// preconditions, the solver, and the path slicer's soundness and
+// completeness guarantees are tested.
+package interp
+
+import (
+	"fmt"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/lang/token"
+	"pathslice/internal/wp"
+)
+
+// State is a valuation of all program variables. Pointer variables hold
+// addresses from the shared AddrMap (0 = null).
+type State struct {
+	Vals  map[string]int64
+	prog  *cfa.Program
+	addrs *wp.AddrMap
+}
+
+// NewState returns a state with every variable at 0 (null for
+// pointers), using the given address map.
+func NewState(prog *cfa.Program, addrs *wp.AddrMap) *State {
+	vals := make(map[string]int64, len(prog.Types))
+	for name := range prog.Types {
+		vals[name] = 0
+	}
+	return &State{Vals: vals, prog: prog, addrs: addrs}
+}
+
+// Clone returns an independent copy of the state.
+func (s *State) Clone() *State {
+	vals := make(map[string]int64, len(s.Vals))
+	for k, v := range s.Vals {
+		vals[k] = v
+	}
+	return &State{Vals: vals, prog: s.prog, addrs: s.addrs}
+}
+
+// Set assigns a variable.
+func (s *State) Set(name string, v int64) { s.Vals[name] = v }
+
+// Get reads a variable.
+func (s *State) Get(name string) int64 { return s.Vals[name] }
+
+// Addrs exposes the address map.
+func (s *State) Addrs() *wp.AddrMap { return s.addrs }
+
+// Inputs supplies values for nondet() occurrences during execution.
+type Inputs interface {
+	Next() int64
+}
+
+// SliceInputs feeds from a fixed list, then zeros.
+type SliceInputs struct {
+	Vals []int64
+	pos  int
+}
+
+// Next returns the next input, or 0 when exhausted.
+func (si *SliceInputs) Next() int64 {
+	if si.pos < len(si.Vals) {
+		v := si.Vals[si.pos]
+		si.pos++
+		return v
+	}
+	return 0
+}
+
+// ZeroInputs supplies only zeros.
+type ZeroInputs struct{}
+
+// Next returns 0.
+func (ZeroInputs) Next() int64 { return 0 }
+
+// ExecError reports a stuck execution (bad dereference, division by
+// zero).
+type ExecError struct {
+	Op  cfa.Op
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ExecError) Error() string { return fmt.Sprintf("exec %s: %s", e.Op, e.Msg) }
+
+// EvalExpr evaluates an expression in the state; nondet draws from in.
+func (s *State) EvalExpr(e ast.Expr, in Inputs) (int64, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, nil
+	case *ast.Nondet:
+		return in.Next(), nil
+	case *ast.Ident:
+		return s.Vals[e.Name], nil
+	case *ast.Unary:
+		switch e.Op {
+		case token.MINUS:
+			v, err := s.EvalExpr(e.X, in)
+			return -v, err
+		case token.NOT:
+			v, err := s.EvalExpr(e.X, in)
+			if err != nil {
+				return 0, err
+			}
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		case token.AMP:
+			id := e.X.(*ast.Ident)
+			return s.addrs.Addr(id.Name), nil
+		case token.STAR:
+			id, ok := e.X.(*ast.Ident)
+			if !ok {
+				return 0, fmt.Errorf("interp: dereference of non-variable")
+			}
+			return s.loadThrough(id.Name)
+		}
+	case *ast.Binary:
+		x, err := s.EvalExpr(e.X, in)
+		if err != nil {
+			return 0, err
+		}
+		// Short-circuit for && and ||.
+		switch e.Op {
+		case token.LAND:
+			if x == 0 {
+				return 0, nil
+			}
+			y, err := s.EvalExpr(e.Y, in)
+			if err != nil {
+				return 0, err
+			}
+			return boolToInt(y != 0), nil
+		case token.LOR:
+			if x != 0 {
+				return 1, nil
+			}
+			y, err := s.EvalExpr(e.Y, in)
+			if err != nil {
+				return 0, err
+			}
+			return boolToInt(y != 0), nil
+		}
+		y, err := s.EvalExpr(e.Y, in)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case token.PLUS:
+			return x + y, nil
+		case token.MINUS:
+			return x - y, nil
+		case token.STAR:
+			return x * y, nil
+		case token.SLASH:
+			if y == 0 {
+				return 0, fmt.Errorf("interp: division by zero")
+			}
+			return x / y, nil
+		case token.PERCENT:
+			if y == 0 {
+				return 0, fmt.Errorf("interp: modulo by zero")
+			}
+			return x % y, nil
+		case token.EQ:
+			return boolToInt(x == y), nil
+		case token.NEQ:
+			return boolToInt(x != y), nil
+		case token.LT:
+			return boolToInt(x < y), nil
+		case token.LEQ:
+			return boolToInt(x <= y), nil
+		case token.GT:
+			return boolToInt(x > y), nil
+		case token.GEQ:
+			return boolToInt(x >= y), nil
+		}
+	}
+	return 0, fmt.Errorf("interp: cannot evaluate %T", e)
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// loadThrough reads the variable a pointer currently targets.
+func (s *State) loadThrough(p string) (int64, error) {
+	a := s.Vals[p]
+	target, ok := s.addrs.VarAt(a)
+	if !ok {
+		return 0, fmt.Errorf("interp: dereference of invalid address %d in *%s", a, p)
+	}
+	return s.Vals[target], nil
+}
+
+// ExecOp executes one operation. For assumes it returns (false, nil)
+// when the predicate is false (the program halts, §3.1); calls and
+// returns are identity. A non-nil error means the execution is stuck
+// (invalid dereference or division by zero).
+func (s *State) ExecOp(op cfa.Op, in Inputs) (bool, error) {
+	switch op.Kind {
+	case cfa.OpAssume:
+		v, err := s.EvalExpr(op.Pred, in)
+		if err != nil {
+			return false, &ExecError{Op: op, Msg: err.Error()}
+		}
+		return v != 0, nil
+	case cfa.OpAssign:
+		v, err := s.EvalExpr(op.RHS, in)
+		if err != nil {
+			return false, &ExecError{Op: op, Msg: err.Error()}
+		}
+		if !op.LHS.Deref {
+			s.Vals[op.LHS.Var] = v
+			return true, nil
+		}
+		a := s.Vals[op.LHS.Var]
+		target, ok := s.addrs.VarAt(a)
+		if !ok {
+			return false, &ExecError{Op: op, Msg: fmt.Sprintf("store through invalid address %d", a)}
+		}
+		s.Vals[target] = v
+		return true, nil
+	default:
+		return true, nil
+	}
+}
+
+// CanExecuteTrace reports whether the state can execute the whole
+// operation sequence (§3.1: s can execute τ). The state is mutated as
+// execution proceeds. Stuck executions count as cannot-execute.
+func (s *State) CanExecuteTrace(ops []cfa.Op, in Inputs) bool {
+	for _, op := range ops {
+		ok, err := s.ExecOp(op, in)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program execution
+
+// RunResult describes a bounded concrete run.
+type RunResult struct {
+	ReachedError bool
+	ErrorLoc     *cfa.Loc
+	Steps        int
+	ExitNormally bool
+	Stuck        bool
+	Path         cfa.Path // the executed path (when recording enabled)
+}
+
+// RunOptions configures Run.
+type RunOptions struct {
+	MaxSteps   int  // default 100000
+	RecordPath bool // keep the executed edge sequence
+}
+
+// Run executes the program from main's entry in the given state,
+// choosing at each location the first out-edge whose operation can
+// execute (assume edges evaluate their predicate; the builder
+// guarantees the alternatives are mutually exclusive unless nondet is
+// involved, in which case the first truthy branch wins). It stops on
+// reaching an error location, normal exit, the step bound, or a stuck
+// state.
+func Run(prog *cfa.Program, st *State, in Inputs, opts RunOptions) RunResult {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 100000
+	}
+	var res RunResult
+	main := prog.Funcs[prog.Main]
+	loc := main.Entry
+	var stack []*cfa.Edge // call edges; Dst is the resume location
+	for res.Steps < opts.MaxSteps {
+		if loc.IsError {
+			res.ReachedError = true
+			res.ErrorLoc = loc
+			return res
+		}
+		if len(loc.Out) == 0 {
+			// Dead end that is not an error location.
+			res.Stuck = true
+			return res
+		}
+		var chosen *cfa.Edge
+		for _, e := range loc.Out {
+			if e.Op.Kind == cfa.OpAssume {
+				ok, err := st.ExecOp(e.Op, in)
+				if err != nil {
+					continue // stuck on this edge; try another
+				}
+				if ok {
+					chosen = e
+					break
+				}
+				continue
+			}
+			// Non-assume edges are unconditional.
+			ok, err := st.ExecOp(e.Op, in)
+			if err != nil || !ok {
+				res.Stuck = true
+				return res
+			}
+			chosen = e
+			break
+		}
+		if chosen == nil {
+			// All assumes false: program halts (e.g. assume(false)).
+			res.Stuck = true
+			return res
+		}
+		res.Steps++
+		if opts.RecordPath {
+			res.Path = append(res.Path, chosen)
+		}
+		switch chosen.Op.Kind {
+		case cfa.OpCall:
+			callee := prog.Funcs[chosen.Op.Callee]
+			stack = append(stack, chosen)
+			loc = callee.Entry
+		case cfa.OpReturn:
+			if len(stack) == 0 {
+				res.ExitNormally = true
+				return res
+			}
+			loc = stack[len(stack)-1].Dst
+			stack = stack[:len(stack)-1]
+		default:
+			loc = chosen.Dst
+		}
+	}
+	return res
+}
+
+// CanReachTarget searches for a concrete execution from st that reaches
+// target, exploring both directions of nondet-controlled branches up to
+// the given bounds. It returns the reaching path when found. Branch
+// exploration is exponential; keep bounds small in tests.
+func CanReachTarget(prog *cfa.Program, st *State, target *cfa.Loc, maxSteps, maxNondetFlips int) (cfa.Path, bool) {
+	// Enumerate input prefixes of 0/1 up to maxNondetFlips positions.
+	// nondet values beyond the prefix are 0.
+	var prefix []int64
+	var try func(depth int) (cfa.Path, bool)
+	try = func(depth int) (cfa.Path, bool) {
+		run := Run(prog, st.Clone(), &SliceInputs{Vals: append([]int64{}, prefix...)},
+			RunOptions{MaxSteps: maxSteps, RecordPath: true})
+		if run.ReachedError && (target == nil || run.ErrorLoc == target) {
+			return run.Path, true
+		}
+		if depth >= maxNondetFlips {
+			return nil, false
+		}
+		for _, v := range []int64{0, 1} {
+			prefix = append(prefix, v)
+			if p, ok := try(depth + 1); ok {
+				return p, true
+			}
+			prefix = prefix[:len(prefix)-1]
+		}
+		return nil, false
+	}
+	return try(0)
+}

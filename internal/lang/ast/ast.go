@@ -1,0 +1,280 @@
+// Package ast declares the abstract syntax tree of MiniC, the small
+// imperative language (integer variables, pointers to integers,
+// non-recursive procedures) over which path slicing is formalized in
+// the paper.
+package ast
+
+import (
+	"pathslice/internal/lang/token"
+)
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	Pos() token.Position
+}
+
+// Type is a MiniC type: int or *int (or void for procedure results).
+type Type int
+
+// The MiniC types.
+const (
+	TypeVoid Type = iota
+	TypeInt
+	TypeIntPtr
+)
+
+// String renders the type in source syntax.
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeIntPtr:
+		return "int *"
+	}
+	return "?"
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is the interface implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is a decimal integer literal.
+type IntLit struct {
+	Value   int64
+	PosInfo token.Position
+}
+
+// Ident is a reference to a variable.
+type Ident struct {
+	Name    string
+	PosInfo token.Position
+}
+
+// Unary is a unary operation: -e, !e, *e (deref), &e (address-of).
+type Unary struct {
+	Op      token.Kind // MINUS, NOT, STAR, AMP
+	X       Expr
+	PosInfo token.Position
+}
+
+// Binary is a binary operation over the arithmetic, comparison and
+// logical operators.
+type Binary struct {
+	Op      token.Kind
+	X, Y    Expr
+	PosInfo token.Position
+}
+
+// Nondet is the expression `nondet()`: an unconstrained integer input.
+type Nondet struct {
+	PosInfo token.Position
+}
+
+// CallExpr is a procedure call appearing in expression position; the
+// parser only accepts it as the sole right-hand side of an assignment
+// or as an expression statement.
+type CallExpr struct {
+	Callee  string
+	Args    []Expr
+	PosInfo token.Position
+}
+
+func (e *IntLit) Pos() token.Position   { return e.PosInfo }
+func (e *Ident) Pos() token.Position    { return e.PosInfo }
+func (e *Unary) Pos() token.Position    { return e.PosInfo }
+func (e *Binary) Pos() token.Position   { return e.PosInfo }
+func (e *Nondet) Pos() token.Position   { return e.PosInfo }
+func (e *CallExpr) Pos() token.Position { return e.PosInfo }
+
+func (*IntLit) exprNode()   {}
+func (*Ident) exprNode()    {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Nondet) exprNode()   {}
+func (*CallExpr) exprNode() {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is the interface implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// DeclStmt declares a local variable, optionally with an initializer.
+type DeclStmt struct {
+	Name    string
+	Type    Type
+	Init    Expr // may be nil
+	PosInfo token.Position
+}
+
+// AssignStmt assigns to an lvalue: `x = e;` or `*p = e;`.
+// RHS may be a CallExpr, in which case the statement is a call with a
+// result: `x = f(args);`.
+type AssignStmt struct {
+	Deref   bool // assignment through *LHS
+	LHS     string
+	RHS     Expr
+	PosInfo token.Position
+}
+
+// ExprStmt is a call used as a statement: `f(args);`.
+type ExprStmt struct {
+	Call    *CallExpr
+	PosInfo token.Position
+}
+
+// IfStmt is a conditional with optional else branch.
+type IfStmt struct {
+	Cond    Expr
+	Then    *BlockStmt
+	Else    *BlockStmt // may be nil
+	PosInfo token.Position
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond    Expr
+	Body    *BlockStmt
+	PosInfo token.Position
+}
+
+// ForStmt is a C-style for loop. Init and Post are simple statements
+// (declarations or assignments) and may be nil; Cond may be nil (true).
+type ForStmt struct {
+	Init    Stmt
+	Cond    Expr
+	Post    Stmt
+	Body    *BlockStmt
+	PosInfo token.Position
+}
+
+// ReturnStmt returns from the enclosing procedure, optionally with a value.
+type ReturnStmt struct {
+	Value   Expr // may be nil
+	PosInfo token.Position
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct {
+	PosInfo token.Position
+}
+
+// ContinueStmt jumps to the next iteration of the innermost loop.
+type ContinueStmt struct {
+	PosInfo token.Position
+}
+
+// AssumeStmt blocks execution unless the predicate holds: `assume(p);`.
+type AssumeStmt struct {
+	Pred    Expr
+	PosInfo token.Position
+}
+
+// AssertStmt checks the predicate and jumps to the error location if it
+// fails: `assert(p);` is sugar for `if (!p) error;`.
+type AssertStmt struct {
+	Pred    Expr
+	PosInfo token.Position
+}
+
+// ErrorStmt marks the target (error) location: `error;`.
+type ErrorStmt struct {
+	PosInfo token.Position
+}
+
+// SkipStmt is a no-op: `skip;`.
+type SkipStmt struct {
+	PosInfo token.Position
+}
+
+// BlockStmt is a brace-delimited statement sequence.
+type BlockStmt struct {
+	Stmts   []Stmt
+	PosInfo token.Position
+}
+
+func (s *DeclStmt) Pos() token.Position     { return s.PosInfo }
+func (s *AssignStmt) Pos() token.Position   { return s.PosInfo }
+func (s *ExprStmt) Pos() token.Position     { return s.PosInfo }
+func (s *IfStmt) Pos() token.Position       { return s.PosInfo }
+func (s *WhileStmt) Pos() token.Position    { return s.PosInfo }
+func (s *ForStmt) Pos() token.Position      { return s.PosInfo }
+func (s *ReturnStmt) Pos() token.Position   { return s.PosInfo }
+func (s *BreakStmt) Pos() token.Position    { return s.PosInfo }
+func (s *ContinueStmt) Pos() token.Position { return s.PosInfo }
+func (s *AssumeStmt) Pos() token.Position   { return s.PosInfo }
+func (s *AssertStmt) Pos() token.Position   { return s.PosInfo }
+func (s *ErrorStmt) Pos() token.Position    { return s.PosInfo }
+func (s *SkipStmt) Pos() token.Position     { return s.PosInfo }
+func (s *BlockStmt) Pos() token.Position    { return s.PosInfo }
+
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*AssumeStmt) stmtNode()   {}
+func (*AssertStmt) stmtNode()   {}
+func (*ErrorStmt) stmtNode()    {}
+func (*SkipStmt) stmtNode()     {}
+func (*BlockStmt) stmtNode()    {}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Param is a procedure parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDecl is a procedure definition.
+type FuncDecl struct {
+	Name    string
+	Params  []Param
+	Result  Type // TypeVoid if none
+	Body    *BlockStmt
+	PosInfo token.Position
+}
+
+// GlobalDecl is a global variable declaration with an optional constant
+// initializer.
+type GlobalDecl struct {
+	Name    string
+	Type    Type
+	Init    *IntLit // may be nil (zero-initialized)
+	PosInfo token.Position
+}
+
+func (d *FuncDecl) Pos() token.Position   { return d.PosInfo }
+func (d *GlobalDecl) Pos() token.Position { return d.PosInfo }
+
+// Program is a parsed MiniC compilation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}

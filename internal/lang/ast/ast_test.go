@@ -1,0 +1,138 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/lang/parser"
+)
+
+// TestPrintAllStatementForms pins the printer output for every
+// statement form in one program.
+func TestPrintAllStatementForms(t *testing.T) {
+	src := `
+int g = 7;
+int h;
+int *p;
+
+int getv(int k) {
+  return k + 1;
+}
+
+void main() {
+  int a = 1;
+  int b;
+  a = getv(a);
+  *p = a;
+  b = *p;
+  if (a > 0) {
+    skip;
+  } else {
+    error;
+  }
+  while (b < 10) {
+    b = b + 1;
+    if (b == 5) {
+      break;
+    }
+    continue;
+  }
+  for (int i = 0; i < 3; i = i + 1) {
+    h = h + i;
+  }
+  for (;;) {
+    break;
+  }
+  assume(a != b);
+  assert(a >= 0 || b >= 0);
+  getv(2);
+  return;
+}
+`
+	prog, err := parser.Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ast.Print(prog)
+	for _, want := range []string{
+		"int g = 7;",
+		"int *p;",
+		"int getv(int k) {",
+		"return (k + 1);",
+		"a = getv(a);",
+		"*p = a;",
+		"b = (*p);",
+		"if ((a > 0)) {",
+		"} else {",
+		"error;",
+		"while ((b < 10)) {",
+		"break;",
+		"continue;",
+		"for (int i = 0; (i < 3); i = (i + 1)) {",
+		"for (; ; ) {",
+		"assume((a != b));",
+		"assert(((a >= 0) || (b >= 0)));",
+		"getv(2);",
+		"return;",
+		"skip;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed program missing %q:\n%s", want, out)
+		}
+	}
+	// And the printed form reparses.
+	if _, err := parser.Parse([]byte(out)); err != nil {
+		t.Fatalf("printed program does not reparse: %v\n%s", err, out)
+	}
+}
+
+func TestProgramFuncLookup(t *testing.T) {
+	prog, err := parser.Parse([]byte(`void a() { skip; } void main() { a(); }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Func("a") == nil || prog.Func("main") == nil {
+		t.Error("declared functions not found")
+	}
+	if prog.Func("nosuch") != nil {
+		t.Error("phantom function")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if ast.TypeInt.String() != "int" || ast.TypeIntPtr.String() != "int *" || ast.TypeVoid.String() != "void" {
+		t.Errorf("type strings: %s %s %s", ast.TypeInt, ast.TypeIntPtr, ast.TypeVoid)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	prog, err := parser.Parse([]byte("int g;\nvoid main() {\n  g = 1;\n}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Globals[0].Pos().Line != 1 {
+		t.Errorf("global line: %d", prog.Globals[0].Pos().Line)
+	}
+	if prog.Funcs[0].Pos().Line != 2 {
+		t.Errorf("func line: %d", prog.Funcs[0].Pos().Line)
+	}
+	assign := prog.Funcs[0].Body.Stmts[0]
+	if assign.Pos().Line != 3 {
+		t.Errorf("stmt line: %d", assign.Pos().Line)
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	prog, err := parser.Parse([]byte(
+		`int a; int *p; void main() { a = -a + !a * (*p) - (&a == p); }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := prog.Funcs[0].Body.Stmts[0].(*ast.AssignStmt)
+	got := ast.ExprString(as.RHS)
+	if !strings.Contains(got, "(-a)") || !strings.Contains(got, "(!a)") ||
+		!strings.Contains(got, "(*p)") || !strings.Contains(got, "(&a)") {
+		t.Errorf("unary forms: %s", got)
+	}
+}

@@ -1,0 +1,243 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"pathslice/internal/lang/token"
+)
+
+// Print renders the program as MiniC source text. The output reparses
+// to a structurally identical program (see the parser's roundtrip
+// tests).
+func Print(p *Program) string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		b.WriteString(printType(g.Type))
+		b.WriteString(g.Name)
+		if g.Init != nil {
+			fmt.Fprintf(&b, " = %d", g.Init.Value)
+		}
+		b.WriteString(";\n")
+	}
+	if len(p.Globals) > 0 {
+		b.WriteString("\n")
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		printFunc(&b, f)
+	}
+	return b.String()
+}
+
+func printType(t Type) string {
+	switch t {
+	case TypeInt:
+		return "int "
+	case TypeIntPtr:
+		return "int *"
+	default:
+		return "void "
+	}
+}
+
+func printFunc(b *strings.Builder, f *FuncDecl) {
+	b.WriteString(printType(f.Result))
+	b.WriteString(f.Name)
+	b.WriteString("(")
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(printType(p.Type))
+		b.WriteString(p.Name)
+	}
+	b.WriteString(") ")
+	printBlock(b, f.Body, 0)
+	b.WriteString("\n")
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func printBlock(b *strings.Builder, blk *BlockStmt, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		printStmt(b, s, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}")
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch s := s.(type) {
+	case *DeclStmt:
+		b.WriteString(printType(s.Type))
+		b.WriteString(s.Name)
+		if s.Init != nil {
+			b.WriteString(" = ")
+			b.WriteString(ExprString(s.Init))
+		}
+		b.WriteString(";\n")
+	case *AssignStmt:
+		if s.Deref {
+			b.WriteString("*")
+		}
+		b.WriteString(s.LHS)
+		b.WriteString(" = ")
+		b.WriteString(ExprString(s.RHS))
+		b.WriteString(";\n")
+	case *ExprStmt:
+		b.WriteString(ExprString(s.Call))
+		b.WriteString(";\n")
+	case *IfStmt:
+		b.WriteString("if (")
+		b.WriteString(ExprString(s.Cond))
+		b.WriteString(") ")
+		printBlock(b, s.Then, depth)
+		if s.Else != nil {
+			b.WriteString(" else ")
+			printBlock(b, s.Else, depth)
+		}
+		b.WriteString("\n")
+	case *WhileStmt:
+		b.WriteString("while (")
+		b.WriteString(ExprString(s.Cond))
+		b.WriteString(") ")
+		printBlock(b, s.Body, depth)
+		b.WriteString("\n")
+	case *ForStmt:
+		b.WriteString("for (")
+		if s.Init != nil {
+			b.WriteString(simpleStmtString(s.Init))
+		}
+		b.WriteString("; ")
+		if s.Cond != nil {
+			b.WriteString(ExprString(s.Cond))
+		}
+		b.WriteString("; ")
+		if s.Post != nil {
+			b.WriteString(simpleStmtString(s.Post))
+		}
+		b.WriteString(") ")
+		printBlock(b, s.Body, depth)
+		b.WriteString("\n")
+	case *ReturnStmt:
+		b.WriteString("return")
+		if s.Value != nil {
+			b.WriteString(" ")
+			b.WriteString(ExprString(s.Value))
+		}
+		b.WriteString(";\n")
+	case *BreakStmt:
+		b.WriteString("break;\n")
+	case *ContinueStmt:
+		b.WriteString("continue;\n")
+	case *AssumeStmt:
+		b.WriteString("assume(")
+		b.WriteString(ExprString(s.Pred))
+		b.WriteString(");\n")
+	case *AssertStmt:
+		b.WriteString("assert(")
+		b.WriteString(ExprString(s.Pred))
+		b.WriteString(");\n")
+	case *ErrorStmt:
+		b.WriteString("error;\n")
+	case *SkipStmt:
+		b.WriteString("skip;\n")
+	case *BlockStmt:
+		printBlock(b, s, depth)
+		b.WriteString("\n")
+	default:
+		fmt.Fprintf(b, "/* unknown stmt %T */;\n", s)
+	}
+}
+
+// simpleStmtString renders a for-clause statement without trailing ";\n".
+func simpleStmtString(s Stmt) string {
+	var b strings.Builder
+	printStmt(&b, s, 0)
+	out := strings.TrimSuffix(strings.TrimSpace(b.String()), ";")
+	return out
+}
+
+// ExprString renders an expression in source syntax with explicit
+// parentheses around every binary operation, so precedence never needs
+// to be reconstructed.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *Ident:
+		return e.Name
+	case *Nondet:
+		return "nondet()"
+	case *Unary:
+		switch e.Op {
+		case token.MINUS:
+			return "(-" + ExprString(e.X) + ")"
+		case token.NOT:
+			return "(!" + ExprString(e.X) + ")"
+		case token.STAR:
+			return "(*" + ExprString(e.X) + ")"
+		case token.AMP:
+			return "(&" + ExprString(e.X) + ")"
+		}
+		return "?"
+	case *Binary:
+		return "(" + ExprString(e.X) + " " + e.Op.String() + " " + ExprString(e.Y) + ")"
+	case *CallExpr:
+		var b strings.Builder
+		b.WriteString(e.Callee)
+		b.WriteString("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ExprString(a))
+		}
+		b.WriteString(")")
+		return b.String()
+	}
+	return "?"
+}
+
+// EqualExpr reports structural equality of two expressions, ignoring
+// positions.
+func EqualExpr(a, b Expr) bool {
+	switch a := a.(type) {
+	case *IntLit:
+		b, ok := b.(*IntLit)
+		return ok && a.Value == b.Value
+	case *Ident:
+		b, ok := b.(*Ident)
+		return ok && a.Name == b.Name
+	case *Nondet:
+		_, ok := b.(*Nondet)
+		return ok
+	case *Unary:
+		b, ok := b.(*Unary)
+		return ok && a.Op == b.Op && EqualExpr(a.X, b.X)
+	case *Binary:
+		b, ok := b.(*Binary)
+		return ok && a.Op == b.Op && EqualExpr(a.X, b.X) && EqualExpr(a.Y, b.Y)
+	case *CallExpr:
+		b, ok := b.(*CallExpr)
+		if !ok || a.Callee != b.Callee || len(a.Args) != len(b.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !EqualExpr(a.Args[i], b.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

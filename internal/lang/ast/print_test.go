@@ -1,0 +1,147 @@
+package ast_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/lang/parser"
+	"pathslice/internal/lang/token"
+)
+
+// randExpr builds a random well-formed expression over the variables
+// a, b and pointer p.
+func randExpr(r *rand.Rand, depth int, wantPtr bool) ast.Expr {
+	if wantPtr {
+		switch r.Intn(3) {
+		case 0:
+			return &ast.Ident{Name: "p"}
+		case 1:
+			return &ast.Unary{Op: token.AMP, X: &ast.Ident{Name: "a"}}
+		default:
+			return &ast.IntLit{Value: 0}
+		}
+	}
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			// Non-negative: the parser produces negative values only as
+			// unary minus, so negative literals are not parser-producible.
+			return &ast.IntLit{Value: int64(r.Intn(10))}
+		case 1:
+			return &ast.Ident{Name: "a"}
+		case 2:
+			return &ast.Ident{Name: "b"}
+		default:
+			return &ast.Nondet{}
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return &ast.Unary{Op: token.MINUS, X: randExpr(r, depth-1, false)}
+	case 1:
+		return &ast.Unary{Op: token.NOT, X: randExpr(r, depth-1, false)}
+	case 2:
+		return &ast.Unary{Op: token.STAR, X: &ast.Ident{Name: "p"}}
+	default:
+		ops := []token.Kind{
+			token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+			token.EQ, token.NEQ, token.LT, token.LEQ, token.GT, token.GEQ,
+			token.LAND, token.LOR,
+		}
+		return &ast.Binary{
+			Op: ops[r.Intn(len(ops))],
+			X:  randExpr(r, depth-1, false),
+			Y:  randExpr(r, depth-1, false),
+		}
+	}
+}
+
+// TestQuickExprPrintParseRoundtrip: printing an expression and parsing
+// it back yields a structurally equal expression.
+func TestQuickExprPrintParseRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 400; i++ {
+		e := randExpr(r, 4, false)
+		src := fmt.Sprintf("int a; int b; int *p; void main() { int z = %s; }", ast.ExprString(e))
+		prog, err := parser.Parse([]byte(src))
+		if err != nil {
+			t.Fatalf("reparse failed for %s: %v", ast.ExprString(e), err)
+		}
+		decl := prog.Funcs[0].Body.Stmts[0].(*ast.DeclStmt)
+		if !ast.EqualExpr(e, decl.Init) {
+			t.Fatalf("roundtrip mismatch:\n  in:  %s\n  out: %s",
+				ast.ExprString(e), ast.ExprString(decl.Init))
+		}
+	}
+}
+
+// TestQuickProgramPrintFixpoint: Print(Parse(Print(p))) == Print(p) for
+// randomly assembled programs.
+func TestQuickProgramPrintFixpoint(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "int a; int b; int *p;\n")
+		fmt.Fprintf(&b, "void main() {\n")
+		n := 1 + r.Intn(5)
+		for j := 0; j < n; j++ {
+			switch r.Intn(5) {
+			case 0:
+				fmt.Fprintf(&b, "a = %s;\n", ast.ExprString(randExpr(r, 2, false)))
+			case 1:
+				fmt.Fprintf(&b, "if (%s) { b = 1; } else { b = 2; }\n",
+					ast.ExprString(randExpr(r, 2, false)))
+			case 2:
+				fmt.Fprintf(&b, "while (a > 0) { a = a - 1; }\n")
+			case 3:
+				fmt.Fprintf(&b, "*p = %s;\n", ast.ExprString(randExpr(r, 2, false)))
+			default:
+				fmt.Fprintf(&b, "assume(%s);\n", ast.ExprString(randExpr(r, 2, false)))
+			}
+		}
+		fmt.Fprintf(&b, "}\n")
+		prog1, err := parser.Parse([]byte(b.String()))
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, b.String())
+		}
+		p1 := ast.Print(prog1)
+		prog2, err := parser.Parse([]byte(p1))
+		if err != nil {
+			t.Fatalf("reparse: %v\n%s", err, p1)
+		}
+		p2 := ast.Print(prog2)
+		if p1 != p2 {
+			t.Fatalf("not a fixpoint:\n--1--\n%s\n--2--\n%s", p1, p2)
+		}
+	}
+}
+
+func TestEqualExprNegativeCases(t *testing.T) {
+	a := &ast.Ident{Name: "a"}
+	b := &ast.Ident{Name: "b"}
+	if ast.EqualExpr(a, b) {
+		t.Error("different idents equal")
+	}
+	if ast.EqualExpr(&ast.IntLit{Value: 1}, &ast.IntLit{Value: 2}) {
+		t.Error("different literals equal")
+	}
+	if ast.EqualExpr(
+		&ast.Binary{Op: token.PLUS, X: a, Y: b},
+		&ast.Binary{Op: token.MINUS, X: a, Y: b}) {
+		t.Error("different ops equal")
+	}
+	if ast.EqualExpr(a, &ast.IntLit{Value: 0}) {
+		t.Error("different kinds equal")
+	}
+	call1 := &ast.CallExpr{Callee: "f", Args: []ast.Expr{a}}
+	call2 := &ast.CallExpr{Callee: "f", Args: []ast.Expr{b}}
+	if ast.EqualExpr(call1, call2) {
+		t.Error("different call args equal")
+	}
+	if !ast.EqualExpr(call1, &ast.CallExpr{Callee: "f", Args: []ast.Expr{&ast.Ident{Name: "a"}}}) {
+		t.Error("identical calls unequal")
+	}
+}

@@ -1,0 +1,137 @@
+package lexer
+
+import (
+	"testing"
+
+	"pathslice/internal/lang/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestScanOperators(t *testing.T) {
+	src := "= == ! != < <= > >= && || + - * / % & ( ) { } , ;"
+	toks, errs := ScanAll([]byte(src))
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.ASSIGN, token.EQ, token.NOT, token.NEQ, token.LT, token.LEQ,
+		token.GT, token.GEQ, token.LAND, token.LOR, token.PLUS, token.MINUS,
+		token.STAR, token.SLASH, token.PERCENT, token.AMP, token.LPAREN,
+		token.RPAREN, token.LBRACE, token.RBRACE, token.COMMA, token.SEMI,
+		token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanKeywordsAndIdents(t *testing.T) {
+	src := "int void if else while for return break continue assume assert error skip nondet foo _bar x1"
+	toks, errs := ScanAll([]byte(src))
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.KWINT, token.KWVOID, token.KWIF, token.KWELSE, token.KWWHILE,
+		token.KWFOR, token.KWRETURN, token.KWBREAK, token.KWCONTINUE,
+		token.KWASSUME, token.KWASSERT, token.KWERROR, token.KWSKIP,
+		token.KWNONDET, token.IDENT, token.IDENT, token.IDENT, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+	if toks[14].Lit != "foo" || toks[15].Lit != "_bar" || toks[16].Lit != "x1" {
+		t.Errorf("identifier literals wrong: %v %v %v", toks[14], toks[15], toks[16])
+	}
+}
+
+func TestScanIntLiterals(t *testing.T) {
+	toks, errs := ScanAll([]byte("0 42 1000"))
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if toks[0].Lit != "0" || toks[1].Lit != "42" || toks[2].Lit != "1000" {
+		t.Errorf("literals: %v", toks)
+	}
+}
+
+func TestScanComments(t *testing.T) {
+	src := "x // line comment\n/* block\ncomment */ y"
+	toks, errs := ScanAll([]byte(src))
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(toks) != 3 || toks[0].Lit != "x" || toks[1].Lit != "y" {
+		t.Errorf("tokens: %v", toks)
+	}
+}
+
+func TestScanPositions(t *testing.T) {
+	src := "x\n  y"
+	toks, _ := ScanAll([]byte(src))
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Column != 1 {
+		t.Errorf("x position: %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Column != 3 {
+		t.Errorf("y position: %v", toks[1].Pos)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	_, errs := ScanAll([]byte("x @ y"))
+	if len(errs) != 1 {
+		t.Fatalf("want 1 error, got %v", errs)
+	}
+	_, errs = ScanAll([]byte("/* unterminated"))
+	if len(errs) != 1 {
+		t.Fatalf("want 1 error for unterminated comment, got %v", errs)
+	}
+	_, errs = ScanAll([]byte("a | b"))
+	if len(errs) != 1 {
+		t.Fatalf("want 1 error for single |, got %v", errs)
+	}
+}
+
+func TestScanEOFIdempotent(t *testing.T) {
+	l := New([]byte("x"))
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if got := l.Next(); got.Kind != token.EOF {
+			t.Fatalf("call %d after end: got %v, want EOF", i, got)
+		}
+	}
+}
+
+func TestScanAdjacentOperators(t *testing.T) {
+	// *p==0 must lex as STAR IDENT EQ INT, not ASSIGN twice.
+	toks, errs := ScanAll([]byte("*p==0"))
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{token.STAR, token.IDENT, token.EQ, token.INT, token.EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,492 @@
+// Package parser implements a recursive-descent parser for MiniC.
+//
+// Grammar (EBNF; `[]` optional, `{}` repetition):
+//
+//	program   = { topdecl } .
+//	topdecl   = globaldecl | funcdecl .
+//	globaldecl= type ident [ "=" [ "-" ] INT ] ";" .
+//	funcdecl  = ("void" | type) ident "(" [ params ] ")" block .
+//	type      = "int" [ "*" ] .
+//	params    = param { "," param } .
+//	param     = type ident .
+//	block     = "{" { stmt } "}" .
+//	stmt      = type ident [ "=" expr ] ";"
+//	          | [ "*" ] ident "=" ( expr | call ) ";"
+//	          | call ";"
+//	          | "if" "(" expr ")" blockish [ "else" blockish ]
+//	          | "while" "(" expr ")" blockish
+//	          | "for" "(" [ simple ] ";" [ expr ] ";" [ simple ] ")" blockish
+//	          | "return" [ expr ] ";"
+//	          | "break" ";" | "continue" ";"
+//	          | "assume" "(" expr ")" ";" | "assert" "(" expr ")" ";"
+//	          | "error" ";" | "skip" ";"
+//	          | block .
+//	blockish  = block | stmt .        // non-block bodies are wrapped
+//	call      = ident "(" [ expr { "," expr } ] ")" .
+//	expr      = C expression over || && ! == != < <= > >= + - * / % unary- & *ident,
+//	            plus "nondet()" .
+//
+// Calls may appear only as statements or as the entire right-hand side
+// of an assignment (as in the paper's language, where a call is a CFA
+// operation, not a subexpression).
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/lang/lexer"
+	"pathslice/internal/lang/token"
+)
+
+// Error is a syntax error with its source position.
+type Error struct {
+	Pos token.Position
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a non-empty list of syntax errors.
+type ErrorList []*Error
+
+// Error implements the error interface, reporting the first error and
+// the total count.
+func (el ErrorList) Error() string {
+	if len(el) == 1 {
+		return el[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", el[0].Error(), len(el)-1)
+}
+
+type parser struct {
+	toks []token.Token
+	pos  int
+	errs ErrorList
+}
+
+// Parse parses a MiniC compilation unit. On syntax errors it returns a
+// partial program and an ErrorList.
+func Parse(src []byte) (*ast.Program, error) {
+	toks, lexErrs := lexer.ScanAll(src)
+	p := &parser{toks: toks}
+	for _, le := range lexErrs {
+		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	prog := p.parseProgram()
+	if len(p.errs) > 0 {
+		return prog, p.errs
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; intended for tests and
+// embedded example programs.
+func MustParse(src string) *ast.Program {
+	prog, err := Parse([]byte(src))
+	if err != nil {
+		panic(fmt.Sprintf("parser.MustParse: %v", err))
+	}
+	return prog
+}
+
+func (p *parser) cur() token.Token { return p.toks[p.pos] }
+func (p *parser) peek() token.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(pos token.Position, format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	t := p.cur()
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+		// Do not consume: let the caller's recovery skip.
+		return token.Token{Kind: k, Pos: t.Pos}
+	}
+	return p.next()
+}
+
+// sync skips tokens until a likely statement boundary.
+func (p *parser) sync() {
+	for {
+		switch p.cur().Kind {
+		case token.SEMI:
+			p.next()
+			return
+		case token.RBRACE, token.EOF:
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{}
+	for p.cur().Kind != token.EOF {
+		start := p.pos
+		switch p.cur().Kind {
+		case token.KWINT, token.KWVOID:
+			typ, pos := p.parseType()
+			name := p.expect(token.IDENT)
+			if p.cur().Kind == token.LPAREN {
+				prog.Funcs = append(prog.Funcs, p.parseFuncRest(typ, name.Lit, pos))
+			} else {
+				prog.Globals = append(prog.Globals, p.parseGlobalRest(typ, name.Lit, pos))
+			}
+		default:
+			p.errorf(p.cur().Pos, "expected declaration, found %s", p.cur())
+			p.sync()
+		}
+		if p.pos == start { // no progress; avoid livelock
+			p.next()
+		}
+	}
+	return prog
+}
+
+// parseType parses "int", "int *", or "void".
+func (p *parser) parseType() (ast.Type, token.Position) {
+	t := p.next()
+	pos := t.Pos
+	switch t.Kind {
+	case token.KWVOID:
+		return ast.TypeVoid, pos
+	case token.KWINT:
+		if p.cur().Kind == token.STAR {
+			p.next()
+			return ast.TypeIntPtr, pos
+		}
+		return ast.TypeInt, pos
+	}
+	p.errorf(pos, "expected type, found %s", t)
+	return ast.TypeInt, pos
+}
+
+func (p *parser) parseGlobalRest(typ ast.Type, name string, pos token.Position) *ast.GlobalDecl {
+	g := &ast.GlobalDecl{Name: name, Type: typ, PosInfo: pos}
+	if typ == ast.TypeVoid {
+		p.errorf(pos, "global %s cannot have type void", name)
+	}
+	if p.cur().Kind == token.ASSIGN {
+		p.next()
+		neg := false
+		if p.cur().Kind == token.MINUS {
+			neg = true
+			p.next()
+		}
+		lit := p.expect(token.INT)
+		v, _ := strconv.ParseInt(lit.Lit, 10, 64)
+		if neg {
+			v = -v
+		}
+		g.Init = &ast.IntLit{Value: v, PosInfo: lit.Pos}
+	}
+	p.expect(token.SEMI)
+	return g
+}
+
+func (p *parser) parseFuncRest(result ast.Type, name string, pos token.Position) *ast.FuncDecl {
+	f := &ast.FuncDecl{Name: name, Result: result, PosInfo: pos}
+	p.expect(token.LPAREN)
+	if p.cur().Kind != token.RPAREN {
+		for {
+			typ, tpos := p.parseType()
+			if typ == ast.TypeVoid {
+				p.errorf(tpos, "parameter cannot have type void")
+			}
+			id := p.expect(token.IDENT)
+			f.Params = append(f.Params, ast.Param{Name: id.Lit, Type: typ})
+			if p.cur().Kind != token.COMMA {
+				break
+			}
+			p.next()
+		}
+	}
+	p.expect(token.RPAREN)
+	f.Body = p.parseBlock()
+	return f
+}
+
+func (p *parser) parseBlock() *ast.BlockStmt {
+	lb := p.expect(token.LBRACE)
+	blk := &ast.BlockStmt{PosInfo: lb.Pos}
+	for p.cur().Kind != token.RBRACE && p.cur().Kind != token.EOF {
+		start := p.pos
+		blk.Stmts = append(blk.Stmts, p.parseStmt())
+		if p.pos == start {
+			p.next()
+		}
+	}
+	p.expect(token.RBRACE)
+	return blk
+}
+
+// parseBlockish parses a block, or wraps a single statement in one.
+func (p *parser) parseBlockish() *ast.BlockStmt {
+	if p.cur().Kind == token.LBRACE {
+		return p.parseBlock()
+	}
+	s := p.parseStmt()
+	return &ast.BlockStmt{Stmts: []ast.Stmt{s}, PosInfo: s.Pos()}
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	t := p.cur()
+	switch t.Kind {
+	case token.KWINT:
+		s := p.parseSimpleStmt()
+		p.expect(token.SEMI)
+		return s
+	case token.IDENT, token.STAR:
+		s := p.parseSimpleStmt()
+		p.expect(token.SEMI)
+		return s
+	case token.KWIF:
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		then := p.parseBlockish()
+		var els *ast.BlockStmt
+		if p.cur().Kind == token.KWELSE {
+			p.next()
+			els = p.parseBlockish()
+		}
+		return &ast.IfStmt{Cond: cond, Then: then, Else: els, PosInfo: t.Pos}
+	case token.KWWHILE:
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		body := p.parseBlockish()
+		return &ast.WhileStmt{Cond: cond, Body: body, PosInfo: t.Pos}
+	case token.KWFOR:
+		p.next()
+		p.expect(token.LPAREN)
+		var init, post ast.Stmt
+		var cond ast.Expr
+		if p.cur().Kind != token.SEMI {
+			init = p.parseSimpleStmt()
+		}
+		p.expect(token.SEMI)
+		if p.cur().Kind != token.SEMI {
+			cond = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		if p.cur().Kind != token.RPAREN {
+			post = p.parseSimpleStmt()
+		}
+		p.expect(token.RPAREN)
+		body := p.parseBlockish()
+		return &ast.ForStmt{Init: init, Cond: cond, Post: post, Body: body, PosInfo: t.Pos}
+	case token.KWRETURN:
+		p.next()
+		var v ast.Expr
+		if p.cur().Kind != token.SEMI {
+			v = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		return &ast.ReturnStmt{Value: v, PosInfo: t.Pos}
+	case token.KWBREAK:
+		p.next()
+		p.expect(token.SEMI)
+		return &ast.BreakStmt{PosInfo: t.Pos}
+	case token.KWCONTINUE:
+		p.next()
+		p.expect(token.SEMI)
+		return &ast.ContinueStmt{PosInfo: t.Pos}
+	case token.KWASSUME:
+		p.next()
+		p.expect(token.LPAREN)
+		pred := p.parseExpr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		return &ast.AssumeStmt{Pred: pred, PosInfo: t.Pos}
+	case token.KWASSERT:
+		p.next()
+		p.expect(token.LPAREN)
+		pred := p.parseExpr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		return &ast.AssertStmt{Pred: pred, PosInfo: t.Pos}
+	case token.KWERROR:
+		p.next()
+		p.expect(token.SEMI)
+		return &ast.ErrorStmt{PosInfo: t.Pos}
+	case token.KWSKIP:
+		p.next()
+		p.expect(token.SEMI)
+		return &ast.SkipStmt{PosInfo: t.Pos}
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.KWGOTO:
+		p.errorf(t.Pos, "goto is reserved and not supported")
+		p.sync()
+		return &ast.SkipStmt{PosInfo: t.Pos}
+	}
+	p.errorf(t.Pos, "expected statement, found %s", t)
+	p.sync()
+	return &ast.SkipStmt{PosInfo: t.Pos}
+}
+
+// parseSimpleStmt parses a declaration, assignment, or call without the
+// trailing semicolon (shared by statement and for-clause positions).
+func (p *parser) parseSimpleStmt() ast.Stmt {
+	t := p.cur()
+	switch t.Kind {
+	case token.KWINT:
+		typ, pos := p.parseType()
+		id := p.expect(token.IDENT)
+		d := &ast.DeclStmt{Name: id.Lit, Type: typ, PosInfo: pos}
+		if p.cur().Kind == token.ASSIGN {
+			p.next()
+			d.Init = p.parseExprOrCall()
+		}
+		return d
+	case token.STAR:
+		p.next()
+		id := p.expect(token.IDENT)
+		p.expect(token.ASSIGN)
+		rhs := p.parseExprOrCall()
+		return &ast.AssignStmt{Deref: true, LHS: id.Lit, RHS: rhs, PosInfo: t.Pos}
+	case token.IDENT:
+		if p.peek().Kind == token.LPAREN {
+			call := p.parseCall()
+			return &ast.ExprStmt{Call: call, PosInfo: t.Pos}
+		}
+		id := p.next()
+		p.expect(token.ASSIGN)
+		rhs := p.parseExprOrCall()
+		return &ast.AssignStmt{LHS: id.Lit, RHS: rhs, PosInfo: t.Pos}
+	}
+	p.errorf(t.Pos, "expected simple statement, found %s", t)
+	p.sync()
+	return &ast.SkipStmt{PosInfo: t.Pos}
+}
+
+// parseExprOrCall parses the right-hand side of an assignment: a call
+// to a procedure, or an ordinary expression.
+func (p *parser) parseExprOrCall() ast.Expr {
+	if p.cur().Kind == token.IDENT && p.peek().Kind == token.LPAREN {
+		call := p.parseCall()
+		if binPower(p.cur().Kind) > 0 {
+			p.errorf(p.cur().Pos, "call %s(...) cannot appear inside an expression; assign its result first", call.Callee)
+			p.sync()
+		}
+		return call
+	}
+	return p.parseExpr()
+}
+
+func (p *parser) parseCall() *ast.CallExpr {
+	id := p.expect(token.IDENT)
+	p.expect(token.LPAREN)
+	call := &ast.CallExpr{Callee: id.Lit, PosInfo: id.Pos}
+	if p.cur().Kind != token.RPAREN {
+		for {
+			call.Args = append(call.Args, p.parseExpr())
+			if p.cur().Kind != token.COMMA {
+				break
+			}
+			p.next()
+		}
+	}
+	p.expect(token.RPAREN)
+	return call
+}
+
+// ---------------------------------------------------------------------------
+// Expressions: precedence climbing.
+
+// binding powers, lowest first: || < && < comparisons < + - < * / %.
+func binPower(k token.Kind) int {
+	switch k {
+	case token.LOR:
+		return 1
+	case token.LAND:
+		return 2
+	case token.EQ, token.NEQ, token.LT, token.LEQ, token.GT, token.GEQ:
+		return 3
+	case token.PLUS, token.MINUS:
+		return 4
+	case token.STAR, token.SLASH, token.PERCENT:
+		return 5
+	}
+	return 0
+}
+
+func (p *parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPower int) ast.Expr {
+	lhs := p.parseUnary()
+	for {
+		op := p.cur().Kind
+		pw := binPower(op)
+		if pw == 0 || pw < minPower {
+			return lhs
+		}
+		opTok := p.next()
+		rhs := p.parseBinary(pw + 1)
+		lhs = &ast.Binary{Op: op, X: lhs, Y: rhs, PosInfo: opTok.Pos}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.MINUS, token.NOT, token.STAR, token.AMP:
+		p.next()
+		x := p.parseUnary()
+		return &ast.Unary{Op: t.Kind, X: x, PosInfo: t.Pos}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errorf(t.Pos, "integer literal out of range: %s", t.Lit)
+		}
+		return &ast.IntLit{Value: v, PosInfo: t.Pos}
+	case token.IDENT:
+		if p.peek().Kind == token.LPAREN {
+			p.errorf(t.Pos, "call %s(...) cannot appear inside an expression; assign its result first", t.Lit)
+			return p.parseCall()
+		}
+		p.next()
+		return &ast.Ident{Name: t.Lit, PosInfo: t.Pos}
+	case token.KWNONDET:
+		p.next()
+		p.expect(token.LPAREN)
+		p.expect(token.RPAREN)
+		return &ast.Nondet{PosInfo: t.Pos}
+	case token.LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	}
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	p.next()
+	return &ast.IntLit{Value: 0, PosInfo: t.Pos}
+}

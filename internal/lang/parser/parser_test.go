@@ -1,0 +1,243 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/lang/token"
+)
+
+const ex2Source = `
+int x = 0;
+int a;
+
+void f() {
+  skip;
+}
+
+void main() {
+  a = nondet();
+  if (a >= 0) {
+    x = 1;
+  }
+  for (int i = 1; i <= 1000; i = i + 1) {
+    f();
+  }
+  if (a >= 0) {
+    if (x == 0) {
+      error;
+    }
+  }
+}
+`
+
+func TestParseEx2(t *testing.T) {
+	prog, err := Parse([]byte(ex2Source))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(prog.Globals) != 2 {
+		t.Errorf("globals: got %d, want 2", len(prog.Globals))
+	}
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("funcs: got %d, want 2", len(prog.Funcs))
+	}
+	main := prog.Func("main")
+	if main == nil {
+		t.Fatal("no main")
+	}
+	if len(main.Body.Stmts) != 4 {
+		t.Errorf("main body stmts: got %d, want 4", len(main.Body.Stmts))
+	}
+	if _, ok := main.Body.Stmts[2].(*ast.ForStmt); !ok {
+		t.Errorf("stmt 2: got %T, want *ast.ForStmt", main.Body.Stmts[2])
+	}
+}
+
+func TestParseRoundtrip(t *testing.T) {
+	sources := []string{
+		ex2Source,
+		`int g = -5;
+		 int h;
+		 int *p;
+		 int getval(int k) { return k + 1; }
+		 void main() {
+		   int v = getval(3);
+		   p = &h;
+		   *p = v * 2;
+		   h = *p - 1;
+		   while (h > 0) { h = h - 1; if (h == 2) { break; } else { continue; } }
+		   assume(h <= 0);
+		   assert(h == 0 || g < 0);
+		 }`,
+		`void main() { if (nondet()) error; else skip; }`,
+	}
+	for i, src := range sources {
+		prog, err := Parse([]byte(src))
+		if err != nil {
+			t.Fatalf("source %d: parse: %v", i, err)
+		}
+		printed := ast.Print(prog)
+		prog2, err := Parse([]byte(printed))
+		if err != nil {
+			t.Fatalf("source %d: reparse of printed form: %v\n%s", i, err, printed)
+		}
+		printed2 := ast.Print(prog2)
+		if printed != printed2 {
+			t.Errorf("source %d: print not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", i, printed, printed2)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := MustParse(`void main() { int x = 1 + 2 * 3 - 4 / 2; assume(x > 0 && x < 10 || x == 0); }`)
+	decl := prog.Funcs[0].Body.Stmts[0].(*ast.DeclStmt)
+	// 1 + 2*3 - 4/2 parses as ((1 + (2*3)) - (4/2)).
+	want := "((1 + (2 * 3)) - (4 / 2))"
+	if got := ast.ExprString(decl.Init); got != want {
+		t.Errorf("arithmetic: got %s, want %s", got, want)
+	}
+	assume := prog.Funcs[0].Body.Stmts[1].(*ast.AssumeStmt)
+	want = "(((x > 0) && (x < 10)) || (x == 0))"
+	if got := ast.ExprString(assume.Pred); got != want {
+		t.Errorf("logic: got %s, want %s", got, want)
+	}
+}
+
+func TestParseUnary(t *testing.T) {
+	prog := MustParse(`int *p; int y; void main() { int x = -1; x = !x; x = *p; p = &y; }`)
+	body := prog.Funcs[0].Body.Stmts
+	if d := body[0].(*ast.DeclStmt); ast.ExprString(d.Init) != "(-1)" {
+		t.Errorf("neg: %s", ast.ExprString(d.Init))
+	}
+	if a := body[1].(*ast.AssignStmt); ast.ExprString(a.RHS) != "(!x)" {
+		t.Errorf("not: %s", ast.ExprString(a.RHS))
+	}
+	if a := body[2].(*ast.AssignStmt); ast.ExprString(a.RHS) != "(*p)" {
+		t.Errorf("deref: %s", ast.ExprString(a.RHS))
+	}
+	if a := body[3].(*ast.AssignStmt); ast.ExprString(a.RHS) != "(&y)" {
+		t.Errorf("addr: %s", ast.ExprString(a.RHS))
+	}
+}
+
+func TestParseCallForms(t *testing.T) {
+	prog := MustParse(`
+		int f(int a, int b) { return a; }
+		void g() { skip; }
+		void main() {
+			g();
+			int x = f(1, 2);
+			x = f(x, x + 1);
+		}`)
+	body := prog.Func("main").Body.Stmts
+	if _, ok := body[0].(*ast.ExprStmt); !ok {
+		t.Errorf("stmt 0: %T", body[0])
+	}
+	d := body[1].(*ast.DeclStmt)
+	if call, ok := d.Init.(*ast.CallExpr); !ok || call.Callee != "f" || len(call.Args) != 2 {
+		t.Errorf("decl init call: %v", d.Init)
+	}
+	a := body[2].(*ast.AssignStmt)
+	if call, ok := a.RHS.(*ast.CallExpr); !ok || len(call.Args) != 2 {
+		t.Errorf("assign rhs call: %v", a.RHS)
+	}
+}
+
+func TestParseCallInsideExprRejected(t *testing.T) {
+	_, err := Parse([]byte(`int f() { return 1; } void main() { int x = f() + 1; }`))
+	if err == nil {
+		t.Fatal("call inside expression should be a syntax error")
+	}
+	if !strings.Contains(err.Error(), "cannot appear inside an expression") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`void main() { x = ; }`,
+		`void main() { if x { skip; } }`,
+		`void main( { skip; }`,
+		`int 3x;`,
+		`void main() { goto l; }`,
+	}
+	for i, src := range cases {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("case %d: expected syntax error for %q", i, src)
+		}
+	}
+}
+
+func TestParseDanglingElse(t *testing.T) {
+	prog := MustParse(`void main() { if (1) if (2) skip; else error; }`)
+	outer := prog.Funcs[0].Body.Stmts[0].(*ast.IfStmt)
+	if outer.Else != nil {
+		t.Fatal("else bound to outer if; must bind to inner")
+	}
+	inner := outer.Then.Stmts[0].(*ast.IfStmt)
+	if inner.Else == nil {
+		t.Fatal("inner if lost its else")
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	prog := MustParse(`void main() {
+		for (;;) { break; }
+		for (int i = 0; i < 3; i = i + 1) skip;
+		int j;
+		for (j = 0; j < 2;) { j = j + 1; }
+	}`)
+	body := prog.Funcs[0].Body.Stmts
+	f0 := body[0].(*ast.ForStmt)
+	if f0.Init != nil || f0.Cond != nil || f0.Post != nil {
+		t.Error("empty for clauses should all be nil")
+	}
+	f2 := body[3].(*ast.ForStmt)
+	if f2.Post != nil {
+		t.Error("missing post should be nil")
+	}
+	if _, ok := f2.Init.(*ast.AssignStmt); !ok {
+		t.Errorf("for init: %T", f2.Init)
+	}
+}
+
+func TestParseGlobalInitializers(t *testing.T) {
+	prog := MustParse("int a = 3;\nint b = -7;\nint c;\nvoid main() { skip; }")
+	if prog.Globals[0].Init.Value != 3 {
+		t.Errorf("a init: %d", prog.Globals[0].Init.Value)
+	}
+	if prog.Globals[1].Init.Value != -7 {
+		t.Errorf("b init: %d", prog.Globals[1].Init.Value)
+	}
+	if prog.Globals[2].Init != nil {
+		t.Errorf("c should have nil init")
+	}
+}
+
+func TestParsePointerDecls(t *testing.T) {
+	prog := MustParse(`int *p; int x; void take(int *q) { *q = 1; } void main() { take(p); *p = x; }`)
+	if prog.Globals[0].Type != ast.TypeIntPtr {
+		t.Errorf("p type: %v", prog.Globals[0].Type)
+	}
+	f := prog.Func("take")
+	if f.Params[0].Type != ast.TypeIntPtr {
+		t.Errorf("param type: %v", f.Params[0].Type)
+	}
+	as := f.Body.Stmts[0].(*ast.AssignStmt)
+	if !as.Deref || as.LHS != "q" {
+		t.Errorf("deref assign: %+v", as)
+	}
+}
+
+func TestTokenKindComparisonHelper(t *testing.T) {
+	for _, k := range []token.Kind{token.EQ, token.NEQ, token.LT, token.LEQ, token.GT, token.GEQ} {
+		if !k.IsComparison() {
+			t.Errorf("%s should be comparison", k)
+		}
+	}
+	if token.PLUS.IsComparison() {
+		t.Error("+ is not a comparison")
+	}
+}

@@ -1,0 +1,193 @@
+// Package token defines the lexical tokens of the MiniC language used
+// throughout the path-slicing toolchain, together with source positions.
+//
+// MiniC is the small imperative language of the paper "Path Slicing"
+// (Jhala & Majumdar, PLDI 2005): integer variables, pointers to
+// integers, procedures with call-by-value parameters, and structured
+// control flow. See internal/lang/parser for the grammar.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The list of token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT // x, fopen, main
+	INT   // 123
+
+	// Operators and delimiters.
+	ASSIGN  // =
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	AMP     // &
+
+	EQ  // ==
+	NEQ // !=
+	LT  // <
+	LEQ // <=
+	GT  // >
+	GEQ // >=
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+
+	LPAREN // (
+	RPAREN // )
+	LBRACE // {
+	RBRACE // }
+	COMMA  // ,
+	SEMI   // ;
+
+	// Keywords.
+	KWINT      // int
+	KWVOID     // void
+	KWIF       // if
+	KWELSE     // else
+	KWWHILE    // while
+	KWFOR      // for
+	KWRETURN   // return
+	KWBREAK    // break
+	KWCONTINUE // continue
+	KWASSUME   // assume
+	KWASSERT   // assert
+	KWERROR    // error
+	KWSKIP     // skip
+	KWNONDET   // nondet
+	KWGOTO     // goto (reserved, rejected by the parser)
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	ILLEGAL:    "ILLEGAL",
+	EOF:        "EOF",
+	IDENT:      "IDENT",
+	INT:        "INT",
+	ASSIGN:     "=",
+	PLUS:       "+",
+	MINUS:      "-",
+	STAR:       "*",
+	SLASH:      "/",
+	PERCENT:    "%",
+	AMP:        "&",
+	EQ:         "==",
+	NEQ:        "!=",
+	LT:         "<",
+	LEQ:        "<=",
+	GT:         ">",
+	GEQ:        ">=",
+	LAND:       "&&",
+	LOR:        "||",
+	NOT:        "!",
+	LPAREN:     "(",
+	RPAREN:     ")",
+	LBRACE:     "{",
+	RBRACE:     "}",
+	COMMA:      ",",
+	SEMI:       ";",
+	KWINT:      "int",
+	KWVOID:     "void",
+	KWIF:       "if",
+	KWELSE:     "else",
+	KWWHILE:    "while",
+	KWFOR:      "for",
+	KWRETURN:   "return",
+	KWBREAK:    "break",
+	KWCONTINUE: "continue",
+	KWASSUME:   "assume",
+	KWASSERT:   "assert",
+	KWERROR:    "error",
+	KWSKIP:     "skip",
+	KWNONDET:   "nondet",
+	KWGOTO:     "goto",
+}
+
+// String returns the textual form of the token kind: the operator or
+// keyword spelling for fixed tokens, or a class name for variable ones.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+var keywords = map[string]Kind{
+	"int":      KWINT,
+	"void":     KWVOID,
+	"if":       KWIF,
+	"else":     KWELSE,
+	"while":    KWWHILE,
+	"for":      KWFOR,
+	"return":   KWRETURN,
+	"break":    KWBREAK,
+	"continue": KWCONTINUE,
+	"assume":   KWASSUME,
+	"assert":   KWASSERT,
+	"error":    KWERROR,
+	"skip":     KWSKIP,
+	"nondet":   KWNONDET,
+	"goto":     KWGOTO,
+}
+
+// Lookup maps an identifier to its keyword kind, or IDENT if it is not
+// a keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Position describes a location in a source file. Line and Column are
+// 1-based; Offset is the 0-based byte offset.
+type Position struct {
+	Offset int
+	Line   int
+	Column int
+}
+
+// String renders the position as "line:col".
+func (p Position) String() string {
+	return fmt.Sprintf("%d:%d", p.Line, p.Column)
+}
+
+// IsValid reports whether the position has been set.
+func (p Position) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token with its source position and, for
+// IDENT and INT tokens, its literal text.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Pos  Position
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsComparison reports whether the kind is one of the six comparison
+// operators.
+func (k Kind) IsComparison() bool {
+	switch k {
+	case EQ, NEQ, LT, LEQ, GT, GEQ:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,407 @@
+// Package types implements symbol resolution and type checking for
+// MiniC programs, and computes the static call graph.
+//
+// The checker enforces the paper's assumptions: non-recursive
+// procedures, integer and pointer-to-integer variables only, and calls
+// restricted to statement position. Local variable names are unique
+// within each procedure (no block-level shadowing) so that the CFA
+// builder can qualify them unambiguously.
+package types
+
+import (
+	"fmt"
+	"sort"
+
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/lang/token"
+)
+
+// Error is a semantic error with its source position.
+type Error struct {
+	Pos token.Position
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a non-empty list of semantic errors.
+type ErrorList []*Error
+
+// Error implements the error interface.
+func (el ErrorList) Error() string {
+	if len(el) == 1 {
+		return el[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", el[0].Error(), len(el)-1)
+}
+
+// FuncInfo holds the resolved symbol table of one procedure.
+type FuncInfo struct {
+	Decl   *ast.FuncDecl
+	Vars   map[string]ast.Type // params and locals
+	Calls  []string            // callees, in source order, deduplicated
+	HasErr bool                // contains an `error;` statement (possibly via assert)
+}
+
+// Info is the result of checking a program.
+type Info struct {
+	Prog    *ast.Program
+	Globals map[string]ast.Type
+	Funcs   map[string]*FuncInfo
+	// TopoOrder lists function names so that callees precede callers
+	// (valid because recursion is rejected).
+	TopoOrder []string
+}
+
+// Check resolves and type-checks prog. On failure it returns a nil Info
+// and an ErrorList.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{
+		info: &Info{
+			Prog:    prog,
+			Globals: make(map[string]ast.Type),
+			Funcs:   make(map[string]*FuncInfo),
+		},
+	}
+	c.run()
+	if len(c.errs) > 0 {
+		return nil, c.errs
+	}
+	return c.info, nil
+}
+
+// MustCheck parses nothing; it checks prog and panics on error.
+// Intended for tests and embedded example programs.
+func MustCheck(prog *ast.Program) *Info {
+	info, err := Check(prog)
+	if err != nil {
+		panic(fmt.Sprintf("types.MustCheck: %v", err))
+	}
+	return info
+}
+
+type checker struct {
+	info *Info
+	errs ErrorList
+	cur  *FuncInfo
+}
+
+func (c *checker) errorf(pos token.Position, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) run() {
+	prog := c.info.Prog
+	// Pass 1: global and function names.
+	for _, g := range prog.Globals {
+		if _, dup := c.info.Globals[g.Name]; dup {
+			c.errorf(g.PosInfo, "duplicate global %s", g.Name)
+			continue
+		}
+		c.info.Globals[g.Name] = g.Type
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.info.Funcs[f.Name]; dup {
+			c.errorf(f.PosInfo, "duplicate function %s", f.Name)
+			continue
+		}
+		if _, dup := c.info.Globals[f.Name]; dup {
+			c.errorf(f.PosInfo, "function %s collides with a global variable", f.Name)
+		}
+		c.info.Funcs[f.Name] = &FuncInfo{Decl: f, Vars: make(map[string]ast.Type)}
+	}
+	// Pass 2: bodies.
+	for _, f := range prog.Funcs {
+		fi := c.info.Funcs[f.Name]
+		if fi == nil || fi.Decl != f {
+			continue // duplicate; already reported
+		}
+		c.cur = fi
+		for _, p := range f.Params {
+			if _, dup := fi.Vars[p.Name]; dup {
+				c.errorf(f.PosInfo, "duplicate parameter %s in %s", p.Name, f.Name)
+				continue
+			}
+			fi.Vars[p.Name] = p.Type
+		}
+		c.checkBlock(f.Body)
+		c.cur = nil
+	}
+	c.checkRecursion()
+}
+
+func (c *checker) lookupVar(name string) (ast.Type, bool) {
+	if c.cur != nil {
+		if t, ok := c.cur.Vars[name]; ok {
+			return t, true
+		}
+	}
+	t, ok := c.info.Globals[name]
+	return t, ok
+}
+
+func (c *checker) checkBlock(b *ast.BlockStmt) {
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.DeclStmt:
+		if _, dup := c.cur.Vars[s.Name]; dup {
+			c.errorf(s.PosInfo, "duplicate local %s in %s (MiniC forbids shadowing)", s.Name, c.cur.Decl.Name)
+		} else {
+			c.cur.Vars[s.Name] = s.Type
+		}
+		if s.Init != nil {
+			c.checkAssignRHS(s.PosInfo, s.Type, s.Init)
+		}
+	case *ast.AssignStmt:
+		lt, ok := c.lookupVar(s.LHS)
+		if !ok {
+			c.errorf(s.PosInfo, "undeclared variable %s", s.LHS)
+			return
+		}
+		want := lt
+		if s.Deref {
+			if lt != ast.TypeIntPtr {
+				c.errorf(s.PosInfo, "cannot dereference non-pointer %s", s.LHS)
+			}
+			want = ast.TypeInt
+		}
+		c.checkAssignRHS(s.PosInfo, want, s.RHS)
+	case *ast.ExprStmt:
+		c.checkCall(s.Call)
+	case *ast.IfStmt:
+		c.checkCond(s.Cond)
+		c.checkBlock(s.Then)
+		if s.Else != nil {
+			c.checkBlock(s.Else)
+		}
+	case *ast.WhileStmt:
+		c.checkCond(s.Cond)
+		c.checkBlock(s.Body)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.checkCond(s.Cond)
+		}
+		if s.Post != nil {
+			c.checkStmt(s.Post)
+		}
+		c.checkBlock(s.Body)
+	case *ast.ReturnStmt:
+		want := c.cur.Decl.Result
+		if s.Value == nil {
+			if want != ast.TypeVoid {
+				c.errorf(s.PosInfo, "%s must return a value", c.cur.Decl.Name)
+			}
+			return
+		}
+		if want == ast.TypeVoid {
+			c.errorf(s.PosInfo, "%s returns void but return has a value", c.cur.Decl.Name)
+			return
+		}
+		c.checkAssignRHS(s.PosInfo, want, s.Value)
+	case *ast.AssumeStmt:
+		c.checkCond(s.Pred)
+	case *ast.AssertStmt:
+		c.checkCond(s.Pred)
+		c.cur.HasErr = true
+	case *ast.ErrorStmt:
+		c.cur.HasErr = true
+	case *ast.BreakStmt, *ast.ContinueStmt, *ast.SkipStmt:
+		// Loop nesting is validated by the CFA builder, which knows the
+		// loop structure.
+	case *ast.BlockStmt:
+		c.checkBlock(s)
+	}
+}
+
+// checkAssignRHS checks that rhs can be assigned to a target of type
+// want. The literal 0 is a valid pointer (null).
+func (c *checker) checkAssignRHS(pos token.Position, want ast.Type, rhs ast.Expr) {
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		got := c.checkCall(call)
+		if got == ast.TypeVoid {
+			c.errorf(pos, "call to void function %s used as a value", call.Callee)
+		} else if got != want && !c.nullOK(want, rhs) {
+			c.errorf(pos, "cannot assign %s result of %s to %s target", got, call.Callee, want)
+		}
+		return
+	}
+	got := c.exprType(rhs)
+	if got != want && !c.nullOK(want, rhs) {
+		c.errorf(pos, "cannot assign %s expression to %s target", got, want)
+	}
+}
+
+// nullOK reports whether rhs is the literal 0 being assigned to a
+// pointer target.
+func (c *checker) nullOK(want ast.Type, rhs ast.Expr) bool {
+	lit, ok := rhs.(*ast.IntLit)
+	return want == ast.TypeIntPtr && ok && lit.Value == 0
+}
+
+func (c *checker) checkCond(e ast.Expr) {
+	if t := c.exprType(e); t == ast.TypeVoid {
+		c.errorf(e.Pos(), "condition has no value")
+	}
+}
+
+// checkCall checks arity/types of a call and records the edge in the
+// call graph; it returns the callee's result type.
+func (c *checker) checkCall(call *ast.CallExpr) ast.Type {
+	fi, ok := c.info.Funcs[call.Callee]
+	if !ok {
+		c.errorf(call.PosInfo, "call to undefined function %s", call.Callee)
+		for _, a := range call.Args {
+			c.exprType(a)
+		}
+		return ast.TypeInt
+	}
+	decl := fi.Decl
+	if len(call.Args) != len(decl.Params) {
+		c.errorf(call.PosInfo, "%s expects %d arguments, got %d", call.Callee, len(decl.Params), len(call.Args))
+	}
+	for i, a := range call.Args {
+		if i >= len(decl.Params) {
+			c.exprType(a)
+			continue
+		}
+		c.checkAssignRHS(a.Pos(), decl.Params[i].Type, a)
+	}
+	if c.cur != nil {
+		found := false
+		for _, prev := range c.cur.Calls {
+			if prev == call.Callee {
+				found = true
+				break
+			}
+		}
+		if !found {
+			c.cur.Calls = append(c.cur.Calls, call.Callee)
+		}
+	}
+	return decl.Result
+}
+
+// exprType infers the type of e, reporting errors for ill-typed
+// subexpressions. Calls are rejected here (they may only appear where
+// checkAssignRHS handles them).
+func (c *checker) exprType(e ast.Expr) ast.Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return ast.TypeInt
+	case *ast.Nondet:
+		return ast.TypeInt
+	case *ast.Ident:
+		t, ok := c.lookupVar(e.Name)
+		if !ok {
+			c.errorf(e.PosInfo, "undeclared variable %s", e.Name)
+			return ast.TypeInt
+		}
+		return t
+	case *ast.Unary:
+		switch e.Op {
+		case token.MINUS, token.NOT:
+			if c.exprType(e.X) != ast.TypeInt {
+				c.errorf(e.PosInfo, "operand of %s must be int", e.Op)
+			}
+			return ast.TypeInt
+		case token.STAR:
+			if c.exprType(e.X) != ast.TypeIntPtr {
+				c.errorf(e.PosInfo, "cannot dereference non-pointer")
+			}
+			if _, ok := e.X.(*ast.Ident); !ok {
+				c.errorf(e.PosInfo, "dereference must be of a variable (*p)")
+			}
+			return ast.TypeInt
+		case token.AMP:
+			id, ok := e.X.(*ast.Ident)
+			if !ok {
+				c.errorf(e.PosInfo, "address-of must be of a variable (&x)")
+				return ast.TypeIntPtr
+			}
+			t, found := c.lookupVar(id.Name)
+			if !found {
+				c.errorf(e.PosInfo, "undeclared variable %s", id.Name)
+			} else if t != ast.TypeInt {
+				c.errorf(e.PosInfo, "address-of requires an int variable, %s is %s", id.Name, t)
+			}
+			return ast.TypeIntPtr
+		}
+	case *ast.Binary:
+		xt := c.exprType(e.X)
+		yt := c.exprType(e.Y)
+		switch e.Op {
+		case token.EQ, token.NEQ:
+			// Pointer equality is allowed, including against literal 0.
+			if xt != yt && !exprIsZero(e.X) && !exprIsZero(e.Y) {
+				c.errorf(e.PosInfo, "mismatched operand types %s and %s for %s", xt, yt, e.Op)
+			}
+			return ast.TypeInt
+		case token.LT, token.LEQ, token.GT, token.GEQ,
+			token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+			token.LAND, token.LOR:
+			if xt != ast.TypeInt || yt != ast.TypeInt {
+				c.errorf(e.PosInfo, "operands of %s must be int", e.Op)
+			}
+			return ast.TypeInt
+		}
+	case *ast.CallExpr:
+		c.errorf(e.PosInfo, "call %s(...) cannot appear inside an expression", e.Callee)
+		return ast.TypeInt
+	}
+	return ast.TypeInt
+}
+
+func exprIsZero(e ast.Expr) bool {
+	lit, ok := e.(*ast.IntLit)
+	return ok && lit.Value == 0
+}
+
+// checkRecursion rejects recursive call cycles and fills TopoOrder with
+// a callee-first ordering.
+func (c *checker) checkRecursion() {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var order []string
+	var visit func(name string, stack []string)
+	visit = func(name string, stack []string) {
+		fi, ok := c.info.Funcs[name]
+		if !ok {
+			return
+		}
+		switch color[name] {
+		case grey:
+			c.errorf(fi.Decl.PosInfo, "recursion involving %s is not supported (cycle: %v)", name, append(stack, name))
+			return
+		case black:
+			return
+		}
+		color[name] = grey
+		for _, callee := range fi.Calls {
+			visit(callee, append(stack, name))
+		}
+		color[name] = black
+		order = append(order, name)
+	}
+	names := make([]string, 0, len(c.info.Funcs))
+	for name := range c.info.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		visit(name, nil)
+	}
+	c.info.TopoOrder = order
+}

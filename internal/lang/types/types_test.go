@@ -1,0 +1,124 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"pathslice/internal/lang/parser"
+)
+
+func mustParse(t *testing.T, src string) *Info {
+	t.Helper()
+	prog := parser.MustParse(src)
+	info, err := Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func wantError(t *testing.T, src, substr string) {
+	t.Helper()
+	prog, err := parser.Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse failed (test wants a type error): %v", err)
+	}
+	_, err = Check(prog)
+	if err == nil {
+		t.Fatalf("expected type error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err.Error(), substr)
+	}
+}
+
+func TestCheckOK(t *testing.T) {
+	info := mustParse(t, `
+		int g = 1;
+		int *p;
+		int add(int a, int b) { return a + b; }
+		void main() {
+			int x = add(g, 2);
+			p = &x;
+			*p = *p + 1;
+			if (p == 0) { error; }
+			assume(x > 0);
+		}`)
+	if len(info.Funcs) != 2 {
+		t.Errorf("funcs: %d", len(info.Funcs))
+	}
+	if info.Funcs["main"].Vars["x"].String() != "int" {
+		t.Errorf("x type: %v", info.Funcs["main"].Vars["x"])
+	}
+	if !info.Funcs["main"].HasErr {
+		t.Error("main should be marked as containing error")
+	}
+	if info.Funcs["add"].HasErr {
+		t.Error("add has no error statement")
+	}
+}
+
+func TestCheckUndeclared(t *testing.T) {
+	wantError(t, `void main() { x = 1; }`, "undeclared variable x")
+	wantError(t, `void main() { int y = z; }`, "undeclared variable z")
+}
+
+func TestCheckDuplicates(t *testing.T) {
+	wantError(t, `int g; int g; void main() { skip; }`, "duplicate global")
+	wantError(t, `void f() { skip; } void f() { skip; } void main() { skip; }`, "duplicate function")
+	wantError(t, `void main() { int x; int x; }`, "duplicate local")
+	wantError(t, `void f(int a, int a) { skip; } void main() { skip; }`, "duplicate parameter")
+	wantError(t, `int f; void f() { skip; } void main() { skip; }`, "collides")
+}
+
+func TestCheckPointerRules(t *testing.T) {
+	wantError(t, `int x; void main() { *x = 1; }`, "cannot dereference non-pointer")
+	wantError(t, `int x; void main() { int y = *x; }`, "cannot dereference non-pointer")
+	wantError(t, `int *p; void main() { int q = &p; }`, "address-of requires an int variable")
+	wantError(t, `int *p; int x; void main() { x = p; }`, "cannot assign")
+	wantError(t, `int *p; void main() { p = 5; }`, "cannot assign")
+	// Null assignment is fine.
+	mustParse(t, `int *p; void main() { p = 0; if (p != 0) { skip; } }`)
+	// Pointer copy is fine.
+	mustParse(t, `int *p; int *q; int x; void main() { p = &x; q = p; }`)
+}
+
+func TestCheckCallRules(t *testing.T) {
+	wantError(t, `void main() { f(); }`, "undefined function f")
+	wantError(t, `int f(int a) { return a; } void main() { int x = f(); }`, "expects 1 arguments")
+	wantError(t, `void f() { skip; } void main() { int x = f(); }`, "void function")
+	wantError(t, `int f() { return 1; } void main() { f(2); }`, "expects 0 arguments")
+	wantError(t, `int f(int *p) { return 0; } void main() { int x = f(3); }`, "cannot assign")
+}
+
+func TestCheckReturnRules(t *testing.T) {
+	wantError(t, `int f() { return; } void main() { skip; }`, "must return a value")
+	wantError(t, `void f() { return 1; } void main() { skip; }`, "returns void")
+	mustParse(t, `void f() { return; } void main() { f(); }`)
+}
+
+func TestCheckRecursionRejected(t *testing.T) {
+	wantError(t, `void f() { f(); } void main() { f(); }`, "recursion")
+	wantError(t, `void a() { b(); } void b() { a(); } void main() { a(); }`, "recursion")
+}
+
+func TestTopoOrder(t *testing.T) {
+	info := mustParse(t, `
+		void leaf() { skip; }
+		void mid() { leaf(); }
+		void main() { mid(); leaf(); }`)
+	pos := make(map[string]int)
+	for i, name := range info.TopoOrder {
+		pos[name] = i
+	}
+	if !(pos["leaf"] < pos["mid"] && pos["mid"] < pos["main"]) {
+		t.Errorf("topo order wrong: %v", info.TopoOrder)
+	}
+}
+
+func TestCallGraphDedup(t *testing.T) {
+	info := mustParse(t, `void f() { skip; } void main() { f(); f(); f(); }`)
+	if got := info.Funcs["main"].Calls; len(got) != 1 || got[0] != "f" {
+		t.Errorf("calls: %v", got)
+	}
+}

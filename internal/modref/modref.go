@@ -1,0 +1,82 @@
+// Package modref computes the Mods relation of §4 of the paper:
+// Mods.f.l holds if the lvalue l can be modified directly inside f or
+// within any function transitively called by f. It is the standard
+// mod-ref analysis over the call graph, with writes expanded through
+// may-alias information.
+package modref
+
+import (
+	"sort"
+
+	"pathslice/internal/alias"
+	"pathslice/internal/cfa"
+)
+
+// Info holds per-function transitive write sets.
+type Info struct {
+	prog  *cfa.Program
+	alias *alias.Info
+	// mods[f] is the set of concrete variables f may write,
+	// transitively through calls.
+	mods map[string]map[string]struct{}
+}
+
+// Analyze computes Mods for every function. It visits functions in the
+// program's callee-first topological order, so each callee's summary is
+// complete before its callers are processed (recursion is rejected by
+// the frontend).
+func Analyze(prog *cfa.Program, al *alias.Info) *Info {
+	in := &Info{prog: prog, alias: al, mods: make(map[string]map[string]struct{})}
+	for _, name := range prog.Order {
+		fn := prog.Funcs[name]
+		set := make(map[string]struct{})
+		for _, e := range fn.Edges {
+			switch e.Op.Kind {
+			case cfa.OpAssign:
+				for _, v := range al.WrittenVars(e.Op.LHS) {
+					set[v] = struct{}{}
+				}
+			case cfa.OpCall:
+				for v := range in.mods[e.Op.Callee] {
+					set[v] = struct{}{}
+				}
+			}
+		}
+		in.mods[name] = set
+	}
+	return in
+}
+
+// ModsVars returns the concrete variables f may write, sorted.
+func (in *Info) ModsVars(f string) []string {
+	set := in.mods[f]
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ModsVarSet returns the raw write set of f; callers must not mutate it.
+func (in *Info) ModsVarSet(f string) map[string]struct{} { return in.mods[f] }
+
+// Mods reports Mods.f.l: whether calling f may modify the lvalue l.
+func (in *Info) Mods(f string, l cfa.Lvalue) bool {
+	return in.alias.Touches(l, in.mods[f])
+}
+
+// ModsAny reports Mods.f.L: whether calling f may modify any lvalue in
+// the live set L (§4).
+func (in *Info) ModsAny(f string, live cfa.LvalSet) bool {
+	set := in.mods[f]
+	if len(set) == 0 {
+		return false
+	}
+	for l := range live {
+		if in.alias.Touches(l, set) {
+			return true
+		}
+	}
+	return false
+}

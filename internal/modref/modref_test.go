@@ -1,0 +1,105 @@
+package modref_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pathslice/internal/alias"
+	"pathslice/internal/cfa"
+	"pathslice/internal/compile"
+	"pathslice/internal/modref"
+)
+
+func analyze(t *testing.T, src string) *modref.Info {
+	t.Helper()
+	prog := compile.MustSource(src)
+	al := alias.Analyze(prog)
+	return modref.Analyze(prog, al)
+}
+
+func TestDirectWrites(t *testing.T) {
+	in := analyze(t, `
+		int g; int h;
+		void f() { g = 1; int local = 2; local = local + 1; }
+		void main() { f(); h = 0; }`)
+	mods := in.ModsVars("f")
+	want := []string{"f::local", "g"}
+	if !reflect.DeepEqual(mods, want) {
+		t.Errorf("Mods(f) = %v, want %v", mods, want)
+	}
+	if in.Mods("f", cfa.Lvalue{Var: "h"}) {
+		t.Error("f does not write h")
+	}
+	if !in.Mods("f", cfa.Lvalue{Var: "g"}) {
+		t.Error("f writes g")
+	}
+}
+
+func TestTransitiveWrites(t *testing.T) {
+	in := analyze(t, `
+		int g;
+		void leaf() { g = 1; }
+		void mid() { leaf(); }
+		void top() { mid(); }
+		void main() { top(); }`)
+	for _, f := range []string{"leaf", "mid", "top", "main"} {
+		if !in.Mods(f, cfa.Lvalue{Var: "g"}) {
+			t.Errorf("Mods(%s).g should hold transitively", f)
+		}
+	}
+}
+
+func TestWritesThroughPointers(t *testing.T) {
+	in := analyze(t, `
+		int x; int y; int *p;
+		void writer() { *p = 5; }
+		void main() {
+			if (nondet()) { p = &x; } else { p = &y; }
+			writer();
+		}`)
+	if !in.Mods("writer", cfa.Lvalue{Var: "x"}) || !in.Mods("writer", cfa.Lvalue{Var: "y"}) {
+		t.Error("writer may write both x and y through *p")
+	}
+	// Mods on a deref lvalue: writer touches *p.
+	if !in.Mods("writer", cfa.Lvalue{Var: "p", Deref: true}) {
+		t.Error("writer modifies *p")
+	}
+}
+
+func TestModsAnyAndTransferVars(t *testing.T) {
+	in := analyze(t, `
+		int g;
+		int getg() { return g; }
+		void main() { int v = getg(); g = v; }`)
+	// getg writes its $ret transfer variable.
+	if !in.Mods("getg", cfa.Lvalue{Var: "getg::$ret"}) {
+		t.Error("getg writes getg::$ret")
+	}
+	live := cfa.NewLvalSet(cfa.Lvalue{Var: "g"})
+	if in.ModsAny("getg", live) {
+		t.Error("getg does not write g")
+	}
+	live.Add(cfa.Lvalue{Var: "getg::$ret"})
+	if !in.ModsAny("getg", live) {
+		t.Error("ModsAny should see $ret")
+	}
+	if in.ModsAny("getg", cfa.NewLvalSet()) {
+		t.Error("empty live set is never modified")
+	}
+}
+
+func TestCalleeArgWritesBelongToCaller(t *testing.T) {
+	// The caller writes f::$arg0; f writes its own param local.
+	in := analyze(t, `
+		void f(int a) { a = a + 1; }
+		void main() { f(3); }`)
+	if !in.Mods("main", cfa.Lvalue{Var: "f::$arg0"}) {
+		t.Error("main writes f::$arg0 when calling f")
+	}
+	if !in.Mods("f", cfa.Lvalue{Var: "f::a"}) {
+		t.Error("f writes its parameter copy")
+	}
+	if !in.Mods("main", cfa.Lvalue{Var: "f::a"}) {
+		t.Error("main transitively writes f::a via the call")
+	}
+}

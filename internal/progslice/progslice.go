@@ -1,0 +1,179 @@
+// Package progslice implements a conservative static backward program
+// slicer over CFAs — the baseline path slicing is compared against
+// (§1 of the paper, Weiser/Horwitz-Reps-Binkley style).
+//
+// The slicer computes the set of program edges that may affect the
+// reachability of a target location, via the transitive closure of
+//
+//   - data dependence: an assignment that may write a variable read by
+//     a relevant edge, and that can reach that edge, is relevant;
+//   - control dependence: the branch edges a relevant edge's source is
+//     control-dependent on are relevant (computed from postdominators);
+//   - call dependence: call edges into functions containing relevant
+//     edges are relevant.
+//
+// Because it must hold over ALL paths, the static slice is typically
+// far larger than a path slice of any single path — the phenomenon the
+// paper's Ex1 illustrates (the `complex` function cannot be removed
+// statically). The comparison benches quantify this.
+package progslice
+
+import (
+	"pathslice/internal/alias"
+	"pathslice/internal/cfa"
+	"pathslice/internal/dataflow"
+	"pathslice/internal/modref"
+)
+
+// Result is a static slice: a set of relevant edges.
+type Result struct {
+	// Relevant maps edge ID to membership.
+	Relevant map[int]bool
+	// ProgramEdges is the total number of edges in the program.
+	ProgramEdges int
+}
+
+// RetainedEdges returns the number of edges in the slice.
+func (r *Result) RetainedEdges() int { return len(r.Relevant) }
+
+// Ratio returns the fraction of program edges retained.
+func (r *Result) Ratio() float64 {
+	if r.ProgramEdges == 0 {
+		return 0
+	}
+	return float64(len(r.Relevant)) / float64(r.ProgramEdges)
+}
+
+// RetainsFunc reports whether any edge of the named function is in the
+// slice.
+func (r *Result) RetainsFunc(prog *cfa.Program, fn string) bool {
+	c := prog.Funcs[fn]
+	if c == nil {
+		return false
+	}
+	for _, e := range c.Edges {
+		if r.Relevant[e.ID] {
+			return true
+		}
+	}
+	return false
+}
+
+// Slicer carries the analyses.
+type Slicer struct {
+	Prog  *cfa.Program
+	Alias *alias.Info
+	Mods  *modref.Info
+	DF    *dataflow.Info
+}
+
+// New builds a static slicer, running the required analyses.
+func New(prog *cfa.Program) *Slicer {
+	al := alias.Analyze(prog)
+	mr := modref.Analyze(prog, al)
+	return &Slicer{Prog: prog, Alias: al, Mods: mr, DF: dataflow.Analyze(prog, al, mr)}
+}
+
+// Slice computes the backward static slice with respect to reaching
+// target.
+func (s *Slicer) Slice(target *cfa.Loc) *Result {
+	res := &Result{Relevant: make(map[int]bool), ProgramEdges: s.Prog.NumEdges()}
+
+	// Live variables of the criterion, grown monotonically
+	// (flow-insensitive, conservative).
+	liveVars := make(map[string]struct{})
+	liveLvals := cfa.NewLvalSet()
+
+	var worklist []*cfa.Edge
+	addEdge := func(e *cfa.Edge) {
+		if !res.Relevant[e.ID] {
+			res.Relevant[e.ID] = true
+			worklist = append(worklist, e)
+		}
+	}
+
+	// Seed: edges entering the target location.
+	for _, e := range target.In {
+		addEdge(e)
+	}
+
+	// funcsWithRelevant tracks callees whose bodies contain relevant
+	// edges, so their call sites become relevant.
+	funcsWithRelevant := make(map[string]bool)
+
+	for len(worklist) > 0 {
+		e := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+
+		// Reads of the edge become live.
+		for l := range e.Op.Rd() {
+			liveLvals.Add(l)
+			liveVars[l.Var] = struct{}{}
+			if l.Deref {
+				for _, v := range s.Alias.Pts(l.Var) {
+					liveVars[v] = struct{}{}
+				}
+			}
+		}
+
+		// Control dependence: the branch edges e.Src depends on.
+		for _, br := range s.controlDeps(e.Src) {
+			addEdge(br)
+		}
+
+		// Call dependence: mark the enclosing function and its callers.
+		fn := e.Src.Fn
+		if !funcsWithRelevant[fn.Name] {
+			funcsWithRelevant[fn.Name] = true
+			for _, caller := range s.Prog.Funcs {
+				for _, ce := range caller.Edges {
+					if ce.Op.Kind == cfa.OpCall && ce.Op.Callee == fn.Name {
+						addEdge(ce)
+					}
+				}
+			}
+		}
+
+		// Data dependence: any assignment possibly defining a live
+		// variable and reaching a relevant edge. Flow-insensitive: scan
+		// all edges once per round; the monotone live set bounds work.
+		for _, f := range s.Prog.Funcs {
+			for _, de := range f.Edges {
+				if res.Relevant[de.ID] {
+					continue
+				}
+				switch de.Op.Kind {
+				case cfa.OpAssign:
+					for l := range liveLvals {
+						if s.Alias.MayAlias(de.Op.LHS, l) {
+							addEdge(de)
+							break
+						}
+					}
+				case cfa.OpCall:
+					if s.Mods.ModsAny(de.Op.Callee, liveLvals) {
+						addEdge(de)
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// controlDeps returns the assume edges that loc is control-dependent
+// on, intraprocedurally: branch edges (b -> t) where loc postdominates
+// t but not b.
+func (s *Slicer) controlDeps(loc *cfa.Loc) []*cfa.Edge {
+	var out []*cfa.Edge
+	for _, e := range loc.Fn.Edges {
+		if e.Op.Kind != cfa.OpAssume || len(e.Src.Out) < 2 {
+			continue
+		}
+		if e.Dst == loc ||
+			(s.DF.Postdominates(loc, e.Dst) && !s.DF.Postdominates(loc, e.Src)) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

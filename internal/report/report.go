@@ -1,0 +1,116 @@
+// Package report renders counterexamples and their path slices for
+// human consumption — the use case the paper motivates first: "in the
+// cases where the tool returns a feasible path slice it is much easier
+// for the user to go over the more succinct slice to ascertain the
+// veracity of the counterexample" (§1).
+//
+// The annotated-trace rendering follows the paper's Figure 1(C) and
+// 2(B): each path edge with the live-lvalue set and step location the
+// slicer maintained when it decided the edge, taken edges marked solid
+// and dropped edges dotted.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"pathslice/internal/cegar"
+	"pathslice/internal/cfa"
+	"pathslice/internal/core"
+	"pathslice/internal/smt"
+)
+
+// AnnotatedTrace renders a slicing run with per-edge annotations. The
+// Result must have been produced with Options.RecordTrace. The output
+// lists edges in path (forward) order: taken edges are prefixed "==>",
+// dropped edges "...", frame-skipped edges "   " — mirroring the solid
+// and dotted edges of the paper's figures — with the live set and step
+// location the backward pass had at that point.
+func AnnotatedTrace(path cfa.Path, res *core.Result) string {
+	if len(res.Trace) == 0 {
+		return "(no trace recorded: set core.Options.RecordTrace)\n"
+	}
+	// Index the trace points by path position.
+	byIndex := make(map[int]core.TracePoint, len(res.Trace))
+	for _, tp := range res.Trace {
+		byIndex[tp.Index] = tp
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-4s %-55s %-14s %s\n", "", "idx", "edge", "step", "live")
+	for i, e := range path {
+		tp, ok := byIndex[i]
+		marker := "..."
+		step := ""
+		liveStr := ""
+		switch {
+		case !ok:
+			marker = "?  " // unexamined (early stop)
+		case tp.Taken:
+			marker = "==>"
+		case tp.Skipped:
+			marker = "   "
+		}
+		if ok {
+			step = tp.StepLoc.String()
+			liveStr = tp.Live.String()
+		}
+		fmt.Fprintf(&b, "%-4s %-4d %-55s %-14s %s\n", marker, i, e.String(), step, liveStr)
+	}
+	return b.String()
+}
+
+// SliceSummary renders the outcome of slicing one path: sizes, ratio,
+// and the §4.2 statistics.
+func SliceSummary(res *core.Result) string {
+	st := res.Stats
+	var b strings.Builder
+	fmt.Fprintf(&b, "path: %d edges (%d blocks); slice: %d edges (%d blocks) = %.2f%%\n",
+		st.InputEdges, st.InputBlocks, st.SliceEdges, st.SliceBlocks, 100*st.Ratio())
+	fmt.Fprintf(&b, "taken: %d assigns, %d assumes, %d calls, %d returns; skipped: %d frames, %d guard chains\n",
+		st.TakenAssign, st.TakenAssume, st.TakenCall, st.TakenReturn,
+		st.SkippedFrames, st.SkippedGuardChains)
+	if st.SolverChecks > 0 {
+		fmt.Fprintf(&b, "incremental checks: %d", st.SolverChecks)
+		if st.EarlyStopped {
+			fmt.Fprintf(&b, " (stopped early: slice already unsatisfiable)")
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// Verdict renders a feasibility result with its witness, phrased with
+// the paper's completeness caveat.
+func Verdict(r smt.Result) string {
+	switch r.Status {
+	case smt.StatusSat:
+		return fmt.Sprintf("FEASIBLE: every state satisfying the slice reaches the target or diverges; witness %v", r.Model)
+	case smt.StatusUnsat:
+		return "INFEASIBLE: the path (and every variant of it) cannot reach the target"
+	default:
+		return "UNKNOWN: solver limits reached"
+	}
+}
+
+// CheckReport renders one CEGAR check result, including the per-trace
+// reduction statistics.
+func CheckReport(name string, r *cegar.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s (refinements %d, predicates %d, work %d)\n",
+		name, r.Verdict, r.Refinements, r.Predicates, r.Work)
+	for i, ts := range r.Traces {
+		fmt.Fprintf(&b, "  counterexample %d: %d blocks -> %d blocks (%.2f%%)",
+			i+1, ts.TraceBlocks, ts.SliceBlocks, ts.RatioPercent())
+		if ts.Feasible {
+			fmt.Fprintf(&b, "  [feasible: reported]")
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	if r.Verdict == cegar.VerdictUnsafe && len(r.Witness) > 0 {
+		fmt.Fprintf(&b, "  witness slice:\n")
+		for _, line := range strings.Split(strings.TrimRight(r.Witness.String(), "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return b.String()
+}

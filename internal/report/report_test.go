@@ -1,0 +1,137 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"pathslice/internal/cegar"
+	"pathslice/internal/cfa"
+	"pathslice/internal/compile"
+	"pathslice/internal/core"
+	"pathslice/internal/report"
+)
+
+const prog = `
+int x;
+int a;
+void f() { skip; }
+void main() {
+  for (int i = 1; i <= 5; i = i + 1) { f(); }
+  if (a >= 0) {
+    if (x == 0) { error; }
+  }
+}
+`
+
+func TestAnnotatedTrace(t *testing.T) {
+	p := compile.MustSource(prog)
+	path := cfa.WalkLongPath(p, p.ErrorLocs()[0], 2, 0)
+	slicer := core.NewWithOptions(p, core.Options{RecordTrace: true})
+	res, err := slicer.Slice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := report.AnnotatedTrace(path, res)
+	if !strings.Contains(out, "==>") {
+		t.Errorf("no taken edges marked:\n%s", out)
+	}
+	if !strings.Contains(out, "...") {
+		t.Errorf("no dropped edges marked:\n%s", out)
+	}
+	// The branch assumes carry the live sets the paper shows: a then
+	// {a, x}.
+	if !strings.Contains(out, "{a}") && !strings.Contains(out, "{a, x}") {
+		t.Errorf("live-set annotations missing:\n%s", out)
+	}
+	// Every path index appears exactly once.
+	for i := range path {
+		needle := " " + itoa(i) + " "
+		if !strings.Contains(out, needle) {
+			t.Errorf("missing row for edge %d:\n%s", i, out)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	s := ""
+	for i > 0 {
+		s = string(rune('0'+i%10)) + s
+		i /= 10
+	}
+	return s
+}
+
+func TestAnnotatedTraceWithoutRecording(t *testing.T) {
+	p := compile.MustSource(prog)
+	path := cfa.FindPathToError(p, cfa.FindOptions{})
+	res, err := core.New(p).Slice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := report.AnnotatedTrace(path, res)
+	if !strings.Contains(out, "RecordTrace") {
+		t.Errorf("should point at the missing option: %q", out)
+	}
+}
+
+func TestSliceSummary(t *testing.T) {
+	p := compile.MustSource(prog)
+	path := cfa.WalkLongPath(p, p.ErrorLocs()[0], 2, 0)
+	slicer := core.NewWithOptions(p, core.Options{EarlyUnsatStop: true})
+	res, err := slicer.Slice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := report.SliceSummary(res)
+	for _, want := range []string{"path:", "slice:", "taken:", "skipped:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckReport(t *testing.T) {
+	p := compile.MustSource(prog)
+	r := cegar.New(p, cegar.Options{UseSlicing: true}).Check(p.ErrorLocs()[0])
+	out := report.CheckReport("demo", r)
+	if !strings.Contains(out, "demo: error") {
+		t.Errorf("verdict line wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "witness slice") {
+		t.Errorf("missing witness:\n%s", out)
+	}
+}
+
+func TestTracePointsCoverSkips(t *testing.T) {
+	// Skipped frames must appear as trace points too.
+	p := compile.MustSource(prog)
+	path := cfa.WalkLongPath(p, p.ErrorLocs()[0], 2, 0)
+	slicer := core.NewWithOptions(p, core.Options{RecordTrace: true})
+	res, err := slicer.Slice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SkippedFrames == 0 {
+		t.Fatal("test program should skip f's frames")
+	}
+	seen := make(map[int]bool)
+	skipped := 0
+	for _, tp := range res.Trace {
+		if seen[tp.Index] {
+			t.Fatalf("duplicate trace point for %d", tp.Index)
+		}
+		seen[tp.Index] = true
+		if tp.Skipped {
+			skipped++
+		}
+	}
+	if len(seen) != len(path) {
+		t.Errorf("trace covers %d of %d edges", len(seen), len(path))
+	}
+	if skipped == 0 {
+		t.Error("no skipped trace points recorded")
+	}
+}

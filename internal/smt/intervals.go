@@ -1,0 +1,226 @@
+package smt
+
+import "math/big"
+
+// Interval constraint propagation: a cheap, sound UNSAT pre-filter run
+// before the simplex. For a conjunction of normalized linear atoms it
+// maintains integer bounds per variable and tightens them until a
+// fixpoint, an empty interval (definitely UNSAT), or a round limit.
+//
+// Arithmetic uses int64 with saturation at ±icpInf/2; saturation only
+// ever *widens* bounds, so an empty interval detected here is empty
+// under exact arithmetic too — the filter never reports a false UNSAT.
+
+const icpInf = int64(1) << 56
+
+type interval struct {
+	lo, hi int64 // [-icpInf, icpInf] encode unbounded sides
+}
+
+// satAdd adds with saturation.
+func satAdd(a, b int64) int64 {
+	s := a + b
+	switch {
+	case a > 0 && b > 0 && s < 0, s > icpInf:
+		return icpInf
+	case a < 0 && b < 0 && s > 0, s < -icpInf:
+		return -icpInf
+	}
+	return s
+}
+
+// satMul multiplies with saturation.
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	s := a * b
+	if s/b != a || s > icpInf || s < -icpInf {
+		if (a > 0) == (b > 0) {
+			return icpInf
+		}
+		return -icpInf
+	}
+	return s
+}
+
+// floorDiv returns ⌊a/b⌋ for b > 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// ceilDiv returns ⌈a/b⌉ for b > 0.
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}
+
+// icpCheck propagates bounds; it returns StatusUnsat when some interval
+// empties, and StatusUnknown otherwise (the conjunction may still be
+// unsatisfiable — the simplex decides).
+func icpCheck(atoms []LinAtom, maxRounds int) Status {
+	if maxRounds <= 0 {
+		maxRounds = 30
+	}
+	bounds := make(map[string]*interval)
+	get := func(v string) *interval {
+		iv, ok := bounds[v]
+		if !ok {
+			iv = &interval{lo: -icpInf, hi: icpInf}
+			bounds[v] = iv
+		}
+		return iv
+	}
+	// Pre-register variables and convert coefficients once; atoms with
+	// coefficients beyond int64 range are skipped (the simplex handles
+	// them exactly).
+	type atom struct {
+		kind   AtomKind
+		coeffs map[string]int64
+		k      int64
+	}
+	var as []atom
+	for _, a := range atoms {
+		conv := atom{kind: a.Kind, coeffs: make(map[string]int64, len(a.Expr.Coeffs))}
+		ok := a.Expr.Const.IsInt64()
+		if ok {
+			conv.k = a.Expr.Const.Int64()
+		}
+		for v, c := range a.Expr.Coeffs {
+			if !c.IsInt64() {
+				ok = false
+				break
+			}
+			conv.coeffs[v] = c.Int64()
+			get(v)
+		}
+		if ok {
+			as = append(as, conv)
+		}
+	}
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, a := range as {
+			// Σ cᵢxᵢ + k ≤ 0 (and, for Eq, also ≥ 0).
+			// For each variable j: cⱼxⱼ ≤ -k - Σ_{i≠j} min(cᵢxᵢ).
+			for j, cj := range a.coeffs {
+				ivj := get(j)
+				// Upper side (≤): uses minima of the other terms.
+				restMin := a.k
+				okMin := true
+				for i, ci := range a.coeffs {
+					if i == j {
+						continue
+					}
+					iv := get(i)
+					var term int64
+					if ci > 0 {
+						if iv.lo <= -icpInf {
+							okMin = false
+							break
+						}
+						term = satMul(ci, iv.lo)
+					} else {
+						if iv.hi >= icpInf {
+							okMin = false
+							break
+						}
+						term = satMul(ci, iv.hi)
+					}
+					restMin = satAdd(restMin, term)
+				}
+				if okMin {
+					// cj*xj ≤ -restMin
+					rhs := -restMin
+					if cj > 0 {
+						nb := floorDiv(rhs, cj)
+						if nb < ivj.hi {
+							ivj.hi = nb
+							changed = true
+						}
+					} else {
+						// cj*xj ≤ rhs with cj < 0 ⇔ xj ≥ ⌈rhs/cj⌉.
+						lo := ceilDivNeg(rhs, cj)
+						if lo > ivj.lo {
+							ivj.lo = lo
+							changed = true
+						}
+					}
+				}
+				if a.kind == AtomEq {
+					// Also Σ cᵢxᵢ + k ≥ 0: cⱼxⱼ ≥ -k - Σ_{i≠j} max(cᵢxᵢ).
+					restMax := a.k
+					okMax := true
+					for i, ci := range a.coeffs {
+						if i == j {
+							continue
+						}
+						iv := get(i)
+						var term int64
+						if ci > 0 {
+							if iv.hi >= icpInf {
+								okMax = false
+								break
+							}
+							term = satMul(ci, iv.hi)
+						} else {
+							if iv.lo <= -icpInf {
+								okMax = false
+								break
+							}
+							term = satMul(ci, iv.lo)
+						}
+						restMax = satAdd(restMax, term)
+					}
+					if okMax {
+						rhs := -restMax // cj*xj ≥ rhs
+						if cj > 0 {
+							lo := ceilDiv(rhs, cj)
+							if lo > ivj.lo {
+								ivj.lo = lo
+								changed = true
+							}
+						} else {
+							// cj*xj ≥ rhs with cj < 0 ⇔ xj ≤ ⌊rhs/cj⌋.
+							hi := floorDivNeg(rhs, cj)
+							if hi < ivj.hi {
+								ivj.hi = hi
+								changed = true
+							}
+						}
+					}
+				}
+				if ivj.lo > ivj.hi {
+					return StatusUnsat
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return StatusUnknown
+}
+
+// ceilDivNeg returns the smallest integer x with c*x ≤ rhs for c < 0,
+// i.e. x ≥ rhs/c: ⌈rhs/c⌉ with c negative.
+func ceilDivNeg(rhs, c int64) int64 {
+	// rhs/c with c<0: x ≥ rhs/c  ⇔  x ≥ -rhs/(-c) rounded up.
+	return ceilDiv(-rhs, -c)
+}
+
+// floorDivNeg returns the largest integer x with c*x ≥ rhs for c < 0,
+// i.e. x ≤ rhs/c: ⌊rhs/c⌋ with c negative.
+func floorDivNeg(rhs, c int64) int64 {
+	return floorDiv(-rhs, -c)
+}
+
+// bigIsInt64 reports whether b fits int64 (helper for tests).
+func bigIsInt64(b *big.Int) bool { return b.IsInt64() }

@@ -1,0 +1,249 @@
+// Package smt implements the decision procedure used to decide
+// (in)feasibility of trace formulas (§4.2 of the paper): satisfiability
+// of quantifier-free formulas over linear integer arithmetic.
+//
+// Architecture:
+//
+//   - linearize.go turns comparison atoms into normalized linear
+//     constraints Σ cᵢ·xᵢ ≤ k / = k over integers, abstracting
+//     nonlinear subterms (x*y, x/y, x%y with non-constant operands)
+//     into fresh variables with structural sharing;
+//   - simplex.go is a Dutertre–de Moura style general simplex over
+//     exact rationals deciding conjunctions, with branch-and-bound for
+//     integrality;
+//   - solve.go performs semantic case-splitting over the boolean
+//     structure with eager theory pruning, plus model validation
+//     against the original formula whenever abstraction was used.
+//
+// Verdicts: Unsat is always trustworthy (every abstraction used is an
+// over-approximation). Sat comes with a model that has been validated
+// against the original formula. Unknown is returned when resource
+// limits are hit or no abstract model validates.
+package smt
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"pathslice/internal/logic"
+)
+
+// LinExpr is a linear expression Σ coeff·var + Const over integers.
+type LinExpr struct {
+	Coeffs map[string]*big.Int
+	Const  *big.Int
+}
+
+func newLinExpr() LinExpr {
+	return LinExpr{Coeffs: make(map[string]*big.Int), Const: big.NewInt(0)}
+}
+
+func (e LinExpr) addVar(name string, c *big.Int) {
+	if cur, ok := e.Coeffs[name]; ok {
+		cur.Add(cur, c)
+		if cur.Sign() == 0 {
+			delete(e.Coeffs, name)
+		}
+		return
+	}
+	if c.Sign() != 0 {
+		e.Coeffs[name] = new(big.Int).Set(c)
+	}
+}
+
+func (e LinExpr) add(other LinExpr, scale *big.Int) {
+	for v, c := range other.Coeffs {
+		e.addVar(v, new(big.Int).Mul(c, scale))
+	}
+	e.Const.Add(e.Const, new(big.Int).Mul(other.Const, scale))
+}
+
+// String renders the expression deterministically.
+func (e LinExpr) String() string {
+	vars := make([]string, 0, len(e.Coeffs))
+	for v := range e.Coeffs {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var b strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&b, "%s*%s + ", e.Coeffs[v], v)
+	}
+	fmt.Fprintf(&b, "%s", e.Const)
+	return b.String()
+}
+
+// AtomKind classifies normalized linear atoms.
+type AtomKind int
+
+// Normalized atom kinds: expr ≤ 0 or expr = 0.
+const (
+	AtomLe AtomKind = iota // Expr ≤ 0
+	AtomEq                 // Expr = 0
+)
+
+// LinAtom is a normalized linear constraint.
+type LinAtom struct {
+	Kind AtomKind
+	Expr LinExpr
+}
+
+// String renders the atom.
+func (a LinAtom) String() string {
+	op := "<= 0"
+	if a.Kind == AtomEq {
+		op = "= 0"
+	}
+	return a.Expr.String() + " " + op
+}
+
+// linearizer converts terms to linear expressions, abstracting
+// nonlinear subterms into fresh variables ("$u0", "$u1", ...). Two
+// structurally identical nonlinear subterms map to the same variable,
+// giving functional consistency for free.
+type linearizer struct {
+	uvars map[string]string // term string -> abstraction variable
+	terms map[string]logic.Term
+	used  bool // whether any abstraction happened
+}
+
+func newLinearizer() *linearizer {
+	return &linearizer{uvars: make(map[string]string), terms: make(map[string]logic.Term)}
+}
+
+func (l *linearizer) abstractTerm(t logic.Term) string {
+	key := t.String()
+	if v, ok := l.uvars[key]; ok {
+		return v
+	}
+	v := fmt.Sprintf("$u%d", len(l.uvars))
+	l.uvars[key] = v
+	l.terms[key] = t
+	l.used = true
+	return v
+}
+
+// term linearizes t, abstracting nonlinear parts.
+func (l *linearizer) term(t logic.Term) LinExpr {
+	e := newLinExpr()
+	l.addTerm(e, t, big.NewInt(1))
+	return e
+}
+
+func (l *linearizer) addTerm(e LinExpr, t logic.Term, scale *big.Int) {
+	switch t := t.(type) {
+	case logic.Const:
+		e.Const.Add(e.Const, new(big.Int).Mul(big.NewInt(t.V), scale))
+	case logic.Var:
+		e.addVar(t.Name, scale)
+	case logic.Neg:
+		l.addTerm(e, t.X, new(big.Int).Neg(scale))
+	case logic.Bin:
+		switch t.Op {
+		case logic.OpAdd:
+			l.addTerm(e, t.X, scale)
+			l.addTerm(e, t.Y, scale)
+		case logic.OpSub:
+			l.addTerm(e, t.X, scale)
+			l.addTerm(e, t.Y, new(big.Int).Neg(scale))
+		case logic.OpMul:
+			// Multiplication by a constant side stays linear.
+			if c, ok := constTerm(t.X); ok {
+				l.addTerm(e, t.Y, new(big.Int).Mul(scale, c))
+				return
+			}
+			if c, ok := constTerm(t.Y); ok {
+				l.addTerm(e, t.X, new(big.Int).Mul(scale, c))
+				return
+			}
+			e.addVar(l.abstractTerm(t), scale)
+		default: // Div, Mod: abstract
+			e.addVar(l.abstractTerm(t), scale)
+		}
+	default:
+		e.addVar(l.abstractTerm(t), scale)
+	}
+}
+
+// constTerm evaluates a closed term to a constant if possible.
+func constTerm(t logic.Term) (*big.Int, bool) {
+	switch t := t.(type) {
+	case logic.Const:
+		return big.NewInt(t.V), true
+	case logic.Neg:
+		if c, ok := constTerm(t.X); ok {
+			return new(big.Int).Neg(c), true
+		}
+	case logic.Bin:
+		x, okx := constTerm(t.X)
+		if !okx {
+			return nil, false
+		}
+		y, oky := constTerm(t.Y)
+		if !oky {
+			return nil, false
+		}
+		switch t.Op {
+		case logic.OpAdd:
+			return new(big.Int).Add(x, y), true
+		case logic.OpSub:
+			return new(big.Int).Sub(x, y), true
+		case logic.OpMul:
+			return new(big.Int).Mul(x, y), true
+		case logic.OpDiv:
+			if y.Sign() == 0 {
+				return nil, false
+			}
+			return new(big.Int).Quo(x, y), true
+		case logic.OpMod:
+			if y.Sign() == 0 {
+				return nil, false
+			}
+			return new(big.Int).Rem(x, y), true
+		}
+	}
+	return nil, false
+}
+
+// cmpResult is the linearization of a comparison: either one or two
+// atoms (conjunction), or a disjunctive split (for ≠).
+type cmpResult struct {
+	atoms []LinAtom // conjunction
+	split []LinAtom // if non-empty: disjunction of these single atoms
+}
+
+// cmp linearizes a comparison x ⋈ y. Over the integers:
+//
+//	x <  y  ⇒  x - y + 1 ≤ 0
+//	x <= y  ⇒  x - y     ≤ 0
+//	x =  y  ⇒  x - y     = 0
+//	x != y  ⇒  (x - y + 1 ≤ 0) ∨ (y - x + 1 ≤ 0)
+func (l *linearizer) cmp(c logic.Cmp) cmpResult {
+	diff := func(a, b logic.Term, plus int64) LinExpr {
+		e := newLinExpr()
+		l.addTerm(e, a, big.NewInt(1))
+		l.addTerm(e, b, big.NewInt(-1))
+		e.Const.Add(e.Const, big.NewInt(plus))
+		return e
+	}
+	switch c.Op {
+	case logic.CmpLt:
+		return cmpResult{atoms: []LinAtom{{Kind: AtomLe, Expr: diff(c.X, c.Y, 1)}}}
+	case logic.CmpLe:
+		return cmpResult{atoms: []LinAtom{{Kind: AtomLe, Expr: diff(c.X, c.Y, 0)}}}
+	case logic.CmpGt:
+		return cmpResult{atoms: []LinAtom{{Kind: AtomLe, Expr: diff(c.Y, c.X, 1)}}}
+	case logic.CmpGe:
+		return cmpResult{atoms: []LinAtom{{Kind: AtomLe, Expr: diff(c.Y, c.X, 0)}}}
+	case logic.CmpEq:
+		return cmpResult{atoms: []LinAtom{{Kind: AtomEq, Expr: diff(c.X, c.Y, 0)}}}
+	case logic.CmpNe:
+		return cmpResult{split: []LinAtom{
+			{Kind: AtomLe, Expr: diff(c.X, c.Y, 1)},
+			{Kind: AtomLe, Expr: diff(c.Y, c.X, 1)},
+		}}
+	}
+	panic("smt: unknown comparison")
+}

@@ -1,0 +1,403 @@
+package smt
+
+import (
+	"math/big"
+	"sort"
+)
+
+// Status is a solver verdict.
+type Status int
+
+// The three verdicts.
+const (
+	StatusSat Status = iota
+	StatusUnsat
+	StatusUnknown
+)
+
+// String renders the verdict.
+func (s Status) String() string {
+	switch s {
+	case StatusSat:
+		return "sat"
+	case StatusUnsat:
+		return "unsat"
+	case StatusUnknown:
+		return "unknown"
+	}
+	return "?"
+}
+
+// simplex is a Dutertre–de Moura style general simplex over exact
+// rationals: every constraint is a slack variable defined by a linear
+// row and constrained by bounds; the tableau is pivoted until all
+// basic variables respect their bounds or a conflict is found.
+type simplex struct {
+	names []string       // var id -> name ("" for slacks)
+	index map[string]int // name -> var id
+
+	lower, upper []*big.Rat // nil = unbounded
+	val          []*big.Rat
+
+	rows    map[int]map[int]*big.Rat // basic var -> {nonbasic var -> coeff}
+	isBasic []bool
+
+	pivots    int
+	maxPivots int
+}
+
+func newSimplex() *simplex {
+	return &simplex{
+		index:     make(map[string]int),
+		rows:      make(map[int]map[int]*big.Rat),
+		maxPivots: 200000,
+	}
+}
+
+func (s *simplex) varOf(name string) int {
+	if id, ok := s.index[name]; ok {
+		return id
+	}
+	id := s.newVar(name)
+	s.index[name] = id
+	return id
+}
+
+func (s *simplex) newVar(name string) int {
+	id := len(s.names)
+	s.names = append(s.names, name)
+	s.lower = append(s.lower, nil)
+	s.upper = append(s.upper, nil)
+	s.val = append(s.val, new(big.Rat))
+	s.isBasic = append(s.isBasic, false)
+	return id
+}
+
+// addConstraint introduces a slack variable s = Σ coeffs·x with the
+// given bounds (nil for unbounded sides) and returns its id.
+func (s *simplex) addConstraint(coeffs map[string]*big.Int, lo, hi *big.Rat) int {
+	slack := s.newVar("")
+	row := make(map[int]*big.Rat, len(coeffs))
+	v := new(big.Rat)
+	for name, c := range coeffs {
+		x := s.varOf(name)
+		cr := new(big.Rat).SetInt(c)
+		if s.isBasic[x] {
+			// Substitute the basic variable's row.
+			for y, cy := range s.rows[x] {
+				addInto(row, y, new(big.Rat).Mul(cr, cy))
+			}
+			v.Add(v, new(big.Rat).Mul(cr, s.val[x]))
+			continue
+		}
+		addInto(row, x, cr)
+		v.Add(v, new(big.Rat).Mul(cr, s.val[x]))
+	}
+	s.rows[slack] = row
+	s.isBasic[slack] = true
+	s.val[slack] = v
+	s.lower[slack] = lo
+	s.upper[slack] = hi
+	return slack
+}
+
+func addInto(row map[int]*big.Rat, x int, c *big.Rat) {
+	if cur, ok := row[x]; ok {
+		cur.Add(cur, c)
+		if cur.Sign() == 0 {
+			delete(row, x)
+		}
+		return
+	}
+	if c.Sign() != 0 {
+		row[x] = c
+	}
+}
+
+// setBounds tightens the bounds of a named variable; it reports false
+// on an immediately empty interval.
+func (s *simplex) setBounds(name string, lo, hi *big.Rat) bool {
+	x := s.varOf(name)
+	if lo != nil && (s.lower[x] == nil || lo.Cmp(s.lower[x]) > 0) {
+		s.lower[x] = lo
+	}
+	if hi != nil && (s.upper[x] == nil || hi.Cmp(s.upper[x]) < 0) {
+		s.upper[x] = hi
+	}
+	if s.lower[x] != nil && s.upper[x] != nil && s.lower[x].Cmp(s.upper[x]) > 0 {
+		return false
+	}
+	if !s.isBasic[x] {
+		// Clamp the nonbasic value into its bounds.
+		if s.lower[x] != nil && s.val[x].Cmp(s.lower[x]) < 0 {
+			s.update(x, s.lower[x])
+		} else if s.upper[x] != nil && s.val[x].Cmp(s.upper[x]) > 0 {
+			s.update(x, s.upper[x])
+		}
+	}
+	return true
+}
+
+// update sets nonbasic variable x to v, adjusting all basic values.
+func (s *simplex) update(x int, v *big.Rat) {
+	delta := new(big.Rat).Sub(v, s.val[x])
+	for b, row := range s.rows {
+		if c, ok := row[x]; ok {
+			s.val[b] = new(big.Rat).Add(s.val[b], new(big.Rat).Mul(c, delta))
+		}
+	}
+	s.val[x] = new(big.Rat).Set(v)
+}
+
+// pivotAndUpdate makes basic b take value v by adjusting nonbasic x,
+// then swaps their roles.
+func (s *simplex) pivotAndUpdate(b, x int, v *big.Rat) {
+	a := s.rows[b][x]
+	theta := new(big.Rat).Sub(v, s.val[b])
+	theta.Quo(theta, a)
+	s.val[b] = new(big.Rat).Set(v)
+	s.val[x] = new(big.Rat).Add(s.val[x], theta)
+	for b2, row := range s.rows {
+		if b2 == b {
+			continue
+		}
+		if c, ok := row[x]; ok {
+			s.val[b2] = new(big.Rat).Add(s.val[b2], new(big.Rat).Mul(c, theta))
+		}
+	}
+	s.pivot(b, x)
+}
+
+// pivot swaps basic b with nonbasic x.
+func (s *simplex) pivot(b, x int) {
+	row := s.rows[b]
+	a := row[x]
+	// x = (1/a)·b - Σ_{y≠x} (c_y/a)·y
+	newRow := make(map[int]*big.Rat, len(row))
+	inv := new(big.Rat).Inv(a)
+	newRow[b] = inv
+	for y, c := range row {
+		if y == x {
+			continue
+		}
+		nc := new(big.Rat).Mul(c, inv)
+		nc.Neg(nc)
+		newRow[y] = nc
+	}
+	delete(s.rows, b)
+	s.isBasic[b] = false
+	s.rows[x] = newRow
+	s.isBasic[x] = true
+	// Substitute x in every other row.
+	for b2, row2 := range s.rows {
+		if b2 == x {
+			continue
+		}
+		c, ok := row2[x]
+		if !ok {
+			continue
+		}
+		delete(row2, x)
+		for y, cy := range newRow {
+			addInto(row2, y, new(big.Rat).Mul(c, cy))
+		}
+	}
+}
+
+// check runs the simplex main loop with Bland's rule; it returns
+// StatusSat, StatusUnsat, or StatusUnknown on pivot exhaustion.
+func (s *simplex) check() Status {
+	for {
+		s.pivots++
+		if s.pivots > s.maxPivots {
+			return StatusUnknown
+		}
+		b := -1
+		below := false
+		// Bland's rule: smallest violating basic variable.
+		basics := make([]int, 0, len(s.rows))
+		for id := range s.rows {
+			basics = append(basics, id)
+		}
+		sort.Ints(basics)
+		for _, id := range basics {
+			if s.lower[id] != nil && s.val[id].Cmp(s.lower[id]) < 0 {
+				b, below = id, true
+				break
+			}
+			if s.upper[id] != nil && s.val[id].Cmp(s.upper[id]) > 0 {
+				b, below = id, false
+				break
+			}
+		}
+		if b < 0 {
+			return StatusSat
+		}
+		row := s.rows[b]
+		cols := make([]int, 0, len(row))
+		for y := range row {
+			cols = append(cols, y)
+		}
+		sort.Ints(cols)
+		x := -1
+		for _, y := range cols {
+			c := row[y]
+			if below {
+				// Need to increase val[b]: increase y when c>0 (y below
+				// upper), or decrease y when c<0 (y above lower).
+				if c.Sign() > 0 && (s.upper[y] == nil || s.val[y].Cmp(s.upper[y]) < 0) {
+					x = y
+					break
+				}
+				if c.Sign() < 0 && (s.lower[y] == nil || s.val[y].Cmp(s.lower[y]) > 0) {
+					x = y
+					break
+				}
+			} else {
+				if c.Sign() < 0 && (s.upper[y] == nil || s.val[y].Cmp(s.upper[y]) < 0) {
+					x = y
+					break
+				}
+				if c.Sign() > 0 && (s.lower[y] == nil || s.val[y].Cmp(s.lower[y]) > 0) {
+					x = y
+					break
+				}
+			}
+		}
+		if x < 0 {
+			return StatusUnsat
+		}
+		if below {
+			s.pivotAndUpdate(b, x, s.lower[b])
+		} else {
+			s.pivotAndUpdate(b, x, s.upper[b])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Conjunction-level decision with integrality (branch and bound)
+
+// extraBound is a branch-and-bound bound added on one variable.
+type extraBound struct {
+	name string
+	lo   *big.Rat
+	hi   *big.Rat
+}
+
+// checkConj decides a conjunction of linear atoms over the integers.
+// On StatusSat the returned model assigns integer values to every
+// named variable of the atoms.
+func checkConj(atoms []LinAtom, maxDepth int) (Status, map[string]*big.Int) {
+	// Fast sound pre-filters: interval propagation catches most
+	// contradictions from trace formulas (constant chains vs branch
+	// guards) without touching the simplex.
+	if icpCheck(atoms, 0) == StatusUnsat {
+		return StatusUnsat, nil
+	}
+	// Quick GCD test for equalities: Σ cᵢxᵢ = k with gcd(cᵢ) ∤ k is
+	// integer-infeasible even when rationally feasible.
+	for _, a := range atoms {
+		if a.Kind != AtomEq || len(a.Expr.Coeffs) == 0 {
+			if a.Kind == AtomEq && len(a.Expr.Coeffs) == 0 && a.Expr.Const.Sign() != 0 {
+				return StatusUnsat, nil
+			}
+			if a.Kind == AtomLe && len(a.Expr.Coeffs) == 0 && a.Expr.Const.Sign() > 0 {
+				return StatusUnsat, nil
+			}
+			continue
+		}
+		g := new(big.Int)
+		first := true
+		for _, c := range a.Expr.Coeffs {
+			if first {
+				g.Abs(c)
+				first = false
+			} else {
+				g.GCD(nil, nil, g, new(big.Int).Abs(c))
+			}
+		}
+		if g.Sign() > 0 {
+			rem := new(big.Int).Mod(new(big.Int).Neg(a.Expr.Const), g)
+			if rem.Sign() != 0 {
+				return StatusUnsat, nil
+			}
+		}
+	}
+	return branchAndBound(atoms, nil, maxDepth)
+}
+
+func branchAndBound(atoms []LinAtom, extra []extraBound, depth int) (Status, map[string]*big.Int) {
+	sx := newSimplex()
+	for _, a := range atoms {
+		rhs := new(big.Rat).SetInt(new(big.Int).Neg(a.Expr.Const))
+		switch a.Kind {
+		case AtomLe:
+			sx.addConstraint(a.Expr.Coeffs, nil, rhs)
+		case AtomEq:
+			sx.addConstraint(a.Expr.Coeffs, rhs, rhs)
+		}
+	}
+	for _, eb := range extra {
+		if !sx.setBounds(eb.name, eb.lo, eb.hi) {
+			return StatusUnsat, nil
+		}
+	}
+	switch sx.check() {
+	case StatusUnsat:
+		return StatusUnsat, nil
+	case StatusUnknown:
+		return StatusUnknown, nil
+	}
+	// Rational model; find a fractional named variable.
+	fracVar := ""
+	var fracVal *big.Rat
+	names := make([]string, 0, len(sx.index))
+	for name := range sx.index {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := sx.val[sx.index[name]]
+		if !v.IsInt() {
+			fracVar, fracVal = name, v
+			break
+		}
+	}
+	if fracVar == "" {
+		model := make(map[string]*big.Int, len(names))
+		for _, name := range names {
+			model[name] = new(big.Int).Set(sx.val[sx.index[name]].Num())
+		}
+		return StatusSat, model
+	}
+	if depth <= 0 {
+		return StatusUnknown, nil
+	}
+	// Branch: x ≤ floor(v) or x ≥ floor(v)+1.
+	floor := ratFloor(fracVal)
+	lo := new(big.Rat).SetInt(new(big.Int).Add(floor, big.NewInt(1)))
+	hi := new(big.Rat).SetInt(floor)
+	st, m := branchAndBound(atoms, append(append([]extraBound{}, extra...),
+		extraBound{name: fracVar, hi: hi}), depth-1)
+	if st == StatusSat {
+		return st, m
+	}
+	st2, m2 := branchAndBound(atoms, append(append([]extraBound{}, extra...),
+		extraBound{name: fracVar, lo: lo}), depth-1)
+	if st2 == StatusSat {
+		return st2, m2
+	}
+	if st == StatusUnsat && st2 == StatusUnsat {
+		return StatusUnsat, nil
+	}
+	return StatusUnknown, nil
+}
+
+// ratFloor returns ⌊r⌋ as a big.Int.
+func ratFloor(r *big.Rat) *big.Int {
+	out := new(big.Int)
+	rem := new(big.Int)
+	out.DivMod(r.Num(), r.Denom(), rem)
+	return out
+}

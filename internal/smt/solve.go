@@ -1,0 +1,377 @@
+package smt
+
+import (
+	"math/big"
+
+	"pathslice/internal/logic"
+)
+
+// Result is a solver verdict with a model when satisfiable.
+type Result struct {
+	Status Status
+	// Model assigns integer values to the variables of the formula
+	// when Status is StatusSat. Variables that do not constrain the
+	// verdict may be absent; treat absent as 0.
+	Model map[string]int64
+}
+
+// Limits bounds the search effort.
+type Limits struct {
+	// MaxLeaves bounds the number of theory leaf checks (branch
+	// combinations explored). Default 50000.
+	MaxLeaves int
+	// MaxBBDepth bounds branch-and-bound depth for integrality.
+	// Default 40.
+	MaxBBDepth int
+	// MaxModels bounds how many abstract models are validated against
+	// the original formula before giving up with Unknown. Default 8.
+	MaxModels int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxLeaves <= 0 {
+		l.MaxLeaves = 50000
+	}
+	if l.MaxBBDepth <= 0 {
+		l.MaxBBDepth = 40
+	}
+	if l.MaxModels <= 0 {
+		l.MaxModels = 8
+	}
+	return l
+}
+
+// Solve decides satisfiability of f over the integers.
+func Solve(f logic.Formula) Result { return SolveWithLimits(f, Limits{}) }
+
+// SolveWithLimits decides satisfiability of f under explicit limits.
+func SolveWithLimits(f logic.Formula, lim Limits) Result {
+	lim = lim.withDefaults()
+	s := &searcher{lin: newLinearizer(), lim: lim, orig: f}
+	nnf := logic.NNF(logic.Simplify(f))
+	st := s.search(nil, nil, []logic.Formula{nnf})
+	switch {
+	case st == StatusSat:
+		return Result{Status: StatusSat, Model: s.model}
+	case st == StatusUnsat:
+		return Result{Status: StatusUnsat}
+	default:
+		return Result{Status: StatusUnknown}
+	}
+}
+
+type searcher struct {
+	lin    *linearizer
+	lim    Limits
+	orig   logic.Formula
+	leaves int
+	tried  int
+	model  map[string]int64
+	// sawUnknown records that some branch was cut off, so an overall
+	// failure to find a model must be Unknown rather than Unsat.
+	sawUnknown bool
+}
+
+// neAtom is a deferred disequality: lt and gt are the two strict
+// alternatives of an x ≠ y atom. Disequalities are not branched on
+// eagerly — that costs 2^n leaf checks for n of them. Instead the leaf
+// solves without them and only splits on a disequality the candidate
+// model actually violates (the standard lazy treatment).
+type neAtom struct {
+	lt, gt LinAtom
+}
+
+// search explores the boolean structure: atoms is the conjunction
+// accumulated so far, nes the deferred disequalities, pending the
+// formulas still to satisfy. It returns StatusSat as soon as a
+// validated model is found.
+func (s *searcher) search(atoms []LinAtom, nes []neAtom, pending []logic.Formula) Status {
+	for len(pending) > 0 {
+		f := pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		switch f := f.(type) {
+		case logic.Bool:
+			if !f.V {
+				return StatusUnsat
+			}
+		case logic.And:
+			pending = append(pending, f.Fs...)
+		case logic.Cmp:
+			r := s.lin.cmp(f)
+			if len(r.split) == 2 {
+				nes = append(nes, neAtom{lt: r.split[0], gt: r.split[1]})
+			} else {
+				atoms = append(atoms, r.atoms...)
+			}
+		case logic.Or:
+			return s.branchFormulas(atoms, nes, pending, f.Fs)
+		case logic.Not:
+			// NNF leaves Not only around atoms in pathological cases;
+			// handle by folding.
+			inner := logic.NNF(logic.MkNot(logic.MkNot(f)))
+			if logic.Equal(inner, f) {
+				// Cannot reduce further; treat as unknown branch.
+				s.sawUnknown = true
+				return StatusUnknown
+			}
+			pending = append(pending, inner)
+		default:
+			s.sawUnknown = true
+			return StatusUnknown
+		}
+	}
+	return s.leaf(atoms, nes)
+}
+
+func (s *searcher) branchFormulas(atoms []LinAtom, nes []neAtom, pending []logic.Formula, alts []logic.Formula) Status {
+	sawUnknown := false
+	for _, alt := range alts {
+		branchPending := make([]logic.Formula, len(pending)+1)
+		copy(branchPending, pending)
+		branchPending[len(pending)] = alt
+		branchAtoms := make([]LinAtom, len(atoms))
+		copy(branchAtoms, atoms)
+		branchNes := make([]neAtom, len(nes))
+		copy(branchNes, nes)
+		switch s.search(branchAtoms, branchNes, branchPending) {
+		case StatusSat:
+			return StatusSat
+		case StatusUnknown:
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return StatusUnknown
+	}
+	return StatusUnsat
+}
+
+// leaf decides the accumulated conjunction with the theory solver,
+// lazily splitting on violated disequalities, and validates the model
+// against the original formula when abstraction was involved.
+func (s *searcher) leaf(atoms []LinAtom, nes []neAtom) Status {
+	s.leaves++
+	if s.leaves > s.lim.MaxLeaves {
+		s.sawUnknown = true
+		return StatusUnknown
+	}
+	st, bigModel := checkConj(atoms, s.lim.MaxBBDepth)
+	if st == StatusSat {
+		// Find a violated disequality (its lt-side expression evaluates
+		// to > 0 under the model means lt is FALSE... evaluate both).
+		for i, ne := range nes {
+			if linAtomHolds(ne.lt, bigModel) || linAtomHolds(ne.gt, bigModel) {
+				continue
+			}
+			// Violated: the model makes both sides equal. Branch.
+			rest := append(append([]neAtom{}, nes[:i]...), nes[i+1:]...)
+			sawUnknown := false
+			for _, side := range []LinAtom{ne.lt, ne.gt} {
+				branch := make([]LinAtom, len(atoms), len(atoms)+1)
+				branch = append(branch, side)
+				copy(branch, atoms)
+				switch s.leaf(branch, rest) {
+				case StatusSat:
+					return StatusSat
+				case StatusUnknown:
+					sawUnknown = true
+				}
+			}
+			if sawUnknown {
+				return StatusUnknown
+			}
+			return StatusUnsat
+		}
+	}
+	if st != StatusSat {
+		if st == StatusUnknown {
+			s.sawUnknown = true
+		}
+		return st
+	}
+	model := make(map[string]int64, len(bigModel))
+	for name, v := range bigModel {
+		if !v.IsInt64() {
+			// Out-of-range model value: clamp? No — reject as unknown.
+			s.sawUnknown = true
+			return StatusUnknown
+		}
+		model[name] = v.Int64()
+	}
+	if !s.lin.used {
+		s.model = projectModel(model)
+		return StatusSat
+	}
+	// Abstraction was used: validate against the original formula.
+	s.tried++
+	if s.validate(model) {
+		s.model = projectModel(model)
+		return StatusSat
+	}
+	if s.tried >= s.lim.MaxModels {
+		s.sawUnknown = true
+		return StatusUnknown
+	}
+	s.sawUnknown = true
+	return StatusUnknown
+}
+
+// projectModel drops internal nonlinear-abstraction variables ("$u...")
+// from the model; other $-variables (e.g. "$in..." nondet inputs) are
+// part of the caller's vocabulary and kept.
+func projectModel(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		if len(k) >= 2 && k[0] == '$' && k[1] == 'u' {
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// validate checks the abstract model against the original formula,
+// supplying 0 for variables the model does not mention.
+func (s *searcher) validate(model map[string]int64) bool {
+	env := make(map[string]int64)
+	for _, v := range logic.Vars(s.orig) {
+		env[v] = model[v]
+	}
+	ok, err := logic.Eval(s.orig, env)
+	return err == nil && ok
+}
+
+// ---------------------------------------------------------------------------
+// Incremental interface (for the slicer's early-stop optimization, §4.2)
+
+// Solver is an incremental conjunction of formulas with a persistent
+// Unsat state: once the asserted set is unsatisfiable it stays so.
+type Solver struct {
+	asserted []logic.Formula
+	marks    []int
+	lim      Limits
+	lastUns  bool
+	// Stats
+	Checks int
+}
+
+// NewSolver returns an empty incremental solver.
+func NewSolver() *Solver { return &Solver{} }
+
+// NewSolverWithLimits returns an empty solver with custom limits.
+func NewSolverWithLimits(lim Limits) *Solver { return &Solver{lim: lim} }
+
+// Assert conjoins f to the asserted set.
+func (s *Solver) Assert(f logic.Formula) {
+	s.asserted = append(s.asserted, f)
+}
+
+// Push saves the current assertion set.
+func (s *Solver) Push() {
+	s.marks = append(s.marks, len(s.asserted))
+	s.lastUns = false
+}
+
+// Pop restores the assertion set to the last Push.
+func (s *Solver) Pop() {
+	if len(s.marks) == 0 {
+		return
+	}
+	n := s.marks[len(s.marks)-1]
+	s.marks = s.marks[:len(s.marks)-1]
+	s.asserted = s.asserted[:n]
+	s.lastUns = false
+}
+
+// Check decides the conjunction of all asserted formulas.
+func (s *Solver) Check() Result {
+	if s.lastUns {
+		return Result{Status: StatusUnsat}
+	}
+	s.Checks++
+	r := SolveWithLimits(logic.MkAnd(s.asserted...), s.lim)
+	if r.Status == StatusUnsat {
+		s.lastUns = true
+	}
+	return r
+}
+
+// Assertions returns the number of asserted formulas.
+func (s *Solver) Assertions() int { return len(s.asserted) }
+
+// UnsatCore returns a deletion-minimized subset of the asserted
+// formulas whose conjunction is still unsatisfiable. It must be called
+// after Check has returned StatusUnsat; it returns nil otherwise. The
+// indices into the assertion list are returned alongside the formulas
+// so callers can map core members back to trace operations.
+//
+// Minimization is the standard deletion filter: drop each member in
+// turn and keep the drop when the rest stays unsat — O(n) solver calls,
+// so it is skipped (returning the full set) beyond MaxCoreCandidates.
+func (s *Solver) UnsatCore() ([]logic.Formula, []int) {
+	if !s.lastUns {
+		return nil, nil
+	}
+	const maxCoreCandidates = 256
+	idx := make([]int, 0, len(s.asserted))
+	for i, f := range s.asserted {
+		if _, isTrue := f.(logic.Bool); isTrue && logic.Equal(f, logic.True) {
+			continue // trivially irrelevant
+		}
+		idx = append(idx, i)
+	}
+	if len(idx) > maxCoreCandidates {
+		fs := make([]logic.Formula, len(idx))
+		for k, i := range idx {
+			fs[k] = s.asserted[i]
+		}
+		return fs, idx
+	}
+	core := idx
+	for k := 0; k < len(core); k++ {
+		trial := make([]logic.Formula, 0, len(core)-1)
+		for j, i := range core {
+			if j == k {
+				continue
+			}
+			trial = append(trial, s.asserted[i])
+		}
+		s.Checks++
+		if SolveWithLimits(logic.MkAnd(trial...), s.lim).Status == StatusUnsat {
+			core = append(core[:k], core[k+1:]...)
+			k--
+		}
+	}
+	fs := make([]logic.Formula, len(core))
+	for k, i := range core {
+		fs[k] = s.asserted[i]
+	}
+	return fs, core
+}
+
+// linAtomHolds evaluates a normalized atom under an integer model
+// (missing variables default to 0).
+func linAtomHolds(a LinAtom, model map[string]*big.Int) bool {
+	sum := new(big.Int).Set(a.Expr.Const)
+	for v, c := range a.Expr.Coeffs {
+		if mv, ok := model[v]; ok {
+			sum.Add(sum, new(big.Int).Mul(c, mv))
+		}
+	}
+	if a.Kind == AtomEq {
+		return sum.Sign() == 0
+	}
+	return sum.Sign() <= 0
+}
+
+// ratToInt64 is a helper kept for tests.
+func ratToInt64(r *big.Rat) (int64, bool) {
+	if !r.IsInt() {
+		return 0, false
+	}
+	n := r.Num()
+	if !n.IsInt64() {
+		return 0, false
+	}
+	return n.Int64(), true
+}

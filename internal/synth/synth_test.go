@@ -1,0 +1,138 @@
+package synth_test
+
+import (
+	"strings"
+	"testing"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/instrument"
+	"pathslice/internal/lang/parser"
+	"pathslice/internal/lang/types"
+	"pathslice/internal/synth"
+)
+
+// compileProfile generates, instruments, and builds a profile's
+// program, failing the test on any stage error.
+func compileProfile(t *testing.T, p synth.Profile) (*instrument.Result, *cfa.Program) {
+	t.Helper()
+	src := synth.Generate(p)
+	prog, err := parser.Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("%s: parse: %v\n%s", p.Name, err, firstLines(src, 40))
+	}
+	ins, err := instrument.Instrument(prog)
+	if err != nil {
+		t.Fatalf("%s: instrument: %v", p.Name, err)
+	}
+	info, err := types.Check(ins.Prog)
+	if err != nil {
+		t.Fatalf("%s: typecheck: %v", p.Name, err)
+	}
+	cprog, err := cfa.Build(info)
+	if err != nil {
+		t.Fatalf("%s: cfa: %v", p.Name, err)
+	}
+	return ins, cprog
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.Split(s, "\n")
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := synth.PaperProfiles(0.2)[0]
+	a := synth.Generate(p)
+	b := synth.Generate(p)
+	if a != b {
+		t.Fatal("generation must be deterministic for a fixed profile")
+	}
+}
+
+func TestAllPaperProfilesCompile(t *testing.T) {
+	for _, p := range synth.PaperProfiles(0.2) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			ins, cprog := compileProfile(t, p)
+			if len(ins.Clusters) == 0 {
+				t.Error("no check clusters generated")
+			}
+			if len(cprog.ErrorLocs()) == 0 {
+				t.Error("no error locations after instrumentation")
+			}
+		})
+	}
+}
+
+func TestMuhAndGccProfilesCompile(t *testing.T) {
+	for _, p := range []synth.Profile{synth.MuhProfile(0.3), synth.GccProfile(0.05)} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			ins, _ := compileProfile(t, p)
+			if ins.TotalSites == 0 {
+				t.Error("no sites")
+			}
+		})
+	}
+}
+
+func TestBugProfilesContainBugPatterns(t *testing.T) {
+	profiles := synth.PaperProfiles(1.0)
+	// wuftpd has 3 null-check bugs.
+	wuftpd := profiles[1]
+	if wuftpd.Name != "wuftpd" {
+		t.Fatalf("profile order changed: %s", wuftpd.Name)
+	}
+	bugs := 0
+	for _, pt := range wuftpd.Patterns {
+		if pt == synth.PatternNullCheckMissing {
+			bugs++
+		}
+	}
+	if bugs != 3 {
+		t.Errorf("wuftpd needs 3 seeded null-check bugs, got %d", bugs)
+	}
+	src := synth.Generate(wuftpd)
+	if !strings.Contains(src, "popen1()") {
+		t.Error("missing ftpd_popen-style helper")
+	}
+}
+
+func TestGeneratedLocGrowsWithScale(t *testing.T) {
+	small := synth.Generate(synth.PaperProfiles(0.1)[5])
+	large := synth.Generate(synth.PaperProfiles(0.5)[5])
+	if strings.Count(large, "\n") <= strings.Count(small, "\n") {
+		t.Errorf("scale must grow the program: %d vs %d lines",
+			strings.Count(small, "\n"), strings.Count(large, "\n"))
+	}
+}
+
+func TestLongPathsAvailable(t *testing.T) {
+	// The generated programs must admit long candidate paths to error
+	// locations (the long-trace regime of Figures 5/6).
+	_, cprog := compileProfile(t, synth.PaperProfiles(0.2)[1]) // wuftpd-class
+	locs := cprog.ErrorLocs()
+	if len(locs) == 0 {
+		t.Fatal("no error locations")
+	}
+	var short, long cfa.Path
+	for _, loc := range locs {
+		if p := cfa.FindPath(cprog, loc, cfa.FindOptions{}); p != nil {
+			short = p
+			long = cfa.FindPath(cprog, loc, cfa.FindOptions{PreferLong: true, MaxEdgeUses: 6})
+			break
+		}
+	}
+	if short == nil || long == nil {
+		t.Fatal("no reachable error location in generated program")
+	}
+	if len(long) < 2*len(short) {
+		t.Errorf("PreferLong should give much longer paths: %d vs %d", len(long), len(short))
+	}
+	if err := long.Validate(cprog); err != nil {
+		t.Fatalf("long path invalid: %v", err)
+	}
+}
