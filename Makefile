@@ -1,0 +1,31 @@
+# Tier-1 gate: everything a PR must keep green. `make check` is the
+# canonical pre-merge command (build, vet, full tests, and the race
+# detector over the packages that share state across goroutines —
+# the CEGAR worker pool, the solver cache, and the dataflow query
+# caches behind a shared Slicer).
+
+GO ?= go
+
+RACE_PKGS = ./internal/cegar/ ./internal/core/ ./internal/dataflow/ ./internal/smt/
+
+.PHONY: check build vet test race bench experiments
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+experiments:
+	$(GO) run ./cmd/experiments

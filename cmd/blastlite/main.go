@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	blastlite [-noslice] [-dfs] [-file-property] [-maxwork n] [-v] file.mc
+//	blastlite [-noslice] [-dfs] [-file-property] [-maxwork n] [-workers n] [-v] file.mc
 //
 // With -file-property the program may call the fopen/fclose/fgets/
 // fprintf/fputs intrinsics; it is instrumented for the file-handling
@@ -31,6 +31,8 @@ func main() {
 	fileProp := flag.Bool("file-property", false, "instrument and check the file-handling property")
 	lockProp := flag.Bool("lock-property", false, "instrument and check the lock discipline property")
 	maxWork := flag.Int("maxwork", 0, "work budget per check (0 = default)")
+	workers := flag.Int("workers", 1, "CEGAR solver workers: parallel per-predicate entailment queries in the abstract post")
+	noCache := flag.Bool("nocache", false, "disable the solver result cache and abstract-post memoization")
 	verbose := flag.Bool("v", false, "print witnesses")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -42,7 +44,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := cegar.Options{UseSlicing: !*noslice, DFS: *dfs, MaxWork: *maxWork}
+	opts := cegar.Options{
+		UseSlicing:         !*noslice,
+		DFS:                *dfs,
+		MaxWork:            *maxWork,
+		SolverWorkers:      *workers,
+		DisableSolverCache: *noCache,
+		DisablePostMemo:    *noCache,
+	}
 
 	if *fileProp {
 		checkProperty(string(src), opts, *verbose, instrument.Instrument)
@@ -68,8 +77,9 @@ func checkProgram(prog *cfa.Program, opts cegar.Options, verbose bool) {
 	checker := cegar.New(prog, opts)
 	for _, target := range locs {
 		r := checker.Check(target)
-		fmt.Printf("%s: %s (refinements %d, work %d, predicates %d)\n",
-			target, r.Verdict, r.Refinements, r.Work, r.Predicates)
+		fmt.Printf("%s: %s (refinements %d, work %d, predicates %d, solver calls %d, cache %d/%d hit, memo hits %d)\n",
+			target, r.Verdict, r.Refinements, r.Work, r.Predicates,
+			r.SolverCalls, r.CacheHits, r.CacheHits+r.CacheMisses, r.PostMemoHits)
 		if verbose && r.Verdict == cegar.VerdictUnsafe {
 			fmt.Printf("--- witness slice (%d edges) ---\n%s", len(r.Witness), r.Witness)
 		}

@@ -33,6 +33,8 @@ func main() {
 	gccScale := flag.Float64("gccscale", 0.25, "workload scale for the gcc-class subject")
 	traces := flag.Int("traces", 313, "number of gcc counterexamples for Figure 6 (paper: 313)")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel cluster checks")
+	solverWorkers := flag.Int("solver-workers", 1, "parallel per-predicate solver queries inside each abstract post")
+	noCache := flag.Bool("nocache", false, "disable the solver result cache and abstract-post memoization")
 	flag.Parse()
 	all := !*table1 && !*fig5 && !*fig6 && !*muh && !*gccTable
 
@@ -41,14 +43,18 @@ func main() {
 		fmt.Printf("running Table 1 checks at scale %.2f ...\n", *scale)
 		for _, p := range synth.PaperProfiles(*scale) {
 			row, err := bench.RunBenchmarkParallel(p, cegar.Options{
-				UseSlicing: true,
-				MaxWork:    60000,
+				UseSlicing:         true,
+				MaxWork:            60000,
+				SolverWorkers:      *solverWorkers,
+				DisableSolverCache: *noCache,
+				DisablePostMemo:    *noCache,
 			}, *workers)
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("  %-8s done: %d/%d/%d (safe/error/timeout), %d refinements\n",
-				p.Name, row.Safe, row.Err, row.Timeout, row.Refinements)
+			fmt.Printf("  %-8s done: %d/%d/%d (safe/error/timeout), %d refinements, %d solver calls (cache hit %.0f%%, memo hits %d)\n",
+				p.Name, row.Safe, row.Err, row.Timeout, row.Refinements,
+				row.SolverCalls, 100*row.CacheHitRate(), row.PostMemoHits)
 			rows = append(rows, row)
 		}
 	}

@@ -30,6 +30,14 @@ type CheckOutcome struct {
 	Refinements int
 	Duration    time.Duration
 	Traces      []cegar.TraceStat
+	// SolverCalls counts the decision-procedure runs the abstract post
+	// actually issued; CacheHits/CacheMisses are the solver-cache
+	// counters and PostMemoHits the abstract-post memo hits, summed
+	// over the cluster's checks.
+	SolverCalls  int64
+	CacheHits    int64
+	CacheMisses  int64
+	PostMemoHits int64
 }
 
 // BenchmarkResult aggregates one benchmark's checks (one Table 1 row).
@@ -44,6 +52,12 @@ type BenchmarkResult struct {
 	TotalTime          time.Duration
 	MaxTime            time.Duration
 	Refinements        int
+	// SolverCalls/CacheHits/CacheMisses/PostMemoHits aggregate the
+	// per-check solver and cache counters over the whole row.
+	SolverCalls  int64
+	CacheHits    int64
+	CacheMisses  int64
+	PostMemoHits int64
 
 	Checks []CheckOutcome
 	// Traces pools every abstract counterexample analyzed (Figure 5/6
@@ -72,9 +86,11 @@ func RunBenchmark(p synth.Profile, opts cegar.Options) (*BenchmarkResult, error)
 	return RunBenchmarkParallel(p, opts, 1)
 }
 
-// RunBenchmarkParallel checks clusters with the given worker count.
-// Checks are independent (each gets its own program copy and checker),
-// so the row's verdicts are identical to the sequential run; only the
+// RunBenchmarkParallel checks clusters with the given worker count: a
+// fixed pool of workers goroutines drains a job channel, so at most
+// workers goroutines ever exist regardless of cluster count. Checks are
+// independent (each gets its own program copy and checker), so the
+// row's verdicts are identical to the sequential run; only the
 // wall-clock Total/Max times change meaning (they still sum and max the
 // per-check durations, not the elapsed wall time).
 func RunBenchmarkParallel(p synth.Profile, opts cegar.Options, workers int) (*BenchmarkResult, error) {
@@ -95,17 +111,24 @@ func RunBenchmarkParallel(p synth.Profile, opts cegar.Options, workers int) (*Be
 	}
 	outs := make([]*CheckOutcome, len(ins.Clusters))
 	errs := make([]error, len(ins.Clusters))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, cl := range ins.Clusters {
-		wg.Add(1)
-		go func(i int, fn string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outs[i], errs[i] = runCluster(ins, fn, opts)
-		}(i, cl.Function)
+	if workers > len(ins.Clusters) {
+		workers = len(ins.Clusters)
 	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				outs[i], errs[i] = runCluster(ins, ins.Clusters[i].Function, opts)
+			}
+		}()
+	}
+	for i := range ins.Clusters {
+		jobs <- i
+	}
+	close(jobs)
 	wg.Wait()
 	for i := range outs {
 		if errs[i] != nil {
@@ -128,9 +151,23 @@ func RunBenchmarkParallel(p synth.Profile, opts cegar.Options, workers int) (*Be
 			}
 		}
 		res.Refinements += out.Refinements
+		res.SolverCalls += out.SolverCalls
+		res.CacheHits += out.CacheHits
+		res.CacheMisses += out.CacheMisses
+		res.PostMemoHits += out.PostMemoHits
 		res.Traces = append(res.Traces, out.Traces...)
 	}
 	return res, nil
+}
+
+// CacheHitRate returns the solver-cache hit fraction for the row (0
+// when no cached queries ran).
+func (r *BenchmarkResult) CacheHitRate() float64 {
+	total := r.CacheHits + r.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(total)
 }
 
 // runCluster checks one cluster (all error locations of one function's
@@ -155,6 +192,10 @@ func runCluster(ins *instrument.Result, fn string, opts cegar.Options) (*CheckOu
 		r := checker.Check(loc)
 		out.Work += r.Work
 		out.Refinements += r.Refinements
+		out.SolverCalls += r.SolverCalls
+		out.CacheHits += r.CacheHits
+		out.CacheMisses += r.CacheMisses
+		out.PostMemoHits += r.PostMemoHits
 		out.Traces = append(out.Traces, r.Traces...)
 		switch r.Verdict {
 		case cegar.VerdictUnsafe:

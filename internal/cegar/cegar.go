@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"pathslice/internal/cfa"
 	"pathslice/internal/core"
@@ -99,6 +101,21 @@ type Options struct {
 	// is read within an activation, so stale cross-activation facts are
 	// never needed.
 	NoLocalize bool
+	// SolverWorkers fans the independent per-predicate entailment pairs
+	// of the abstract post out over this many goroutines (values <= 1
+	// keep the post sequential). The computed valuations, verdicts,
+	// refinement counts, and Work are identical to the sequential run:
+	// only wall-clock time changes.
+	SolverWorkers int
+	// DisableSolverCache turns off the formula-level solver result
+	// cache (identical formulas are then re-solved every time).
+	DisableSolverCache bool
+	// DisablePostMemo turns off abstract-post memoization (every
+	// (edge, valuation) successor is then recomputed from scratch).
+	DisablePostMemo bool
+	// SolverCacheSize bounds the solver cache entries (default
+	// smt.DefaultCacheSize).
+	SolverCacheSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -142,6 +159,21 @@ type Result struct {
 	Refinements int
 	Work        int
 	Predicates  int
+	// SolverCalls counts the decision-procedure invocations actually
+	// issued by the abstract post (branch-pruning and predicate
+	// entailment queries). Work, in contrast, is the logical query
+	// count — the cost model that feeds MaxWork — and is independent of
+	// the cache and memo configuration, so enabling them stretches the
+	// same budget over more real progress without changing verdicts.
+	SolverCalls int64
+	// CacheHits and CacheMisses are the solver-cache counters
+	// accumulated during this check (both zero when the cache is
+	// disabled; CacheMisses then equals 0 while SolverCalls counts the
+	// uncached solves).
+	CacheHits, CacheMisses int64
+	// PostMemoHits counts abstract-post computations answered (fully or
+	// partially) from the (edge, valuation) memo table.
+	PostMemoHits int64
 	// Witness is the feasible slice (or raw trace without slicing)
 	// demonstrating the bug, when Verdict is VerdictUnsafe.
 	Witness cfa.Path
@@ -157,22 +189,72 @@ type Checker struct {
 	slicer    *core.Slicer
 	opts      Options
 	predScope map[string][]string // predicate → functions whose locals it mentions
+
+	// cache memoizes solver verdicts across states, refinement
+	// iterations, and targets; nil when disabled.
+	cache *smt.Cache
+	// postMemo memoizes abstract-post results keyed by (edge, determined
+	// predicate valuation, localization scope). Entries stay valid
+	// across refinement iterations — the predicate list only grows, an
+	// old predicate's WP entailment depends only on the edge and the
+	// determined conjuncts captured in the key, and undetermined new
+	// predicates add no conjunct — so a lookup reuses the old prefix
+	// and computes only the newly-added predicates. Reset per Check
+	// (predicate indices restart).
+	postMemo map[string]*postMemoEntry
+
+	// uncachedCalls counts smt.Solve invocations when the cache is
+	// disabled (with the cache on, its miss counter plays this role).
+	uncachedCalls atomic.Int64
+	memoHits      int64
 }
 
 // New builds a checker for prog.
 func New(prog *cfa.Program, opts Options) *Checker {
 	opts = opts.withDefaults()
-	return &Checker{
+	c := &Checker{
 		prog:      prog,
 		slicer:    core.NewWithOptions(prog, opts.SlicerOpts),
 		opts:      opts,
 		predScope: make(map[string][]string),
 	}
+	if !opts.DisableSolverCache {
+		c.cache = smt.NewCache(opts.SolverCacheSize)
+	}
+	return c
+}
+
+// solve routes an abstract-post query through the solver cache.
+func (c *Checker) solve(f logic.Formula) smt.Result {
+	if c.cache == nil {
+		c.uncachedCalls.Add(1)
+	}
+	return smt.CachedSolve(c.cache, f)
+}
+
+// CacheStats snapshots the checker's solver-cache counters (zero when
+// the cache is disabled).
+func (c *Checker) CacheStats() smt.CacheStats {
+	if c.cache == nil {
+		return smt.CacheStats{}
+	}
+	return c.cache.Stats()
 }
 
 // Check decides reachability of target.
 func (c *Checker) Check(target *cfa.Loc) *Result {
 	res := &Result{}
+	c.postMemo = make(map[string]*postMemoEntry)
+	startUncached := c.uncachedCalls.Load()
+	startCache := c.CacheStats()
+	startMemo := c.memoHits
+	defer func() {
+		cs := c.CacheStats()
+		res.CacheHits = cs.Hits - startCache.Hits
+		res.CacheMisses = cs.Misses - startCache.Misses
+		res.SolverCalls = res.CacheMisses + c.uncachedCalls.Load() - startUncached
+		res.PostMemoHits = c.memoHits - startMemo
+	}()
 	var preds []logic.Formula
 	seen := make(map[string]bool) // predicate strings, for dedup
 
@@ -343,6 +425,13 @@ func (c *Checker) reach(target *cfa.Loc, preds []logic.Formula, budget int) (cfa
 	if budget <= 0 {
 		return nil, 0, true
 	}
+	// Warm the predicate-scope table sequentially so the parallel post
+	// workers only ever read it.
+	if !c.opts.NoLocalize {
+		for _, p := range preds {
+			c.scopeOf(p)
+		}
+	}
 	work := 0
 	main := c.prog.Funcs[c.prog.Main]
 	root := &absState{loc: main.Entry, vals: make([]int8, len(preds))}
@@ -386,13 +475,58 @@ func (c *Checker) reach(target *cfa.Loc, preds []logic.Formula, budget int) (cfa
 	return nil, work, false
 }
 
+// postMemoEntry is one memoized abstract-post computation. vals holds
+// the successor valuation for the first len(vals) predicates; when the
+// predicate list has since grown, a lookup reuses this prefix and only
+// the new suffix is computed.
+type postMemoEntry struct {
+	prunedKnown bool
+	pruned      bool
+	vals        []int8
+}
+
+// freshStride separates the fresh-variable namespaces of the per-
+// predicate WP computations so each predicate's formulas are identical
+// regardless of the order (or concurrency) in which they are built.
+// A single WPOp mints at most a handful of fresh variables per havoc
+// or nondet read, far below the stride.
+const freshStride = 4096
+
+// memoKey identifies an abstract-post computation: the edge, the
+// determined entries of the source valuation (exactly what stateFormula
+// conjoins — undetermined predicates contribute nothing), and the
+// localization scope (the set of functions on the stack decides which
+// predicates are evaluated at all).
+func (c *Checker) memoKey(st *absState, e *cfa.Edge) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", e.ID)
+	for i, v := range st.vals {
+		if v != 0 {
+			fmt.Fprintf(&b, "%d:%d,", i, v)
+		}
+	}
+	if !c.opts.NoLocalize && len(st.stack) > 0 {
+		names := make([]string, 0, len(st.stack))
+		for _, call := range st.stack {
+			names = append(names, call.Src.Fn.Name)
+		}
+		sort.Strings(names)
+		b.WriteByte('|')
+		for _, n := range names {
+			b.WriteString(n)
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}
+
 // post computes the abstract successor of st via edge e, or nil when
-// the edge is abstractly infeasible. The work counter counts solver
-// queries.
+// the edge is abstractly infeasible. The work counter counts logical
+// solver queries — the same number whether or not they were answered
+// from the memo or cache, so budgets behave identically across
+// configurations.
 func (c *Checker) post(st *absState, e *cfa.Edge, preds []logic.Formula) (*absState, int) {
 	work := 0
-	cur := stateFormula(preds, st.vals)
-	fresh := 0
 
 	switch e.Op.Kind {
 	case cfa.OpCall:
@@ -411,24 +545,64 @@ func (c *Checker) post(st *absState, e *cfa.Edge, preds []logic.Formula) (*absSt
 		succ := &absState{loc: resume, vals: st.vals, parent: st, via: e}
 		succ.stack = append([]*cfa.Edge{}, st.stack[:len(st.stack)-1]...)
 		return succ, work
-	case cfa.OpAssume:
+	}
+
+	cur := stateFormula(preds, st.vals)
+	var memo *postMemoEntry
+	if !c.opts.DisablePostMemo {
+		key := c.memoKey(st, e)
+		var ok bool
+		if memo, ok = c.postMemo[key]; ok {
+			c.memoHits++
+		} else {
+			memo = &postMemoEntry{}
+			c.postMemo[key] = memo
+		}
+	}
+
+	if e.Op.Kind == cfa.OpAssume {
 		// Prune when the state cannot take the branch.
-		predF, side := assumeFormula(e.Op, c.slicer, &fresh)
 		work++
-		if r := smt.Solve(logic.MkAnd(append(side, cur, predF)...)); r.Status == smt.StatusUnsat {
+		if memo == nil || !memo.prunedKnown {
+			fresh := 0
+			predF, side := assumeFormula(e.Op, c.slicer, &fresh)
+			pruned := c.solve(logic.MkAnd(append(side, cur, predF)...)).Status == smt.StatusUnsat
+			if memo != nil {
+				memo.prunedKnown, memo.pruned = true, pruned
+			} else if pruned {
+				return nil, work
+			}
+		}
+		if memo != nil && memo.pruned {
 			return nil, work
 		}
 	}
 
 	// New valuation via WP entailment per predicate. Localization:
 	// predicates scoped to functions not on the successor's stack stay
-	// unknown and cost no solver queries.
+	// unknown and cost no solver queries. Predicates already covered by
+	// the memo keep their cached value; the rest fan out over the
+	// worker pool.
 	vals := make([]int8, len(preds))
+	start := 0
+	if memo != nil {
+		start = copy(vals, memo.vals)
+	}
+	var need []int
 	for i, p := range preds {
-		if !c.opts.NoLocalize && !c.predInScope(i, p, e.Dst, st.stack) {
+		if !c.opts.NoLocalize && !c.predInScope(p, e.Dst, st.stack) {
 			vals[i] = 0
 			continue
 		}
+		work += 2
+		if i < start {
+			continue // memoized
+		}
+		need = append(need, i)
+	}
+	compute := func(i int) {
+		fresh := (i + 1) * freshStride
+		p := preds[i]
 		wpP := wp.WPOp(p, e.Op, c.slicer.Alias, c.slicer.Addrs, &fresh)
 		wpNotP := wp.WPOp(logic.MkNot(p), e.Op, c.slicer.Alias, c.slicer.Addrs, &fresh)
 		pre := cur
@@ -436,26 +610,53 @@ func (c *Checker) post(st *absState, e *cfa.Edge, preds []logic.Formula) (*absSt
 			predF, side := assumeFormula(e.Op, c.slicer, &fresh)
 			pre = logic.MkAnd(append(side, cur, predF)...)
 		}
-		work += 2
 		switch {
-		case smt.Solve(logic.MkAnd(pre, wpNotP)).Status == smt.StatusUnsat:
+		case c.solve(logic.MkAnd(pre, wpNotP)).Status == smt.StatusUnsat:
 			vals[i] = 1 // every post-state satisfies p
-		case smt.Solve(logic.MkAnd(pre, wpP)).Status == smt.StatusUnsat:
+		case c.solve(logic.MkAnd(pre, wpP)).Status == smt.StatusUnsat:
 			vals[i] = -1
 		default:
 			vals[i] = 0
 		}
+	}
+	if nw := c.opts.SolverWorkers; nw > 1 && len(need) > 1 {
+		if nw > len(need) {
+			nw = len(need)
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					compute(i)
+				}
+			}()
+		}
+		for _, i := range need {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for _, i := range need {
+			compute(i)
+		}
+	}
+	if memo != nil && len(memo.vals) < len(preds) {
+		memo.vals = vals
 	}
 	succ := &absState{loc: e.Dst, vals: vals, parent: st, via: e,
 		stack: st.stack}
 	return succ, work
 }
 
-// predInScope reports whether predicate p may be evaluated at a state
-// whose location is loc with the given stack: every function whose
-// locals the predicate mentions must be the current function or on the
-// stack. Global-only predicates are always in scope.
-func (c *Checker) predInScope(idx int, p logic.Formula, loc *cfa.Loc, stack []*cfa.Edge) bool {
+// scopeOf returns (computing and caching on first use) the functions
+// whose locals predicate p mentions. It must be called from a single
+// goroutine; reach warms the table before any parallel post runs, so
+// predInScope only ever reads it.
+func (c *Checker) scopeOf(p logic.Formula) []string {
 	key := p.String()
 	fns, ok := c.predScope[key]
 	if !ok {
@@ -470,7 +671,15 @@ func (c *Checker) predInScope(idx int, p logic.Formula, loc *cfa.Loc, stack []*c
 		}
 		c.predScope[key] = fns
 	}
-	for _, name := range fns {
+	return fns
+}
+
+// predInScope reports whether predicate p may be evaluated at a state
+// whose location is loc with the given stack: every function whose
+// locals the predicate mentions must be the current function or on the
+// stack. Global-only predicates are always in scope.
+func (c *Checker) predInScope(p logic.Formula, loc *cfa.Loc, stack []*cfa.Edge) bool {
+	for _, name := range c.scopeOf(p) {
 		if loc.Fn.Name == name {
 			continue
 		}
@@ -485,7 +694,6 @@ func (c *Checker) predInScope(idx int, p logic.Formula, loc *cfa.Loc, stack []*c
 			return false
 		}
 	}
-	_ = idx
 	return true
 }
 

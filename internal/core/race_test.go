@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"pathslice/internal/cfa"
+)
+
+// TestSharedSlicerConcurrentSlices runs one Slicer over the same paths
+// from many goroutines. The Slicer itself is stateless per Slice call;
+// the shared mutable state is the dataflow.Info cache layer, so under
+// -race this is the end-to-end check that a bench worker pool can share
+// one Slicer. Results must match a sequential run exactly.
+func TestSharedSlicerConcurrentSlices(t *testing.T) {
+	s, prog := slicerFor(t, ex2Shaded)
+	short := errorPath(t, prog, false)
+	long := errorPath(t, prog, true)
+
+	want, err := s.Slice(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantShort, err := s.Slice(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				path, ref := long, want
+				if (g+i)%2 == 0 {
+					path, ref = short, wantShort
+				}
+				res, err := s.Slice(path)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if res.Slice.String() != ref.Slice.String() {
+					t.Errorf("goroutine %d: slice diverged from sequential", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSharedSlicerDistinctPaths mixes different ex1 paths (then/else
+// arms) through one shared Slicer concurrently.
+func TestSharedSlicerDistinctPaths(t *testing.T) {
+	s, prog := slicerFor(t, ex1)
+	paths := []cfa.Path{
+		errorPath(t, prog, false),
+		errorPath(t, prog, true),
+	}
+	refs := make([]string, len(paths))
+	for i, p := range paths {
+		r, err := s.Slice(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = r.Slice.String()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				k := (g + i) % len(paths)
+				r, err := s.Slice(paths[k])
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if r.Slice.String() != refs[k] {
+					t.Errorf("goroutine %d: path %d slice diverged", g, k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -15,6 +15,8 @@
 package dataflow
 
 import (
+	"sync"
+
 	"pathslice/internal/alias"
 	"pathslice/internal/bitset"
 	"pathslice/internal/cfa"
@@ -28,7 +30,14 @@ type Info struct {
 	mods  *modref.Info
 	fns   map[string]*fnInfo
 
-	// Stats counts analysis work for the ablation benchmarks.
+	// mu guards the lazily-populated query caches (wrBtCache, byCache,
+	// postdom) and the Stats counters, making a single Info safe to
+	// share across goroutines.
+	mu sync.Mutex
+
+	// Stats counts analysis work for the ablation benchmarks. It is
+	// updated under mu; read it only when no queries are in flight, or
+	// through Snapshot.
 	Stats Stats
 }
 
@@ -59,7 +68,18 @@ type fnInfo struct {
 	postdom []*bitset.Set
 }
 
-// Analyze computes the per-function reachability fixpoints.
+// Snapshot returns a consistent copy of the Stats counters.
+func (info *Info) Snapshot() Stats {
+	info.mu.Lock()
+	defer info.mu.Unlock()
+	return info.Stats
+}
+
+// Analyze computes the per-function reachability fixpoints. The
+// returned Info is safe for concurrent use: every lazily-computed cache
+// (written-between sets, bypass sets, postdominators) and the Stats
+// counters are guarded by one mutex, and everything else is immutable
+// after Analyze returns.
 func Analyze(prog *cfa.Program, al *alias.Info, mr *modref.Info) *Info {
 	info := &Info{prog: prog, alias: al, mods: mr, fns: make(map[string]*fnInfo)}
 	for _, name := range prog.Order {
@@ -139,12 +159,18 @@ func (info *Info) fnOf(loc *cfa.Loc) *fnInfo { return info.fns[loc.Fn.Name] }
 // WrittenBetween returns the set of concrete variables that may be
 // written on some path from src to dst within one CFA (both locations
 // must belong to the same function). Results are cached per location
-// pair.
+// pair; the returned map is shared and must not be mutated.
 func (info *Info) WrittenBetween(src, dst *cfa.Loc) map[string]struct{} {
 	if src.Fn != dst.Fn {
 		panic("dataflow: WrittenBetween across CFAs: " + src.String() + " vs " + dst.String())
 	}
 	fi := info.fnOf(src)
+	info.mu.Lock()
+	defer info.mu.Unlock()
+	return info.writtenBetweenLocked(fi, src, dst)
+}
+
+func (info *Info) writtenBetweenLocked(fi *fnInfo, src, dst *cfa.Loc) map[string]struct{} {
 	key := src.Index*len(fi.fn.Locs) + dst.Index
 	if cached, ok := fi.wrBtCache[key]; ok {
 		return cached
@@ -166,8 +192,16 @@ func (info *Info) WrittenBetween(src, dst *cfa.Loc) map[string]struct{} {
 // WrBt reports WrBt.(src, dst).L: whether an lvalue of live may be
 // written between src and dst (§3.3, §4.1).
 func (info *Info) WrBt(src, dst *cfa.Loc, live cfa.LvalSet) bool {
+	if src.Fn != dst.Fn {
+		panic("dataflow: WrBt across CFAs: " + src.String() + " vs " + dst.String())
+	}
+	fi := info.fnOf(src)
+	info.mu.Lock()
 	info.Stats.WrBtQueries++
-	written := info.WrittenBetween(src, dst)
+	written := info.writtenBetweenLocked(fi, src, dst)
+	info.mu.Unlock()
+	// The cached set is immutable once published and the alias info is
+	// read-only, so the membership test runs outside the lock.
 	if len(written) == 0 {
 		return false
 	}
@@ -187,14 +221,16 @@ func (info *Info) By(pc, pcStep *cfa.Loc) bool {
 	if pc.Fn != pcStep.Fn {
 		panic("dataflow: By across CFAs: " + pc.String() + " vs " + pcStep.String())
 	}
-	info.Stats.ByQueries++
 	fi := info.fnOf(pc)
+	info.mu.Lock()
+	info.Stats.ByQueries++
 	set, ok := fi.byCache[pcStep.Index]
 	if !ok {
 		info.Stats.ByCacheMiss++
 		set = info.computeBy(fi, pcStep)
 		fi.byCache[pcStep.Index] = set
 	}
+	info.mu.Unlock()
 	return set.Has(pc.Index)
 }
 
@@ -234,10 +270,13 @@ func (info *Info) Postdominates(a, b *cfa.Loc) bool {
 		panic("dataflow: Postdominates across CFAs")
 	}
 	fi := info.fnOf(a)
+	info.mu.Lock()
 	if fi.postdom == nil {
 		info.computePostdom(fi)
 	}
-	return fi.postdom[b.Index].Has(a.Index)
+	pd := fi.postdom[b.Index]
+	info.mu.Unlock()
+	return pd.Has(a.Index)
 }
 
 // computePostdom runs the standard iterative dataflow for

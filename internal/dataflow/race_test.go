@@ -1,0 +1,126 @@
+package dataflow_test
+
+import (
+	"sync"
+	"testing"
+
+	"pathslice/internal/alias"
+	"pathslice/internal/cfa"
+	"pathslice/internal/dataflow"
+	"pathslice/internal/modref"
+)
+
+// branchy has enough locations to generate distinct WrBt/By/postdom
+// queries from many goroutines.
+const branchy = `
+int a; int b; int c;
+void g() { c = c + 1; }
+void main() {
+  a = 1;
+  if (a > 0) {
+    b = 2;
+  } else {
+    g();
+  }
+  c = 3;
+}
+`
+
+// TestInfoConcurrentQueries hammers one shared Info with every lazy
+// query kind from many goroutines. Under -race this verifies the
+// documented guarantee on Analyze: a single Info is safe for concurrent
+// use.
+func TestInfoConcurrentQueries(t *testing.T) {
+	prog, df := analyze(t, branchy)
+	main := prog.Funcs["main"]
+	liveB := cfa.NewLvalSet(cfa.Lvalue{Var: "b"})
+	liveC := cfa.NewLvalSet(cfa.Lvalue{Var: "c"})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				for _, src := range main.Locs {
+					for _, dst := range main.Locs {
+						df.WrBt(src, dst, liveB)
+						df.WrBt(src, dst, liveC)
+						df.WrittenBetween(src, dst)
+						df.By(src, dst)
+						df.Postdominates(dst, src)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := df.Snapshot()
+	n := len(main.Locs)
+	wantQueries := 8 * 20 * n * n
+	if st.WrBtQueries != 2*wantQueries {
+		t.Errorf("WrBtQueries = %d, want %d", st.WrBtQueries, 2*wantQueries)
+	}
+	if st.ByQueries != wantQueries {
+		t.Errorf("ByQueries = %d, want %d", st.ByQueries, wantQueries)
+	}
+	// Each distinct (src, dst) pair misses exactly once no matter how
+	// many goroutines race to compute it.
+	if st.WrBtCacheMiss != n*n {
+		t.Errorf("WrBtCacheMiss = %d, want %d (one per pair)", st.WrBtCacheMiss, n*n)
+	}
+	if st.ByCacheMiss != n {
+		t.Errorf("ByCacheMiss = %d, want %d (one per pc')", st.ByCacheMiss, n)
+	}
+}
+
+// TestConcurrentAnswersMatchSequential checks that answers computed
+// under contention equal the ones a fresh sequential Info gives. The
+// fresh Info is built over the SAME program (location numbering is not
+// guaranteed stable across separate compiles).
+func TestConcurrentAnswersMatchSequential(t *testing.T) {
+	prog, shared := analyze(t, branchy)
+	al := alias.Analyze(prog)
+	fresh := dataflow.Analyze(prog, al, modref.Analyze(prog, al))
+	main := prog.Funcs["main"]
+	live := cfa.NewLvalSet(cfa.Lvalue{Var: "c"})
+
+	type answer struct{ wrbt, by, pd bool }
+	got := make([]map[int]answer, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := make(map[int]answer)
+			for i, src := range main.Locs {
+				for j, dst := range main.Locs {
+					m[i*len(main.Locs)+j] = answer{
+						wrbt: shared.WrBt(src, dst, live),
+						by:   shared.By(src, dst),
+						pd:   shared.Postdominates(dst, src),
+					}
+				}
+			}
+			got[g] = m
+		}(g)
+	}
+	wg.Wait()
+
+	for i, src := range main.Locs {
+		for j, dst := range main.Locs {
+			want := answer{
+				wrbt: fresh.WrBt(src, dst, live),
+				by:   fresh.By(src, dst),
+				pd:   fresh.Postdominates(dst, src),
+			}
+			key := i*len(main.Locs) + j
+			for g := 0; g < 8; g++ {
+				if got[g][key] != want {
+					t.Fatalf("goroutine %d pair (%s,%s): got %+v, want %+v", g, src, dst, got[g][key], want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package smt
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"pathslice/internal/logic"
+)
+
+// DefaultCacheSize is the entry bound NewCache applies when the caller
+// passes a non-positive capacity.
+const DefaultCacheSize = 1 << 16
+
+// Cache memoizes definitive solver verdicts across queries. Keys are
+// canonical serializations (logic.Key), so two queries that differ only
+// in the fresh-variable counter they were generated under share one
+// entry. Only Sat and Unsat verdicts are stored: they are
+// limit-independent (Unsat verdicts are exact, Sat verdicts carry a
+// validated model), whereas Unknown depends on the Limits in force and
+// must be re-derived. A hit returns the verdict without a model — the
+// model of the original solve is not transferable across the renaming
+// the canonical key quotients out — so callers that need a witness must
+// call Solve directly.
+//
+// The cache is sharded and safe for concurrent use; each shard is an
+// LRU list bounded so the total entry count stays at the configured
+// capacity.
+type Cache struct {
+	shards   []cacheShard
+	perShard int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	m     map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	st  Status
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+// Misses counts actual decision-procedure runs issued through the
+// cache (including ones whose Unknown verdict was not stored).
+type CacheStats struct {
+	Hits, Misses, Evictions, Entries int64
+}
+
+// NewCache returns a cache bounded to roughly capacity entries
+// (DefaultCacheSize when capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	const nShards = 16
+	per := (capacity + nShards - 1) / nShards
+	c := &Cache{shards: make([]cacheShard, nShards), perShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*list.Element)
+		c.shards[i].order = list.New()
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Solve decides f, consulting and populating the cache.
+func (c *Cache) Solve(f logic.Formula) Result { return c.SolveWithLimits(f, Limits{}) }
+
+// SolveWithLimits decides f under explicit limits, consulting and
+// populating the cache. Cached verdicts are returned regardless of lim:
+// they are definitive for any limit setting.
+func (c *Cache) SolveWithLimits(f logic.Formula, lim Limits) Result {
+	key := logic.Key(f)
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.m[key]; ok {
+		sh.order.MoveToFront(el)
+		st := el.Value.(*cacheEntry).st
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return Result{Status: st}
+	}
+	sh.mu.Unlock()
+
+	c.misses.Add(1)
+	r := SolveWithLimits(f, lim)
+	if r.Status == StatusUnknown {
+		return r
+	}
+	sh.mu.Lock()
+	if _, ok := sh.m[key]; !ok {
+		sh.m[key] = sh.order.PushFront(&cacheEntry{key: key, st: r.Status})
+		if sh.order.Len() > c.perShard {
+			oldest := sh.order.Back()
+			sh.order.Remove(oldest)
+			delete(sh.m, oldest.Value.(*cacheEntry).key)
+			c.evictions.Add(1)
+		}
+	}
+	sh.mu.Unlock()
+	return r
+}
+
+// Stats snapshots the hit/miss/eviction counters and the current entry
+// count.
+func (c *Cache) Stats() CacheStats {
+	s := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += int64(len(sh.m))
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// CachedSolve decides f through cache c; a nil cache falls back to the
+// plain solver, so callers can thread an optional cache without
+// branching.
+func CachedSolve(c *Cache, f logic.Formula) Result {
+	if c == nil {
+		return Solve(f)
+	}
+	return c.Solve(f)
+}

@@ -1,6 +1,9 @@
 package smt
 
-import "math/big"
+import (
+	"math/big"
+	"sort"
+)
 
 // Interval constraint propagation: a cheap, sound UNSAT pre-filter run
 // before the simplex. For a conjunction of normalized linear atoms it
@@ -84,7 +87,12 @@ func icpCheck(atoms []LinAtom, maxRounds int) Status {
 	type atom struct {
 		kind   AtomKind
 		coeffs map[string]int64
-		k      int64
+		// vars holds the coefficient keys in sorted order: propagation
+		// tightens bounds in place, so with a bounded round count the
+		// visit order decides the state reached at cutoff. Deterministic
+		// order keeps solver statuses reproducible across runs.
+		vars []string
+		k    int64
 	}
 	var as []atom
 	for _, a := range atoms {
@@ -99,9 +107,11 @@ func icpCheck(atoms []LinAtom, maxRounds int) Status {
 				break
 			}
 			conv.coeffs[v] = c.Int64()
+			conv.vars = append(conv.vars, v)
 			get(v)
 		}
 		if ok {
+			sort.Strings(conv.vars)
 			as = append(as, conv)
 		}
 	}
@@ -110,12 +120,14 @@ func icpCheck(atoms []LinAtom, maxRounds int) Status {
 		for _, a := range as {
 			// Σ cᵢxᵢ + k ≤ 0 (and, for Eq, also ≥ 0).
 			// For each variable j: cⱼxⱼ ≤ -k - Σ_{i≠j} min(cᵢxᵢ).
-			for j, cj := range a.coeffs {
+			for _, j := range a.vars {
+				cj := a.coeffs[j]
 				ivj := get(j)
 				// Upper side (≤): uses minima of the other terms.
 				restMin := a.k
 				okMin := true
-				for i, ci := range a.coeffs {
+				for _, i := range a.vars {
+					ci := a.coeffs[i]
 					if i == j {
 						continue
 					}
@@ -158,7 +170,8 @@ func icpCheck(atoms []LinAtom, maxRounds int) Status {
 					// Also Σ cᵢxᵢ + k ≥ 0: cⱼxⱼ ≥ -k - Σ_{i≠j} max(cᵢxᵢ).
 					restMax := a.k
 					okMax := true
-					for i, ci := range a.coeffs {
+					for _, i := range a.vars {
+						ci := a.coeffs[i]
 						if i == j {
 							continue
 						}

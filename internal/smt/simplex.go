@@ -79,7 +79,18 @@ func (s *simplex) addConstraint(coeffs map[string]*big.Int, lo, hi *big.Rat) int
 	slack := s.newVar("")
 	row := make(map[int]*big.Rat, len(coeffs))
 	v := new(big.Rat)
-	for name, c := range coeffs {
+	// Sorted iteration: varOf interns ids in first-seen order and
+	// Bland's rule pivots on the smallest id, so the iteration order
+	// here decides the pivot sequence — and with it whether a borderline
+	// instance exhausts maxPivots (Unknown) or finishes. Keep it
+	// deterministic so solver statuses are reproducible across runs.
+	names := make([]string, 0, len(coeffs))
+	for name := range coeffs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := coeffs[name]
 		x := s.varOf(name)
 		cr := new(big.Rat).SetInt(c)
 		if s.isBasic[x] {

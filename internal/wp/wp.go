@@ -421,17 +421,30 @@ func addSubstFromFormulas(fs []logic.Formula, sub map[string]logic.Term, freshID
 			names[v] = struct{}{}
 		}
 	}
-	for name := range names {
+	// Sorted iteration: freshID is consumed per name, so the order
+	// decides which $f number each variable gets. Keeping it
+	// deterministic keeps the emitted formulas — and hence the solver
+	// cache keys — identical across runs.
+	for _, name := range sortedNames(names) {
 		addStrip(name, sub, freshID)
 	}
 }
 
 func stripSubstNames(names map[string]struct{}, freshID *int) map[string]logic.Term {
 	sub := make(map[string]logic.Term)
-	for name := range names {
+	for _, name := range sortedNames(names) {
 		addStrip(name, sub, freshID)
 	}
 	return sub
+}
+
+func sortedNames(names map[string]struct{}) []string {
+	out := make([]string, 0, len(names))
+	for name := range names {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func addStrip(name string, sub map[string]logic.Term, freshID *int) {
