@@ -1,16 +1,17 @@
 # Tier-1 gate: everything a PR must keep green. `make check` is the
-# canonical pre-merge command (build, vet, full tests, and the race
+# canonical pre-merge command (build, vet, full tests, the race
 # detector over the packages that share state across goroutines —
-# the CEGAR worker pool, the solver cache, and the dataflow query
-# caches behind a shared Slicer).
+# the CEGAR worker pool, the solver cache, the dataflow query
+# caches behind a shared Slicer, and the obs metrics/trace layer —
+# and the docs checker).
 
 GO ?= go
 
-RACE_PKGS = ./internal/cegar/ ./internal/core/ ./internal/dataflow/ ./internal/smt/
+RACE_PKGS = ./internal/cegar/ ./internal/core/ ./internal/dataflow/ ./internal/obs/ ./internal/smt/
 
-.PHONY: check build vet test race bench experiments
+.PHONY: check build vet test race docs-check bench experiments
 
-check: build vet test race
+check: build vet test race docs-check
 
 build:
 	$(GO) build ./...
@@ -23,6 +24,11 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Fails on broken relative links in *.md and on `pkg.Ident` doc
+# references that no longer name an exported identifier.
+docs-check:
+	$(GO) run ./cmd/doccheck
 
 bench:
 	$(GO) test -bench=. -benchmem .

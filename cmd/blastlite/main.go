@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	blastlite [-noslice] [-dfs] [-file-property] [-maxwork n] [-workers n] [-v] file.mc
+//	blastlite [-noslice] [-dfs] [-file-property] [-maxwork n] [-workers n]
+//	          [-trace-out f] [-metrics-addr a] [-v] file.mc
 //
 // With -file-property the program may call the fopen/fclose/fgets/
 // fprintf/fputs intrinsics; it is instrumented for the file-handling
 // property of §5 and each check cluster is verified independently.
+//
+// Observability (docs/OBSERVABILITY.md): -trace-out writes a JSONL
+// event log ("-" for stderr) and prints the per-phase time/call table
+// on exit; -metrics-addr serves /metrics (Prometheus text),
+// /debug/vars, and /debug/pprof over HTTP while the check runs.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"pathslice/internal/lang/ast"
 	"pathslice/internal/lang/parser"
 	"pathslice/internal/lang/types"
+	"pathslice/internal/obs"
 )
 
 func main() {
@@ -33,12 +40,18 @@ func main() {
 	maxWork := flag.Int("maxwork", 0, "work budget per check (0 = default)")
 	workers := flag.Int("workers", 1, "CEGAR solver workers: parallel per-predicate entailment queries in the abstract post")
 	noCache := flag.Bool("nocache", false, "disable the solver result cache and abstract-post memoization")
+	traceOut := flag.String("trace-out", "", "write a JSONL trace event log to this file (\"-\" for stderr) and print the per-phase table")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :8080)")
 	verbose := flag.Bool("v", false, "print witnesses")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: blastlite [flags] file.mc")
 		flag.Usage()
 		os.Exit(2)
+	}
+	shutdown, err := obs.Setup(*traceOut, *metricsAddr)
+	if err != nil {
+		fatal(err)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -53,22 +66,35 @@ func main() {
 		DisablePostMemo:    *noCache,
 	}
 
+	var totals checkTotals
 	if *fileProp {
-		checkProperty(string(src), opts, *verbose, instrument.Instrument)
-		return
+		checkProperty(string(src), opts, *verbose, &totals, instrument.Instrument)
+	} else if *lockProp {
+		checkProperty(string(src), opts, *verbose, &totals, instrument.InstrumentLocks)
+	} else {
+		prog, err := compile.Source(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		checkProgram(prog, opts, *verbose, &totals)
 	}
-	if *lockProp {
-		checkProperty(string(src), opts, *verbose, instrument.InstrumentLocks)
-		return
-	}
-	prog, err := compile.Source(string(src))
-	if err != nil {
+	// The trace log's cegar_solver_calls counter is defined to equal
+	// the sum of Result.SolverCalls over every check this run
+	// performed (docs/OBSERVABILITY.md).
+	obs.RecordCounter("cegar_solver_calls", totals.SolverCalls)
+	obs.RecordCounter("cegar_checks", totals.Checks)
+	if err := shutdown(); err != nil {
 		fatal(err)
 	}
-	checkProgram(prog, opts, *verbose)
 }
 
-func checkProgram(prog *cfa.Program, opts cegar.Options, verbose bool) {
+// checkTotals accumulates run-wide counters for the trace summary.
+type checkTotals struct {
+	Checks      int64
+	SolverCalls int64
+}
+
+func checkProgram(prog *cfa.Program, opts cegar.Options, verbose bool, totals *checkTotals) {
 	locs := prog.ErrorLocs()
 	if len(locs) == 0 {
 		fmt.Println("no error locations to check")
@@ -77,6 +103,8 @@ func checkProgram(prog *cfa.Program, opts cegar.Options, verbose bool) {
 	checker := cegar.New(prog, opts)
 	for _, target := range locs {
 		r := checker.Check(target)
+		totals.Checks++
+		totals.SolverCalls += r.SolverCalls
 		fmt.Printf("%s: %s (refinements %d, work %d, predicates %d, solver calls %d, cache %d/%d hit, memo hits %d)\n",
 			target, r.Verdict, r.Refinements, r.Work, r.Predicates,
 			r.SolverCalls, r.CacheHits, r.CacheHits+r.CacheMisses, r.PostMemoHits)
@@ -90,9 +118,11 @@ func checkProgram(prog *cfa.Program, opts cegar.Options, verbose bool) {
 	}
 }
 
-func checkProperty(src string, opts cegar.Options, verbose bool,
+func checkProperty(src string, opts cegar.Options, verbose bool, totals *checkTotals,
 	pass func(*ast.Program) (*instrument.Result, error)) {
+	sp := obs.StartSpan(obs.PhaseParse)
 	astProg, err := parser.Parse([]byte(src))
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -106,16 +136,20 @@ func checkProperty(src string, opts cegar.Options, verbose bool,
 		if err != nil {
 			fatal(err)
 		}
+		sp = obs.StartSpan(obs.PhaseTypecheck)
 		info, err := types.Check(clusterProg)
+		sp.End()
 		if err != nil {
 			fatal(err)
 		}
+		sp = obs.StartSpan(obs.PhaseCFA)
 		cprog, err := cfa.Build(info)
+		sp.End()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("== cluster %s (%d sites)\n", cl.Function, cl.Sites)
-		checkProgram(cprog, opts, verbose)
+		checkProgram(cprog, opts, verbose, totals)
 	}
 }
 

@@ -8,8 +8,14 @@
 // Usage:
 //
 //	experiments [-table1] [-fig5] [-fig6] [-scale f] [-gccscale f] [-traces n]
+//	            [-trace-out f] [-metrics-addr a]
 //
 // Without flags, all three artifacts are produced.
+//
+// Observability (docs/OBSERVABILITY.md): -trace-out writes a JSONL
+// event log ("-" for stderr) and prints the per-phase time/call table
+// on exit; -metrics-addr serves /metrics, /debug/vars, /debug/pprof —
+// useful for watching a long gcc-class run converge.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"pathslice/internal/bench"
 	"pathslice/internal/cegar"
+	"pathslice/internal/obs"
 	"pathslice/internal/synth"
 )
 
@@ -35,8 +42,16 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel cluster checks")
 	solverWorkers := flag.Int("solver-workers", 1, "parallel per-predicate solver queries inside each abstract post")
 	noCache := flag.Bool("nocache", false, "disable the solver result cache and abstract-post memoization")
+	traceOut := flag.String("trace-out", "", "write a JSONL trace event log to this file (\"-\" for stderr) and print the per-phase table")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :8080)")
 	flag.Parse()
 	all := !*table1 && !*fig5 && !*fig6 && !*muh && !*gccTable
+
+	shutdown, err := obs.Setup(*traceOut, *metricsAddr)
+	if err != nil {
+		fatal(err)
+	}
+	var totalChecks, totalSolverCalls int64
 
 	var rows []*bench.BenchmarkResult
 	if *table1 || *fig5 || all {
@@ -55,6 +70,8 @@ func main() {
 			fmt.Printf("  %-8s done: %d/%d/%d (safe/error/timeout), %d refinements, %d solver calls (cache hit %.0f%%, memo hits %d)\n",
 				p.Name, row.Safe, row.Err, row.Timeout, row.Refinements,
 				row.SolverCalls, 100*row.CacheHitRate(), row.PostMemoHits)
+			totalChecks += int64(row.Clusters)
+			totalSolverCalls += row.SolverCalls
 			rows = append(rows, row)
 		}
 	}
@@ -97,6 +114,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		totalChecks += int64(row.Clusters)
+		totalSolverCalls += row.SolverCalls
 		fmt.Printf("muh (IRC proxy, heap-stored handles): %d checks -> %d reported violations, %d safe, %d timeout\n",
 			row.Clusters, row.Err, row.Safe, row.Timeout)
 		fmt.Printf("  (paper: 9 of 14 instrumented functions failed — imprecise heap modeling;\n")
@@ -117,6 +136,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		totalChecks += int64(row.Clusters)
+		totalSolverCalls += row.SolverCalls
 		finished := row.Safe + row.Err
 		fmt.Printf("gcc-class under a tight per-check budget: %d of %d checks finished (%d safe, %d error, %d timeout)\n",
 			finished, row.Clusters, row.Safe, row.Err, row.Timeout)
@@ -140,6 +161,15 @@ func main() {
 		bench.SortPoints(pts)
 		fmt.Println(bench.RenderScatter(
 			fmt.Sprintf("Figure 6: trace projection results for gcc-class (%d counterexamples)", len(pts)), pts))
+	}
+
+	// The trace log's cegar_solver_calls counter is defined to equal
+	// the sum of per-cluster Result.SolverCalls over every benchmark
+	// run this invocation performed (docs/OBSERVABILITY.md).
+	obs.RecordCounter("cegar_solver_calls", totalSolverCalls)
+	obs.RecordCounter("cegar_checks", totalChecks)
+	if err := shutdown(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	pathslice [-long] [-unroll k] [-early] [-skipfns] [-v] file.mc
+//	pathslice [-long] [-unroll k] [-early] [-skipfns] [-trace-out f]
+//	          [-metrics-addr a] [-v] file.mc
 //
 // The candidate path is found by a data-free graph search (the kind of
 // possibly-infeasible counterexample an imprecise static analysis
 // returns); -long unrolls loops like a DFS model checker would.
+//
+// Observability (docs/OBSERVABILITY.md): -trace-out writes a JSONL
+// event log ("-" for stderr) and prints the per-phase time/call table
+// on exit; -metrics-addr serves /metrics, /debug/vars, /debug/pprof.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"pathslice/internal/cfa"
 	"pathslice/internal/compile"
 	"pathslice/internal/core"
+	"pathslice/internal/obs"
 	"pathslice/internal/report"
 	"pathslice/internal/smt"
 )
@@ -28,12 +34,18 @@ func main() {
 	early := flag.Bool("early", false, "enable the early-unsat-stop optimization (§4.2)")
 	skip := flag.Bool("skipfns", false, "enable the function-skipping optimization (§4.2; loses completeness)")
 	trace := flag.Bool("trace", false, "print the annotated backward pass (live sets and step locations, like Fig. 1(C))")
+	traceOut := flag.String("trace-out", "", "write a JSONL trace event log to this file (\"-\" for stderr) and print the per-phase table")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :8080)")
 	verbose := flag.Bool("v", false, "print the input path and the slice")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pathslice [flags] file.mc")
 		flag.Usage()
 		os.Exit(2)
+	}
+	shutdown, err := obs.Setup(*traceOut, *metricsAddr)
+	if err != nil {
+		fatal(err)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -92,6 +104,9 @@ func main() {
 		default:
 			fmt.Printf("  verdict: UNKNOWN (solver limits)\n")
 		}
+	}
+	if err := shutdown(); err != nil {
+		fatal(err)
 	}
 }
 

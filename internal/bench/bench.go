@@ -19,6 +19,7 @@ import (
 	"pathslice/internal/instrument"
 	"pathslice/internal/lang/parser"
 	"pathslice/internal/lang/types"
+	"pathslice/internal/obs"
 	"pathslice/internal/synth"
 )
 
@@ -69,7 +70,9 @@ type BenchmarkResult struct {
 // program ready for checking.
 func CompileProfile(p synth.Profile) (*instrument.Result, error) {
 	src := synth.Generate(p)
+	sp := obs.StartSpan(obs.PhaseParse)
 	prog, err := parser.Parse([]byte(src))
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: parse: %w", p.Name, err)
 	}
@@ -157,6 +160,21 @@ func RunBenchmarkParallel(p synth.Profile, opts cegar.Options, workers int) (*Be
 		res.PostMemoHits += out.PostMemoHits
 		res.Traces = append(res.Traces, out.Traces...)
 	}
+	// One telemetry event per Table-1 row, so a -trace-out log of a
+	// benchmark run carries the same aggregates the table prints.
+	obs.Event("bench-row", map[string]any{
+		"profile":        p.Name,
+		"clusters":       res.Clusters,
+		"safe":           res.Safe,
+		"error":          res.Err,
+		"timeout":        res.Timeout,
+		"refinements":    res.Refinements,
+		"solver_calls":   res.SolverCalls,
+		"cache_hits":     res.CacheHits,
+		"cache_misses":   res.CacheMisses,
+		"post_memo_hits": res.PostMemoHits,
+		"total_ms":       res.TotalTime.Milliseconds(),
+	})
 	return res, nil
 }
 
@@ -177,11 +195,15 @@ func runCluster(ins *instrument.Result, fn string, opts cegar.Options) (*CheckOu
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan(obs.PhaseTypecheck)
 	info, err := types.Check(clusterProg)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("cluster %s: typecheck: %w", fn, err)
 	}
+	sp = obs.StartSpan(obs.PhaseCFA)
 	cprog, err := cfa.Build(info)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("cluster %s: cfa: %w", fn, err)
 	}
@@ -272,11 +294,15 @@ func PointsFromTraces(traces []cegar.TraceStat) []Point {
 // each, producing the scatter data for the large-trace regime. The
 // unrollings list controls trace lengths; maxTraces bounds the total.
 func SliceSweep(ins *instrument.Result, unrollings []int, maxTraces int) ([]cegar.TraceStat, error) {
+	sp := obs.StartSpan(obs.PhaseTypecheck)
 	info, err := types.Check(ins.Prog)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = obs.StartSpan(obs.PhaseCFA)
 	cprog, err := cfa.Build(info)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

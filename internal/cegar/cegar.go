@@ -15,6 +15,13 @@
 // Without slicing (Options.UseSlicing = false), the raw counterexample
 // is analyzed instead — the configuration the paper reports "did not
 // scale to any of these examples".
+//
+// The loop is instrumented through internal/obs: every Check emits a
+// "check" span, every refinement round a "cegar-iteration" span (with
+// predicate counts and counterexample/slice sizes as attributes), and
+// the registry accumulates cegar_* counters — solver calls, abstract
+// posts, post-memo hits, states explored, and the solver-worker queue
+// high-water mark. See docs/OBSERVABILITY.md for the catalogue.
 package cegar
 
 import (
@@ -29,8 +36,23 @@ import (
 	"pathslice/internal/lang/ast"
 	"pathslice/internal/lang/token"
 	"pathslice/internal/logic"
+	"pathslice/internal/obs"
 	"pathslice/internal/smt"
 	"pathslice/internal/wp"
+)
+
+// Registry metrics for the CEGAR loop (see docs/OBSERVABILITY.md).
+// Totals accumulate across every Checker in the process; per-check
+// attribution stays on Result.
+var (
+	mChecks           = obs.Default().Counter("cegar_checks_total")
+	mRefinements      = obs.Default().Counter("cegar_refinements_total")
+	mSolverCalls      = obs.Default().Counter("cegar_solver_calls_total")
+	mPostMemoHits     = obs.Default().Counter("cegar_post_memo_hits_total")
+	mAbstractPosts    = obs.Default().Counter("cegar_abstract_posts_total")
+	mStatesExplored   = obs.Default().Counter("cegar_states_explored_total")
+	mPredicates       = obs.Default().Gauge("cegar_predicates")
+	mSolverQueueDepth = obs.Default().Gauge("cegar_solver_queue_depth_max")
 )
 
 // Verdict classifies a check outcome.
@@ -232,9 +254,11 @@ func (c *Checker) solve(f logic.Formula) smt.Result {
 	return smt.CachedSolve(c.cache, f)
 }
 
-// CacheStats snapshots the checker's solver-cache counters (zero when
-// the cache is disabled).
-func (c *Checker) CacheStats() smt.CacheStats {
+// cacheStats snapshots the checker's solver-cache counters (zero when
+// the cache is disabled). The process-wide totals live on the obs
+// registry (smt_cache_*_total); this private view exists only to
+// compute per-check deltas for Result.
+func (c *Checker) cacheStats() smt.CacheStats {
 	if c.cache == nil {
 		return smt.CacheStats{}
 	}
@@ -243,94 +267,133 @@ func (c *Checker) CacheStats() smt.CacheStats {
 
 // Check decides reachability of target.
 func (c *Checker) Check(target *cfa.Loc) *Result {
+	csp := obs.StartNamedSpan(obs.PhaseCheck, "check "+target.String())
 	res := &Result{}
 	c.postMemo = make(map[string]*postMemoEntry)
 	startUncached := c.uncachedCalls.Load()
-	startCache := c.CacheStats()
+	startCache := c.cacheStats()
 	startMemo := c.memoHits
 	defer func() {
-		cs := c.CacheStats()
+		cs := c.cacheStats()
 		res.CacheHits = cs.Hits - startCache.Hits
 		res.CacheMisses = cs.Misses - startCache.Misses
 		res.SolverCalls = res.CacheMisses + c.uncachedCalls.Load() - startUncached
 		res.PostMemoHits = c.memoHits - startMemo
+		mChecks.Inc()
+		mRefinements.Add(int64(res.Refinements))
+		mSolverCalls.Add(res.SolverCalls)
+		mPostMemoHits.Add(res.PostMemoHits)
+		csp.EndWith(map[string]any{
+			"verdict":      res.Verdict.String(),
+			"refinements":  res.Refinements,
+			"work":         res.Work,
+			"predicates":   res.Predicates,
+			"solver_calls": res.SolverCalls,
+		})
 	}()
 	var preds []logic.Formula
 	seen := make(map[string]bool) // predicate strings, for dedup
 
-	for {
-		if res.Refinements >= c.opts.MaxRefinements {
+	for iter := 1; ; iter++ {
+		isp := obs.StartNamedSpan(obs.PhaseCEGARIter, fmt.Sprintf("iteration %d", iter))
+		attrs := map[string]any{"predicates": len(preds)}
+		mPredicates.Set(int64(len(preds)))
+		done := c.checkIteration(target, res, &preds, seen, attrs)
+		isp.EndWith(attrs)
+		if done {
+			return res
+		}
+	}
+}
+
+// checkIteration runs one round of the CEGAR loop — abstract
+// reachability, counterexample analysis (slice + feasibility), and
+// refinement — mutating res and preds. It reports whether the check
+// is decided; attrs collects the per-iteration trace attributes
+// (predicate count, counterexample and slice sizes, outcome).
+func (c *Checker) checkIteration(target *cfa.Loc, res *Result, preds *[]logic.Formula, seen map[string]bool, attrs map[string]any) bool {
+	if res.Refinements >= c.opts.MaxRefinements {
+		res.Verdict = VerdictTimeout
+		attrs["outcome"] = res.Verdict.String()
+		return true
+	}
+	path, work, exhausted := c.reach(target, *preds, c.opts.MaxWork-res.Work)
+	res.Work += work
+	if path == nil {
+		if exhausted || res.Work >= c.opts.MaxWork {
 			res.Verdict = VerdictTimeout
-			return res
-		}
-		path, work, exhausted := c.reach(target, preds, c.opts.MaxWork-res.Work)
-		res.Work += work
-		if path == nil {
-			if exhausted || res.Work >= c.opts.MaxWork {
-				res.Verdict = VerdictTimeout
-			} else {
-				res.Verdict = VerdictSafe
-			}
-			res.Predicates = len(preds)
-			return res
-		}
-		res.RawCounterexample = path
-		res.Refinements++
-
-		// Counterexample analysis phase: slice, then decide.
-		analyzed := path
-		var stat TraceStat
-		stat.TraceEdges = len(path)
-		stat.TraceBlocks = path.BasicBlocks()
-		if c.opts.UseSlicing {
-			sr, err := c.slicer.Slice(path)
-			if err != nil {
-				res.Verdict = VerdictDiverged
-				return res
-			}
-			analyzed = sr.Slice
-			stat.SliceEdges = sr.Stats.SliceEdges
-			stat.SliceBlocks = sr.Stats.SliceBlocks
-			if sr.KnownInfeasible {
-				// Early-stop already proved infeasibility.
-				res.Traces = append(res.Traces, stat)
-				newPreds, grew := c.refine(analyzed, preds, seen)
-				if !grew {
-					res.Verdict = VerdictDiverged
-					res.Predicates = len(preds)
-					return res
-				}
-				preds = newPreds
-				continue
-			}
 		} else {
-			stat.SliceEdges = stat.TraceEdges
-			stat.SliceBlocks = stat.TraceBlocks
+			res.Verdict = VerdictSafe
 		}
+		res.Predicates = len(*preds)
+		attrs["outcome"] = res.Verdict.String()
+		return true
+	}
+	res.RawCounterexample = path
+	res.Refinements++
+	attrs["trace_edges"] = len(path)
 
-		fr, _ := c.slicer.CheckFeasibility(analyzed)
-		res.Work += 50 // a feasibility query is heavy
-		switch fr.Status {
-		case smt.StatusSat, smt.StatusUnknown:
-			// Feasible slice (completeness: the target is reachable, or
-			// the program diverges). Unknown is reported as a potential
-			// bug, like tools do for unconfirmed counterexamples.
-			stat.Feasible = true
+	// Counterexample analysis phase: slice, then decide.
+	analyzed := path
+	var stat TraceStat
+	stat.TraceEdges = len(path)
+	stat.TraceBlocks = path.BasicBlocks()
+	if c.opts.UseSlicing {
+		sr, err := c.slicer.Slice(path)
+		if err != nil {
+			res.Verdict = VerdictDiverged
+			attrs["outcome"] = res.Verdict.String()
+			return true
+		}
+		analyzed = sr.Slice
+		stat.SliceEdges = sr.Stats.SliceEdges
+		stat.SliceBlocks = sr.Stats.SliceBlocks
+		attrs["slice_edges"] = stat.SliceEdges
+		if sr.KnownInfeasible {
+			// Early-stop already proved infeasibility.
 			res.Traces = append(res.Traces, stat)
-			res.Verdict = VerdictUnsafe
-			res.Witness = analyzed
-			res.Predicates = len(preds)
-			return res
-		case smt.StatusUnsat:
-			res.Traces = append(res.Traces, stat)
-			newPreds, grew := c.refine(analyzed, preds, seen)
+			newPreds, grew := c.refine(analyzed, *preds, seen)
 			if !grew {
 				res.Verdict = VerdictDiverged
-				res.Predicates = len(preds)
-				return res
+				res.Predicates = len(*preds)
+				attrs["outcome"] = res.Verdict.String()
+				return true
 			}
-			preds = newPreds
+			*preds = newPreds
+			attrs["outcome"] = "refined-early-stop"
+			return false
 		}
+	} else {
+		stat.SliceEdges = stat.TraceEdges
+		stat.SliceBlocks = stat.TraceBlocks
+	}
+
+	fr, _ := c.slicer.CheckFeasibility(analyzed)
+	res.Work += 50 // a feasibility query is heavy
+	switch fr.Status {
+	case smt.StatusSat, smt.StatusUnknown:
+		// Feasible slice (completeness: the target is reachable, or
+		// the program diverges). Unknown is reported as a potential
+		// bug, like tools do for unconfirmed counterexamples.
+		stat.Feasible = true
+		res.Traces = append(res.Traces, stat)
+		res.Verdict = VerdictUnsafe
+		res.Witness = analyzed
+		res.Predicates = len(*preds)
+		attrs["outcome"] = res.Verdict.String()
+		return true
+	default: // smt.StatusUnsat
+		res.Traces = append(res.Traces, stat)
+		newPreds, grew := c.refine(analyzed, *preds, seen)
+		if !grew {
+			res.Verdict = VerdictDiverged
+			res.Predicates = len(*preds)
+			attrs["outcome"] = res.Verdict.String()
+			return true
+		}
+		*preds = newPreds
+		attrs["outcome"] = "refined"
+		return false
 	}
 }
 
@@ -425,6 +488,8 @@ func (c *Checker) reach(target *cfa.Loc, preds []logic.Formula, budget int) (cfa
 	if budget <= 0 {
 		return nil, 0, true
 	}
+	sp := obs.StartSpan(obs.PhaseReach)
+	defer sp.End()
 	// Warm the predicate-scope table sequentially so the parallel post
 	// workers only ever read it.
 	if !c.opts.NoLocalize {
@@ -460,6 +525,7 @@ func (c *Checker) reach(target *cfa.Loc, preds []logic.Formula, budget int) (cfa
 			return extractPath(st), work, false
 		}
 		work++
+		mStatesExplored.Inc()
 		for _, e := range st.loc.Out {
 			succ, w := c.post(st, e, preds)
 			work += w
@@ -527,6 +593,7 @@ func (c *Checker) memoKey(st *absState, e *cfa.Edge) string {
 // configurations.
 func (c *Checker) post(st *absState, e *cfa.Edge, preds []logic.Formula) (*absState, int) {
 	work := 0
+	mAbstractPosts.Inc()
 
 	switch e.Op.Kind {
 	case cfa.OpCall:
@@ -619,6 +686,7 @@ func (c *Checker) post(st *absState, e *cfa.Edge, preds []logic.Formula) (*absSt
 			vals[i] = 0
 		}
 	}
+	mSolverQueueDepth.SetMax(int64(len(need)))
 	if nw := c.opts.SolverWorkers; nw > 1 && len(need) > 1 {
 		if nw > len(need) {
 			nw = len(need)
@@ -725,6 +793,8 @@ func extractPath(st *absState) cfa.Path {
 // refinement algorithm analyzes the output of the path slicer to find
 // why a path is infeasible" — §1, after [16]).
 func (c *Checker) refine(slice cfa.Path, preds []logic.Formula, seen map[string]bool) ([]logic.Formula, bool) {
+	sp := obs.StartSpan(obs.PhaseRefine)
+	defer sp.End()
 	grew := false
 	add := func(g logic.Formula) {
 		if g == nil || len(preds) >= c.opts.MaxPreds {

@@ -9,19 +9,26 @@ import (
 	"pathslice/internal/cfa"
 	"pathslice/internal/lang/parser"
 	"pathslice/internal/lang/types"
+	"pathslice/internal/obs"
 )
 
 // Source parses, checks, and lowers a MiniC program.
 func Source(src string) (*cfa.Program, error) {
+	sp := obs.StartSpan(obs.PhaseParse)
 	prog, err := parser.Parse([]byte(src))
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
+	sp = obs.StartSpan(obs.PhaseTypecheck)
 	info, err := types.Check(prog)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("typecheck: %w", err)
 	}
+	sp = obs.StartSpan(obs.PhaseCFA)
 	p, err := cfa.Build(info)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("cfa: %w", err)
 	}

@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"pathslice/internal/alias"
 	"pathslice/internal/cfa"
@@ -28,8 +29,19 @@ import (
 	"pathslice/internal/lang/ast"
 	"pathslice/internal/logic"
 	"pathslice/internal/modref"
+	"pathslice/internal/obs"
 	"pathslice/internal/smt"
 	"pathslice/internal/wp"
+)
+
+// Registry metrics for the slicer (see docs/OBSERVABILITY.md).
+var (
+	mSlices       = obs.Default().Counter("pathslice_slices_total")
+	mInputEdges   = obs.Default().Counter("pathslice_input_edges_total")
+	mSliceEdges   = obs.Default().Counter("pathslice_slice_edges_total")
+	mEarlyStops   = obs.Default().Counter("pathslice_early_stops_total")
+	mRatioPercent = obs.Default().Histogram("pathslice_slice_ratio_percent")
+	mSliceNS      = obs.Default().Histogram("pathslice_slice_ns")
 )
 
 // Options configures the slicer.
@@ -150,6 +162,12 @@ func NewWithOptions(prog *cfa.Program, opts Options) *Slicer {
 // Slice runs Algorithm PathSlice on path (which must be a valid program
 // path ending at the location of interest).
 func (s *Slicer) Slice(path cfa.Path) (*Result, error) {
+	sp := obs.StartSpan(obs.PhasePathSlice)
+	start := time.Now()
+	defer func() {
+		mSliceNS.ObserveDuration(time.Since(start))
+		sp.End()
+	}()
 	if err := path.Validate(s.Prog); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -268,6 +286,13 @@ func (s *Slicer) Slice(path cfa.Path) (*Result, error) {
 	}
 	res.Stats.SliceEdges = len(res.Slice)
 	res.Stats.SliceBlocks = res.Slice.BasicBlocks()
+	mSlices.Inc()
+	mInputEdges.Add(int64(res.Stats.InputEdges))
+	mSliceEdges.Add(int64(res.Stats.SliceEdges))
+	if res.Stats.EarlyStopped {
+		mEarlyStops.Inc()
+	}
+	mRatioPercent.Observe(int64(100 * res.Stats.Ratio()))
 	return res, nil
 }
 
@@ -331,6 +356,8 @@ func (s *Slicer) updateLive(op cfa.Op, live cfa.LvalSet) {
 // the decision procedure for a verdict. On StatusSat the returned model
 // gives an initial state witnessing WP.true.(Tr.slice).
 func (s *Slicer) CheckFeasibility(p cfa.Path) (smt.Result, *wp.TraceEncoder) {
+	sp := obs.StartSpan(obs.PhaseFeasibility)
+	defer sp.End()
 	enc := wp.NewTraceEncoder(s.Prog, s.Alias, s.Addrs)
 	f := enc.EncodeTrace(p.Ops())
 	return smt.SolveWithLimits(f, s.Opts.SolverLimits), enc

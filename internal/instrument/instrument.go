@@ -26,6 +26,7 @@ import (
 	"pathslice/internal/lang/ast"
 	"pathslice/internal/lang/parser"
 	"pathslice/internal/lang/token"
+	"pathslice/internal/obs"
 )
 
 // Intrinsics recognized by the pass.
@@ -69,6 +70,8 @@ func retStateVar(fn string) string { return fn + "__retstate" }
 // pure MiniC program with the property encoded as error-location
 // reachability. The input AST is not modified.
 func Instrument(prog *ast.Program) (*Result, error) {
+	sp := obs.StartSpan(obs.PhaseInstrument)
+	defer sp.End()
 	// Deep-copy via print/reparse so the caller's AST stays intact.
 	clone, err := parser.Parse([]byte(ast.Print(prog)))
 	if err != nil {
@@ -109,6 +112,8 @@ func Instrument(prog *ast.Program) (*Result, error) {
 // error statements become skips. This is the per-check program of the
 // paper's methodology.
 func ForCluster(instrumented *ast.Program, fn string) (*ast.Program, error) {
+	sp := obs.StartSpan(obs.PhaseInstrument)
+	defer sp.End()
 	clone, err := parser.Parse([]byte(ast.Print(instrumented)))
 	if err != nil {
 		return nil, fmt.Errorf("instrument: reparse failed: %w", err)

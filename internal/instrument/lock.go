@@ -7,6 +7,7 @@ import (
 	"pathslice/internal/lang/ast"
 	"pathslice/internal/lang/parser"
 	"pathslice/internal/lang/token"
+	"pathslice/internal/obs"
 )
 
 // Lock-discipline instrumentation: the other classic typestate check
@@ -35,6 +36,8 @@ func lkVar(name string) string { return name + "__lk" }
 // checks. The returned Result uses the same clustering scheme as the
 // file property.
 func InstrumentLocks(prog *ast.Program) (*Result, error) {
+	sp := obs.StartSpan(obs.PhaseInstrument)
+	defer sp.End()
 	clone, err := parser.Parse([]byte(ast.Print(prog)))
 	if err != nil {
 		return nil, fmt.Errorf("instrument: reparse failed: %w", err)

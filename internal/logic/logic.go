@@ -522,3 +522,41 @@ func Eval(f Formula, env map[string]int64) (bool, error) {
 
 // Equal reports structural equality of formulas.
 func Equal(a, b Formula) bool { return a.String() == b.String() }
+
+// Size returns the number of nodes (formula connectives, comparison
+// atoms, and term operators/leaves) in f — the formula-size measure
+// the observability layer reports for WP and trace formulas.
+func Size(f Formula) int {
+	switch f := f.(type) {
+	case Bool:
+		return 1
+	case Cmp:
+		return 1 + termSize(f.X) + termSize(f.Y)
+	case Not:
+		return 1 + Size(f.F)
+	case And:
+		n := 1
+		for _, g := range f.Fs {
+			n += Size(g)
+		}
+		return n
+	case Or:
+		n := 1
+		for _, g := range f.Fs {
+			n += Size(g)
+		}
+		return n
+	}
+	return 1
+}
+
+func termSize(t Term) int {
+	switch t := t.(type) {
+	case Bin:
+		return 1 + termSize(t.X) + termSize(t.Y)
+	case Neg:
+		return 1 + termSize(t.X)
+	default:
+		return 1
+	}
+}

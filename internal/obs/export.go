@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+)
+
+// Handler returns an http.Handler exporting the registry and the
+// process debug surfaces:
+//
+//	/metrics        registry in Prometheus text exposition format
+//	/debug/vars     expvar JSON (includes the registry snapshot
+//	                under the "pathslice" key)
+//	/debug/pprof/   net/http/pprof profiles (cpu, heap, goroutine, …)
+func Handler(r *Registry) http.Handler {
+	publishExpvarOnce(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+var expvarOnce sync.Once
+
+// publishExpvarOnce exposes the registry snapshot through expvar
+// exactly once per process (expvar.Publish panics on duplicates).
+func publishExpvarOnce(r *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("pathslice", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// Serve starts an HTTP listener for Handler(r) on addr and returns
+// the bound address (useful with ":0") and a shutdown function. The
+// server runs until the shutdown function is called or the process
+// exits.
+func Serve(addr string, r *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// Setup wires the standard observability flags of the pipeline
+// binaries: traceOut (path for the JSONL event log, "" for off,
+// "-" for stderr) and metricsAddr (HTTP listen address for Serve,
+// "" for off). When either is requested the default registry is
+// enabled. The returned shutdown function closes the tracer (emitting
+// the "phases" summary event), prints the per-phase table to stderr
+// when tracing was on, and stops the HTTP server; it is safe to call
+// when both features are off.
+func Setup(traceOut, metricsAddr string) (func() error, error) {
+	var (
+		tracer    *Tracer
+		traceFile *os.File
+		stopHTTP  func() error
+	)
+	if traceOut != "" {
+		w := os.Stderr
+		if traceOut != "-" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return nil, fmt.Errorf("obs: trace-out: %w", err)
+			}
+			traceFile = f
+			w = f
+		}
+		tracer = NewTracer(w)
+		SetTracer(tracer)
+		Default().SetEnabled(true)
+	}
+	if metricsAddr != "" {
+		Default().SetEnabled(true)
+		bound, stop, err := Serve(metricsAddr, Default())
+		if err != nil {
+			return nil, err
+		}
+		stopHTTP = stop
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", bound)
+	}
+	shutdown := func() error {
+		var firstErr error
+		if tracer != nil {
+			// Final registry totals ride along in the summary event so a
+			// trace file is self-contained.
+			for _, c := range Default().Snapshot().Counters {
+				if c.Value != 0 {
+					tracer.RecordCounter(c.Name, c.Value)
+				}
+			}
+			firstErr = tracer.Close()
+			SetTracer(nil)
+			if err := tracer.WritePhaseTable(os.Stderr); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if traceFile != nil {
+				if err := traceFile.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		if stopHTTP != nil {
+			if err := stopHTTP(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	return shutdown, nil
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge after SetMax(3) = %d, want 5 (max keeps larger)", got)
+	}
+	g.SetMax(11)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("gauge after SetMax(11) = %d, want 11", got)
+	}
+	h := r.Histogram("h_ns")
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1106 {
+		t.Fatalf("histogram count/sum = %d/%d, want 5/1106", h.Count(), h.Sum())
+	}
+	if m := h.Mean(); m < 221 || m > 222 {
+		t.Fatalf("histogram mean = %f, want ~221.2", m)
+	}
+}
+
+func TestRegistryHandleIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("same name must return the same counter handle")
+	}
+	if r.Gauge("y") != r.Gauge("y") {
+		t.Fatal("same name must return the same gauge handle")
+	}
+	if r.Histogram("z") != r.Histogram("z") {
+		t.Fatal("same name must return the same histogram handle")
+	}
+}
+
+func TestDisabledRegistryIsNoop(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(false)
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	c.Add(10)
+	c.Inc()
+	g.Set(10)
+	g.Add(1)
+	g.SetMax(99)
+	h.Observe(42)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled registry recorded values: c=%d g=%d h=%d",
+			c.Value(), g.Value(), h.Count())
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatalf("re-enabled counter = %d, want 1", c.Value())
+	}
+}
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.SetMax(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+}
+
+// TestRegistryConcurrentEmitters hammers one registry from many
+// goroutines while another flips the enabled switch and snapshots —
+// the -race run for the tentpole's "concurrency-safe registry" claim.
+func TestRegistryConcurrentEmitters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total")
+	g := r.Gauge("depth")
+	h := r.Histogram("lat_ns")
+	const (
+		emitters = 8
+		perG     = 2000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < emitters; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.SetMax(int64(id*perG + j))
+				h.Observe(int64(j % 128))
+				// Handle registration races too.
+				r.Counter("hot_total").Add(0)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Snapshot()
+			var sb strings.Builder
+			r.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != emitters*perG {
+		t.Fatalf("counter = %d, want %d", got, emitters*perG)
+	}
+	if h.Count() != emitters*perG {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), emitters*perG)
+	}
+	if g.Value() != emitters*perG-1 {
+		t.Fatalf("gauge max = %d, want %d", g.Value(), emitters*perG-1)
+	}
+}
+
+func TestHistogramQuantileAndBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q")
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	// Power-of-two buckets: the median of 1..1000 lands in the bucket
+	// holding 512, i.e. the upper bound must be >= 500 and a power of 2.
+	q := h.Quantile(0.5)
+	if q < 500 || q > 1024 {
+		t.Fatalf("p50 = %d, want within [500, 1024]", q)
+	}
+	if p100 := h.Quantile(1); p100 < 1000 {
+		t.Fatalf("p100 = %d, want >= 1000", p100)
+	}
+}
+
+func TestSnapshotAndPrometheusOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b").Set(-4)
+	r.Histogram("c_ns").Observe(9)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 1 || snap.Counters[0].Name != "a_total" || snap.Counters[0].Value != 3 {
+		t.Fatalf("bad counter snapshot: %+v", snap.Counters)
+	}
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Value != -4 {
+		t.Fatalf("bad gauge snapshot: %+v", snap.Gauges)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 1 {
+		t.Fatalf("bad histogram snapshot: %+v", snap.Histograms)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE a_total counter",
+		"a_total 3",
+		"# TYPE b gauge",
+		"b -4",
+		"# TYPE c_ns histogram",
+		`c_ns_bucket{le="+Inf"} 1`,
+		"c_ns_sum 9",
+		"c_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer aggregates per-phase wall time and optionally streams
+// structured JSONL events. All methods are safe for concurrent use.
+//
+// Every span contributes to the per-phase aggregate; only named spans
+// (StartNamedSpan) additionally emit a JSONL "span" event, so hot
+// phases like individual smt solves can be traced at aggregate cost
+// without drowning the event log.
+type Tracer struct {
+	start time.Time
+
+	mu       sync.Mutex
+	w        io.Writer // nil: aggregate only
+	phases   map[string]*PhaseStat
+	counters map[string]int64
+	werr     error
+	closed   bool
+}
+
+// PhaseStat is the aggregate for one phase: how often it ran and how
+// much wall time it consumed.
+type PhaseStat struct {
+	Phase string        `json:"phase"`
+	Calls int64         `json:"calls"`
+	Total time.Duration `json:"total_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// NewTracer returns a tracer streaming JSONL to w (nil for
+// aggregation only). The tracer's epoch — the zero point of every
+// event's at_us offset — is the call time.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{
+		start:    now(),
+		w:        w,
+		phases:   make(map[string]*PhaseStat),
+		counters: make(map[string]int64),
+	}
+	t.emit(traceEvent{T: "start", AtUS: 0})
+	return t
+}
+
+// Span is one in-flight phase measurement. The zero Span (returned by
+// the package helpers when no tracer is installed) is inert.
+type Span struct {
+	t     *Tracer
+	phase string
+	name  string
+	start time.Time
+}
+
+// StartSpan opens an aggregate-only span.
+func (t *Tracer) StartSpan(phase string) Span {
+	return Span{t: t, phase: phase, start: now()}
+}
+
+// StartNamedSpan opens a span that also emits a JSONL event on End.
+func (t *Tracer) StartNamedSpan(phase, name string) Span {
+	if name == "" {
+		name = phase
+	}
+	return Span{t: t, phase: phase, name: name, start: now()}
+}
+
+// End closes the span, folding its duration into the phase aggregate
+// and, for named spans, emitting the JSONL event.
+func (s Span) End() { s.EndWith(nil) }
+
+// EndWith is End with extra attributes attached to the emitted event
+// (ignored for aggregate-only spans).
+func (s Span) EndWith(attrs map[string]any) {
+	if s.t == nil {
+		return
+	}
+	d := now().Sub(s.start)
+	t := s.t
+	t.mu.Lock()
+	ps, ok := t.phases[s.phase]
+	if !ok {
+		ps = &PhaseStat{Phase: s.phase}
+		t.phases[s.phase] = ps
+	}
+	ps.Calls++
+	ps.Total += d
+	if d > ps.Max {
+		ps.Max = d
+	}
+	if s.name != "" {
+		t.emitLocked(traceEvent{
+			T:     "span",
+			Phase: s.phase,
+			Name:  s.name,
+			AtUS:  s.start.Sub(t.start).Microseconds(),
+			DurUS: d.Microseconds(),
+			Attrs: attrs,
+		})
+	}
+	t.mu.Unlock()
+}
+
+// traceEvent is one JSONL line. T discriminates the event kind:
+// "start", "span", "event", "counter", or "phases" (the closing
+// summary).
+type traceEvent struct {
+	T      string         `json:"t"`
+	Phase  string         `json:"phase,omitempty"`
+	Name   string         `json:"name,omitempty"`
+	AtUS   int64          `json:"at_us"`
+	DurUS  int64          `json:"dur_us,omitempty"`
+	Value  *int64         `json:"value,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+	Phases []phaseRow     `json:"phases,omitempty"`
+}
+
+// phaseRow is one row of the closing "phases" summary event.
+type phaseRow struct {
+	Phase   string `json:"phase"`
+	Calls   int64  `json:"calls"`
+	TotalUS int64  `json:"total_us"`
+	MaxUS   int64  `json:"max_us"`
+}
+
+// Event emits a free-form JSONL event.
+func (t *Tracer) Event(name string, attrs map[string]any) {
+	t.emit(traceEvent{T: "event", Name: name, AtUS: t.sinceStartUS(), Attrs: attrs})
+}
+
+// RecordCounter emits a counter observation as a JSONL event and
+// remembers the latest value for the closing summary. Re-recording a
+// name overwrites the remembered value, so cumulative totals can be
+// recorded incrementally and only the final one lands in the summary
+// table.
+func (t *Tracer) RecordCounter(name string, v int64) {
+	t.mu.Lock()
+	t.counters[name] = v
+	t.emitLocked(traceEvent{T: "counter", Name: name, AtUS: now().Sub(t.start).Microseconds(), Value: &v})
+	t.mu.Unlock()
+}
+
+// Counters returns a copy of the recorded counter observations.
+func (t *Tracer) Counters() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.counters))
+	for k, v := range t.counters {
+		out[k] = v
+	}
+	return out
+}
+
+func (t *Tracer) sinceStartUS() int64 { return now().Sub(t.start).Microseconds() }
+
+// emit writes one JSONL line (no-op without a writer). The first
+// write error is sticky and reported by Close.
+func (t *Tracer) emit(ev traceEvent) {
+	t.mu.Lock()
+	t.emitLocked(ev)
+	t.mu.Unlock()
+}
+
+func (t *Tracer) emitLocked(ev traceEvent) {
+	if t.w == nil || t.werr != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err == nil {
+		b = append(b, '\n')
+		_, err = t.w.Write(b)
+	}
+	if err != nil && t.werr == nil {
+		t.werr = err
+	}
+}
+
+// PhaseStats returns the per-phase aggregates, sorted by descending
+// total time.
+func (t *Tracer) PhaseStats() []PhaseStat {
+	t.mu.Lock()
+	out := make([]PhaseStat, 0, len(t.phases))
+	for _, ps := range t.phases {
+		out = append(out, *ps)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// Elapsed returns the wall time since the tracer was created.
+func (t *Tracer) Elapsed() time.Duration { return now().Sub(t.start) }
+
+// WritePhaseTable renders the aggregated per-phase breakdown in the
+// style of the paper's Table 2: one row per phase with call count,
+// total and mean time, and the share of wall-clock time. Only the
+// leaf phases — which partition the pipeline's time without overlap —
+// enter the "(accounted)" percentage sum. Detail phases (smt, wp),
+// whose spans nest inside leaves, and roll-up phases (check,
+// cegar-iteration), whose spans enclose leaves, are listed in
+// separate sections so their shares are visible but not double
+// counted.
+func (t *Tracer) WritePhaseTable(w io.Writer) error {
+	stats := t.PhaseStats()
+	wall := t.Elapsed()
+	var leaves, details, rollups []PhaseStat
+	for _, ps := range stats {
+		switch {
+		case RollupPhases[ps.Phase]:
+			rollups = append(rollups, ps)
+		case DetailPhases[ps.Phase]:
+			details = append(details, ps)
+		default:
+			leaves = append(leaves, ps)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-phase breakdown (wall %.3fs)\n", wall.Seconds())
+	fmt.Fprintf(&b, "%-16s %10s %12s %12s %7s\n", "phase", "calls", "total", "mean", "%wall")
+	var accounted time.Duration
+	for _, ps := range leaves {
+		accounted += ps.Total
+		fmt.Fprintf(&b, "%-16s %10d %12s %12s %6.1f%%\n",
+			ps.Phase, ps.Calls, fmtDur(ps.Total), fmtDur(meanDur(ps)), pct(ps.Total, wall))
+	}
+	fmt.Fprintf(&b, "%-16s %10s %12s %12s %6.1f%%\n", "(accounted)", "", fmtDur(accounted), "", pct(accounted, wall))
+	if len(details) > 0 {
+		fmt.Fprintf(&b, "nested detail (counted inside the phases above; not summed):\n")
+		for _, ps := range details {
+			fmt.Fprintf(&b, "%-16s %10d %12s %12s %6.1f%%\n",
+				ps.Phase, ps.Calls, fmtDur(ps.Total), fmtDur(meanDur(ps)), pct(ps.Total, wall))
+		}
+	}
+	if len(rollups) > 0 {
+		fmt.Fprintf(&b, "roll-ups (enclose the phases above; not summed):\n")
+		for _, ps := range rollups {
+			fmt.Fprintf(&b, "%-16s %10d %12s %12s %6.1f%%\n",
+				ps.Phase, ps.Calls, fmtDur(ps.Total), fmtDur(meanDur(ps)), pct(ps.Total, wall))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func meanDur(ps PhaseStat) time.Duration {
+	if ps.Calls == 0 {
+		return 0
+	}
+	return ps.Total / time.Duration(ps.Calls)
+}
+
+func pct(d, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return 100 * float64(d) / float64(wall)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+// Close emits the closing "phases" summary event (with the remembered
+// counter observations attached) and reports the first write error,
+// if any. The tracer keeps aggregating if used after Close, but emits
+// no further events.
+func (t *Tracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.werr
+	}
+	rows := make([]phaseRow, 0, len(t.phases))
+	for _, ps := range t.phases {
+		rows = append(rows, phaseRow{
+			Phase:   ps.Phase,
+			Calls:   ps.Calls,
+			TotalUS: ps.Total.Microseconds(),
+			MaxUS:   ps.Max.Microseconds(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Phase < rows[j].Phase })
+	var attrs map[string]any
+	if len(t.counters) > 0 {
+		attrs = make(map[string]any, len(t.counters))
+		for k, v := range t.counters {
+			attrs[k] = v
+		}
+	}
+	t.emitLocked(traceEvent{T: "phases", AtUS: now().Sub(t.start).Microseconds(), Phases: rows, Attrs: attrs})
+	t.closed = true
+	t.w = nil
+	return t.werr
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerAggregatesPhases(t *testing.T) {
+	tr := NewTracer(nil)
+	sp := tr.StartSpan(PhaseSMT)
+	sp.End()
+	tr.StartSpan(PhaseSMT).End()
+	tr.StartSpan(PhaseParse).End()
+	stats := tr.PhaseStats()
+	byPhase := map[string]PhaseStat{}
+	for _, ps := range stats {
+		byPhase[ps.Phase] = ps
+	}
+	if byPhase[PhaseSMT].Calls != 2 {
+		t.Fatalf("smt calls = %d, want 2", byPhase[PhaseSMT].Calls)
+	}
+	if byPhase[PhaseParse].Calls != 1 {
+		t.Fatalf("parse calls = %d, want 1", byPhase[PhaseParse].Calls)
+	}
+}
+
+func TestZeroSpanIsInert(t *testing.T) {
+	SetTracer(nil)
+	sp := StartSpan(PhaseSMT)
+	sp.End() // must not panic
+	StartNamedSpan(PhaseCheck, "x").EndWith(map[string]any{"k": 1})
+	Event("e", nil)
+	RecordCounter("c", 1)
+}
+
+// decodeJSONL decodes every line of the tracer output, failing the
+// test on any non-JSON line.
+func decodeJSONL(t *testing.T, b []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestTracerEmitsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.StartNamedSpan(PhaseCheck, "check main#1").EndWith(map[string]any{"verdict": "safe"})
+	tr.StartSpan(PhaseSMT).End() // aggregate-only: no event line
+	tr.Event("bench-row", map[string]any{"profile": "fcron"})
+	tr.RecordCounter("cegar_solver_calls", 42)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeJSONL(t, buf.Bytes())
+	kinds := make([]string, len(events))
+	for i, ev := range events {
+		kinds[i] = ev["t"].(string)
+	}
+	want := []string{"start", "span", "event", "counter", "phases"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+	span := events[1]
+	if span["phase"] != PhaseCheck || span["name"] != "check main#1" {
+		t.Fatalf("bad span event: %v", span)
+	}
+	if span["attrs"].(map[string]any)["verdict"] != "safe" {
+		t.Fatalf("span attrs lost: %v", span)
+	}
+	counter := events[3]
+	if counter["name"] != "cegar_solver_calls" || counter["value"].(float64) != 42 {
+		t.Fatalf("bad counter event: %v", counter)
+	}
+	summary := events[len(events)-1]
+	if summary["attrs"].(map[string]any)["cegar_solver_calls"].(float64) != 42 {
+		t.Fatalf("summary lost counters: %v", summary)
+	}
+	phases := summary["phases"].([]any)
+	if len(phases) != 2 { // check + smt
+		t.Fatalf("summary phases = %v, want check and smt", phases)
+	}
+}
+
+// TestTracerConcurrentEmitters runs named and aggregate spans, events,
+// and counters from many goroutines at once — the -race run for the
+// span recorder.
+func TestTracerConcurrentEmitters(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	SetTracer(tr)
+	defer SetTracer(nil)
+	const emitters = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for i := 0; i < emitters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				StartSpan(PhaseSMT).End()
+				if j%100 == 0 {
+					StartNamedSpan(PhaseCEGARIter, "iter").EndWith(map[string]any{"j": j})
+					Event("tick", nil)
+					RecordCounter("n", int64(j))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats := tr.PhaseStats()
+	var smtCalls int64
+	for _, ps := range stats {
+		if ps.Phase == PhaseSMT {
+			smtCalls = ps.Calls
+		}
+	}
+	if smtCalls != emitters*perG {
+		t.Fatalf("smt calls = %d, want %d", smtCalls, emitters*perG)
+	}
+	decodeJSONL(t, buf.Bytes()) // every line must still be valid JSON
+}
+
+func TestWritePhaseTableSections(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.StartSpan(PhaseReach).End()
+	tr.StartSpan(PhaseSMT).End()
+	tr.StartNamedSpan(PhaseCheck, "c").End()
+	time.Sleep(time.Millisecond) // ensure nonzero wall
+	var sb strings.Builder
+	if err := tr.WritePhaseTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	iReach := strings.Index(out, "reach")
+	iAcc := strings.Index(out, "(accounted)")
+	iDetail := strings.Index(out, "nested detail")
+	iSMT := strings.Index(out, "smt")
+	iRoll := strings.Index(out, "roll-ups")
+	iCheck := strings.Index(out, "check")
+	if iReach < 0 || iAcc < 0 || iDetail < 0 || iSMT < 0 || iRoll < 0 || iCheck < 0 {
+		t.Fatalf("table missing sections:\n%s", out)
+	}
+	// Leaves before the accounted line; detail and roll-ups after.
+	if !(iReach < iAcc && iAcc < iDetail && iDetail < iSMT && iSMT < iRoll && iRoll < iCheck) {
+		t.Fatalf("table sections out of order:\n%s", out)
+	}
+}
+
+func TestTracerCloseIsIdempotentAndStopsEmitting(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	tr.Event("after-close", nil)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Fatal("tracer emitted after Close")
+	}
+	// Aggregation still works after Close.
+	tr.StartSpan(PhaseSMT).End()
+	if tr.PhaseStats()[0].Calls != 1 {
+		t.Fatal("aggregation broken after Close")
+	}
+}

@@ -23,6 +23,14 @@ import (
 	"pathslice/internal/cfa"
 	"pathslice/internal/dataflow"
 	"pathslice/internal/modref"
+	"pathslice/internal/obs"
+)
+
+// Registry metrics for the static-slicer baseline (see
+// docs/OBSERVABILITY.md).
+var (
+	mStaticSlices       = obs.Default().Counter("progslice_slices_total")
+	mStaticRatioPercent = obs.Default().Histogram("progslice_slice_ratio_percent")
 )
 
 // Result is a static slice: a set of relevant edges.
@@ -77,7 +85,13 @@ func New(prog *cfa.Program) *Slicer {
 // Slice computes the backward static slice with respect to reaching
 // target.
 func (s *Slicer) Slice(target *cfa.Loc) *Result {
+	sp := obs.StartSpan("progslice")
+	defer func() { sp.End() }()
 	res := &Result{Relevant: make(map[int]bool), ProgramEdges: s.Prog.NumEdges()}
+	defer func() {
+		mStaticSlices.Inc()
+		mStaticRatioPercent.Observe(int64(100 * res.Ratio()))
+	}()
 
 	// Live variables of the criterion, grown monotonically
 	// (flow-insensitive, conservative).

@@ -50,6 +50,9 @@ type cacheEntry struct {
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 // Misses counts actual decision-procedure runs issued through the
 // cache (including ones whose Unknown verdict was not stored).
+// The same hits/misses/evictions are mirrored process-wide into the
+// obs registry as smt_cache_{hits,misses,evictions}_total; Stats
+// remains the per-cache view used for per-check attribution.
 type CacheStats struct {
 	Hits, Misses, Evictions, Entries int64
 }
@@ -91,11 +94,13 @@ func (c *Cache) SolveWithLimits(f logic.Formula, lim Limits) Result {
 		st := el.Value.(*cacheEntry).st
 		sh.mu.Unlock()
 		c.hits.Add(1)
+		mCacheHits.Inc()
 		return Result{Status: st}
 	}
 	sh.mu.Unlock()
 
 	c.misses.Add(1)
+	mCacheMisses.Inc()
 	r := SolveWithLimits(f, lim)
 	if r.Status == StatusUnknown {
 		return r
@@ -108,6 +113,7 @@ func (c *Cache) SolveWithLimits(f logic.Formula, lim Limits) Result {
 			sh.order.Remove(oldest)
 			delete(sh.m, oldest.Value.(*cacheEntry).key)
 			c.evictions.Add(1)
+			mCacheEvictions.Inc()
 		}
 	}
 	sh.mu.Unlock()

@@ -19,6 +19,13 @@
 // over-approximation). Sat comes with a model that has been validated
 // against the original formula. Unknown is returned when resource
 // limits are hit or no abstract model validates.
+//
+// Observability: every solve is wrapped in an obs span (phase "smt")
+// and the package mirrors its internals — solve counts and verdicts,
+// case splits, simplex pivots, per-solve latency, and Cache
+// hit/miss/eviction traffic — onto the process-wide obs registry (the
+// smt_* metrics; see docs/OBSERVABILITY.md). With observability
+// disabled every such update is a single atomic load plus a branch.
 package smt
 
 import (

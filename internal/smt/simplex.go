@@ -220,6 +220,7 @@ func (s *simplex) pivot(b, x int) {
 func (s *simplex) check() Status {
 	for {
 		s.pivots++
+		mSimplexPivots.Inc()
 		if s.pivots > s.maxPivots {
 			return StatusUnknown
 		}

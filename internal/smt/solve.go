@@ -2,8 +2,10 @@ package smt
 
 import (
 	"math/big"
+	"time"
 
 	"pathslice/internal/logic"
+	"pathslice/internal/obs"
 )
 
 // Result is a solver verdict with a model when satisfiable.
@@ -46,10 +48,25 @@ func Solve(f logic.Formula) Result { return SolveWithLimits(f, Limits{}) }
 
 // SolveWithLimits decides satisfiability of f under explicit limits.
 func SolveWithLimits(f logic.Formula, lim Limits) Result {
+	sp := obs.StartSpan(obs.PhaseSMT)
+	start := time.Now()
 	lim = lim.withDefaults()
 	s := &searcher{lin: newLinearizer(), lim: lim, orig: f}
 	nnf := logic.NNF(logic.Simplify(f))
 	st := s.search(nil, nil, []logic.Formula{nnf})
+	mSolves.Inc()
+	mLeafChecks.Add(int64(s.leaves))
+	mModelValid.Add(int64(s.tried))
+	mSolveNS.ObserveDuration(time.Since(start))
+	sp.End()
+	switch st {
+	case StatusSat:
+		mSat.Inc()
+	case StatusUnsat:
+		mUnsat.Inc()
+	default:
+		mUnknown.Inc()
+	}
 	switch {
 	case st == StatusSat:
 		return Result{Status: StatusSat, Model: s.model}
@@ -124,6 +141,7 @@ func (s *searcher) search(atoms []LinAtom, nes []neAtom, pending []logic.Formula
 }
 
 func (s *searcher) branchFormulas(atoms []LinAtom, nes []neAtom, pending []logic.Formula, alts []logic.Formula) Status {
+	mCaseSplits.Inc()
 	sawUnknown := false
 	for _, alt := range alts {
 		branchPending := make([]logic.Formula, len(pending)+1)

@@ -23,6 +23,15 @@ import (
 	"pathslice/internal/lang/ast"
 	"pathslice/internal/lang/token"
 	"pathslice/internal/logic"
+	"pathslice/internal/obs"
+)
+
+// Registry metrics for WP computation and trace encoding (see
+// docs/OBSERVABILITY.md).
+var (
+	mWPOps            = obs.Default().Counter("wp_ops_total")
+	mTraceEncodes     = obs.Default().Counter("wp_trace_encodes_total")
+	mTraceFormulaSize = obs.Default().Histogram("wp_trace_formula_size")
 )
 
 // AddrMap assigns each program variable a distinct nonzero address.
@@ -132,11 +141,16 @@ func (e *TraceEncoder) EncodeOp(op cfa.Op) logic.Formula {
 
 // EncodeTrace encodes a whole operation sequence as one conjunction.
 func (e *TraceEncoder) EncodeTrace(ops []cfa.Op) logic.Formula {
+	sp := obs.StartSpan(obs.PhaseWP)
 	fs := make([]logic.Formula, 0, len(ops))
 	for _, op := range ops {
 		fs = append(fs, e.EncodeOp(op))
 	}
-	return logic.MkAnd(fs...)
+	f := logic.MkAnd(fs...)
+	mTraceEncodes.Inc()
+	mTraceFormulaSize.Observe(int64(logic.Size(f)))
+	sp.End()
+	return f
 }
 
 func (e *TraceEncoder) assign(lhs cfa.Lvalue, rhs ast.Expr) logic.Formula {
@@ -335,6 +349,7 @@ func (e *TraceEncoder) DecodeInitialState(model map[string]int64, prog *cfa.Prog
 // over-approximates the precondition for the satisfiability queries the
 // model checker performs.
 func WPOp(phi logic.Formula, op cfa.Op, al *alias.Info, addrs *AddrMap, freshID *int) logic.Formula {
+	mWPOps.Inc()
 	switch op.Kind {
 	case cfa.OpAssume:
 		pred, side := predNoSSA(op.Pred, al, addrs, freshID)

@@ -1,0 +1,175 @@
+package pathslice
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathslice/internal/cegar"
+	"pathslice/internal/compile"
+	"pathslice/internal/obs"
+)
+
+// traceSchema lists, per event kind, which fields are required and
+// which are allowed — the JSONL contract documented in
+// docs/OBSERVABILITY.md. Every line a run emits must validate.
+var traceSchema = map[string]struct{ required, allowed []string }{
+	"start":   {required: []string{"t", "at_us"}, allowed: []string{"t", "at_us"}},
+	"span":    {required: []string{"t", "phase", "name", "at_us"}, allowed: []string{"t", "phase", "name", "at_us", "dur_us", "attrs"}},
+	"event":   {required: []string{"t", "name", "at_us"}, allowed: []string{"t", "name", "at_us", "attrs"}},
+	"counter": {required: []string{"t", "name", "at_us", "value"}, allowed: []string{"t", "name", "at_us", "value"}},
+	"phases":  {required: []string{"t", "at_us", "phases"}, allowed: []string{"t", "at_us", "phases", "attrs"}},
+}
+
+func validateTraceLine(line string) error {
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		return fmt.Errorf("not JSON: %v", err)
+	}
+	kind, _ := ev["t"].(string)
+	schema, ok := traceSchema[kind]
+	if !ok {
+		return fmt.Errorf("unknown event kind %q", kind)
+	}
+	for _, f := range schema.required {
+		if _, ok := ev[f]; !ok {
+			return fmt.Errorf("%s event missing required field %q", kind, f)
+		}
+	}
+	allowed := make(map[string]bool, len(schema.allowed))
+	for _, f := range schema.allowed {
+		allowed[f] = true
+	}
+	for f := range ev {
+		if !allowed[f] {
+			return fmt.Errorf("%s event has unexpected field %q", kind, f)
+		}
+	}
+	if at, ok := ev["at_us"].(float64); !ok || at < 0 {
+		return fmt.Errorf("%s event has bad at_us %v", kind, ev["at_us"])
+	}
+	return nil
+}
+
+// normalizeTrace reduces a JSONL log to its structural skeleton —
+// event kinds, phases, and counter names, without timings — so runs
+// on different machines compare equal.
+func normalizeTrace(t *testing.T, raw []byte) []string {
+	t.Helper()
+	var out []string
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+		switch kind := ev["t"].(string); kind {
+		case "span":
+			out = append(out, fmt.Sprintf("span %s", ev["phase"]))
+		case "event", "counter":
+			out = append(out, fmt.Sprintf("%s %s", kind, ev["name"]))
+		default:
+			out = append(out, kind)
+		}
+	}
+	return out
+}
+
+// TestTraceJSONLGolden runs a small blastlite-equivalent check with a
+// tracer attached and validates (a) every emitted line against the
+// JSONL schema, (b) that the cegar_solver_calls counter matches the
+// checker's Result exactly, and (c) the normalized event sequence
+// against a golden file. Set UPDATE_GOLDEN=1 to regenerate.
+func TestTraceJSONLGolden(t *testing.T) {
+	src, err := os.ReadFile("testdata/safe.mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	obs.SetTracer(tr)
+	defer obs.SetTracer(nil)
+
+	prog, err := compile.Source(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := prog.ErrorLocs()
+	if len(locs) == 0 {
+		t.Fatal("safe.mc has no error locations")
+	}
+	checker := cegar.New(prog, cegar.Options{UseSlicing: true})
+	var solverCalls int64
+	for _, target := range locs {
+		r := checker.Check(target)
+		if r.Verdict != cegar.VerdictSafe {
+			t.Fatalf("%s: verdict %s, want safe", target, r.Verdict)
+		}
+		solverCalls += r.SolverCalls
+	}
+	obs.RecordCounter("cegar_solver_calls", solverCalls)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("trace too short (%d lines):\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		if err := validateTraceLine(line); err != nil {
+			t.Errorf("schema violation: %v\n  line: %s", err, line)
+		}
+	}
+
+	// The counter event and the closing summary must both carry the
+	// exact solver-call total from the Results.
+	var sawCounter, sawSummary bool
+	for _, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatal(err)
+		}
+		switch ev["t"] {
+		case "counter":
+			if ev["name"] == "cegar_solver_calls" {
+				sawCounter = true
+				if got := int64(ev["value"].(float64)); got != solverCalls {
+					t.Errorf("counter event = %d, want %d", got, solverCalls)
+				}
+			}
+		case "phases":
+			sawSummary = true
+			attrs, _ := ev["attrs"].(map[string]any)
+			if got := int64(attrs["cegar_solver_calls"].(float64)); got != solverCalls {
+				t.Errorf("summary counter = %d, want %d", got, solverCalls)
+			}
+		}
+	}
+	if !sawCounter || !sawSummary {
+		t.Fatalf("missing counter (%v) or summary (%v) event", sawCounter, sawSummary)
+	}
+
+	// Golden comparison of the normalized event skeleton.
+	got := strings.Join(normalizeTrace(t, buf.Bytes()), "\n") + "\n"
+	golden := filepath.Join("testdata", "trace_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("normalized trace differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
