@@ -9,9 +9,9 @@ GO ?= go
 
 RACE_PKGS = ./internal/cegar/ ./internal/core/ ./internal/dataflow/ ./internal/obs/ ./internal/smt/
 
-.PHONY: check build vet test race docs-check bench experiments
+.PHONY: check build vet test race fuzz docs-check bench experiments
 
-check: build vet test race docs-check
+check: build vet test race fuzz docs-check
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,13 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Short native-fuzzing smoke over the byte-input boundaries (the MiniC
+# parser and the smt linearizer); `make FUZZTIME=5m fuzz` digs deeper.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/lang/parser/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/smt/ -run '^$$' -fuzz FuzzLinearize -fuzztime $(FUZZTIME)
 
 # Fails on broken relative links in *.md and on `pkg.Ident` doc
 # references that no longer name an exported identifier.

@@ -494,7 +494,7 @@ func BenchmarkAblation_BitsetVsBDD(b *testing.B) {
 			df := dataflow.Analyze(cprog, al, mr)
 			for ai := 0; ai < len(biggest.Locs); ai += 3 {
 				for bi := 0; bi < len(biggest.Locs); bi += 5 {
-					df.WrBt(biggest.Locs[ai], biggest.Locs[bi], live)
+					df.MustWrBt(biggest.Locs[ai], biggest.Locs[bi], live)
 				}
 			}
 		}

@@ -5,11 +5,20 @@
 // Usage:
 //
 //	blastlite [-noslice] [-dfs] [-file-property] [-maxwork n] [-workers n]
-//	          [-trace-out f] [-metrics-addr a] [-v] file.mc
+//	          [-deadline d] [-fault-* ...] [-trace-out f] [-metrics-addr a]
+//	          [-v] file.mc
 //
 // With -file-property the program may call the fopen/fclose/fgets/
 // fprintf/fputs intrinsics; it is instrumented for the file-handling
 // property of §5 and each check cluster is verified independently.
+//
+// Robustness (docs/ROBUSTNESS.md): -deadline bounds the wall-clock time
+// of each check (expiry yields a "timeout" verdict, never a wrong one);
+// the -fault-* flags install the deterministic fault injector.
+//
+// Exit codes: 0 every check safe, 1 internal error, 2 usage, 3 a
+// feasible counterexample was found, 4 some check timed out or was
+// undecided (and none found a bug).
 //
 // Observability (docs/OBSERVABILITY.md): -trace-out writes a JSONL
 // event log ("-" for stderr) and prints the per-phase time/call table
@@ -25,11 +34,21 @@ import (
 	"pathslice/internal/cegar"
 	"pathslice/internal/cfa"
 	"pathslice/internal/compile"
+	"pathslice/internal/faults"
 	"pathslice/internal/instrument"
 	"pathslice/internal/lang/ast"
 	"pathslice/internal/lang/parser"
 	"pathslice/internal/lang/types"
 	"pathslice/internal/obs"
+)
+
+// Exit codes (shared by all three binaries, docs/ROBUSTNESS.md).
+const (
+	exitOK       = 0
+	exitInternal = 1
+	exitUsage    = 2
+	exitUnsafe   = 3
+	exitTimeout  = 4
 )
 
 func main() {
@@ -42,12 +61,17 @@ func main() {
 	noCache := flag.Bool("nocache", false, "disable the solver result cache and abstract-post memoization")
 	traceOut := flag.String("trace-out", "", "write a JSONL trace event log to this file (\"-\" for stderr) and print the per-phase table")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :8080)")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline per check (0 = none); expiry reports a timeout verdict")
+	faultCfg := faults.FlagConfig(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print witnesses")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: blastlite [flags] file.mc")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+	if cfg := faultCfg(); cfg != nil {
+		faults.Install(faults.New(*cfg))
 	}
 	shutdown, err := obs.Setup(*traceOut, *metricsAddr)
 	if err != nil {
@@ -64,6 +88,7 @@ func main() {
 		SolverWorkers:      *workers,
 		DisableSolverCache: *noCache,
 		DisablePostMemo:    *noCache,
+		Deadline:           *deadline,
 	}
 
 	var totals checkTotals
@@ -86,12 +111,28 @@ func main() {
 	if err := shutdown(); err != nil {
 		fatal(err)
 	}
+	os.Exit(totals.exitCode())
 }
 
-// checkTotals accumulates run-wide counters for the trace summary.
+// checkTotals accumulates run-wide counters for the trace summary and
+// the process exit code.
 type checkTotals struct {
 	Checks      int64
 	SolverCalls int64
+	Unsafe      int64 // checks with a feasible counterexample
+	Undecided   int64 // timeout / diverged / unknown checks
+}
+
+// exitCode maps the run's verdicts to the shared exit-code scheme: a
+// found bug dominates, then undecided checks, then all-safe.
+func (t *checkTotals) exitCode() int {
+	switch {
+	case t.Unsafe > 0:
+		return exitUnsafe
+	case t.Undecided > 0:
+		return exitTimeout
+	}
+	return exitOK
 }
 
 func checkProgram(prog *cfa.Program, opts cegar.Options, verbose bool, totals *checkTotals) {
@@ -105,6 +146,15 @@ func checkProgram(prog *cfa.Program, opts cegar.Options, verbose bool, totals *c
 		r := checker.Check(target)
 		totals.Checks++
 		totals.SolverCalls += r.SolverCalls
+		switch {
+		case r.Verdict == cegar.VerdictUnsafe:
+			totals.Unsafe++
+		case !r.Verdict.Decided():
+			totals.Undecided++
+		}
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "blastlite: %s: contained internal error: %v\n", target, r.Err)
+		}
 		fmt.Printf("%s: %s (refinements %d, work %d, predicates %d, solver calls %d, cache %d/%d hit, memo hits %d)\n",
 			target, r.Verdict, r.Refinements, r.Work, r.Predicates,
 			r.SolverCalls, r.CacheHits, r.CacheHits+r.CacheMisses, r.PostMemoHits)
@@ -155,5 +205,5 @@ func checkProperty(src string, opts cegar.Options, verbose bool, totals *checkTo
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "blastlite:", err)
-	os.Exit(1)
+	os.Exit(exitInternal)
 }

@@ -8,9 +8,19 @@
 // Usage:
 //
 //	experiments [-table1] [-fig5] [-fig6] [-scale f] [-gccscale f] [-traces n]
-//	            [-trace-out f] [-metrics-addr a]
+//	            [-deadline d] [-fault-* ...] [-trace-out f] [-metrics-addr a]
 //
 // Without flags, all three artifacts are produced.
+//
+// Robustness (docs/ROBUSTNESS.md): -deadline bounds each cluster check
+// (expiry rolls into the timeout column, never a wrong verdict);
+// -fault-* installs the deterministic fault injector — useful for
+// measuring how gracefully the tables degrade under solver trouble.
+//
+// Exit codes: 0 all checks safe, 1 internal error, 2 usage, 3 some
+// benchmark check reported a bug, 4 some check timed out and none
+// reported a bug. Note the synthetic suite intentionally contains
+// buggy and timeout rows, so a successful full reproduction exits 3.
 //
 // Observability (docs/OBSERVABILITY.md): -trace-out writes a JSONL
 // event log ("-" for stderr) and prints the per-phase time/call table
@@ -26,8 +36,18 @@ import (
 
 	"pathslice/internal/bench"
 	"pathslice/internal/cegar"
+	"pathslice/internal/faults"
 	"pathslice/internal/obs"
 	"pathslice/internal/synth"
+)
+
+// Exit codes (shared by all three binaries, docs/ROBUSTNESS.md).
+const (
+	exitOK       = 0
+	exitInternal = 1
+	exitUsage    = 2
+	exitUnsafe   = 3
+	exitTimeout  = 4
 )
 
 func main() {
@@ -44,14 +64,26 @@ func main() {
 	noCache := flag.Bool("nocache", false, "disable the solver result cache and abstract-post memoization")
 	traceOut := flag.String("trace-out", "", "write a JSONL trace event log to this file (\"-\" for stderr) and print the per-phase table")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :8080)")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline per cluster check (0 = none); expiry counts as a timeout row")
+	faultCfg := faults.FlagConfig(flag.CommandLine)
 	flag.Parse()
 	all := !*table1 && !*fig5 && !*fig6 && !*muh && !*gccTable
+	if cfg := faultCfg(); cfg != nil {
+		faults.Install(faults.New(*cfg))
+	}
 
 	shutdown, err := obs.Setup(*traceOut, *metricsAddr)
 	if err != nil {
 		fatal(err)
 	}
 	var totalChecks, totalSolverCalls int64
+	var totalUnsafe, totalTimeout int64
+	tally := func(row *bench.BenchmarkResult) {
+		totalChecks += int64(row.Clusters)
+		totalSolverCalls += row.SolverCalls
+		totalUnsafe += int64(row.Err)
+		totalTimeout += int64(row.Timeout)
+	}
 
 	var rows []*bench.BenchmarkResult
 	if *table1 || *fig5 || all {
@@ -63,6 +95,7 @@ func main() {
 				SolverWorkers:      *solverWorkers,
 				DisableSolverCache: *noCache,
 				DisablePostMemo:    *noCache,
+				Deadline:           *deadline,
 			}, *workers)
 			if err != nil {
 				fatal(err)
@@ -70,8 +103,7 @@ func main() {
 			fmt.Printf("  %-8s done: %d/%d/%d (safe/error/timeout), %d refinements, %d solver calls (cache hit %.0f%%, memo hits %d)\n",
 				p.Name, row.Safe, row.Err, row.Timeout, row.Refinements,
 				row.SolverCalls, 100*row.CacheHitRate(), row.PostMemoHits)
-			totalChecks += int64(row.Clusters)
-			totalSolverCalls += row.SolverCalls
+			tally(row)
 			rows = append(rows, row)
 		}
 	}
@@ -110,12 +142,13 @@ func main() {
 		// typestate instrumentation cannot track them and most checks
 		// "fail" (possible-violation reports that are false alarms).
 		p := synth.MuhProfile(*scale)
-		row, err := bench.RunBenchmarkParallel(p, cegar.Options{UseSlicing: true, MaxWork: 60000}, *workers)
+		row, err := bench.RunBenchmarkParallel(p, cegar.Options{
+			UseSlicing: true, MaxWork: 60000, Deadline: *deadline,
+		}, *workers)
 		if err != nil {
 			fatal(err)
 		}
-		totalChecks += int64(row.Clusters)
-		totalSolverCalls += row.SolverCalls
+		tally(row)
 		fmt.Printf("muh (IRC proxy, heap-stored handles): %d checks -> %d reported violations, %d safe, %d timeout\n",
 			row.Clusters, row.Err, row.Safe, row.Timeout)
 		fmt.Printf("  (paper: 9 of 14 instrumented functions failed — imprecise heap modeling;\n")
@@ -132,12 +165,12 @@ func main() {
 		row, err := bench.RunBenchmarkParallel(p, cegar.Options{
 			UseSlicing: true,
 			MaxWork:    55000, // tight: the gcc regime overwhelms roughly half the checks
+			Deadline:   *deadline,
 		}, *workers)
 		if err != nil {
 			fatal(err)
 		}
-		totalChecks += int64(row.Clusters)
-		totalSolverCalls += row.SolverCalls
+		tally(row)
 		finished := row.Safe + row.Err
 		fmt.Printf("gcc-class under a tight per-check budget: %d of %d checks finished (%d safe, %d error, %d timeout)\n",
 			finished, row.Clusters, row.Safe, row.Err, row.Timeout)
@@ -171,9 +204,16 @@ func main() {
 	if err := shutdown(); err != nil {
 		fatal(err)
 	}
+	switch {
+	case totalUnsafe > 0:
+		os.Exit(exitUnsafe)
+	case totalTimeout > 0:
+		os.Exit(exitTimeout)
+	}
+	os.Exit(exitOK)
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	os.Exit(exitInternal)
 }

@@ -3,12 +3,21 @@
 //
 // Usage:
 //
-//	pathslice [-long] [-unroll k] [-early] [-skipfns] [-trace-out f]
-//	          [-metrics-addr a] [-v] file.mc
+//	pathslice [-long] [-unroll k] [-early] [-skipfns] [-deadline d]
+//	          [-fault-* ...] [-trace-out f] [-metrics-addr a] [-v] file.mc
 //
 // The candidate path is found by a data-free graph search (the kind of
 // possibly-infeasible counterexample an imprecise static analysis
 // returns); -long unrolls loops like a DFS model checker would.
+//
+// Robustness (docs/ROBUSTNESS.md): -deadline bounds slicing plus
+// feasibility per target — expiry degrades to a larger (still sound)
+// slice and an UNKNOWN feasibility verdict; -fault-* installs the
+// deterministic fault injector.
+//
+// Exit codes: 0 every analyzed slice infeasible, 1 internal error,
+// 2 usage, 3 a feasible slice was found, 4 some verdict was
+// unknown/timed out (and none was feasible).
 //
 // Observability (docs/OBSERVABILITY.md): -trace-out writes a JSONL
 // event log ("-" for stderr) and prints the per-phase time/call table
@@ -16,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,9 +33,19 @@ import (
 	"pathslice/internal/cfa"
 	"pathslice/internal/compile"
 	"pathslice/internal/core"
+	"pathslice/internal/faults"
 	"pathslice/internal/obs"
 	"pathslice/internal/report"
 	"pathslice/internal/smt"
+)
+
+// Exit codes (shared by all three binaries, docs/ROBUSTNESS.md).
+const (
+	exitOK       = 0
+	exitInternal = 1
+	exitUsage    = 2
+	exitUnsafe   = 3
+	exitTimeout  = 4
 )
 
 func main() {
@@ -36,12 +56,17 @@ func main() {
 	trace := flag.Bool("trace", false, "print the annotated backward pass (live sets and step locations, like Fig. 1(C))")
 	traceOut := flag.String("trace-out", "", "write a JSONL trace event log to this file (\"-\" for stderr) and print the per-phase table")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :8080)")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline per target (0 = none); expiry degrades to a sound superset slice")
+	faultCfg := faults.FlagConfig(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print the input path and the slice")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pathslice [flags] file.mc")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+	if cfg := faultCfg(); cfg != nil {
+		faults.Install(faults.New(*cfg))
 	}
 	shutdown, err := obs.Setup(*traceOut, *metricsAddr)
 	if err != nil {
@@ -64,6 +89,7 @@ func main() {
 		SkipFunctions:  *skip,
 		RecordTrace:    *trace,
 	})
+	feasible, undecided := 0, 0
 	for _, target := range locs {
 		var path cfa.Path
 		if *long {
@@ -76,9 +102,18 @@ func main() {
 			fmt.Printf("%s: unreachable in the CFA graph\n", target)
 			continue
 		}
-		res, err := slicer.Slice(path)
+		ctx := context.Background()
+		if *deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *deadline)
+			defer cancel()
+		}
+		res, err := slicer.SliceCtx(ctx, path)
 		if err != nil {
 			fatal(err)
+		}
+		if res.Degraded {
+			fmt.Printf("%s: DEGRADED slice (deadline or unanswered analysis query; superset, still sound)\n", target)
 		}
 		st := res.Stats
 		fmt.Printf("%s: path %d edges (%d blocks) -> slice %d edges (%d blocks), %.2f%%\n",
@@ -94,23 +129,31 @@ func main() {
 			fmt.Printf("  verdict: INFEASIBLE (early stop after %d solver checks)\n", st.SolverChecks)
 			continue
 		}
-		fr, _ := slicer.CheckFeasibility(res.Slice)
+		fr, _ := slicer.CheckFeasibilityCtx(ctx, res.Slice)
 		switch fr.Status {
 		case smt.StatusSat:
 			fmt.Printf("  verdict: FEASIBLE — the error location is reachable (modulo termination)\n")
 			fmt.Printf("  witness state: %v\n", fr.Model)
+			feasible++
 		case smt.StatusUnsat:
 			fmt.Printf("  verdict: INFEASIBLE — this path (and its variants) cannot reach the target\n")
 		default:
-			fmt.Printf("  verdict: UNKNOWN (solver limits)\n")
+			fmt.Printf("  verdict: UNKNOWN (solver limits, deadline, or injected fault)\n")
+			undecided++
 		}
 	}
 	if err := shutdown(); err != nil {
 		fatal(err)
 	}
+	switch {
+	case feasible > 0:
+		os.Exit(exitUnsafe)
+	case undecided > 0:
+		os.Exit(exitTimeout)
+	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pathslice:", err)
-	os.Exit(1)
+	os.Exit(exitInternal)
 }

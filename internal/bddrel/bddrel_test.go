@@ -54,14 +54,14 @@ func TestAgreesWithBitsetImplementation(t *testing.T) {
 		for _, fn := range prog.Funcs {
 			for _, a := range fn.Locs {
 				for _, b := range fn.Locs {
-					want := df.WrittenBetween(a, b)
+					want := df.MustWrittenBetween(a, b)
 					got := br.WrittenBetween(a, b)
 					if !reflect.DeepEqual(normalize(got), normalize(want)) {
 						t.Errorf("src %d %s: WrittenBetween(%v,%v): bdd %v vs bitset %v",
 							si, fn.Name, a, b, got, want)
 					}
 					if a != b {
-						wb := df.By(a, b)
+						wb := df.MustBy(a, b)
 						gb := br.By(a, b)
 						if wb != gb {
 							t.Errorf("src %d %s: By(%v,%v): bdd %v vs bitset %v",
@@ -99,10 +99,10 @@ func TestAgreesOnGeneratedBenchmark(t *testing.T) {
 		for ai := 0; ai < len(fn.Locs); ai += 2 {
 			for bi := 1; bi < len(fn.Locs); bi += 3 {
 				a, b := fn.Locs[ai], fn.Locs[bi]
-				if !reflect.DeepEqual(normalize(br.WrittenBetween(a, b)), normalize(df.WrittenBetween(a, b))) {
+				if !reflect.DeepEqual(normalize(br.WrittenBetween(a, b)), normalize(df.MustWrittenBetween(a, b))) {
 					t.Fatalf("%s: WrittenBetween(%v,%v) disagrees", fnName, a, b)
 				}
-				if a != b && br.By(a, b) != df.By(a, b) {
+				if a != b && br.By(a, b) != df.MustBy(a, b) {
 					t.Fatalf("%s: By(%v,%v) disagrees", fnName, a, b)
 				}
 			}
@@ -120,7 +120,7 @@ func TestWrBtQueryInterface(t *testing.T) {
 	live := cfa.NewLvalSet(cfa.Lvalue{Var: "b"})
 	for _, a := range main.Locs {
 		for _, b := range main.Locs {
-			if df.WrBt(a, b, live) != br.WrBt(a, b, live) {
+			if df.MustWrBt(a, b, live) != br.WrBt(a, b, live) {
 				t.Errorf("WrBt(%v,%v,{b}) disagrees", a, b)
 			}
 		}

@@ -222,7 +222,9 @@ func runCluster(ins *instrument.Result, fn string, opts cegar.Options) (*CheckOu
 		switch r.Verdict {
 		case cegar.VerdictUnsafe:
 			out.Verdict = cegar.VerdictUnsafe
-		case cegar.VerdictTimeout, cegar.VerdictDiverged:
+		case cegar.VerdictTimeout, cegar.VerdictDiverged, cegar.VerdictUnknown:
+			// Every undecided flavor rolls up into the table's T column:
+			// the cluster is not proven safe, but no bug is claimed.
 			if out.Verdict != cegar.VerdictUnsafe {
 				out.Verdict = cegar.VerdictTimeout
 			}

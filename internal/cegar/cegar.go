@@ -25,14 +25,17 @@
 package cegar
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pathslice/internal/cfa"
 	"pathslice/internal/core"
+	"pathslice/internal/faults"
 	"pathslice/internal/lang/ast"
 	"pathslice/internal/lang/token"
 	"pathslice/internal/logic"
@@ -53,6 +56,11 @@ var (
 	mStatesExplored   = obs.Default().Counter("cegar_states_explored_total")
 	mPredicates       = obs.Default().Gauge("cegar_predicates")
 	mSolverQueueDepth = obs.Default().Gauge("cegar_solver_queue_depth_max")
+
+	// mRecoveredPanics is the process-wide recovered-panic counter
+	// shared with internal/core (same registry name → same handle). It
+	// counts panics contained at the worker-pool and Check boundaries.
+	mRecoveredPanics = obs.Default().Counter("recovered_panics_total")
 )
 
 // Verdict classifies a check outcome.
@@ -64,10 +72,16 @@ const (
 	VerdictSafe Verdict = iota
 	// VerdictUnsafe: a feasible (slice of a) path to the target exists.
 	VerdictUnsafe
-	// VerdictTimeout: the work budget was exhausted.
+	// VerdictTimeout: the work budget or wall-clock deadline was
+	// exhausted.
 	VerdictTimeout
 	// VerdictDiverged: refinement found no new predicates.
 	VerdictDiverged
+	// VerdictUnknown: a feasibility query could not be decided (solver
+	// limit, fault, or contained internal error), so the check can
+	// assert neither safety nor a bug. New verdicts append here so the
+	// numeric values above stay stable.
+	VerdictUnknown
 )
 
 // String renders the verdict like the paper's Results column.
@@ -81,8 +95,16 @@ func (v Verdict) String() string {
 		return "timeout"
 	case VerdictDiverged:
 		return "diverged"
+	case VerdictUnknown:
+		return "unknown"
 	}
 	return "?"
+}
+
+// Decided reports whether the verdict is a definitive Safe/Unsafe
+// answer (as opposed to a resource- or fault-induced give-up).
+func (v Verdict) Decided() bool {
+	return v == VerdictSafe || v == VerdictUnsafe
 }
 
 // Options configures a check.
@@ -138,6 +160,16 @@ type Options struct {
 	// SolverCacheSize bounds the solver cache entries (default
 	// smt.DefaultCacheSize).
 	SolverCacheSize int
+	// Deadline bounds the wall-clock time of one Check; zero means no
+	// deadline. On expiry the check stops at the next cancellation
+	// point and returns VerdictTimeout. Deadlines are sound: they can
+	// weaken a verdict to Timeout/Unknown but never flip Safe and
+	// Unsafe (docs/ROBUSTNESS.md).
+	Deadline time.Duration
+	// SolverLimits bounds the abstract-post entailment and refinement
+	// queries (the per-query analogue of Deadline). Zero fields keep
+	// the solver defaults.
+	SolverLimits smt.Limits
 }
 
 func (o Options) withDefaults() Options {
@@ -203,6 +235,10 @@ type Result struct {
 	RawCounterexample cfa.Path
 	// Traces records every abstract counterexample analyzed.
 	Traces []TraceStat
+	// Err carries the contained internal error when Verdict is
+	// VerdictUnknown because a panic was recovered at the Check
+	// boundary; nil otherwise.
+	Err error
 }
 
 // Checker holds the per-program machinery shared across checks.
@@ -246,12 +282,14 @@ func New(prog *cfa.Program, opts Options) *Checker {
 	return c
 }
 
-// solve routes an abstract-post query through the solver cache.
-func (c *Checker) solve(f logic.Formula) smt.Result {
+// solve routes an abstract-post query through the solver cache, under
+// the check's context and per-query limits. A cancelled or
+// limit-exhausted query answers StatusUnknown — never a wrong verdict.
+func (c *Checker) solve(ctx context.Context, f logic.Formula) smt.Result {
 	if c.cache == nil {
 		c.uncachedCalls.Add(1)
 	}
-	return smt.CachedSolve(c.cache, f)
+	return smt.CachedSolveCtx(ctx, c.cache, f, c.opts.SolverLimits)
 }
 
 // cacheStats snapshots the checker's solver-cache counters (zero when
@@ -265,10 +303,40 @@ func (c *Checker) cacheStats() smt.CacheStats {
 	return c.cache.Stats()
 }
 
-// Check decides reachability of target.
+// Check decides reachability of target. It never panics: internal
+// failures are contained and reported as VerdictUnknown with Result.Err
+// set.
 func (c *Checker) Check(target *cfa.Loc) *Result {
+	res, err := c.CheckCtx(context.Background(), target)
+	if err != nil {
+		return &Result{Verdict: VerdictUnknown, Err: err}
+	}
+	return res
+}
+
+// CheckCtx is Check under a context. The context (and Options.Deadline,
+// whichever expires first) bounds wall-clock time: on expiry the check
+// stops at the next cancellation point — including inside a running
+// solver query — and returns VerdictTimeout. A panic escaping any layer
+// below is recovered here and returned as an error, leaving the Checker
+// usable for further checks.
+func (c *Checker) CheckCtx(ctx context.Context, target *cfa.Loc) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.Deadline)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			mRecoveredPanics.Inc()
+			res, err = nil, fmt.Errorf("cegar: panic during check: %v", r)
+		}
+	}()
 	csp := obs.StartNamedSpan(obs.PhaseCheck, "check "+target.String())
-	res := &Result{}
+	res = &Result{}
 	c.postMemo = make(map[string]*postMemoEntry)
 	startUncached := c.uncachedCalls.Load()
 	startCache := c.cacheStats()
@@ -298,10 +366,10 @@ func (c *Checker) Check(target *cfa.Loc) *Result {
 		isp := obs.StartNamedSpan(obs.PhaseCEGARIter, fmt.Sprintf("iteration %d", iter))
 		attrs := map[string]any{"predicates": len(preds)}
 		mPredicates.Set(int64(len(preds)))
-		done := c.checkIteration(target, res, &preds, seen, attrs)
+		done := c.checkIteration(ctx, target, res, &preds, seen, attrs)
 		isp.EndWith(attrs)
 		if done {
-			return res
+			return res, nil
 		}
 	}
 }
@@ -311,13 +379,13 @@ func (c *Checker) Check(target *cfa.Loc) *Result {
 // refinement — mutating res and preds. It reports whether the check
 // is decided; attrs collects the per-iteration trace attributes
 // (predicate count, counterexample and slice sizes, outcome).
-func (c *Checker) checkIteration(target *cfa.Loc, res *Result, preds *[]logic.Formula, seen map[string]bool, attrs map[string]any) bool {
-	if res.Refinements >= c.opts.MaxRefinements {
+func (c *Checker) checkIteration(ctx context.Context, target *cfa.Loc, res *Result, preds *[]logic.Formula, seen map[string]bool, attrs map[string]any) bool {
+	if res.Refinements >= c.opts.MaxRefinements || ctx.Err() != nil {
 		res.Verdict = VerdictTimeout
 		attrs["outcome"] = res.Verdict.String()
 		return true
 	}
-	path, work, exhausted := c.reach(target, *preds, c.opts.MaxWork-res.Work)
+	path, work, exhausted := c.reach(ctx, target, *preds, c.opts.MaxWork-res.Work)
 	res.Work += work
 	if path == nil {
 		if exhausted || res.Work >= c.opts.MaxWork {
@@ -339,9 +407,12 @@ func (c *Checker) checkIteration(target *cfa.Loc, res *Result, preds *[]logic.Fo
 	stat.TraceEdges = len(path)
 	stat.TraceBlocks = path.BasicBlocks()
 	if c.opts.UseSlicing {
-		sr, err := c.slicer.Slice(path)
+		sr, err := c.slicer.SliceCtx(ctx, path)
 		if err != nil {
-			res.Verdict = VerdictDiverged
+			// Invalid path or a panic contained inside the slicer:
+			// neither safety nor a bug is established.
+			res.Verdict = VerdictUnknown
+			res.Err = err
 			attrs["outcome"] = res.Verdict.String()
 			return true
 		}
@@ -352,7 +423,7 @@ func (c *Checker) checkIteration(target *cfa.Loc, res *Result, preds *[]logic.Fo
 		if sr.KnownInfeasible {
 			// Early-stop already proved infeasibility.
 			res.Traces = append(res.Traces, stat)
-			newPreds, grew := c.refine(analyzed, *preds, seen)
+			newPreds, grew := c.refine(ctx, analyzed, *preds, seen)
 			if !grew {
 				res.Verdict = VerdictDiverged
 				res.Predicates = len(*preds)
@@ -368,13 +439,12 @@ func (c *Checker) checkIteration(target *cfa.Loc, res *Result, preds *[]logic.Fo
 		stat.SliceBlocks = stat.TraceBlocks
 	}
 
-	fr, _ := c.slicer.CheckFeasibility(analyzed)
+	fr, _ := c.slicer.CheckFeasibilityCtx(ctx, analyzed)
 	res.Work += 50 // a feasibility query is heavy
 	switch fr.Status {
-	case smt.StatusSat, smt.StatusUnknown:
+	case smt.StatusSat:
 		// Feasible slice (completeness: the target is reachable, or
-		// the program diverges). Unknown is reported as a potential
-		// bug, like tools do for unconfirmed counterexamples.
+		// the program diverges).
 		stat.Feasible = true
 		res.Traces = append(res.Traces, stat)
 		res.Verdict = VerdictUnsafe
@@ -382,9 +452,24 @@ func (c *Checker) checkIteration(target *cfa.Loc, res *Result, preds *[]logic.Fo
 		res.Predicates = len(*preds)
 		attrs["outcome"] = res.Verdict.String()
 		return true
+	case smt.StatusUnknown:
+		// The feasibility of the counterexample could not be decided
+		// (deadline, solver limit, or injected fault). Degrade soundly:
+		// report Timeout/Unknown rather than guessing a Safe or Unsafe
+		// verdict (docs/ROBUSTNESS.md).
+		res.Traces = append(res.Traces, stat)
+		if ctx.Err() != nil {
+			res.Verdict = VerdictTimeout
+		} else {
+			res.Verdict = VerdictUnknown
+		}
+		res.RawCounterexample = path
+		res.Predicates = len(*preds)
+		attrs["outcome"] = res.Verdict.String()
+		return true
 	default: // smt.StatusUnsat
 		res.Traces = append(res.Traces, stat)
-		newPreds, grew := c.refine(analyzed, *preds, seen)
+		newPreds, grew := c.refine(ctx, analyzed, *preds, seen)
 		if !grew {
 			res.Verdict = VerdictDiverged
 			res.Predicates = len(*preds)
@@ -484,7 +569,7 @@ func stateFormula(preds []logic.Formula, vals []int8) logic.Formula {
 // reach explores the abstract state space; it returns an abstract path
 // to target (or nil), the work spent, and whether the budget ran out
 // before the frontier was exhausted.
-func (c *Checker) reach(target *cfa.Loc, preds []logic.Formula, budget int) (cfa.Path, int, bool) {
+func (c *Checker) reach(ctx context.Context, target *cfa.Loc, preds []logic.Formula, budget int) (cfa.Path, int, bool) {
 	if budget <= 0 {
 		return nil, 0, true
 	}
@@ -517,7 +602,10 @@ func (c *Checker) reach(target *cfa.Loc, preds []logic.Formula, budget int) (cfa
 	}
 
 	for len(frontier) > 0 {
-		if work >= budget {
+		if work >= budget || ctx.Err() != nil {
+			// Budget or wall-clock deadline exhausted mid-search: report
+			// "ran out" so the check answers Timeout, never a premature
+			// Safe.
 			return nil, work, true
 		}
 		st := pop()
@@ -527,7 +615,7 @@ func (c *Checker) reach(target *cfa.Loc, preds []logic.Formula, budget int) (cfa
 		work++
 		mStatesExplored.Inc()
 		for _, e := range st.loc.Out {
-			succ, w := c.post(st, e, preds)
+			succ, w := c.post(ctx, st, e, preds)
 			work += w
 			if succ == nil {
 				continue
@@ -591,7 +679,7 @@ func (c *Checker) memoKey(st *absState, e *cfa.Edge) string {
 // solver queries — the same number whether or not they were answered
 // from the memo or cache, so budgets behave identically across
 // configurations.
-func (c *Checker) post(st *absState, e *cfa.Edge, preds []logic.Formula) (*absState, int) {
+func (c *Checker) post(ctx context.Context, st *absState, e *cfa.Edge, preds []logic.Formula) (*absState, int) {
 	work := 0
 	mAbstractPosts.Inc()
 
@@ -633,7 +721,7 @@ func (c *Checker) post(st *absState, e *cfa.Edge, preds []logic.Formula) (*absSt
 		if memo == nil || !memo.prunedKnown {
 			fresh := 0
 			predF, side := assumeFormula(e.Op, c.slicer, &fresh)
-			pruned := c.solve(logic.MkAnd(append(side, cur, predF)...)).Status == smt.StatusUnsat
+			pruned := c.solve(ctx, logic.MkAnd(append(side, cur, predF)...)).Status == smt.StatusUnsat
 			if memo != nil {
 				memo.prunedKnown, memo.pruned = true, pruned
 			} else if pruned {
@@ -668,6 +756,20 @@ func (c *Checker) post(st *absState, e *cfa.Edge, preds []logic.Formula) (*absSt
 		need = append(need, i)
 	}
 	compute := func(i int) {
+		// Contain panics per task: a crashed entailment leaves the
+		// predicate unknown (0), which only weakens the abstraction —
+		// sound — instead of taking the whole worker pool (and with it
+		// the enclosing Check) down. WorkerPanic faults exercise
+		// exactly this path (docs/ROBUSTNESS.md).
+		defer func() {
+			if r := recover(); r != nil {
+				mRecoveredPanics.Inc()
+				vals[i] = 0
+			}
+		}()
+		if faults.Should(faults.WorkerPanic) {
+			panic("faults: injected worker panic")
+		}
 		fresh := (i + 1) * freshStride
 		p := preds[i]
 		wpP := wp.WPOp(p, e.Op, c.slicer.Alias, c.slicer.Addrs, &fresh)
@@ -678,9 +780,9 @@ func (c *Checker) post(st *absState, e *cfa.Edge, preds []logic.Formula) (*absSt
 			pre = logic.MkAnd(append(side, cur, predF)...)
 		}
 		switch {
-		case c.solve(logic.MkAnd(pre, wpNotP)).Status == smt.StatusUnsat:
+		case c.solve(ctx, logic.MkAnd(pre, wpNotP)).Status == smt.StatusUnsat:
 			vals[i] = 1 // every post-state satisfies p
-		case c.solve(logic.MkAnd(pre, wpP)).Status == smt.StatusUnsat:
+		case c.solve(ctx, logic.MkAnd(pre, wpP)).Status == smt.StatusUnsat:
 			vals[i] = -1
 		default:
 			vals[i] = 0
@@ -792,7 +894,7 @@ func extractPath(st *absState) cfa.Path {
 // trace formula, mapped back to unversioned program variables ("the
 // refinement algorithm analyzes the output of the path slicer to find
 // why a path is infeasible" — §1, after [16]).
-func (c *Checker) refine(slice cfa.Path, preds []logic.Formula, seen map[string]bool) ([]logic.Formula, bool) {
+func (c *Checker) refine(ctx context.Context, slice cfa.Path, preds []logic.Formula, seen map[string]bool) ([]logic.Formula, bool) {
 	sp := obs.StartSpan(obs.PhaseRefine)
 	defer sp.End()
 	grew := false
@@ -818,8 +920,12 @@ func (c *Checker) refine(slice cfa.Path, preds []logic.Formula, seen map[string]
 	for _, op := range slice.Ops() {
 		solver.Assert(enc.EncodeOp(op))
 	}
+	// An Unknown here (deadline, limit, or injected fault) falls back
+	// to mining the whole trace formula — a superset of the unsat
+	// core's atoms, so refinement can only get more predicates, never
+	// wrong ones.
 	var mineFrom []logic.Formula
-	if r := solver.Check(); r.Status == smt.StatusUnsat {
+	if r := solver.CheckCtx(ctx); r.Status == smt.StatusUnsat {
 		core, _ := solver.UnsatCore()
 		mineFrom = core
 	} else {

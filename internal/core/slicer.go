@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,6 +43,14 @@ var (
 	mEarlyStops   = obs.Default().Counter("pathslice_early_stops_total")
 	mRatioPercent = obs.Default().Histogram("pathslice_slice_ratio_percent")
 	mSliceNS      = obs.Default().Histogram("pathslice_slice_ns")
+
+	// mDegraded counts slices that fell back to a conservative
+	// over-approximation (deadline expiry or an analysis query that
+	// could not be answered). mRecoveredPanics is the process-wide
+	// recovered-panic counter shared with the other API boundaries
+	// (the registry returns the same handle for the same name).
+	mDegraded        = obs.Default().Counter("pathslice_degraded_total")
+	mRecoveredPanics = obs.Default().Counter("recovered_panics_total")
 )
 
 // Options configures the slicer.
@@ -117,6 +126,13 @@ type Result struct {
 	// KnownInfeasible is set when the early-stop optimization proved
 	// the slice trace unsatisfiable during slicing.
 	KnownInfeasible bool
+	// Degraded is set when the slicer fell back to a conservative
+	// answer at some step: the context deadline expired (every
+	// remaining edge was kept), or a relevance query could not be
+	// answered (the edge was kept). A degraded slice is still sound —
+	// it is a superset of the precise slice — but may be larger than
+	// necessary (see docs/ROBUSTNESS.md).
+	Degraded bool
 	// Trace is the per-edge analysis record (only with
 	// Options.RecordTrace), in backward processing order.
 	Trace []TracePoint
@@ -162,16 +178,37 @@ func NewWithOptions(prog *cfa.Program, opts Options) *Slicer {
 // Slice runs Algorithm PathSlice on path (which must be a valid program
 // path ending at the location of interest).
 func (s *Slicer) Slice(path cfa.Path) (*Result, error) {
+	return s.SliceCtx(context.Background(), path)
+}
+
+// SliceCtx is Slice under a context. When the context is cancelled or
+// its deadline expires mid-pass, the slicer does not abort: it
+// conservatively keeps every not-yet-examined edge and returns a
+// Degraded result, which is still a sound slice (a superset of the
+// precise one — soundness only shrinks when edges are dropped, §3.2).
+// A panic escaping the analysis layers is contained here and converted
+// to an error, so a shared Slicer cannot take down a caller's worker
+// pool.
+func (s *Slicer) SliceCtx(ctx context.Context, path cfa.Path) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sp := obs.StartSpan(obs.PhasePathSlice)
 	start := time.Now()
 	defer func() {
 		mSliceNS.ObserveDuration(time.Since(start))
 		sp.End()
 	}()
-	if err := path.Validate(s.Prog); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	defer func() {
+		if r := recover(); r != nil {
+			mRecoveredPanics.Inc()
+			res, err = nil, fmt.Errorf("core: panic during slicing: %v", r)
+		}
+	}()
+	if verr := path.Validate(s.Prog); verr != nil {
+		return nil, fmt.Errorf("core: %w", verr)
 	}
-	res := &Result{
+	res = &Result{
 		Taken: make([]bool, len(path)),
 		Live:  cfa.NewLvalSet(),
 	}
@@ -205,9 +242,35 @@ func (s *Slicer) Slice(path cfa.Path) (*Result, error) {
 
 	i := len(path) - 1
 	for i >= 0 {
+		if ctx.Err() != nil {
+			// Deadline expired or caller cancelled: keep every edge not
+			// yet examined. The result is a superset of the precise
+			// slice, hence still sound; only completeness (minimality)
+			// degrades. See docs/ROBUSTNESS.md.
+			for j := i; j >= 0; j-- {
+				if !res.Taken[j] {
+					res.Taken[j] = true
+					switch path[j].Op.Kind {
+					case cfa.OpAssign:
+						res.Stats.TakenAssign++
+					case cfa.OpAssume:
+						res.Stats.TakenAssume++
+					case cfa.OpCall:
+						res.Stats.TakenCall++
+					case cfa.OpReturn:
+						res.Stats.TakenReturn++
+					}
+				}
+			}
+			res.Degraded = true
+			break
+		}
 		e := path[i]
 		op := e.Op
-		tk := s.take(op, e, live, pcStep)
+		tk, deg := s.take(op, e, live, pcStep)
+		if deg {
+			res.Degraded = true
+		}
 		record(i, tk)
 		if tk {
 			res.Taken[i] = true
@@ -230,7 +293,10 @@ func (s *Slicer) Slice(path cfa.Path) (*Result, error) {
 					if assumesSinceCheck >= s.Opts.CheckEvery {
 						assumesSinceCheck = 0
 						res.Stats.SolverChecks++
-						if r := solver.Check(); r.Status == smt.StatusUnsat {
+						// An Unknown verdict here (limit, deadline, or
+						// injected fault) simply means no early stop:
+						// slicing continues and the slice can only grow.
+						if r := solver.CheckCtx(ctx); r.Status == smt.StatusUnsat {
 							res.KnownInfeasible = true
 							res.Stats.EarlyStopped = true
 							i-- // the current edge is already taken
@@ -255,6 +321,18 @@ func (s *Slicer) Slice(path cfa.Path) (*Result, error) {
 				})
 			}
 		}
+		// §4.2 frame-entry relevance: when the query cannot be answered,
+		// assume a live lvalue may be written (no skip) — degrading to a
+		// larger but sound slice.
+		entryMayWrite := true
+		if s.Opts.SkipFunctions && callIdx[i] >= 0 {
+			wr, werr := s.DF.WrBt(e.Src.Fn.Entry, e.Src, live)
+			if werr != nil {
+				res.Degraded = true
+				wr = true
+			}
+			entryMayWrite = wr
+		}
 		switch {
 		case op.Kind == cfa.OpReturn:
 			// Skip the entire irrelevant frame: resume just before the
@@ -263,8 +341,7 @@ func (s *Slicer) Slice(path cfa.Path) (*Result, error) {
 			next := callIdx[i] - 1
 			recordSkipped(i-1, next)
 			i = next
-		case s.Opts.SkipFunctions && callIdx[i] >= 0 &&
-			!s.DF.WrBt(e.Src.Fn.Entry, e.Src, live):
+		case s.Opts.SkipFunctions && callIdx[i] >= 0 && !entryMayWrite:
 			// §4.2: no live lvalue can be written between the frame's
 			// entry and here — jump straight to the call edge (which is
 			// then taken), dropping the guard chain. Sacrifices
@@ -293,21 +370,27 @@ func (s *Slicer) Slice(path cfa.Path) (*Result, error) {
 		mEarlyStops.Inc()
 	}
 	mRatioPercent.Observe(int64(100 * res.Stats.Ratio()))
+	if res.Degraded {
+		mDegraded.Inc()
+	}
 	return res, nil
 }
 
 // take implements the Take predicate (Figure 3, with the §3.4 pointer
-// generalization and the §4 call/return rules).
-func (s *Slicer) take(op cfa.Op, e *cfa.Edge, live cfa.LvalSet, pcStep *cfa.Loc) bool {
+// generalization and the §4 call/return rules). The second result
+// reports degradation: a relevance query that could not be answered,
+// in which case the edge is conservatively taken (sound — a kept edge
+// never invalidates the slice).
+func (s *Slicer) take(op cfa.Op, e *cfa.Edge, live cfa.LvalSet, pcStep *cfa.Loc) (bool, bool) {
 	switch op.Kind {
 	case cfa.OpAssign:
 		// Take if the written lvalue may alias a live lvalue.
 		for l := range live {
 			if s.Alias.MayAlias(op.LHS, l) {
-				return true
+				return true, false
 			}
 		}
-		return false
+		return false, false
 	case cfa.OpAssume:
 		// A lone assume with no sibling branch (MiniC's `assume(p);`
 		// statement) can halt the program outright; the paper's model
@@ -318,21 +401,32 @@ func (s *Slicer) take(op cfa.Op, e *cfa.Edge, live cfa.LvalSet, pcStep *cfa.Loc)
 		// builder's skip/jump edges) can never block and keep the
 		// original rule.
 		if len(e.Src.Out) == 1 && !predIsTriviallyTrue(op.Pred) {
-			return true
+			return true, false
 		}
 		// Take if a live lvalue may be written between here and the
 		// step location, or if this location can bypass it.
-		return s.DF.WrBt(e.Src, pcStep, live) || s.DF.By(e.Src, pcStep)
+		wr, werr := s.DF.WrBt(e.Src, pcStep, live)
+		if werr != nil {
+			return true, true
+		}
+		if wr {
+			return true, false
+		}
+		by, berr := s.DF.By(e.Src, pcStep)
+		if berr != nil {
+			return true, true
+		}
+		return by, false
 	case cfa.OpCall:
 		// Calls are always taken, keeping WrBt/By queries
 		// intraprocedural (§4.1).
-		return true
+		return true, false
 	case cfa.OpReturn:
 		// Take (and hence analyze the call body) only if the callee
 		// may modify a live lvalue.
-		return s.Mods.ModsAny(e.Src.Fn.Name, live)
+		return s.Mods.ModsAny(e.Src.Fn.Name, live), false
 	}
-	return false
+	return false, false
 }
 
 // predIsTriviallyTrue recognizes the builder's unconditional edges.
@@ -356,11 +450,18 @@ func (s *Slicer) updateLive(op cfa.Op, live cfa.LvalSet) {
 // the decision procedure for a verdict. On StatusSat the returned model
 // gives an initial state witnessing WP.true.(Tr.slice).
 func (s *Slicer) CheckFeasibility(p cfa.Path) (smt.Result, *wp.TraceEncoder) {
+	return s.CheckFeasibilityCtx(context.Background(), p)
+}
+
+// CheckFeasibilityCtx is CheckFeasibility under a context: when it is
+// cancelled or times out the solve returns StatusUnknown — never a
+// wrong Sat or Unsat.
+func (s *Slicer) CheckFeasibilityCtx(ctx context.Context, p cfa.Path) (smt.Result, *wp.TraceEncoder) {
 	sp := obs.StartSpan(obs.PhaseFeasibility)
 	defer sp.End()
 	enc := wp.NewTraceEncoder(s.Prog, s.Alias, s.Addrs)
 	f := enc.EncodeTrace(p.Ops())
-	return smt.SolveWithLimits(f, s.Opts.SolverLimits), enc
+	return smt.SolveCtx(ctx, f, s.Opts.SolverLimits), enc
 }
 
 // TraceFormula returns the forward SSA constraint formula of a path's

@@ -114,7 +114,7 @@ func TestWrBtAgainstBruteForce(t *testing.T) {
 		for trial := 0; trial < 40; trial++ {
 			a := main.Locs[r.Intn(len(main.Locs))]
 			b := main.Locs[r.Intn(len(main.Locs))]
-			got := df.WrittenBetween(a, b)
+			got := df.MustWrittenBetween(a, b)
 			want := bruteWrittenBetween(prog, al, mr, a, b)
 			// The fixpoint answer must be a superset of any brute-force
 			// finding (brute force bounds revisits) and must not invent
@@ -146,7 +146,7 @@ func TestByAgainstBruteForce(t *testing.T) {
 		main := prog.Funcs["main"]
 		for _, pc := range main.Locs {
 			for _, step := range main.Locs {
-				got := df.By(pc, step)
+				got := df.MustBy(pc, step)
 				want := bruteBy(main, pc, step)
 				if got != want {
 					t.Errorf("src %d: By(%v, %v) = %v, want %v", si, pc, step, got, want)

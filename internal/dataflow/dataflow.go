@@ -15,6 +15,7 @@
 package dataflow
 
 import (
+	"fmt"
 	"sync"
 
 	"pathslice/internal/alias"
@@ -22,6 +23,27 @@ import (
 	"pathslice/internal/cfa"
 	"pathslice/internal/modref"
 )
+
+// CrossCFAError reports a query whose two locations belong to
+// different CFAs — the one precondition every intraprocedural query
+// has. It is a typed error (not a panic) so callers on degraded paths
+// can answer conservatively instead of crashing; the Must* variants
+// keep the old panicking behavior for tests and invariant-checked
+// call sites.
+type CrossCFAError struct {
+	Query    string // "WrBt", "By", ...
+	Src, Dst string // the offending locations, rendered
+}
+
+// Error describes the cross-CFA violation.
+func (e *CrossCFAError) Error() string {
+	return fmt.Sprintf("dataflow: %s across CFAs: %s vs %s", e.Query, e.Src, e.Dst)
+}
+
+// crossCFA builds the typed error for a query over locs a and b.
+func crossCFA(query string, a, b *cfa.Loc) error {
+	return &CrossCFAError{Query: query, Src: a.String(), Dst: b.String()}
+}
 
 // Info answers WrBt/By/postdominance queries for a whole program.
 type Info struct {
@@ -158,16 +180,27 @@ func (info *Info) fnOf(loc *cfa.Loc) *fnInfo { return info.fns[loc.Fn.Name] }
 
 // WrittenBetween returns the set of concrete variables that may be
 // written on some path from src to dst within one CFA (both locations
-// must belong to the same function). Results are cached per location
-// pair; the returned map is shared and must not be mutated.
-func (info *Info) WrittenBetween(src, dst *cfa.Loc) map[string]struct{} {
+// must belong to the same function; a CrossCFAError is returned
+// otherwise). Results are cached per location pair; the returned map
+// is shared and must not be mutated.
+func (info *Info) WrittenBetween(src, dst *cfa.Loc) (map[string]struct{}, error) {
 	if src.Fn != dst.Fn {
-		panic("dataflow: WrittenBetween across CFAs: " + src.String() + " vs " + dst.String())
+		return nil, crossCFA("WrittenBetween", src, dst)
 	}
 	fi := info.fnOf(src)
 	info.mu.Lock()
 	defer info.mu.Unlock()
-	return info.writtenBetweenLocked(fi, src, dst)
+	return info.writtenBetweenLocked(fi, src, dst), nil
+}
+
+// MustWrittenBetween is WrittenBetween, panicking on a cross-CFA query
+// (for tests and call sites that guarantee the precondition).
+func (info *Info) MustWrittenBetween(src, dst *cfa.Loc) map[string]struct{} {
+	w, err := info.WrittenBetween(src, dst)
+	if err != nil {
+		panic(err.Error())
+	}
+	return w
 }
 
 func (info *Info) writtenBetweenLocked(fi *fnInfo, src, dst *cfa.Loc) map[string]struct{} {
@@ -190,10 +223,12 @@ func (info *Info) writtenBetweenLocked(fi *fnInfo, src, dst *cfa.Loc) map[string
 }
 
 // WrBt reports WrBt.(src, dst).L: whether an lvalue of live may be
-// written between src and dst (§3.3, §4.1).
-func (info *Info) WrBt(src, dst *cfa.Loc, live cfa.LvalSet) bool {
+// written between src and dst (§3.3, §4.1). A cross-CFA query returns
+// a CrossCFAError; degraded callers treat that as "may be written"
+// (the conservative answer).
+func (info *Info) WrBt(src, dst *cfa.Loc, live cfa.LvalSet) (bool, error) {
 	if src.Fn != dst.Fn {
-		panic("dataflow: WrBt across CFAs: " + src.String() + " vs " + dst.String())
+		return true, crossCFA("WrBt", src, dst)
 	}
 	fi := info.fnOf(src)
 	info.mu.Lock()
@@ -203,23 +238,32 @@ func (info *Info) WrBt(src, dst *cfa.Loc, live cfa.LvalSet) bool {
 	// The cached set is immutable once published and the alias info is
 	// read-only, so the membership test runs outside the lock.
 	if len(written) == 0 {
-		return false
+		return false, nil
 	}
 	for l := range live {
 		if info.alias.Touches(l, written) {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
+}
+
+// MustWrBt is WrBt, panicking on a cross-CFA query.
+func (info *Info) MustWrBt(src, dst *cfa.Loc, live cfa.LvalSet) bool {
+	b, err := info.WrBt(src, dst, live)
+	if err != nil {
+		panic(err.Error())
+	}
+	return b
 }
 
 // By reports pc ∈ By.pc': whether pc can reach the function exit
 // without visiting pc' (§3.3, §4.1). Both locations must belong to the
 // same CFA. Per the paper's definition, pc' itself never bypasses pc',
 // and locations that cannot reach the exit at all bypass nothing.
-func (info *Info) By(pc, pcStep *cfa.Loc) bool {
+func (info *Info) By(pc, pcStep *cfa.Loc) (bool, error) {
 	if pc.Fn != pcStep.Fn {
-		panic("dataflow: By across CFAs: " + pc.String() + " vs " + pcStep.String())
+		return true, crossCFA("By", pc, pcStep)
 	}
 	fi := info.fnOf(pc)
 	info.mu.Lock()
@@ -231,7 +275,16 @@ func (info *Info) By(pc, pcStep *cfa.Loc) bool {
 		fi.byCache[pcStep.Index] = set
 	}
 	info.mu.Unlock()
-	return set.Has(pc.Index)
+	return set.Has(pc.Index), nil
+}
+
+// MustBy is By, panicking on a cross-CFA query.
+func (info *Info) MustBy(pc, pcStep *cfa.Loc) bool {
+	b, err := info.By(pc, pcStep)
+	if err != nil {
+		panic(err.Error())
+	}
+	return b
 }
 
 // computeBy computes By.pcStep: backward reachability from the exit in
@@ -265,9 +318,9 @@ func (info *Info) computeBy(fi *fnInfo, pcStep *cfa.Loc) *bitset.Set {
 // path from b to the exit passes through a. By definition the exit
 // postdominates everything that reaches it, and a location that cannot
 // reach the exit is postdominated by everything (vacuously).
-func (info *Info) Postdominates(a, b *cfa.Loc) bool {
+func (info *Info) Postdominates(a, b *cfa.Loc) (bool, error) {
 	if a.Fn != b.Fn {
-		panic("dataflow: Postdominates across CFAs")
+		return false, crossCFA("Postdominates", a, b)
 	}
 	fi := info.fnOf(a)
 	info.mu.Lock()
@@ -276,7 +329,16 @@ func (info *Info) Postdominates(a, b *cfa.Loc) bool {
 	}
 	pd := fi.postdom[b.Index]
 	info.mu.Unlock()
-	return pd.Has(a.Index)
+	return pd.Has(a.Index), nil
+}
+
+// MustPostdominates is Postdominates, panicking on a cross-CFA query.
+func (info *Info) MustPostdominates(a, b *cfa.Loc) bool {
+	pd, err := info.Postdominates(a, b)
+	if err != nil {
+		panic(err.Error())
+	}
+	return pd
 }
 
 // computePostdom runs the standard iterative dataflow for

@@ -66,14 +66,14 @@ func TestWrBtStraightLine(t *testing.T) {
 	beforeC := locBefore(t, main, "c := 3")
 	liveB := cfa.NewLvalSet(cfa.Lvalue{Var: "b"})
 	liveA := cfa.NewLvalSet(cfa.Lvalue{Var: "a"})
-	if !df.WrBt(afterA, beforeC, liveB) {
+	if !df.MustWrBt(afterA, beforeC, liveB) {
 		t.Error("b is written between after-a and before-c")
 	}
-	if df.WrBt(afterA, beforeC, liveA) {
+	if df.MustWrBt(afterA, beforeC, liveA) {
 		t.Error("a is not written between after-a and before-c")
 	}
 	// Degenerate interval: nothing is written between a location and itself.
-	if df.WrBt(beforeC, beforeC, cfa.NewLvalSet(cfa.Lvalue{Var: "a"}, cfa.Lvalue{Var: "b"}, cfa.Lvalue{Var: "c"})) {
+	if df.MustWrBt(beforeC, beforeC, cfa.NewLvalSet(cfa.Lvalue{Var: "a"}, cfa.Lvalue{Var: "b"}, cfa.Lvalue{Var: "c"})) {
 		t.Error("empty interval writes nothing")
 	}
 }
@@ -88,13 +88,13 @@ func TestWrBtAcrossBranches(t *testing.T) {
 	main := prog.Funcs["main"]
 	entry := main.Entry
 	exitish := locBefore(t, main, "assume(1)") // the skip edge
-	if !df.WrBt(entry, exitish, cfa.NewLvalSet(cfa.Lvalue{Var: "x"})) {
+	if !df.MustWrBt(entry, exitish, cfa.NewLvalSet(cfa.Lvalue{Var: "x"})) {
 		t.Error("x written on the then branch")
 	}
-	if !df.WrBt(entry, exitish, cfa.NewLvalSet(cfa.Lvalue{Var: "y"})) {
+	if !df.MustWrBt(entry, exitish, cfa.NewLvalSet(cfa.Lvalue{Var: "y"})) {
 		t.Error("y written on the else branch")
 	}
-	if df.WrBt(entry, exitish, cfa.NewLvalSet(cfa.Lvalue{Var: "z"})) {
+	if df.MustWrBt(entry, exitish, cfa.NewLvalSet(cfa.Lvalue{Var: "z"})) {
 		t.Error("z is never written")
 	}
 }
@@ -107,10 +107,10 @@ func TestWrBtThroughCallEdges(t *testing.T) {
 	main := prog.Funcs["main"]
 	start := locBefore(t, main, "setg()")
 	end := locAfter(t, main, "setg()")
-	if !df.WrBt(start, end, cfa.NewLvalSet(cfa.Lvalue{Var: "g"})) {
+	if !df.MustWrBt(start, end, cfa.NewLvalSet(cfa.Lvalue{Var: "g"})) {
 		t.Error("call edge must contribute Mods(setg) = {g}")
 	}
-	if df.WrBt(start, end, cfa.NewLvalSet(cfa.Lvalue{Var: "h"})) {
+	if df.MustWrBt(start, end, cfa.NewLvalSet(cfa.Lvalue{Var: "h"})) {
 		t.Error("setg does not write h")
 	}
 }
@@ -127,10 +127,10 @@ func TestWrBtRespectsLoops(t *testing.T) {
 	// From loop head to after-loop, both i and s may be written.
 	head := locAfter(t, main, "i := 0")
 	after := locBefore(t, main, "assume(1)")
-	if !df.WrBt(head, after, cfa.NewLvalSet(cfa.Lvalue{Var: "s"})) {
+	if !df.MustWrBt(head, after, cfa.NewLvalSet(cfa.Lvalue{Var: "s"})) {
 		t.Error("s written inside loop between head and after")
 	}
-	if !df.WrBt(head, after, cfa.NewLvalSet(cfa.Lvalue{Var: "i"})) {
+	if !df.MustWrBt(head, after, cfa.NewLvalSet(cfa.Lvalue{Var: "i"})) {
 		t.Error("i written inside loop")
 	}
 }
@@ -148,20 +148,20 @@ func TestByBasics(t *testing.T) {
 	branch := locBefore(t, main, "assume((a > 0))")
 	join := locBefore(t, main, "a := 2")
 	// Every path from the branch reaches the join: branch cannot bypass it.
-	if df.By(branch, join) {
+	if df.MustBy(branch, join) {
 		t.Error("join postdominates branch: no bypass")
 	}
 	// But the branch can bypass the then-block's interior.
 	thenLoc := locAfter(t, main, "assume((a > 0))")
-	if !df.By(branch, thenLoc) {
+	if !df.MustBy(branch, thenLoc) {
 		t.Error("branch can bypass the then block via the else edge")
 	}
 	// Nothing can bypass the exit.
-	if df.By(branch, main.Exit) {
+	if df.MustBy(branch, main.Exit) {
 		t.Error("By.exit is empty by definition")
 	}
 	// A location never bypasses itself.
-	if df.By(join, join) {
+	if df.MustBy(join, join) {
 		t.Error("a location does not bypass itself")
 	}
 }
@@ -177,12 +177,12 @@ func TestByErrorLocationsBypassNothing(t *testing.T) {
 	errLoc := main.ErrorLocs()[0]
 	after := locBefore(t, main, "assume(1)")
 	// The error location cannot reach the exit, so it is in no By set.
-	if df.By(errLoc, after) {
+	if df.MustBy(errLoc, after) {
 		t.Error("error location cannot bypass anything (cannot reach exit)")
 	}
 	// The branch point can bypass the error location.
 	branch := locBefore(t, main, "assume((a == 0))")
-	if !df.By(branch, errLoc) {
+	if !df.MustBy(branch, errLoc) {
 		t.Error("branch can bypass the error location")
 	}
 }
@@ -198,16 +198,16 @@ func TestPostdominates(t *testing.T) {
 	branch := locBefore(t, main, "assume((a > 0))")
 	join := locBefore(t, main, "a := 3")
 	thenLoc := locBefore(t, main, "a := 1")
-	if !df.Postdominates(join, branch) {
+	if !df.MustPostdominates(join, branch) {
 		t.Error("join postdominates the branch")
 	}
-	if !df.Postdominates(main.Exit, branch) {
+	if !df.MustPostdominates(main.Exit, branch) {
 		t.Error("exit postdominates the branch")
 	}
-	if df.Postdominates(thenLoc, branch) {
+	if df.MustPostdominates(thenLoc, branch) {
 		t.Error("then block does not postdominate the branch")
 	}
-	if !df.Postdominates(join, join) {
+	if !df.MustPostdominates(join, join) {
 		t.Error("postdominance is reflexive")
 	}
 }
@@ -258,8 +258,8 @@ func TestByMatchesPostdominance(t *testing.T) {
 			if pc == step {
 				continue
 			}
-			by := df.By(pc, step)
-			pd := df.Postdominates(step, pc)
+			by := df.MustBy(pc, step)
+			pd := df.MustPostdominates(step, pc)
 			if by == pd {
 				t.Errorf("By(%v,%v)=%v but Postdominates(%v,%v)=%v; should be complementary",
 					pc, step, by, step, pc, pd)
@@ -274,15 +274,15 @@ func TestStatsAndCaching(t *testing.T) {
 	a := main.Entry
 	b := main.Exit
 	live := cfa.NewLvalSet(cfa.Lvalue{Var: "a"})
-	df.WrBt(a, b, live)
+	df.MustWrBt(a, b, live)
 	miss1 := df.Stats.WrBtCacheMiss
-	df.WrBt(a, b, live)
+	df.MustWrBt(a, b, live)
 	if df.Stats.WrBtCacheMiss != miss1 {
 		t.Error("second WrBt query must hit the cache")
 	}
-	df.By(a, b)
+	df.MustBy(a, b)
 	miss2 := df.Stats.ByCacheMiss
-	df.By(a, b)
+	df.MustBy(a, b)
 	if df.Stats.ByCacheMiss != miss2 {
 		t.Error("second By query must hit the cache")
 	}

@@ -44,11 +44,11 @@ func TestInfoConcurrentQueries(t *testing.T) {
 			for iter := 0; iter < 20; iter++ {
 				for _, src := range main.Locs {
 					for _, dst := range main.Locs {
-						df.WrBt(src, dst, liveB)
-						df.WrBt(src, dst, liveC)
-						df.WrittenBetween(src, dst)
-						df.By(src, dst)
-						df.Postdominates(dst, src)
+						df.MustWrBt(src, dst, liveB)
+						df.MustWrBt(src, dst, liveC)
+						df.MustWrittenBetween(src, dst)
+						df.MustBy(src, dst)
+						df.MustPostdominates(dst, src)
 					}
 				}
 			}
@@ -97,9 +97,9 @@ func TestConcurrentAnswersMatchSequential(t *testing.T) {
 			for i, src := range main.Locs {
 				for j, dst := range main.Locs {
 					m[i*len(main.Locs)+j] = answer{
-						wrbt: shared.WrBt(src, dst, live),
-						by:   shared.By(src, dst),
-						pd:   shared.Postdominates(dst, src),
+						wrbt: shared.MustWrBt(src, dst, live),
+						by:   shared.MustBy(src, dst),
+						pd:   shared.MustPostdominates(dst, src),
 					}
 				}
 			}
@@ -111,9 +111,9 @@ func TestConcurrentAnswersMatchSequential(t *testing.T) {
 	for i, src := range main.Locs {
 		for j, dst := range main.Locs {
 			want := answer{
-				wrbt: fresh.WrBt(src, dst, live),
-				by:   fresh.By(src, dst),
-				pd:   fresh.Postdominates(dst, src),
+				wrbt: fresh.MustWrBt(src, dst, live),
+				by:   fresh.MustBy(src, dst),
+				pd:   fresh.MustPostdominates(dst, src),
 			}
 			key := i*len(main.Locs) + j
 			for g := 0; g < 8; g++ {

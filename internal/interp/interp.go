@@ -112,7 +112,7 @@ func (s *State) EvalExpr(e ast.Expr, in Inputs) (int64, error) {
 			return 0, nil
 		case token.AMP:
 			id := e.X.(*ast.Ident)
-			return s.addrs.Addr(id.Name), nil
+			return s.addrs.Addr(id.Name)
 		case token.STAR:
 			id, ok := e.X.(*ast.Ident)
 			if !ok {

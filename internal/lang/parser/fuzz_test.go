@@ -1,0 +1,35 @@
+package parser
+
+import "testing"
+
+// FuzzParse feeds arbitrary bytes to the MiniC parser. The contract
+// under fuzzing (docs/ROBUSTNESS.md): the parser never panics and
+// never both succeeds and returns a nil program — malformed input must
+// surface as an error, not a crash.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"int main() { return 0; }",
+		"int main() { int x; x = 1; if (x > 0) { error; } return x; }",
+		"int f(int a, int b) { while (a < b) { a = a + 1; } return a; }",
+		"int main() { int x; x = nondet(); assert(x == x); return 0; }",
+		"int main() { lock(); unlock(); return 0; }",
+		"int main() { int *p; *p = 3; return *p; }",
+		"int main() { /* comment */ int x; x = 1 + 2 * 3 % 4 / 5; return -x; }",
+		"int main() { if (1) error; else { } return 0; }",
+		"int g() { return g(); } int main() { return g(); }",
+		"int main() { int x; x = ((((1)))); return x; }",
+		"int main( { return 0; }",
+		"int main() { int x x = 1; }",
+		"\x00\xff int",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("Parse returned nil program with nil error")
+		}
+	})
+}

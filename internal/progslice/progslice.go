@@ -185,7 +185,7 @@ func (s *Slicer) controlDeps(loc *cfa.Loc) []*cfa.Edge {
 			continue
 		}
 		if e.Dst == loc ||
-			(s.DF.Postdominates(loc, e.Dst) && !s.DF.Postdominates(loc, e.Src)) {
+			(s.DF.MustPostdominates(loc, e.Dst) && !s.DF.MustPostdominates(loc, e.Src)) {
 			out = append(out, e)
 		}
 	}

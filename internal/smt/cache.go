@@ -2,10 +2,12 @@ package smt
 
 import (
 	"container/list"
+	"context"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
 
+	"pathslice/internal/faults"
 	"pathslice/internal/logic"
 )
 
@@ -86,8 +88,30 @@ func (c *Cache) Solve(f logic.Formula) Result { return c.SolveWithLimits(f, Limi
 // populating the cache. Cached verdicts are returned regardless of lim:
 // they are definitive for any limit setting.
 func (c *Cache) SolveWithLimits(f logic.Formula, lim Limits) Result {
+	return c.SolveCtx(context.Background(), f, lim)
+}
+
+// SolveCtx decides f under ctx and explicit limits, consulting and
+// populating the cache. A cancelled or deadline-expired solve returns
+// StatusUnknown and is never stored, so a timeout can never poison the
+// cache with a wrong verdict.
+func (c *Cache) SolveCtx(ctx context.Context, f logic.Formula, lim Limits) Result {
 	key := logic.Key(f)
 	sh := c.shard(key)
+	// Fault injection (docs/ROBUSTNESS.md): drop the entry before the
+	// lookup, forcing a re-solve through the concurrent-eviction path.
+	// Harmless for correctness — only Sat/Unsat verdicts are cached
+	// and re-solving rederives them.
+	if faults.Should(faults.CacheEvict) {
+		sh.mu.Lock()
+		if el, ok := sh.m[key]; ok {
+			sh.order.Remove(el)
+			delete(sh.m, key)
+			c.evictions.Add(1)
+			mCacheEvictions.Inc()
+		}
+		sh.mu.Unlock()
+	}
 	sh.mu.Lock()
 	if el, ok := sh.m[key]; ok {
 		sh.order.MoveToFront(el)
@@ -101,7 +125,7 @@ func (c *Cache) SolveWithLimits(f logic.Formula, lim Limits) Result {
 
 	c.misses.Add(1)
 	mCacheMisses.Inc()
-	r := SolveWithLimits(f, lim)
+	r := SolveCtx(ctx, f, lim)
 	if r.Status == StatusUnknown {
 		return r
 	}
@@ -141,8 +165,14 @@ func (c *Cache) Stats() CacheStats {
 // plain solver, so callers can thread an optional cache without
 // branching.
 func CachedSolve(c *Cache, f logic.Formula) Result {
+	return CachedSolveCtx(context.Background(), c, f, Limits{})
+}
+
+// CachedSolveCtx is CachedSolve with a context and explicit limits: a
+// nil cache falls back to SolveCtx directly.
+func CachedSolveCtx(ctx context.Context, c *Cache, f logic.Formula, lim Limits) Result {
 	if c == nil {
-		return Solve(f)
+		return SolveCtx(ctx, f, lim)
 	}
-	return c.Solve(f)
+	return c.SolveCtx(ctx, f, lim)
 }

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -105,7 +106,7 @@ func TestICPAgreesWithSimplexOnRandomSystems(t *testing.T) {
 			atoms = append(atoms, mkAtom(kind, int64(r.Intn(15)-7), terms))
 		}
 		if icpCheck(atoms, 0) == StatusUnsat {
-			st, _ := branchAndBound(atoms, nil, 30)
+			st, _ := branchAndBound(context.Background(), atoms, nil, 30)
 			if st == StatusSat {
 				t.Fatalf("trial %d: ICP says unsat, simplex finds a model; atoms %v", trial, atoms)
 			}

@@ -20,4 +20,8 @@ var (
 	mCacheHits      = obs.Default().Counter("smt_cache_hits_total")
 	mCacheMisses    = obs.Default().Counter("smt_cache_misses_total")
 	mCacheEvictions = obs.Default().Counter("smt_cache_evictions_total")
+
+	// mDeadlineExceeded counts solves that returned StatusUnknown
+	// because their context was cancelled or its deadline expired.
+	mDeadlineExceeded = obs.Default().Counter("smt_deadline_exceeded_total")
 )

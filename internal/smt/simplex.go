@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"math/big"
 	"sort"
 )
@@ -301,6 +302,14 @@ type extraBound struct {
 // On StatusSat the returned model assigns integer values to every
 // named variable of the atoms.
 func checkConj(atoms []LinAtom, maxDepth int) (Status, map[string]*big.Int) {
+	return checkConjCtx(nil, atoms, maxDepth)
+}
+
+// checkConjCtx is checkConj with cooperative cancellation: the
+// branch-and-bound tree polls ctx at every node and degrades to
+// StatusUnknown once it is cancelled, so a single deep integrality
+// search cannot outlive the caller's deadline.
+func checkConjCtx(ctx context.Context, atoms []LinAtom, maxDepth int) (Status, map[string]*big.Int) {
 	// Fast sound pre-filters: interval propagation catches most
 	// contradictions from trace formulas (constant chains vs branch
 	// guards) without touching the simplex.
@@ -336,10 +345,13 @@ func checkConj(atoms []LinAtom, maxDepth int) (Status, map[string]*big.Int) {
 			}
 		}
 	}
-	return branchAndBound(atoms, nil, maxDepth)
+	return branchAndBound(ctx, atoms, nil, maxDepth)
 }
 
-func branchAndBound(atoms []LinAtom, extra []extraBound, depth int) (Status, map[string]*big.Int) {
+func branchAndBound(ctx context.Context, atoms []LinAtom, extra []extraBound, depth int) (Status, map[string]*big.Int) {
+	if ctx != nil && ctx.Err() != nil {
+		return StatusUnknown, nil
+	}
 	sx := newSimplex()
 	for _, a := range atoms {
 		rhs := new(big.Rat).SetInt(new(big.Int).Neg(a.Expr.Const))
@@ -390,12 +402,12 @@ func branchAndBound(atoms []LinAtom, extra []extraBound, depth int) (Status, map
 	floor := ratFloor(fracVal)
 	lo := new(big.Rat).SetInt(new(big.Int).Add(floor, big.NewInt(1)))
 	hi := new(big.Rat).SetInt(floor)
-	st, m := branchAndBound(atoms, append(append([]extraBound{}, extra...),
+	st, m := branchAndBound(ctx, atoms, append(append([]extraBound{}, extra...),
 		extraBound{name: fracVar, hi: hi}), depth-1)
 	if st == StatusSat {
 		return st, m
 	}
-	st2, m2 := branchAndBound(atoms, append(append([]extraBound{}, extra...),
+	st2, m2 := branchAndBound(ctx, atoms, append(append([]extraBound{}, extra...),
 		extraBound{name: fracVar, lo: lo}), depth-1)
 	if st2 == StatusSat {
 		return st2, m2

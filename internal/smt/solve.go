@@ -1,9 +1,11 @@
 package smt
 
 import (
+	"context"
 	"math/big"
 	"time"
 
+	"pathslice/internal/faults"
 	"pathslice/internal/logic"
 	"pathslice/internal/obs"
 )
@@ -17,7 +19,10 @@ type Result struct {
 	Model map[string]int64
 }
 
-// Limits bounds the search effort.
+// Limits bounds the search effort. Every exhausted limit makes the
+// solver answer StatusUnknown — never a wrong Sat or Unsat — so
+// callers can treat tight limits as a sound degradation knob (see
+// docs/ROBUSTNESS.md).
 type Limits struct {
 	// MaxLeaves bounds the number of theory leaf checks (branch
 	// combinations explored). Default 50000.
@@ -28,6 +33,11 @@ type Limits struct {
 	// MaxModels bounds how many abstract models are validated against
 	// the original formula before giving up with Unknown. Default 8.
 	MaxModels int
+	// Deadline, when positive, bounds the wall-clock time of a single
+	// solve: the search is cancelled at the deadline and the verdict
+	// is StatusUnknown. It composes with a caller context (whichever
+	// expires first wins). Zero means no wall-clock bound.
+	Deadline time.Duration
 }
 
 func (l Limits) withDefaults() Limits {
@@ -48,17 +58,59 @@ func Solve(f logic.Formula) Result { return SolveWithLimits(f, Limits{}) }
 
 // SolveWithLimits decides satisfiability of f under explicit limits.
 func SolveWithLimits(f logic.Formula, lim Limits) Result {
-	sp := obs.StartSpan(obs.PhaseSMT)
-	start := time.Now()
+	return SolveCtx(context.Background(), f, lim)
+}
+
+// SolveCtx decides satisfiability of f under ctx and explicit limits.
+// Cancellation or an expired deadline (from ctx or lim.Deadline,
+// whichever comes first) yields StatusUnknown — the solver never
+// hangs past the deadline by more than one theory-leaf check, and
+// never converts a timeout into a wrong Sat/Unsat.
+func SolveCtx(ctx context.Context, f logic.Formula, lim Limits) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	lim = lim.withDefaults()
-	s := &searcher{lin: newLinearizer(), lim: lim, orig: f}
-	nnf := logic.NNF(logic.Simplify(f))
-	st := s.search(nil, nil, []logic.Formula{nnf})
+	if lim.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lim.Deadline)
+		defer cancel()
+	}
+	sp := obs.StartSpan(obs.PhaseSMT)
+	defer sp.End()
+	start := time.Now()
+	// Fault injection (docs/ROBUSTNESS.md): a stall simulates a hung
+	// decision procedure (bounded by ctx); a forced Unknown simulates
+	// resource exhaustion. Both are sound weakenings.
+	if in := faults.Active(); in != nil {
+		if in.Should(faults.SolverStall) {
+			if d := in.StallDuration(); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+				case <-t.C:
+				}
+			}
+		}
+		if in.Should(faults.SolverUnknown) {
+			mSolves.Inc()
+			mUnknown.Inc()
+			return Result{Status: StatusUnknown}
+		}
+	}
+	var st Status
+	s := &searcher{lin: newLinearizer(), lim: lim, orig: f, ctx: ctx}
+	if ctx.Err() != nil {
+		st = StatusUnknown
+	} else {
+		nnf := logic.NNF(logic.Simplify(f))
+		st = s.search(nil, nil, []logic.Formula{nnf})
+	}
 	mSolves.Inc()
 	mLeafChecks.Add(int64(s.leaves))
 	mModelValid.Add(int64(s.tried))
 	mSolveNS.ObserveDuration(time.Since(start))
-	sp.End()
 	switch st {
 	case StatusSat:
 		mSat.Inc()
@@ -66,6 +118,9 @@ func SolveWithLimits(f logic.Formula, lim Limits) Result {
 		mUnsat.Inc()
 	default:
 		mUnknown.Inc()
+		if ctx.Err() != nil {
+			mDeadlineExceeded.Inc()
+		}
 	}
 	switch {
 	case st == StatusSat:
@@ -81,12 +136,23 @@ type searcher struct {
 	lin    *linearizer
 	lim    Limits
 	orig   logic.Formula
+	ctx    context.Context
 	leaves int
 	tried  int
 	model  map[string]int64
 	// sawUnknown records that some branch was cut off, so an overall
 	// failure to find a model must be Unknown rather than Unsat.
 	sawUnknown bool
+}
+
+// cancelled polls the context; a cancelled search degrades to Unknown
+// (sawUnknown forces the overall verdict away from Unsat).
+func (s *searcher) cancelled() bool {
+	if s.ctx == nil || s.ctx.Err() == nil {
+		return false
+	}
+	s.sawUnknown = true
+	return true
 }
 
 // neAtom is a deferred disequality: lt and gt are the two strict
@@ -169,11 +235,14 @@ func (s *searcher) branchFormulas(atoms []LinAtom, nes []neAtom, pending []logic
 // against the original formula when abstraction was involved.
 func (s *searcher) leaf(atoms []LinAtom, nes []neAtom) Status {
 	s.leaves++
+	if s.cancelled() {
+		return StatusUnknown
+	}
 	if s.leaves > s.lim.MaxLeaves {
 		s.sawUnknown = true
 		return StatusUnknown
 	}
-	st, bigModel := checkConj(atoms, s.lim.MaxBBDepth)
+	st, bigModel := checkConjCtx(s.ctx, atoms, s.lim.MaxBBDepth)
 	if st == StatusSat {
 		// Find a violated disequality (its lt-side expression evaluates
 		// to > 0 under the model means lt is FALSE... evaluate both).
@@ -302,12 +371,17 @@ func (s *Solver) Pop() {
 }
 
 // Check decides the conjunction of all asserted formulas.
-func (s *Solver) Check() Result {
+func (s *Solver) Check() Result { return s.CheckCtx(context.Background()) }
+
+// CheckCtx decides the conjunction of all asserted formulas under ctx:
+// on cancellation or deadline expiry the verdict is StatusUnknown
+// (never recorded as a persistent Unsat).
+func (s *Solver) CheckCtx(ctx context.Context) Result {
 	if s.lastUns {
 		return Result{Status: StatusUnsat}
 	}
 	s.Checks++
-	r := SolveWithLimits(logic.MkAnd(s.asserted...), s.lim)
+	r := SolveCtx(ctx, logic.MkAnd(s.asserted...), s.lim)
 	if r.Status == StatusUnsat {
 		s.lastUns = true
 	}

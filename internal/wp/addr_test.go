@@ -16,7 +16,10 @@ func TestAddrMapBasics(t *testing.T) {
 	m := wp.NewAddrMap(prog)
 	seen := map[int64]string{}
 	for name := range prog.Types {
-		addr := m.Addr(name)
+		addr, err := m.Addr(name)
+		if err != nil {
+			t.Fatalf("Addr(%s): %v", name, err)
+		}
 		if addr == 0 {
 			t.Errorf("%s has the null address", name)
 		}
@@ -32,12 +35,17 @@ func TestAddrMapBasics(t *testing.T) {
 	if _, ok := m.VarAt(1 << 40); ok {
 		t.Error("phantom variable at unused address")
 	}
+	if _, err := m.Addr("nonexistent"); err == nil {
+		t.Error("Addr of unknown variable must return an error")
+	} else if _, ok := err.(*wp.UnknownVarError); !ok {
+		t.Errorf("Addr error has type %T, want *wp.UnknownVarError", err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("Addr of unknown variable must panic")
+			t.Error("MustAddr of unknown variable must panic")
 		}
 	}()
-	m.Addr("nonexistent")
+	m.MustAddr("nonexistent")
 }
 
 func TestDecodeInitialStateDefaults(t *testing.T) {

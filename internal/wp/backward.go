@@ -48,7 +48,7 @@ func (e *TraceEncoder) assignBackward(lhs cfa.Lvalue, rhs ast.Expr) logic.Formul
 	fs := append([]logic.Formula{}, side...)
 	var valid []logic.Formula
 	for i, x := range targets {
-		ax := logic.Const{V: e.addrs.Addr(x)}
+		ax := logic.Const{V: e.addrs.MustAddr(x)}
 		pre := e.cur(x)
 		eqA := logic.Cmp{Op: logic.CmpEq, X: p, Y: ax}
 		fs = append(fs,

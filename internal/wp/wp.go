@@ -54,11 +54,34 @@ func NewAddrMap(prog *cfa.Program) *AddrMap {
 	return m
 }
 
-// Addr returns the address of a variable.
-func (m *AddrMap) Addr(name string) int64 {
+// UnknownVarError reports an address lookup for a variable the
+// program does not declare — the API-misuse case that used to panic.
+type UnknownVarError struct{ Name string }
+
+// Error describes the missing variable.
+func (e *UnknownVarError) Error() string {
+	return "wp: no address for variable " + e.Name
+}
+
+// Addr returns the address of a variable, or an UnknownVarError when
+// the program does not declare it.
+func (m *AddrMap) Addr(name string) (int64, error) {
 	a, ok := m.addr[name]
 	if !ok {
-		panic("wp: no address for variable " + name)
+		return 0, &UnknownVarError{Name: name}
+	}
+	return a, nil
+}
+
+// MustAddr is Addr, panicking on an unknown variable. The encoder and
+// WP builders use it internally: NewAddrMap covers every variable of
+// the program, so a miss means the caller mixed programs — a bug that
+// the pipeline's public API boundaries (core, cegar) contain by
+// converting the panic to a per-task error.
+func (m *AddrMap) MustAddr(name string) int64 {
+	a, err := m.Addr(name)
+	if err != nil {
+		panic(err.Error())
 	}
 	return a
 }
@@ -170,7 +193,7 @@ func (e *TraceEncoder) assign(lhs cfa.Lvalue, rhs ast.Expr) logic.Formula {
 	}
 	var valid []logic.Formula
 	for _, x := range targets {
-		ax := logic.Const{V: e.addrs.Addr(x)}
+		ax := logic.Const{V: e.addrs.MustAddr(x)}
 		old := e.cur(x)
 		nv := e.next(x)
 		eqA := logic.Cmp{Op: logic.CmpEq, X: p, Y: ax}
@@ -212,7 +235,7 @@ func (e *TraceEncoder) term(expr ast.Expr) (logic.Term, []logic.Formula) {
 			return r, side
 		case token.AMP:
 			id := expr.X.(*ast.Ident)
-			return logic.Const{V: e.addrs.Addr(id.Name)}, nil
+			return logic.Const{V: e.addrs.MustAddr(id.Name)}, nil
 		case token.STAR:
 			id, ok := expr.X.(*ast.Ident)
 			if !ok {
@@ -266,14 +289,14 @@ func (e *TraceEncoder) deref(p string) (logic.Term, []logic.Formula) {
 	pv := e.cur(p)
 	if len(targets) == 1 {
 		x := targets[0]
-		ax := logic.Const{V: e.addrs.Addr(x)}
+		ax := logic.Const{V: e.addrs.MustAddr(x)}
 		return e.cur(x), []logic.Formula{logic.Cmp{Op: logic.CmpEq, X: pv, Y: ax}}
 	}
 	r := e.freshInput()
 	var side []logic.Formula
 	var valid []logic.Formula
 	for _, x := range targets {
-		ax := logic.Const{V: e.addrs.Addr(x)}
+		ax := logic.Const{V: e.addrs.MustAddr(x)}
 		eqA := logic.Cmp{Op: logic.CmpEq, X: pv, Y: ax}
 		side = append(side, logic.MkOr(logic.MkNot(eqA), logic.Cmp{Op: logic.CmpEq, X: r, Y: e.cur(x)}))
 		valid = append(valid, eqA)
