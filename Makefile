@@ -7,9 +7,9 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/cegar/ ./internal/core/ ./internal/dataflow/ ./internal/obs/ ./internal/smt/
+RACE_PKGS = ./internal/cegar/ ./internal/core/ ./internal/dataflow/ ./internal/logic/ ./internal/obs/ ./internal/smt/
 
-.PHONY: check build vet test race fuzz docs-check bench experiments
+.PHONY: check build vet test race fuzz docs-check bench bench-json experiments
 
 check: build vet test race fuzz docs-check
 
@@ -39,6 +39,12 @@ docs-check:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable performance artifact (suite wall time, solver-call
+# counts, early-unsat-stop speedup). Not part of `make check` — it
+# records numbers, it doesn't gate on them.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -511,3 +511,40 @@ func BenchmarkAblation_BitsetVsBDD(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkEarlyUnsatStop measures the §4.2 early-stop loop both ways
+// over the same guard-chain path (≥300 taken assumes before the
+// contradicting operation is reached): "incremental" is the production
+// slicer loop — assert the delta, check — and "scratch-loop" is the
+// pre-incremental baseline that re-solves the whole asserted prefix at
+// every check. The acceptance bar for the incremental engine is ≥3×
+// on this shape; see docs/PERFORMANCE.md for recorded numbers.
+func BenchmarkEarlyUnsatStop(b *testing.B) {
+	prog, path, err := bench.GuardChainSetup(300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := bench.EarlyStopIncremental(prog, path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.KnownInfeasible {
+				b.Fatal("early stop missed the unsatisfiable prefix")
+			}
+			if res.Stats.SolverChecks < 200 {
+				b.Fatalf("only %d solver checks; want a ≥200-assume trace", res.Stats.SolverChecks)
+			}
+		}
+	})
+	b.Run("scratch-loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.EarlyStopScratch(prog, path); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

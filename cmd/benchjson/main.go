@@ -1,0 +1,119 @@
+// Command benchjson runs the scaled benchmark suite once and writes a
+// machine-readable JSON record of its wall time, per-row solver-call
+// counts, the incremental-solver counters, and the early-unsat-stop
+// incremental-vs-scratch comparison. It backs `make bench-json`
+// (output: BENCH_PR4.json), giving performance work a before/after
+// artifact that diffs more honestly than eyeballing `go test -bench`
+// output.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_PR4.json] [-scale f] [-guards n] [-workers n]
+//
+// The suite is intentionally small-scale (default 0.12, the same scale
+// the root Table 1 benchmarks use): the artifact is for tracking the
+// relative cost of the solving pipeline, not reproducing the paper —
+// `go run ./cmd/experiments` does that.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pathslice/internal/bench"
+	"pathslice/internal/cegar"
+	"pathslice/internal/obs"
+	"pathslice/internal/synth"
+)
+
+type rowRecord struct {
+	Name        string  `json:"name"`
+	Clusters    int     `json:"clusters"`
+	Safe        int     `json:"safe"`
+	Err         int     `json:"err"`
+	Timeout     int     `json:"timeout"`
+	Refinements int     `json:"refinements"`
+	TotalMS     float64 `json:"total_ms"`
+	SolverCalls int64   `json:"solver_calls"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+}
+
+type output struct {
+	Scale            float64                     `json:"scale"`
+	SuiteWallMS      float64                     `json:"suite_wall_ms"`
+	TotalSolverCalls int64                       `json:"total_solver_calls"`
+	Rows             []rowRecord                 `json:"rows"`
+	EarlyUnsatStop   *bench.EarlyStopComparison  `json:"early_unsat_stop"`
+	SolverCounters   map[string]int64            `json:"solver_counters"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "output path")
+	scale := flag.Float64("scale", 0.12, "workload scale for the Table 1 profiles")
+	guards := flag.Int("guards", 300, "guard-chain length for the early-unsat-stop comparison")
+	workers := flag.Int("workers", 1, "parallel cluster checks (1 keeps timings comparable)")
+	flag.Parse()
+
+	obs.Default().SetEnabled(true)
+
+	var o output
+	o.Scale = *scale
+	t0 := time.Now()
+	for _, p := range synth.PaperProfiles(*scale) {
+		row, err := bench.RunBenchmarkParallel(p, cegar.Options{
+			UseSlicing: true,
+			MaxWork:    30000,
+		}, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		o.Rows = append(o.Rows, rowRecord{
+			Name:        row.Profile.Name,
+			Clusters:    row.Clusters,
+			Safe:        row.Safe,
+			Err:         row.Err,
+			Timeout:     row.Timeout,
+			Refinements: row.Refinements,
+			TotalMS:     float64(row.TotalTime.Microseconds()) / 1000,
+			SolverCalls: row.SolverCalls,
+			CacheHits:   row.CacheHits,
+			CacheMisses: row.CacheMisses,
+		})
+		o.TotalSolverCalls += row.SolverCalls
+	}
+	o.SuiteWallMS = float64(time.Since(t0).Microseconds()) / 1000
+
+	cmpRes, err := bench.CompareEarlyStop(*guards)
+	if err != nil {
+		fatal(err)
+	}
+	o.EarlyUnsatStop = cmpRes
+
+	o.SolverCounters = make(map[string]int64)
+	for _, c := range obs.Default().Snapshot().Counters {
+		if strings.HasPrefix(c.Name, "smt_") {
+			o.SolverCounters[c.Name] = c.Value
+		}
+	}
+
+	buf, err := json.MarshalIndent(&o, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: suite %.0fms, %d solver calls, early-stop speedup %.1fx (%d checks)\n",
+		*out, o.SuiteWallMS, o.TotalSolverCalls, cmpRes.Speedup, cmpRes.SolverChecks)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -61,6 +61,7 @@ func main() {
 	noCache := flag.Bool("nocache", false, "disable the solver result cache and abstract-post memoization")
 	traceOut := flag.String("trace-out", "", "write a JSONL trace event log to this file (\"-\" for stderr) and print the per-phase table")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :8080)")
+	solverStats := flag.Bool("solver-stats", false, "print the smt_* counter table (incremental reuse, warm starts, cache) to stderr on exit")
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline per check (0 = none); expiry reports a timeout verdict")
 	faultCfg := faults.FlagConfig(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print witnesses")
@@ -76,6 +77,9 @@ func main() {
 	shutdown, err := obs.Setup(*traceOut, *metricsAddr)
 	if err != nil {
 		fatal(err)
+	}
+	if *solverStats {
+		obs.Default().SetEnabled(true)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -108,6 +112,10 @@ func main() {
 	// performed (docs/OBSERVABILITY.md).
 	obs.RecordCounter("cegar_solver_calls", totals.SolverCalls)
 	obs.RecordCounter("cegar_checks", totals.Checks)
+	if *solverStats {
+		fmt.Fprintln(os.Stderr, "solver counters:")
+		_ = obs.WriteCounterTable(os.Stderr, "smt_")
+	}
 	if err := shutdown(); err != nil {
 		fatal(err)
 	}

@@ -64,6 +64,7 @@ func main() {
 	noCache := flag.Bool("nocache", false, "disable the solver result cache and abstract-post memoization")
 	traceOut := flag.String("trace-out", "", "write a JSONL trace event log to this file (\"-\" for stderr) and print the per-phase table")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :8080)")
+	solverStats := flag.Bool("solver-stats", false, "print the smt_* counter table (incremental reuse, warm starts, cache) to stderr on exit")
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline per cluster check (0 = none); expiry counts as a timeout row")
 	faultCfg := faults.FlagConfig(flag.CommandLine)
 	flag.Parse()
@@ -75,6 +76,9 @@ func main() {
 	shutdown, err := obs.Setup(*traceOut, *metricsAddr)
 	if err != nil {
 		fatal(err)
+	}
+	if *solverStats {
+		obs.Default().SetEnabled(true)
 	}
 	var totalChecks, totalSolverCalls int64
 	var totalUnsafe, totalTimeout int64
@@ -201,6 +205,10 @@ func main() {
 	// run this invocation performed (docs/OBSERVABILITY.md).
 	obs.RecordCounter("cegar_solver_calls", totalSolverCalls)
 	obs.RecordCounter("cegar_checks", totalChecks)
+	if *solverStats {
+		fmt.Fprintln(os.Stderr, "solver counters:")
+		_ = obs.WriteCounterTable(os.Stderr, "smt_")
+	}
 	if err := shutdown(); err != nil {
 		fatal(err)
 	}

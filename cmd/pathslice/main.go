@@ -56,6 +56,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print the annotated backward pass (live sets and step locations, like Fig. 1(C))")
 	traceOut := flag.String("trace-out", "", "write a JSONL trace event log to this file (\"-\" for stderr) and print the per-phase table")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :8080)")
+	solverStats := flag.Bool("solver-stats", false, "print the smt_* counter table (incremental reuse, warm starts, cache) to stderr on exit")
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline per target (0 = none); expiry degrades to a sound superset slice")
 	faultCfg := faults.FlagConfig(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print the input path and the slice")
@@ -71,6 +72,9 @@ func main() {
 	shutdown, err := obs.Setup(*traceOut, *metricsAddr)
 	if err != nil {
 		fatal(err)
+	}
+	if *solverStats {
+		obs.Default().SetEnabled(true)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -141,6 +145,10 @@ func main() {
 			fmt.Printf("  verdict: UNKNOWN (solver limits, deadline, or injected fault)\n")
 			undecided++
 		}
+	}
+	if *solverStats {
+		fmt.Fprintln(os.Stderr, "solver counters:")
+		_ = obs.WriteCounterTable(os.Stderr, "smt_")
 	}
 	if err := shutdown(); err != nil {
 		fatal(err)

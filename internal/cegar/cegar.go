@@ -916,7 +916,7 @@ func (c *Checker) refine(ctx context.Context, slice cfa.Path, preds []logic.Form
 	// actually cause the infeasibility, per the parsimonious-abstraction
 	// idea the paper cites ([16], "Abstractions from proofs").
 	enc := wp.NewTraceEncoder(c.slicer.Prog, c.slicer.Alias, c.slicer.Addrs)
-	solver := smt.NewSolver()
+	solver := smt.NewSolverWithLimits(c.opts.SolverLimits)
 	for _, op := range slice.Ops() {
 		solver.Assert(enc.EncodeOp(op))
 	}

@@ -59,7 +59,12 @@ type Options struct {
 	// optimization: every taken operation is asserted (backward SSA) to
 	// an incremental decision procedure, and slicing stops at the first
 	// unsatisfiable prefix, since adding more operations cannot make it
-	// satisfiable again.
+	// satisfiable again. The solver is genuinely incremental: each
+	// check pays only for the operations asserted since the last one
+	// (warm-started simplex, persistent interval facts — see
+	// docs/PERFORMANCE.md), so checking after every assume
+	// (CheckEvery=1) costs O(delta) per check rather than re-solving
+	// the whole growing prefix.
 	EarlyUnsatStop bool
 	// CheckEvery controls how many taken assume edges elapse between
 	// satisfiability checks when EarlyUnsatStop is set (default 1).

@@ -1,0 +1,386 @@
+package logic
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Hash consing: Intern maps structurally equal terms and formulas to a
+// single shared node carrying a precomputed 64-bit structural hash and
+// a cache slot for the canonical Key. Interned nodes make Equal an O(1)
+// pointer-or-hash comparison on the fast path, and let Key skip
+// re-serialization on repeated cache lookups of the same formula — the
+// two hot operations in the incremental solver's assert loop and
+// UnsatCore's deletion filter.
+//
+// Nodes are plain value structs, so "sharing one node" means sharing
+// the unexported meta pointer (and the child slices) of the canonical
+// copy. The meta pointer doubles as the identity: two formulas with the
+// same meta are structurally equal. The converse direction is only used
+// as a hint — the intern table is bounded and may be flushed, after
+// which a structure can be re-interned under a fresh meta — so Equal
+// falls back to a hash comparison and then a structural walk whenever
+// the pointers differ.
+
+// hcMeta is the per-node hash-consing record.
+type hcMeta struct {
+	hash uint64
+	key  atomic.Pointer[string] // cached canonical Key of this node as a root
+}
+
+// maxInternedNodes bounds the global intern table; on overflow the
+// table is flushed (existing metas stay valid, only sharing is lost).
+const maxInternedNodes = 1 << 20
+
+type interner struct {
+	mu    sync.Mutex
+	fs    map[uint64][]Formula
+	ts    map[uint64][]Term
+	count int
+}
+
+var globalInterner = &interner{
+	fs: make(map[uint64][]Formula),
+	ts: make(map[uint64][]Term),
+}
+
+// Intern returns the canonical shared node for f: structurally equal
+// formulas interned through the same table return copies sharing one
+// meta pointer, one hash, and one cached Key slot. Safe for concurrent
+// use.
+func Intern(f Formula) Formula {
+	if formulaMeta(f) != nil {
+		return f // already canonical
+	}
+	globalInterner.mu.Lock()
+	defer globalInterner.mu.Unlock()
+	return globalInterner.formula(f)
+}
+
+// InternTerm is Intern for terms.
+func InternTerm(t Term) Term {
+	if termMeta(t) != nil {
+		return t
+	}
+	globalInterner.mu.Lock()
+	defer globalInterner.mu.Unlock()
+	return globalInterner.term(t)
+}
+
+// Interned reports whether f carries a hash-consing record (leaves
+// never do — they are cheaper to compare than to intern).
+func Interned(f Formula) bool { return formulaMeta(f) != nil }
+
+func (in *interner) flushIfFull() {
+	if in.count >= maxInternedNodes {
+		in.fs = make(map[uint64][]Formula)
+		in.ts = make(map[uint64][]Term)
+		in.count = 0
+	}
+}
+
+func (in *interner) formula(f Formula) Formula {
+	switch f := f.(type) {
+	case Bool:
+		return f // leaf: no meta
+	case Cmp:
+		if f.meta != nil {
+			return f
+		}
+		x, y := in.term(f.X), in.term(f.Y)
+		h := mix(mix(mix(hashSeed, tagCmp), uint64(f.Op)), mix(hashTerm(x), hashTerm(y)))
+		for _, cand := range in.fs[h] {
+			if c, ok := cand.(Cmp); ok && c.Op == f.Op && equalTerm(c.X, x) && equalTerm(c.Y, y) {
+				return c
+			}
+		}
+		nf := Cmp{Op: f.Op, X: x, Y: y, meta: &hcMeta{hash: h}}
+		in.register(h, nf)
+		return nf
+	case Not:
+		if f.meta != nil {
+			return f
+		}
+		g := in.formula(f.F)
+		h := mix(mix(hashSeed, tagNot), hashFormula(g))
+		for _, cand := range in.fs[h] {
+			if c, ok := cand.(Not); ok && equalFormula(c.F, g) {
+				return c
+			}
+		}
+		nf := Not{F: g, meta: &hcMeta{hash: h}}
+		in.register(h, nf)
+		return nf
+	case And:
+		if f.meta != nil {
+			return f
+		}
+		fs, h := in.formulas(f.Fs, tagAnd)
+		for _, cand := range in.fs[h] {
+			if c, ok := cand.(And); ok && equalFormulaSlices(c.Fs, fs) {
+				return c
+			}
+		}
+		nf := And{Fs: fs, meta: &hcMeta{hash: h}}
+		in.register(h, nf)
+		return nf
+	case Or:
+		if f.meta != nil {
+			return f
+		}
+		fs, h := in.formulas(f.Fs, tagOr)
+		for _, cand := range in.fs[h] {
+			if c, ok := cand.(Or); ok && equalFormulaSlices(c.Fs, fs) {
+				return c
+			}
+		}
+		nf := Or{Fs: fs, meta: &hcMeta{hash: h}}
+		in.register(h, nf)
+		return nf
+	}
+	return f
+}
+
+func (in *interner) formulas(fs []Formula, tag uint64) ([]Formula, uint64) {
+	out := make([]Formula, len(fs))
+	h := mix(mix(hashSeed, tag), uint64(len(fs)))
+	for i, g := range fs {
+		out[i] = in.formula(g)
+		h = mix(h, hashFormula(out[i]))
+	}
+	return out, h
+}
+
+func (in *interner) term(t Term) Term {
+	switch t := t.(type) {
+	case Const, Var:
+		return t // leaves: no meta
+	case Bin:
+		if t.meta != nil {
+			return t
+		}
+		x, y := in.term(t.X), in.term(t.Y)
+		h := mix(mix(mix(hashSeed, tagBin), uint64(t.Op)), mix(hashTerm(x), hashTerm(y)))
+		for _, cand := range in.ts[h] {
+			if c, ok := cand.(Bin); ok && c.Op == t.Op && equalTerm(c.X, x) && equalTerm(c.Y, y) {
+				return c
+			}
+		}
+		nt := Bin{Op: t.Op, X: x, Y: y, meta: &hcMeta{hash: h}}
+		in.registerTerm(h, nt)
+		return nt
+	case Neg:
+		if t.meta != nil {
+			return t
+		}
+		x := in.term(t.X)
+		h := mix(mix(hashSeed, tagNeg), hashTerm(x))
+		for _, cand := range in.ts[h] {
+			if c, ok := cand.(Neg); ok && equalTerm(c.X, x) {
+				return c
+			}
+		}
+		nt := Neg{X: x, meta: &hcMeta{hash: h}}
+		in.registerTerm(h, nt)
+		return nt
+	}
+	return t
+}
+
+func (in *interner) register(h uint64, f Formula) {
+	in.flushIfFull()
+	in.fs[h] = append(in.fs[h], f)
+	in.count++
+}
+
+func (in *interner) registerTerm(h uint64, t Term) {
+	in.flushIfFull()
+	in.ts[h] = append(in.ts[h], t)
+	in.count++
+}
+
+// ---------------------------------------------------------------------------
+// Structural hashing (FNV-1a style mixing with per-node type tags)
+
+const (
+	hashSeed  = uint64(1469598103934665603)
+	hashPrime = uint64(1099511628211)
+
+	tagBool = 0x42
+	tagCmp  = 0x43
+	tagNot  = 0x4e
+	tagAnd  = 0x41
+	tagOr   = 0x4f
+	tagBin  = 0x62
+	tagNeg  = 0x6e
+	tagCon  = 0x63
+	tagVar  = 0x76
+)
+
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= hashPrime
+	return h
+}
+
+func mixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= hashPrime
+	}
+	return h
+}
+
+func hashFormula(f Formula) uint64 {
+	switch f := f.(type) {
+	case Bool:
+		v := uint64(0)
+		if f.V {
+			v = 1
+		}
+		return mix(mix(hashSeed, tagBool), v)
+	case Cmp:
+		if f.meta != nil {
+			return f.meta.hash
+		}
+		return mix(mix(mix(hashSeed, tagCmp), uint64(f.Op)), mix(hashTerm(f.X), hashTerm(f.Y)))
+	case Not:
+		if f.meta != nil {
+			return f.meta.hash
+		}
+		return mix(mix(hashSeed, tagNot), hashFormula(f.F))
+	case And:
+		if f.meta != nil {
+			return f.meta.hash
+		}
+		h := mix(mix(hashSeed, tagAnd), uint64(len(f.Fs)))
+		for _, g := range f.Fs {
+			h = mix(h, hashFormula(g))
+		}
+		return h
+	case Or:
+		if f.meta != nil {
+			return f.meta.hash
+		}
+		h := mix(mix(hashSeed, tagOr), uint64(len(f.Fs)))
+		for _, g := range f.Fs {
+			h = mix(h, hashFormula(g))
+		}
+		return h
+	}
+	return hashSeed
+}
+
+func hashTerm(t Term) uint64 {
+	switch t := t.(type) {
+	case Const:
+		return mix(mix(hashSeed, tagCon), uint64(t.V))
+	case Var:
+		return mixString(mix(hashSeed, tagVar), t.Name)
+	case Bin:
+		if t.meta != nil {
+			return t.meta.hash
+		}
+		return mix(mix(mix(hashSeed, tagBin), uint64(t.Op)), mix(hashTerm(t.X), hashTerm(t.Y)))
+	case Neg:
+		if t.meta != nil {
+			return t.meta.hash
+		}
+		return mix(mix(hashSeed, tagNeg), hashTerm(t.X))
+	}
+	return hashSeed
+}
+
+func formulaMeta(f Formula) *hcMeta {
+	switch f := f.(type) {
+	case Cmp:
+		return f.meta
+	case Not:
+		return f.meta
+	case And:
+		return f.meta
+	case Or:
+		return f.meta
+	}
+	return nil
+}
+
+func termMeta(t Term) *hcMeta {
+	switch t := t.(type) {
+	case Bin:
+		return t.meta
+	case Neg:
+		return t.meta
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-free structural equality
+
+func equalFormula(a, b Formula) bool {
+	if ma, mb := formulaMeta(a), formulaMeta(b); ma != nil && mb != nil {
+		if ma == mb {
+			return true
+		}
+		if ma.hash != mb.hash {
+			return false
+		}
+	}
+	switch a := a.(type) {
+	case Bool:
+		b, ok := b.(Bool)
+		return ok && a.V == b.V
+	case Cmp:
+		b, ok := b.(Cmp)
+		return ok && a.Op == b.Op && equalTerm(a.X, b.X) && equalTerm(a.Y, b.Y)
+	case Not:
+		b, ok := b.(Not)
+		return ok && equalFormula(a.F, b.F)
+	case And:
+		b, ok := b.(And)
+		return ok && equalFormulaSlices(a.Fs, b.Fs)
+	case Or:
+		b, ok := b.(Or)
+		return ok && equalFormulaSlices(a.Fs, b.Fs)
+	}
+	return false
+}
+
+func equalFormulaSlices(a, b []Formula) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !equalFormula(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalTerm(a, b Term) bool {
+	if ma, mb := termMeta(a), termMeta(b); ma != nil && mb != nil {
+		if ma == mb {
+			return true
+		}
+		if ma.hash != mb.hash {
+			return false
+		}
+	}
+	switch a := a.(type) {
+	case Const:
+		b, ok := b.(Const)
+		return ok && a.V == b.V
+	case Var:
+		b, ok := b.(Var)
+		return ok && a.Name == b.Name
+	case Bin:
+		b, ok := b.(Bin)
+		return ok && a.Op == b.Op && equalTerm(a.X, b.X) && equalTerm(a.Y, b.Y)
+	case Neg:
+		b, ok := b.(Neg)
+		return ok && equalTerm(a.X, b.X)
+	}
+	return false
+}

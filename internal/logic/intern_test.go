@@ -1,0 +1,203 @@
+package logic
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// buildChain returns x0+x1+...+x(n-1) <= n && ... nested structure used
+// by the interning and Equal tests — big enough that the string-based
+// comparison Equal replaced would dominate a profile.
+func buildChain(n int) Formula {
+	var fs []Formula
+	for i := 0; i < n; i++ {
+		sum := Term(Var{Name: fmt.Sprintf("x%d", i)})
+		for j := 0; j < 4; j++ {
+			sum = Bin{Op: OpAdd, X: sum, Y: Var{Name: fmt.Sprintf("x%d", (i+j)%n)}}
+		}
+		fs = append(fs, Cmp{Op: CmpLe, X: sum, Y: Const{V: int64(n)}})
+	}
+	return MkAnd(fs...)
+}
+
+func TestInternSharesNodes(t *testing.T) {
+	a := Intern(buildChain(8))
+	b := Intern(buildChain(8))
+	if !Interned(a) || !Interned(b) {
+		t.Fatal("interned formulas must carry a hash-consing record")
+	}
+	if formulaMeta(a) != formulaMeta(b) {
+		t.Fatal("structurally equal formulas must share one interned node")
+	}
+	if !Equal(a, b) {
+		t.Fatal("interned equal formulas must be Equal")
+	}
+	c := Intern(buildChain(9))
+	if formulaMeta(a) == formulaMeta(c) {
+		t.Fatal("different formulas must not share a node")
+	}
+	if Equal(a, c) {
+		t.Fatal("different formulas must not be Equal")
+	}
+}
+
+func TestInternPreservesStructure(t *testing.T) {
+	cases := []Formula{
+		True,
+		False,
+		buildChain(5),
+		MkNot(MkOr(Cmp{Op: CmpEq, X: Var{Name: "x"}, Y: Const{V: 3}}, buildChain(2))),
+		Not{F: Or{Fs: []Formula{Bool{V: true}, Cmp{Op: CmpNe, X: Neg{X: Var{Name: "y"}}, Y: Const{V: 0}}}}},
+		Cmp{Op: CmpLt, X: Bin{Op: OpDiv, X: Var{Name: "a"}, Y: Var{Name: "b"}}, Y: Const{V: 7}},
+	}
+	for _, f := range cases {
+		g := Intern(f)
+		if f.String() != g.String() {
+			t.Fatalf("interning changed structure:\n  before %s\n  after  %s", f, g)
+		}
+		if !Equal(f, g) || !Equal(g, f) {
+			t.Fatalf("interned node must equal its original: %s", f)
+		}
+		if Key(f) != Key(g) {
+			t.Fatalf("interning changed the canonical key of %s", f)
+		}
+	}
+}
+
+func TestEqualStructuralWalk(t *testing.T) {
+	// Mixed interned / non-interned operands must agree with the
+	// string-comparison semantics Equal used to have.
+	type pair struct {
+		a, b Formula
+		want bool
+	}
+	x, y := Var{Name: "x"}, Var{Name: "y"}
+	pairs := []pair{
+		{True, True, true},
+		{True, False, false},
+		{Cmp{Op: CmpEq, X: x, Y: y}, Cmp{Op: CmpEq, X: x, Y: y}, true},
+		{Cmp{Op: CmpEq, X: x, Y: y}, Cmp{Op: CmpEq, X: y, Y: x}, false},
+		{Cmp{Op: CmpEq, X: x, Y: y}, Cmp{Op: CmpNe, X: x, Y: y}, false},
+		{MkAnd(Cmp{Op: CmpLt, X: x, Y: y}), Cmp{Op: CmpLt, X: x, Y: y}, true},
+		{And{Fs: []Formula{True}}, And{Fs: []Formula{True, True}}, false},
+		{Not{F: True}, Not{F: True}, true},
+		{Not{F: True}, True, false},
+		{Cmp{Op: CmpEq, X: Neg{X: x}, Y: Const{V: 0}}, Cmp{Op: CmpEq, X: Neg{X: x}, Y: Const{V: 0}}, true},
+		{Cmp{Op: CmpEq, X: Bin{Op: OpMul, X: x, Y: y}, Y: Const{V: 0}},
+			Cmp{Op: CmpEq, X: Bin{Op: OpAdd, X: x, Y: y}, Y: Const{V: 0}}, false},
+	}
+	for _, p := range pairs {
+		for _, swap := range []bool{false, true} {
+			a, b := p.a, p.b
+			if swap {
+				a, b = b, a
+			}
+			if got := Equal(a, b); got != p.want {
+				t.Errorf("Equal(%s, %s) = %v, want %v", a, b, got, p.want)
+			}
+			if got := Equal(Intern(a), b); got != p.want {
+				t.Errorf("Equal(Intern(%s), %s) = %v, want %v", a, b, got, p.want)
+			}
+			if got := Equal(Intern(a), Intern(b)); got != p.want {
+				t.Errorf("Equal(Intern(%s), Intern(%s)) = %v, want %v", a, b, got, p.want)
+			}
+			if stringEq := a.String() == b.String(); stringEq != p.want {
+				t.Errorf("test vector inconsistent with string semantics: %s vs %s", a, b)
+			}
+		}
+	}
+}
+
+func TestKeyCachedOnInternedRoot(t *testing.T) {
+	f := Intern(MkAnd(
+		Cmp{Op: CmpEq, X: Var{Name: "$in0"}, Y: Var{Name: "x"}},
+		Cmp{Op: CmpLt, X: Var{Name: "$in1"}, Y: Const{V: 4}},
+	))
+	k1 := Key(f)
+	k2 := Key(f)
+	if k1 != k2 {
+		t.Fatalf("cached key differs: %q vs %q", k1, k2)
+	}
+	// The canonical renaming must still quotient out fresh-counter
+	// offsets, cached or not.
+	g := Intern(MkAnd(
+		Cmp{Op: CmpEq, X: Var{Name: "$in7"}, Y: Var{Name: "x"}},
+		Cmp{Op: CmpLt, X: Var{Name: "$in9"}, Y: Const{V: 4}},
+	))
+	if Key(f) != Key(g) {
+		t.Fatalf("keys must be renaming-invariant: %q vs %q", Key(f), Key(g))
+	}
+	// A subformula key must be computed in its own root context, not
+	// inherited from the enclosing formula's renaming.
+	sub := f.(And).Fs[1]
+	if want := Key(Cmp{Op: CmpLt, X: Var{Name: "$k0"}, Y: Const{V: 4}}); Key(sub) != want {
+		t.Fatalf("subformula key %q, want root-context %q", Key(sub), want)
+	}
+}
+
+func TestInternConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				f := Intern(buildChain(3 + i%5))
+				if !Equal(f, Intern(buildChain(3+i%5))) {
+					t.Error("concurrent intern lost equality")
+					return
+				}
+				_ = Key(f)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkEqual(b *testing.B) {
+	raw1, raw2 := buildChain(32), buildChain(32)
+	int1, int2 := Intern(raw1), Intern(raw2)
+	b.Run("structural-walk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !Equal(raw1, raw2) {
+				b.Fatal("unexpected inequality")
+			}
+		}
+	})
+	b.Run("interned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !Equal(int1, int2) {
+				b.Fatal("unexpected inequality")
+			}
+		}
+	})
+	b.Run("string-compare-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if raw1.String() != raw2.String() {
+				b.Fatal("unexpected inequality")
+			}
+		}
+	})
+}
+
+func BenchmarkKeyInterned(b *testing.B) {
+	f := Intern(buildChain(32))
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		_ = Key(f) // warm the cache
+		for i := 0; i < b.N; i++ {
+			_ = Key(f)
+		}
+	})
+	raw := buildChain(32)
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = Key(raw)
+		}
+	})
+}

@@ -58,10 +58,16 @@ func (op BinOp) String() string {
 type Bin struct {
 	Op   BinOp
 	X, Y Term
+
+	meta *hcMeta // hash-consing record; nil unless interned (intern.go)
 }
 
 // Neg is arithmetic negation.
-type Neg struct{ X Term }
+type Neg struct {
+	X Term
+
+	meta *hcMeta
+}
 
 func (Const) termNode() {}
 func (Var) termNode()   {}
@@ -155,16 +161,30 @@ func (op CmpOp) Negated() CmpOp {
 type Cmp struct {
 	Op   CmpOp
 	X, Y Term
+
+	meta *hcMeta // hash-consing record; nil unless interned (intern.go)
 }
 
 // Not is logical negation.
-type Not struct{ F Formula }
+type Not struct {
+	F Formula
+
+	meta *hcMeta
+}
 
 // And is n-ary conjunction (true when empty).
-type And struct{ Fs []Formula }
+type And struct {
+	Fs []Formula
+
+	meta *hcMeta
+}
 
 // Or is n-ary disjunction (false when empty).
-type Or struct{ Fs []Formula }
+type Or struct {
+	Fs []Formula
+
+	meta *hcMeta
+}
 
 func (Bool) formulaNode() {}
 func (Cmp) formulaNode()  {}
@@ -520,8 +540,15 @@ func Eval(f Formula, env map[string]int64) (bool, error) {
 	return false, fmt.Errorf("logic: unknown formula %T", f)
 }
 
-// Equal reports structural equality of formulas.
-func Equal(a, b Formula) bool { return a.String() == b.String() }
+// Equal reports structural equality of formulas. Interned formulas
+// (see Intern) compare in O(1) — shared meta pointers are equal, and
+// differing precomputed hashes are unequal; everything else falls back
+// to an allocation-free structural walk.
+func Equal(a, b Formula) bool { return equalFormula(a, b) }
+
+// EqualTerms reports structural equality of terms, with the same
+// interned fast path as Equal.
+func EqualTerms(a, b Term) bool { return equalTerm(a, b) }
 
 // Size returns the number of nodes (formula connectives, comparison
 // atoms, and term operators/leaves) in f — the formula-size measure

@@ -3,10 +3,12 @@ package obs
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 	"sync"
 )
 
@@ -55,6 +57,22 @@ func Serve(addr string, r *Registry) (string, func() error, error) {
 	srv := &http.Server{Handler: Handler(r)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
+}
+
+// WriteCounterTable prints every default-registry counter whose name
+// starts with prefix as an aligned name/value table — the terminal
+// counterpart of /metrics for one-shot CLI runs (used by the pipeline
+// binaries' -solver-stats flag to report incremental-solver reuse).
+func WriteCounterTable(w io.Writer, prefix string) error {
+	for _, c := range Default().Snapshot().Counters {
+		if !strings.HasPrefix(c.Name, prefix) {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %-36s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Setup wires the standard observability flags of the pipeline

@@ -88,7 +88,23 @@ func FuzzLinearize(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d := &fuzzDecoder{data: data}
 		formula := d.formula(3)
-		r := SolveWithLimits(formula, Limits{MaxLeaves: 200, MaxBBDepth: 12, MaxModels: 8})
+		lim := Limits{MaxLeaves: 200, MaxBBDepth: 12, MaxModels: 8}
+		r := SolveWithLimits(formula, lim)
+		// Cross-check the incremental solver: asserting the same formula
+		// into a fresh Solver must agree on every decided verdict, and
+		// must never answer Unknown where from-scratch solving decides
+		// (the fallback guarantees it is at least as strong).
+		inc := NewSolverWithLimits(lim)
+		inc.Assert(formula)
+		ri := inc.Check()
+		if r.Status != StatusUnknown {
+			if ri.Status == StatusUnknown {
+				t.Fatalf("incremental Unknown where scratch decided %v for %s", r.Status, formula)
+			}
+			if ri.Status != r.Status {
+				t.Fatalf("incremental %v vs scratch %v for %s", ri.Status, r.Status, formula)
+			}
+		}
 		switch r.Status {
 		case StatusSat:
 			// The model may be partial: variables not constrained by

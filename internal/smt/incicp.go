@@ -1,0 +1,231 @@
+package smt
+
+import "sort"
+
+// Incremental interval constraint propagation: the persistent,
+// delta-driven counterpart of icpCheck (intervals.go) used by the
+// incremental Solver. Bounds carry over from check to check — within a
+// Push frame the assertion set only grows, so every tightening derived
+// earlier stays valid and new atoms start from the already-narrowed
+// state instead of from scratch. Propagation is worklist-based and
+// seeded with the delta: a check that adds k atoms touches the atoms
+// reachable from those k atoms' variables, not the whole conjunction.
+//
+// Like icpCheck this is a sound Unsat pre-filter only: saturated int64
+// arithmetic can widen but never narrow, so an empty interval here is
+// empty under exact arithmetic too. Anything else falls through to the
+// simplex.
+
+// icpAtom is a LinAtom with int64 coefficients (atoms that do not fit
+// are skipped — the simplex decides them exactly).
+type icpAtom struct {
+	kind   AtomKind
+	coeffs map[string]int64
+	vars   []string // sorted, for deterministic propagation order
+	k      int64
+}
+
+// convertICPAtom converts a LinAtom; ok is false when any coefficient
+// or the constant exceeds int64.
+func convertICPAtom(a LinAtom) (icpAtom, bool) {
+	if !a.Expr.Const.IsInt64() {
+		return icpAtom{}, false
+	}
+	conv := icpAtom{kind: a.Kind, coeffs: make(map[string]int64, len(a.Expr.Coeffs)), k: a.Expr.Const.Int64()}
+	for v, c := range a.Expr.Coeffs {
+		if !c.IsInt64() {
+			return icpAtom{}, false
+		}
+		conv.coeffs[v] = c.Int64()
+		conv.vars = append(conv.vars, v)
+	}
+	sort.Strings(conv.vars)
+	return conv, true
+}
+
+// incICP is the persistent propagation state.
+type incICP struct {
+	atoms  []icpAtom
+	byVar  map[string][]int     // var -> indices of atoms mentioning it
+	bounds map[string]interval  // missing = [-icpInf, icpInf]
+}
+
+func newIncICP() *incICP {
+	return &incICP{byVar: make(map[string][]int), bounds: make(map[string]interval)}
+}
+
+func (p *incICP) iv(v string) interval {
+	if iv, ok := p.bounds[v]; ok {
+		return iv
+	}
+	return interval{lo: -icpInf, hi: icpInf}
+}
+
+// add registers a converted atom and returns its index.
+func (p *incICP) add(a icpAtom) int {
+	idx := len(p.atoms)
+	p.atoms = append(p.atoms, a)
+	for _, v := range a.vars {
+		p.byVar[v] = append(p.byVar[v], idx)
+	}
+	return idx
+}
+
+// truncate drops atoms from index n on and rebuilds the variable index
+// (Pop path; bounds are restored separately from the frame snapshot).
+func (p *incICP) truncate(n int) {
+	if n >= len(p.atoms) {
+		return
+	}
+	p.atoms = p.atoms[:n]
+	p.byVar = make(map[string][]int, len(p.byVar))
+	for i, a := range p.atoms {
+		for _, v := range a.vars {
+			p.byVar[v] = append(p.byVar[v], i)
+		}
+	}
+}
+
+// snapshotBounds copies the current bounds for a Push frame.
+func (p *incICP) snapshotBounds() map[string]interval {
+	out := make(map[string]interval, len(p.bounds))
+	for v, iv := range p.bounds {
+		out[v] = iv
+	}
+	return out
+}
+
+// propagate runs worklist propagation seeded with the given atom
+// indices; it returns StatusUnsat when some interval empties and
+// StatusUnknown otherwise. The work budget bounds total atom
+// processings (sound: stopping early just means less tightening).
+func (p *incICP) propagate(seed []int) Status {
+	const budgetPerAtom = 8
+	budget := budgetPerAtom * len(p.atoms)
+	if budget < 64 {
+		budget = 64
+	}
+	queue := append([]int(nil), seed...)
+	queued := make(map[int]bool, len(seed))
+	for _, i := range seed {
+		queued[i] = true
+	}
+	for len(queue) > 0 && budget > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		queued[i] = false
+		budget--
+		var changed []string
+		if p.tighten(p.atoms[i], &changed) {
+			return StatusUnsat
+		}
+		for _, v := range changed {
+			for _, j := range p.byVar[v] {
+				if j < len(p.atoms) && !queued[j] {
+					queued[j] = true
+					queue = append(queue, j)
+				}
+			}
+		}
+	}
+	return StatusUnknown
+}
+
+// tighten applies one propagation step of atom a (the same per-atom
+// rule as icpCheck): for Σ cᵢxᵢ + k ≤ 0 each xⱼ gets
+// cⱼxⱼ ≤ -k - Σ_{i≠j} min(cᵢxᵢ), and for equalities additionally the
+// symmetric ≥ rule. It reports true when a bound pair empties and
+// appends the names of tightened variables to *changed.
+func (p *incICP) tighten(a icpAtom, changed *[]string) bool {
+	for _, j := range a.vars {
+		cj := a.coeffs[j]
+		ivj := p.iv(j)
+		restMin := a.k
+		okMin := true
+		for _, i := range a.vars {
+			if i == j {
+				continue
+			}
+			ci := a.coeffs[i]
+			iv := p.iv(i)
+			var term int64
+			if ci > 0 {
+				if iv.lo <= -icpInf {
+					okMin = false
+					break
+				}
+				term = satMul(ci, iv.lo)
+			} else {
+				if iv.hi >= icpInf {
+					okMin = false
+					break
+				}
+				term = satMul(ci, iv.hi)
+			}
+			restMin = satAdd(restMin, term)
+		}
+		dirty := false
+		if okMin {
+			rhs := -restMin
+			if cj > 0 {
+				if nb := floorDiv(rhs, cj); nb < ivj.hi {
+					ivj.hi = nb
+					dirty = true
+				}
+			} else {
+				if lo := ceilDivNeg(rhs, cj); lo > ivj.lo {
+					ivj.lo = lo
+					dirty = true
+				}
+			}
+		}
+		if a.kind == AtomEq {
+			restMax := a.k
+			okMax := true
+			for _, i := range a.vars {
+				if i == j {
+					continue
+				}
+				ci := a.coeffs[i]
+				iv := p.iv(i)
+				var term int64
+				if ci > 0 {
+					if iv.hi >= icpInf {
+						okMax = false
+						break
+					}
+					term = satMul(ci, iv.hi)
+				} else {
+					if iv.lo <= -icpInf {
+						okMax = false
+						break
+					}
+					term = satMul(ci, iv.lo)
+				}
+				restMax = satAdd(restMax, term)
+			}
+			if okMax {
+				rhs := -restMax
+				if cj > 0 {
+					if lo := ceilDiv(rhs, cj); lo > ivj.lo {
+						ivj.lo = lo
+						dirty = true
+					}
+				} else {
+					if hi := floorDivNeg(rhs, cj); hi < ivj.hi {
+						ivj.hi = hi
+						dirty = true
+					}
+				}
+			}
+		}
+		if dirty {
+			p.bounds[j] = ivj
+			*changed = append(*changed, j)
+		}
+		if ivj.lo > ivj.hi {
+			return true
+		}
+	}
+	return false
+}

@@ -24,4 +24,14 @@ var (
 	// mDeadlineExceeded counts solves that returned StatusUnknown
 	// because their context was cancelled or its deadline expired.
 	mDeadlineExceeded = obs.Default().Counter("smt_deadline_exceeded_total")
+
+	// Incremental-solver metrics (incremental.go).
+	// mIncrementalReuse counts Check calls answered from persistent
+	// state: sticky-Unsat short-circuits plus warm tableau reuses.
+	mIncrementalReuse = obs.Default().Counter("smt_incremental_reuse_total")
+	// mWarmStartHits counts warm-started simplex checks that reached a
+	// verdict within the re-pivot budget; mWarmStartRebuilds counts
+	// budget exhaustions that forced a from-scratch tableau rebuild.
+	mWarmStartHits     = obs.Default().Counter("smt_warm_start_hits_total")
+	mWarmStartRebuilds = obs.Default().Counter("smt_warm_start_rebuilds_total")
 )

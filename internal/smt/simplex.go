@@ -45,6 +45,43 @@ type simplex struct {
 
 	pivots    int
 	maxPivots int
+
+	// Trail-based backtracking for the incremental solver: when
+	// recording, every bound assignment is logged so popTo can undo it.
+	// Bounds are the only state that needs undoing — rows and pivots
+	// are semantically invariant reformulations of the same linear
+	// relations, and variable values are just the current assignment,
+	// which the next check re-repairs. A constraint "removed" by popTo
+	// keeps its (now unbounded, hence inert) slack row: physically
+	// deleting rows is unsound once pivoting has mixed their variables
+	// into retained rows.
+	recording bool
+	trail     []boundChange
+}
+
+// boundChange is one undo record: variable x's lower (side 0) or upper
+// (side 1) bound before it was overwritten.
+type boundChange struct {
+	x    int
+	side int8
+	old  *big.Rat
+}
+
+// mark returns the current trail position for a later popTo.
+func (s *simplex) mark() int { return len(s.trail) }
+
+// popTo undoes every bound change recorded after mark, most recent
+// first, restoring the bounds exactly as they were.
+func (s *simplex) popTo(mark int) {
+	for i := len(s.trail) - 1; i >= mark; i-- {
+		c := s.trail[i]
+		if c.side == 0 {
+			s.lower[c.x] = c.old
+		} else {
+			s.upper[c.x] = c.old
+		}
+	}
+	s.trail = s.trail[:mark]
 }
 
 func newSimplex() *simplex {
@@ -108,6 +145,14 @@ func (s *simplex) addConstraint(coeffs map[string]*big.Int, lo, hi *big.Rat) int
 	s.rows[slack] = row
 	s.isBasic[slack] = true
 	s.val[slack] = v
+	if s.recording {
+		if lo != nil {
+			s.trail = append(s.trail, boundChange{x: slack, side: 0})
+		}
+		if hi != nil {
+			s.trail = append(s.trail, boundChange{x: slack, side: 1})
+		}
+	}
 	s.lower[slack] = lo
 	s.upper[slack] = hi
 	return slack
@@ -131,9 +176,15 @@ func addInto(row map[int]*big.Rat, x int, c *big.Rat) {
 func (s *simplex) setBounds(name string, lo, hi *big.Rat) bool {
 	x := s.varOf(name)
 	if lo != nil && (s.lower[x] == nil || lo.Cmp(s.lower[x]) > 0) {
+		if s.recording {
+			s.trail = append(s.trail, boundChange{x: x, side: 0, old: s.lower[x]})
+		}
 		s.lower[x] = lo
 	}
 	if hi != nil && (s.upper[x] == nil || hi.Cmp(s.upper[x]) < 0) {
+		if s.recording {
+			s.trail = append(s.trail, boundChange{x: x, side: 1, old: s.upper[x]})
+		}
 		s.upper[x] = hi
 	}
 	if s.lower[x] != nil && s.upper[x] != nil && s.lower[x].Cmp(s.upper[x]) > 0 {
@@ -219,61 +270,67 @@ func (s *simplex) pivot(b, x int) {
 // check runs the simplex main loop with Bland's rule; it returns
 // StatusSat, StatusUnsat, or StatusUnknown on pivot exhaustion.
 func (s *simplex) check() Status {
+	return s.checkCtx(nil, s.maxPivots-s.pivots)
+}
+
+// checkCtx is check with a per-call pivot budget and cooperative
+// cancellation: the incremental solver re-pivots a retained tableau
+// many times per session, so exhaustion must be charged per warm start
+// rather than cumulatively, and a deadlined caller must get its
+// Unknown back without waiting for budget exhaustion. ctx is polled
+// every 32 pivots (each pivot is a full-tableau substitution, so the
+// poll amortizes to noise).
+func (s *simplex) checkCtx(ctx context.Context, budget int) Status {
+	pivots := 0
 	for {
+		pivots++
 		s.pivots++
 		mSimplexPivots.Inc()
-		if s.pivots > s.maxPivots {
+		if pivots > budget {
+			return StatusUnknown
+		}
+		if ctx != nil && pivots&31 == 0 && ctx.Err() != nil {
 			return StatusUnknown
 		}
 		b := -1
 		below := false
-		// Bland's rule: smallest violating basic variable.
-		basics := make([]int, 0, len(s.rows))
+		// Bland's rule: smallest violating basic variable. A direct
+		// min-scan (no sort, no allocation) — equivalent to sorting and
+		// taking the first violation, but this runs once per pivot on
+		// the incremental hot path, so the constant matters.
 		for id := range s.rows {
-			basics = append(basics, id)
-		}
-		sort.Ints(basics)
-		for _, id := range basics {
+			if b >= 0 && id >= b {
+				continue
+			}
 			if s.lower[id] != nil && s.val[id].Cmp(s.lower[id]) < 0 {
 				b, below = id, true
-				break
-			}
-			if s.upper[id] != nil && s.val[id].Cmp(s.upper[id]) > 0 {
+			} else if s.upper[id] != nil && s.val[id].Cmp(s.upper[id]) > 0 {
 				b, below = id, false
-				break
 			}
 		}
 		if b < 0 {
 			return StatusSat
 		}
 		row := s.rows[b]
-		cols := make([]int, 0, len(row))
-		for y := range row {
-			cols = append(cols, y)
-		}
-		sort.Ints(cols)
+		// Smallest eligible nonbasic, again by direct min-scan.
 		x := -1
-		for _, y := range cols {
-			c := row[y]
+		for y, c := range row {
+			if x >= 0 && y >= x {
+				continue
+			}
 			if below {
 				// Need to increase val[b]: increase y when c>0 (y below
 				// upper), or decrease y when c<0 (y above lower).
 				if c.Sign() > 0 && (s.upper[y] == nil || s.val[y].Cmp(s.upper[y]) < 0) {
 					x = y
-					break
-				}
-				if c.Sign() < 0 && (s.lower[y] == nil || s.val[y].Cmp(s.lower[y]) > 0) {
+				} else if c.Sign() < 0 && (s.lower[y] == nil || s.val[y].Cmp(s.lower[y]) > 0) {
 					x = y
-					break
 				}
 			} else {
 				if c.Sign() < 0 && (s.upper[y] == nil || s.val[y].Cmp(s.upper[y]) < 0) {
 					x = y
-					break
-				}
-				if c.Sign() > 0 && (s.lower[y] == nil || s.val[y].Cmp(s.lower[y]) > 0) {
+				} else if c.Sign() > 0 && (s.lower[y] == nil || s.val[y].Cmp(s.lower[y]) > 0) {
 					x = y
-					break
 				}
 			}
 		}

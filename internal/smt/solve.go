@@ -328,126 +328,23 @@ func (s *searcher) validate(model map[string]int64) bool {
 	return err == nil && ok
 }
 
-// ---------------------------------------------------------------------------
-// Incremental interface (for the slicer's early-stop optimization, §4.2)
-
-// Solver is an incremental conjunction of formulas with a persistent
-// Unsat state: once the asserted set is unsatisfiable it stays so.
-type Solver struct {
-	asserted []logic.Formula
-	marks    []int
-	lim      Limits
-	lastUns  bool
-	// Stats
-	Checks int
-}
-
-// NewSolver returns an empty incremental solver.
-func NewSolver() *Solver { return &Solver{} }
-
-// NewSolverWithLimits returns an empty solver with custom limits.
-func NewSolverWithLimits(lim Limits) *Solver { return &Solver{lim: lim} }
-
-// Assert conjoins f to the asserted set.
-func (s *Solver) Assert(f logic.Formula) {
-	s.asserted = append(s.asserted, f)
-}
-
-// Push saves the current assertion set.
-func (s *Solver) Push() {
-	s.marks = append(s.marks, len(s.asserted))
-	s.lastUns = false
-}
-
-// Pop restores the assertion set to the last Push.
-func (s *Solver) Pop() {
-	if len(s.marks) == 0 {
-		return
-	}
-	n := s.marks[len(s.marks)-1]
-	s.marks = s.marks[:len(s.marks)-1]
-	s.asserted = s.asserted[:n]
-	s.lastUns = false
-}
-
-// Check decides the conjunction of all asserted formulas.
-func (s *Solver) Check() Result { return s.CheckCtx(context.Background()) }
-
-// CheckCtx decides the conjunction of all asserted formulas under ctx:
-// on cancellation or deadline expiry the verdict is StatusUnknown
-// (never recorded as a persistent Unsat).
-func (s *Solver) CheckCtx(ctx context.Context) Result {
-	if s.lastUns {
-		return Result{Status: StatusUnsat}
-	}
-	s.Checks++
-	r := SolveCtx(ctx, logic.MkAnd(s.asserted...), s.lim)
-	if r.Status == StatusUnsat {
-		s.lastUns = true
-	}
-	return r
-}
-
-// Assertions returns the number of asserted formulas.
-func (s *Solver) Assertions() int { return len(s.asserted) }
-
-// UnsatCore returns a deletion-minimized subset of the asserted
-// formulas whose conjunction is still unsatisfiable. It must be called
-// after Check has returned StatusUnsat; it returns nil otherwise. The
-// indices into the assertion list are returned alongside the formulas
-// so callers can map core members back to trace operations.
-//
-// Minimization is the standard deletion filter: drop each member in
-// turn and keep the drop when the rest stays unsat — O(n) solver calls,
-// so it is skipped (returning the full set) beyond MaxCoreCandidates.
-func (s *Solver) UnsatCore() ([]logic.Formula, []int) {
-	if !s.lastUns {
-		return nil, nil
-	}
-	const maxCoreCandidates = 256
-	idx := make([]int, 0, len(s.asserted))
-	for i, f := range s.asserted {
-		if _, isTrue := f.(logic.Bool); isTrue && logic.Equal(f, logic.True) {
-			continue // trivially irrelevant
-		}
-		idx = append(idx, i)
-	}
-	if len(idx) > maxCoreCandidates {
-		fs := make([]logic.Formula, len(idx))
-		for k, i := range idx {
-			fs[k] = s.asserted[i]
-		}
-		return fs, idx
-	}
-	core := idx
-	for k := 0; k < len(core); k++ {
-		trial := make([]logic.Formula, 0, len(core)-1)
-		for j, i := range core {
-			if j == k {
-				continue
-			}
-			trial = append(trial, s.asserted[i])
-		}
-		s.Checks++
-		if SolveWithLimits(logic.MkAnd(trial...), s.lim).Status == StatusUnsat {
-			core = append(core[:k], core[k+1:]...)
-			k--
-		}
-	}
-	fs := make([]logic.Formula, len(core))
-	for k, i := range core {
-		fs[k] = s.asserted[i]
-	}
-	return fs, core
-}
-
 // linAtomHolds evaluates a normalized atom under an integer model
 // (missing variables default to 0).
 func linAtomHolds(a LinAtom, model map[string]*big.Int) bool {
-	sum := new(big.Int).Set(a.Expr.Const)
+	var sum, tmp big.Int
+	return linAtomHoldsScratch(a, model, &sum, &tmp)
+}
+
+// linAtomHoldsScratch is linAtomHolds with caller-provided scratch
+// values — the incremental solver's disequality scan calls it for
+// every deferred disequality on every check, so per-call allocations
+// would dominate that loop.
+func linAtomHoldsScratch(a LinAtom, model map[string]*big.Int, sum, tmp *big.Int) bool {
+	sum.Set(a.Expr.Const)
 	for v, c := range a.Expr.Coeffs {
 		if mv, ok := model[v]; ok {
-			sum.Add(sum, new(big.Int).Mul(c, mv))
+			tmp.Mul(c, mv)
+			sum.Add(sum, tmp)
 		}
 	}
 	if a.Kind == AtomEq {
