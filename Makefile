@@ -9,9 +9,9 @@ GO ?= go
 
 RACE_PKGS = ./internal/cegar/ ./internal/core/ ./internal/dataflow/ ./internal/logic/ ./internal/obs/ ./internal/smt/
 
-.PHONY: check build vet test race fuzz docs-check bench bench-json experiments
+.PHONY: check build vet test race fuzz oracle docs-check bench bench-json experiments
 
-check: build vet test race fuzz docs-check
+check: build vet test race fuzz oracle docs-check
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ fuzz:
 	$(GO) test ./internal/lang/parser/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/smt/ -run '^$$' -fuzz FuzzLinearize -fuzztime $(FUZZTIME)
 
+# Differential/metamorphic oracle campaign over generated programs
+# (docs/TESTING.md): >=500 slicer verdicts cross-checked against the
+# concrete interpreter, a brute-force reference slicer, and a stateless
+# solver, plus the planted-bug self-test. Deterministic, ~1s.
+oracle:
+	$(GO) test -run Oracle -count=1 .
+
 # Fails on broken relative links in *.md and on `pkg.Ident` doc
 # references that no longer name an exported identifier.
 docs-check:
@@ -41,10 +48,10 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Machine-readable performance artifact (suite wall time, solver-call
-# counts, early-unsat-stop speedup). Not part of `make check` — it
-# records numbers, it doesn't gate on them.
+# counts, early-unsat-stop speedup, oracle corpus statistics). Not part
+# of `make check` — it records numbers, it doesn't gate on them.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR5.json
 
 experiments:
 	$(GO) run ./cmd/experiments

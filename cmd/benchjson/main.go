@@ -1,14 +1,17 @@
 // Command benchjson runs the scaled benchmark suite once and writes a
 // machine-readable JSON record of its wall time, per-row solver-call
-// counts, the incremental-solver counters, and the early-unsat-stop
-// incremental-vs-scratch comparison. It backs `make bench-json`
-// (output: BENCH_PR4.json), giving performance work a before/after
-// artifact that diffs more honestly than eyeballing `go test -bench`
-// output.
+// counts, the incremental-solver counters, the early-unsat-stop
+// incremental-vs-scratch comparison, and the oracle campaign's corpus
+// statistics (pairs checked, coverage fingerprints, brute-force
+// minimal-slice agreement). It backs `make bench-json` (output:
+// BENCH_PR5.json), giving performance and test-coverage work a
+// before/after artifact that diffs more honestly than eyeballing
+// `go test -bench` output.
 //
 // Usage:
 //
-//	benchjson [-out BENCH_PR4.json] [-scale f] [-guards n] [-workers n]
+//	benchjson [-out BENCH_PR5.json] [-scale f] [-guards n] [-workers n]
+//	          [-oracle-seeds n]
 //
 // The suite is intentionally small-scale (default 0.12, the same scale
 // the root Table 1 benchmarks use): the artifact is for tracking the
@@ -27,6 +30,7 @@ import (
 	"pathslice/internal/bench"
 	"pathslice/internal/cegar"
 	"pathslice/internal/obs"
+	"pathslice/internal/oracle"
 	"pathslice/internal/synth"
 )
 
@@ -43,6 +47,15 @@ type rowRecord struct {
 	CacheMisses int64   `json:"cache_misses"`
 }
 
+// oracleRecord is the campaign's Stats plus the two numbers that are
+// methods/unmarshalled fields there: the violation count (zero on any
+// run worth committing) and the brute minimal-slice agreement rate.
+type oracleRecord struct {
+	oracle.Stats
+	Violations   int     `json:"violations"`
+	MinAgreeRate float64 `json:"brute_min_agree_rate"`
+}
+
 type output struct {
 	Scale            float64                     `json:"scale"`
 	SuiteWallMS      float64                     `json:"suite_wall_ms"`
@@ -50,13 +63,15 @@ type output struct {
 	Rows             []rowRecord                 `json:"rows"`
 	EarlyUnsatStop   *bench.EarlyStopComparison  `json:"early_unsat_stop"`
 	SolverCounters   map[string]int64            `json:"solver_counters"`
+	Oracle           *oracleRecord               `json:"oracle"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output path")
+	out := flag.String("out", "BENCH_PR5.json", "output path")
 	scale := flag.Float64("scale", 0.12, "workload scale for the Table 1 profiles")
 	guards := flag.Int("guards", 300, "guard-chain length for the early-unsat-stop comparison")
 	workers := flag.Int("workers", 1, "parallel cluster checks (1 keeps timings comparable)")
+	oracleSeeds := flag.Int("oracle-seeds", 140, "oracle campaign size (0 skips the campaign)")
 	flag.Parse()
 
 	obs.Default().SetEnabled(true)
@@ -101,6 +116,20 @@ func main() {
 		}
 	}
 
+	if *oracleSeeds > 0 {
+		stats := oracle.Run(oracle.Config{
+			Seeds:     *oracleSeeds,
+			Budget:    30 * time.Second,
+			Seed:      1,
+			CorpusDir: "testdata/oracle",
+		})
+		o.Oracle = &oracleRecord{
+			Stats:        *stats,
+			Violations:   len(stats.Violations),
+			MinAgreeRate: stats.MinAgreeRate(),
+		}
+	}
+
 	buf, err := json.MarshalIndent(&o, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -111,6 +140,9 @@ func main() {
 	}
 	fmt.Printf("wrote %s: suite %.0fms, %d solver calls, early-stop speedup %.1fx (%d checks)\n",
 		*out, o.SuiteWallMS, o.TotalSolverCalls, cmpRes.Speedup, cmpRes.SolverChecks)
+	if o.Oracle != nil {
+		fmt.Printf("  %s\n", o.Oracle.Summary())
+	}
 }
 
 func fatal(err error) {

@@ -136,9 +136,9 @@ func main() {
 			}
 			all5 = append(all5, sweep...)
 		}
-		pts := bench.PointsFromTraces(all5)
+		pts, skipped := bench.PointsFromTraces(all5)
 		bench.SortPoints(pts)
-		fmt.Println(bench.RenderScatter("Figure 5: trace projection results (application benchmarks)", pts))
+		fmt.Println(bench.RenderScatter("Figure 5: trace projection results (application benchmarks)", pts, skipped))
 	}
 
 	if *muh || all {
@@ -194,10 +194,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		pts := bench.PointsFromTraces(sweep)
+		pts, skipped := bench.PointsFromTraces(sweep)
 		bench.SortPoints(pts)
 		fmt.Println(bench.RenderScatter(
-			fmt.Sprintf("Figure 6: trace projection results for gcc-class (%d counterexamples)", len(pts)), pts))
+			fmt.Sprintf("Figure 6: trace projection results for gcc-class (%d counterexamples)", len(pts)), pts, skipped))
 	}
 
 	// The trace log's cegar_solver_calls counter is defined to equal

@@ -1,0 +1,78 @@
+// Command slicecheck runs the oracle campaign from the command line:
+// it generates MiniC program/trace pairs, slices each with core.Slicer,
+// and machine-checks the Theorem-1 soundness and completeness contract
+// by differential solving, brute-force subtrace enumeration, concrete
+// model replay, and metamorphic program transformations (see
+// internal/oracle and docs/TESTING.md).
+//
+// Usage:
+//
+//	slicecheck [-seeds n] [-budget d] [-seed n] [-corpus dir]
+//	           [-unsound mode] [-v]
+//
+// -unsound deliberately breaks one Take rule (1 = drop guard By tests,
+// 2 = drop aliased writes, 3 = skip callee frames) to demonstrate the
+// oracle catching the regression: the run is then EXPECTED to report
+// violations and exits 0 only if it does.
+//
+// Exit codes follow the repo convention: 0 clean, 3 violations found,
+// 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pathslice/internal/core"
+	"pathslice/internal/oracle"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 140, "number of generator specs to process")
+	budget := flag.Duration("budget", 30*time.Second, "wall-clock budget")
+	seed := flag.Int64("seed", 1, "campaign rng seed")
+	corpus := flag.String("corpus", "testdata/oracle", "regression corpus dir (seeds.txt)")
+	unsound := flag.Int("unsound", 0, "break a Take rule on purpose (1..3); expect violations")
+	verbose := flag.Bool("v", false, "print every violation and inconclusive count")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: slicecheck [flags]")
+		os.Exit(2)
+	}
+	if *unsound < 0 || *unsound > 3 {
+		fmt.Fprintln(os.Stderr, "slicecheck: -unsound must be 0..3")
+		os.Exit(2)
+	}
+
+	stats := oracle.Run(oracle.Config{
+		Seeds:     *seeds,
+		Budget:    *budget,
+		Seed:      *seed,
+		CorpusDir: *corpus,
+		Unsound:   core.UnsoundMode(*unsound),
+	})
+	fmt.Println(stats.Summary())
+	if *verbose || len(stats.Violations) > 0 {
+		for _, v := range stats.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+
+	if *unsound != 0 {
+		// Self-test mode: the broken slicer MUST be caught.
+		if len(stats.Violations) == 0 {
+			fmt.Printf("slicecheck: unsound mode %d was NOT caught\n", *unsound)
+			os.Exit(3)
+		}
+		fmt.Printf("slicecheck: unsound mode %d caught as expected (%d violations)\n",
+			*unsound, len(stats.Violations))
+		return
+	}
+	if len(stats.Violations) > 0 {
+		fmt.Printf("slicecheck: %d soundness violations — add the failing seeds to testdata/oracle/seeds.txt (docs/TESTING.md)\n",
+			len(stats.Violations))
+		os.Exit(3)
+	}
+}

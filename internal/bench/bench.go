@@ -273,12 +273,23 @@ type Point struct {
 	Percent float64 // slice size as % of original (y, log scale)
 }
 
-// PointsFromTraces converts recorded trace stats to scatter points,
-// dropping degenerate traces.
-func PointsFromTraces(traces []cegar.TraceStat) []Point {
+// mSkipped counts data silently dropped from the figures: degenerate
+// zero-block trace stats and error locations the sweep found no path
+// to. A figure that says "n=300 traces" while 40 were skipped is
+// misleading, so the count is surfaced both here and in the scatter
+// footer.
+var mSkipped = obs.Default().Counter("bench_skipped_total")
+
+// PointsFromTraces converts recorded trace stats to scatter points.
+// Degenerate traces are dropped; the second result says how many, so
+// callers can report the omission rather than hide it.
+func PointsFromTraces(traces []cegar.TraceStat) ([]Point, int) {
 	var pts []Point
+	skipped := 0
 	for _, ts := range traces {
 		if ts.TraceBlocks <= 0 {
+			skipped++
+			mSkipped.Add(1)
 			continue
 		}
 		pct := ts.RatioPercent()
@@ -287,7 +298,7 @@ func PointsFromTraces(traces []cegar.TraceStat) []Point {
 		}
 		pts = append(pts, Point{Blocks: ts.TraceBlocks, Percent: pct})
 	}
-	return pts
+	return pts, skipped
 }
 
 // SliceSweep generates counterexample traces of increasing length
@@ -322,6 +333,7 @@ func SliceSweep(ins *instrument.Result, unrollings []int, maxTraces int) ([]cega
 				path = cfa.FindPath(cprog, loc, cfa.FindOptions{})
 			}
 			if path == nil {
+				mSkipped.Add(1)
 				continue
 			}
 			sr, err := slicer.Slice(path)
@@ -341,12 +353,17 @@ func SliceSweep(ins *instrument.Result, unrollings []int, maxTraces int) ([]cega
 
 // RenderScatter renders an ASCII log-log scatter like Figures 5 and 6:
 // x = trace size in basic blocks, y = slice size as % of the original.
-func RenderScatter(title string, pts []Point) string {
+// skipped is the count PointsFromTraces dropped for this data set; it
+// appears in the footer so the figure states its own coverage.
+func RenderScatter(title string, pts []Point, skipped int) string {
 	const (
 		cols = 64
 		rows = 16
 	)
 	if len(pts) == 0 {
+		if skipped > 0 {
+			return fmt.Sprintf("%s: (no data; skipped %d degenerate traces)\n", title, skipped)
+		}
 		return title + ": (no data)\n"
 	}
 	// x: log10 from 1 to max; y: log10 percent from 0.01 to 100.
@@ -395,13 +412,14 @@ func RenderScatter(title string, pts []Point) string {
 	}
 	fmt.Fprintf(&b, "       %s\n", strings.Repeat("-", cols))
 	fmt.Fprintf(&b, "       1%sblocks≈%d\n", strings.Repeat(" ", cols-12), maxBlocks)
-	fmt.Fprintf(&b, "%s\n", SummarizePoints(pts))
+	fmt.Fprintf(&b, "%s\n", SummarizePoints(pts, skipped))
 	return b.String()
 }
 
 // SummarizePoints reports the headline statistics the paper quotes:
-// average ratio, the max, and the ratio for large traces.
-func SummarizePoints(pts []Point) string {
+// average ratio, the max, and the ratio for large traces — plus how
+// many traces were skipped as degenerate, if any.
+func SummarizePoints(pts []Point, skipped int) string {
 	if len(pts) == 0 {
 		return "no traces"
 	}
@@ -427,6 +445,9 @@ func SummarizePoints(pts []Point) string {
 		len(pts), sum/float64(len(pts)), maxPct, maxBlocks, maxOps)
 	if largeN > 0 {
 		s += fmt.Sprintf("; traces >1000 blocks: mean %.3f%% (n=%d)", largeSum/float64(largeN), largeN)
+	}
+	if skipped > 0 {
+		s += fmt.Sprintf("; skipped %d degenerate traces", skipped)
 	}
 	return s
 }

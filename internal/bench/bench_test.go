@@ -72,7 +72,10 @@ func TestSliceSweepAndScatter(t *testing.T) {
 	if len(traces) < 10 {
 		t.Fatalf("sweep produced too few traces: %d", len(traces))
 	}
-	pts := bench.PointsFromTraces(traces)
+	pts, skipped := bench.PointsFromTraces(traces)
+	if skipped != 0 {
+		t.Errorf("sweep traces should all be plottable, skipped %d", skipped)
+	}
 	bench.SortPoints(pts)
 	// The paper's key shape: larger traces have smaller ratios. Compare
 	// the mean ratio of the smallest third vs the largest third.
@@ -92,7 +95,7 @@ func TestSliceSweepAndScatter(t *testing.T) {
 				small, large)
 		}
 	}
-	out := bench.RenderScatter("Figure 5 (test)", pts)
+	out := bench.RenderScatter("Figure 5 (test)", pts, skipped)
 	if !strings.Contains(out, "+") {
 		t.Errorf("scatter has no points:\n%s", out)
 	}
@@ -102,9 +105,13 @@ func TestSliceSweepAndScatter(t *testing.T) {
 }
 
 func TestScatterEmpty(t *testing.T) {
-	out := bench.RenderScatter("empty", nil)
+	out := bench.RenderScatter("empty", nil, 0)
 	if !strings.Contains(out, "no data") {
 		t.Errorf("empty scatter: %q", out)
+	}
+	out = bench.RenderScatter("empty", nil, 4)
+	if !strings.Contains(out, "skipped 4") {
+		t.Errorf("empty scatter must still report skips: %q", out)
 	}
 }
 
@@ -113,10 +120,28 @@ func TestSummarizePoints(t *testing.T) {
 		{Blocks: 100, Percent: 10},
 		{Blocks: 2000, Percent: 0.5},
 	}
-	s := bench.SummarizePoints(pts)
+	s := bench.SummarizePoints(pts, 0)
 	for _, want := range []string{"n=2", ">1000 blocks"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("summary %q missing %q", s, want)
 		}
+	}
+	if strings.Contains(s, "skipped") {
+		t.Errorf("no skips, but summary mentions them: %q", s)
+	}
+	if s = bench.SummarizePoints(pts, 3); !strings.Contains(s, "skipped 3 degenerate traces") {
+		t.Errorf("summary %q missing skip count", s)
+	}
+}
+
+func TestPointsFromTracesCountsSkips(t *testing.T) {
+	traces := []cegar.TraceStat{
+		{TraceBlocks: 10, SliceBlocks: 2},
+		{TraceBlocks: 0, SliceBlocks: 0}, // degenerate: never analyzed
+		{TraceBlocks: 8, SliceBlocks: 8},
+	}
+	pts, skipped := bench.PointsFromTraces(traces)
+	if len(pts) != 2 || skipped != 1 {
+		t.Errorf("got %d points, %d skipped; want 2, 1", len(pts), skipped)
 	}
 }

@@ -17,7 +17,7 @@ import (
 // two ways — through the incremental solver (assert the delta, check)
 // and as the from-scratch baseline that re-solves the whole asserted
 // prefix at every check. Used by BenchmarkEarlyUnsatStop at the repo
-// root and by cmd/benchjson for BENCH_PR4.json.
+// root and by cmd/benchjson for BENCH_PR5.json.
 
 // GuardChainSource returns a MiniC program whose error path carries
 // guards+2 taken assumes before the backward pass reaches the

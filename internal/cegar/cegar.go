@@ -170,6 +170,13 @@ type Options struct {
 	// queries (the per-query analogue of Deadline). Zero fields keep
 	// the solver defaults.
 	SolverLimits smt.Limits
+	// OnRefinement, when set, observes every counterexample verdict the
+	// loop acts on: the raw abstract counterexample, the path actually
+	// analyzed (the slice when UseSlicing), and the feasibility status
+	// the decision was based on (StatusUnsat for early-stop proofs).
+	// The oracle subsystem uses it to cross-check each refinement
+	// verdict against concrete replay; it must not mutate the paths.
+	OnRefinement func(trace, analyzed cfa.Path, status smt.Status)
 }
 
 func (o Options) withDefaults() Options {
@@ -422,6 +429,9 @@ func (c *Checker) checkIteration(ctx context.Context, target *cfa.Loc, res *Resu
 		attrs["slice_edges"] = stat.SliceEdges
 		if sr.KnownInfeasible {
 			// Early-stop already proved infeasibility.
+			if c.opts.OnRefinement != nil {
+				c.opts.OnRefinement(path, analyzed, smt.StatusUnsat)
+			}
 			res.Traces = append(res.Traces, stat)
 			newPreds, grew := c.refine(ctx, analyzed, *preds, seen)
 			if !grew {
@@ -441,6 +451,9 @@ func (c *Checker) checkIteration(ctx context.Context, target *cfa.Loc, res *Resu
 
 	fr, _ := c.slicer.CheckFeasibilityCtx(ctx, analyzed)
 	res.Work += 50 // a feasibility query is heavy
+	if c.opts.OnRefinement != nil {
+		c.opts.OnRefinement(path, analyzed, fr.Status)
+	}
 	switch fr.Status {
 	case smt.StatusSat:
 		// Feasible slice (completeness: the target is reachable, or

@@ -82,7 +82,33 @@ type Options struct {
 	// the paper's Figures 1(C) and 2(B). Costs a live-set copy per
 	// edge; leave off in production runs.
 	RecordTrace bool
+	// Unsound deliberately weakens one Take rule (test-only). The
+	// oracle suite flips these modes on to prove it would catch a real
+	// soundness or completeness regression in the slicer; production
+	// callers must leave it at UnsoundNone.
+	Unsound UnsoundMode
 }
+
+// UnsoundMode selects a deliberately broken variant of the Take
+// predicate for oracle self-tests. Each mode drops exactly one
+// relevance rule that Theorem 1 depends on.
+type UnsoundMode int
+
+const (
+	// UnsoundNone is the correct slicer.
+	UnsoundNone UnsoundMode = iota
+	// UnsoundDropGuards skips the By test on branch assumes: a guard
+	// that doesn't write live lvalues is dropped even when the branch
+	// point could bypass the step location.
+	UnsoundDropGuards
+	// UnsoundDropAliasedWrites takes an assignment only when the
+	// written lvalue is syntactically live, ignoring may-alias writes
+	// through pointers.
+	UnsoundDropAliasedWrites
+	// UnsoundSkipCallees never takes a return edge, skipping every
+	// callee frame regardless of its mod set.
+	UnsoundSkipCallees
+)
 
 // TracePoint is the slicer's state when it considered one path edge:
 // the live lvalues and step location *before* processing the edge (the
@@ -389,6 +415,10 @@ func (s *Slicer) SliceCtx(ctx context.Context, path cfa.Path) (res *Result, err 
 func (s *Slicer) take(op cfa.Op, e *cfa.Edge, live cfa.LvalSet, pcStep *cfa.Loc) (bool, bool) {
 	switch op.Kind {
 	case cfa.OpAssign:
+		if s.Opts.Unsound == UnsoundDropAliasedWrites {
+			// Broken on purpose: syntactic liveness only, no aliasing.
+			return live.Has(op.LHS), false
+		}
 		// Take if the written lvalue may alias a live lvalue.
 		for l := range live {
 			if s.Alias.MayAlias(op.LHS, l) {
@@ -417,6 +447,10 @@ func (s *Slicer) take(op cfa.Op, e *cfa.Edge, live cfa.LvalSet, pcStep *cfa.Loc)
 		if wr {
 			return true, false
 		}
+		if s.Opts.Unsound == UnsoundDropGuards {
+			// Broken on purpose: no By test — bypassing guards dropped.
+			return false, false
+		}
 		by, berr := s.DF.By(e.Src, pcStep)
 		if berr != nil {
 			return true, true
@@ -427,6 +461,11 @@ func (s *Slicer) take(op cfa.Op, e *cfa.Edge, live cfa.LvalSet, pcStep *cfa.Loc)
 		// intraprocedural (§4.1).
 		return true, false
 	case cfa.OpReturn:
+		if s.Opts.Unsound == UnsoundSkipCallees {
+			// Broken on purpose: every callee frame skipped, mod-ref
+			// ignored.
+			return false, false
+		}
 		// Take (and hence analyze the call body) only if the callee
 		// may modify a live lvalue.
 		return s.Mods.ModsAny(e.Src.Fn.Name, live), false

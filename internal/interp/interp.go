@@ -20,6 +20,13 @@ type State struct {
 	Vals  map[string]int64
 	prog  *cfa.Program
 	addrs *wp.AddrMap
+	// strict makes reads of never-assigned variables fail with a typed
+	// UninitReadError instead of silently yielding the zero value. The
+	// oracle uses it to distinguish "this trace is infeasible" from
+	// "the replay read a value the model never pinned down" (an
+	// interpreter gap, not a soundness verdict).
+	strict   bool
+	assigned map[string]bool
 }
 
 // NewState returns a state with every variable at 0 (null for
@@ -32,17 +39,49 @@ func NewState(prog *cfa.Program, addrs *wp.AddrMap) *State {
 	return &State{Vals: vals, prog: prog, addrs: addrs}
 }
 
+// NewStrictState is NewState in strict-initialization mode: every
+// variable still starts at 0, but reading one before it has been Set
+// (or written by an executed operation) is an error of type
+// *UninitReadError. Replay harnesses use it to detect reads the
+// initial state never covered.
+func NewStrictState(prog *cfa.Program, addrs *wp.AddrMap) *State {
+	st := NewState(prog, addrs)
+	st.strict = true
+	st.assigned = make(map[string]bool)
+	return st
+}
+
 // Clone returns an independent copy of the state.
 func (s *State) Clone() *State {
 	vals := make(map[string]int64, len(s.Vals))
 	for k, v := range s.Vals {
 		vals[k] = v
 	}
-	return &State{Vals: vals, prog: s.prog, addrs: s.addrs}
+	out := &State{Vals: vals, prog: s.prog, addrs: s.addrs, strict: s.strict}
+	if s.assigned != nil {
+		out.assigned = make(map[string]bool, len(s.assigned))
+		for k, v := range s.assigned {
+			out.assigned[k] = v
+		}
+	}
+	return out
 }
 
-// Set assigns a variable.
-func (s *State) Set(name string, v int64) { s.Vals[name] = v }
+// Set assigns a variable (and, in strict mode, marks it initialized).
+func (s *State) Set(name string, v int64) {
+	s.Vals[name] = v
+	if s.assigned != nil {
+		s.assigned[name] = true
+	}
+}
+
+// read is Get under the strict-initialization check.
+func (s *State) read(name string) (int64, error) {
+	if s.strict && !s.assigned[name] {
+		return 0, &UninitReadError{Var: name}
+	}
+	return s.Vals[name], nil
+}
 
 // Get reads a variable.
 func (s *State) Get(name string) int64 { return s.Vals[name] }
@@ -78,14 +117,31 @@ type ZeroInputs struct{}
 func (ZeroInputs) Next() int64 { return 0 }
 
 // ExecError reports a stuck execution (bad dereference, division by
-// zero).
+// zero, or — in strict mode — an uninitialized read).
 type ExecError struct {
 	Op  cfa.Op
 	Msg string
+	Err error // underlying cause, when typed (e.g. *UninitReadError)
 }
 
 // Error implements the error interface.
 func (e *ExecError) Error() string { return fmt.Sprintf("exec %s: %s", e.Op, e.Msg) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ExecError) Unwrap() error { return e.Err }
+
+// UninitReadError reports a strict-mode read of a variable that was
+// never assigned — neither seeded via Set nor written by an executed
+// operation. Replay oracles treat it as "the initial state does not
+// cover this trace" rather than an infeasibility verdict.
+type UninitReadError struct {
+	Var string
+}
+
+// Error implements the error interface.
+func (e *UninitReadError) Error() string {
+	return fmt.Sprintf("interp: read of uninitialized variable %s", e.Var)
+}
 
 // EvalExpr evaluates an expression in the state; nondet draws from in.
 func (s *State) EvalExpr(e ast.Expr, in Inputs) (int64, error) {
@@ -95,7 +151,7 @@ func (s *State) EvalExpr(e ast.Expr, in Inputs) (int64, error) {
 	case *ast.Nondet:
 		return in.Next(), nil
 	case *ast.Ident:
-		return s.Vals[e.Name], nil
+		return s.read(e.Name)
 	case *ast.Unary:
 		switch e.Op {
 		case token.MINUS:
@@ -193,12 +249,15 @@ func boolToInt(b bool) int64 {
 
 // loadThrough reads the variable a pointer currently targets.
 func (s *State) loadThrough(p string) (int64, error) {
-	a := s.Vals[p]
+	a, err := s.read(p)
+	if err != nil {
+		return 0, err
+	}
 	target, ok := s.addrs.VarAt(a)
 	if !ok {
 		return 0, fmt.Errorf("interp: dereference of invalid address %d in *%s", a, p)
 	}
-	return s.Vals[target], nil
+	return s.read(target)
 }
 
 // ExecOp executes one operation. For assumes it returns (false, nil)
@@ -210,41 +269,56 @@ func (s *State) ExecOp(op cfa.Op, in Inputs) (bool, error) {
 	case cfa.OpAssume:
 		v, err := s.EvalExpr(op.Pred, in)
 		if err != nil {
-			return false, &ExecError{Op: op, Msg: err.Error()}
+			return false, &ExecError{Op: op, Msg: err.Error(), Err: err}
 		}
 		return v != 0, nil
 	case cfa.OpAssign:
 		v, err := s.EvalExpr(op.RHS, in)
 		if err != nil {
-			return false, &ExecError{Op: op, Msg: err.Error()}
+			return false, &ExecError{Op: op, Msg: err.Error(), Err: err}
 		}
 		if !op.LHS.Deref {
-			s.Vals[op.LHS.Var] = v
+			s.Set(op.LHS.Var, v)
 			return true, nil
 		}
-		a := s.Vals[op.LHS.Var]
+		a, err := s.read(op.LHS.Var)
+		if err != nil {
+			return false, &ExecError{Op: op, Msg: err.Error(), Err: err}
+		}
 		target, ok := s.addrs.VarAt(a)
 		if !ok {
 			return false, &ExecError{Op: op, Msg: fmt.Sprintf("store through invalid address %d", a)}
 		}
-		s.Vals[target] = v
+		s.Set(target, v)
 		return true, nil
 	default:
 		return true, nil
 	}
 }
 
-// CanExecuteTrace reports whether the state can execute the whole
-// operation sequence (§3.1: s can execute τ). The state is mutated as
-// execution proceeds. Stuck executions count as cannot-execute.
-func (s *State) CanExecuteTrace(ops []cfa.Op, in Inputs) bool {
+// ExecTrace executes the whole operation sequence (§3.1: s can execute
+// τ), mutating the state as execution proceeds. It returns (true, nil)
+// when every operation executed, (false, nil) when a false assume
+// halted the run, and (false, err) when the execution got stuck — err
+// wraps the typed cause (e.g. *UninitReadError in strict mode).
+func (s *State) ExecTrace(ops []cfa.Op, in Inputs) (bool, error) {
 	for _, op := range ops {
 		ok, err := s.ExecOp(op, in)
-		if err != nil || !ok {
-			return false
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
+}
+
+// CanExecuteTrace reports whether the state can execute the whole
+// operation sequence. Stuck executions count as cannot-execute.
+func (s *State) CanExecuteTrace(ops []cfa.Op, in Inputs) bool {
+	ok, err := s.ExecTrace(ops, in)
+	return ok && err == nil
 }
 
 // ---------------------------------------------------------------------------

@@ -1,12 +1,14 @@
 package interp_test
 
 import (
+	"errors"
 	"testing"
 
 	"pathslice/internal/alias"
 	"pathslice/internal/cfa"
 	"pathslice/internal/compile"
 	"pathslice/internal/interp"
+	"pathslice/internal/lang/ast"
 	"pathslice/internal/wp"
 )
 
@@ -289,6 +291,92 @@ func TestStateCloneIndependence(t *testing.T) {
 	c.Set("a", 9)
 	if st.Get("a") != 7 {
 		t.Fatal("clone mutated the original")
+	}
+}
+
+func TestStrictUninitReadOnIdent(t *testing.T) {
+	prog, _ := setup(t, `
+		int g; int h;
+		void main() {
+			h = g + 1;
+		}`)
+	st := interp.NewStrictState(prog, wp.NewAddrMap(prog))
+	path := cfa.FindPath(prog, prog.Funcs["main"].Exit, cfa.FindOptions{})
+	ok, err := st.ExecTrace(path.Ops(), interp.ZeroInputs{})
+	if ok || err == nil {
+		t.Fatalf("read of never-assigned g must fail: ok=%v err=%v", ok, err)
+	}
+	var ur *interp.UninitReadError
+	if !errors.As(err, &ur) || ur.Var != "g" {
+		t.Fatalf("want UninitReadError{g}, got %v", err)
+	}
+	// Seeding g makes the same trace executable.
+	st2 := interp.NewStrictState(prog, st.Addrs())
+	st2.Set("g", 4)
+	ok, err = st2.ExecTrace(path.Ops(), interp.ZeroInputs{})
+	if !ok || err != nil {
+		t.Fatalf("seeded state must execute: ok=%v err=%v", ok, err)
+	}
+	if st2.Get("h") != 5 {
+		t.Errorf("h=%d", st2.Get("h"))
+	}
+}
+
+func TestStrictUninitReadThroughPointer(t *testing.T) {
+	prog, _ := setup(t, `
+		int x; int y; int *p;
+		void main() {
+			p = &x;
+			y = *p;
+		}`)
+	// p is assigned on the trace, but its target x never is: the
+	// dereference must surface x, not p.
+	st := interp.NewStrictState(prog, wp.NewAddrMap(prog))
+	path := cfa.FindPath(prog, prog.Funcs["main"].Exit, cfa.FindOptions{})
+	_, err := st.ExecTrace(path.Ops(), interp.ZeroInputs{})
+	var ur *interp.UninitReadError
+	if !errors.As(err, &ur) || ur.Var != "x" {
+		t.Fatalf("want UninitReadError{x}, got %v", err)
+	}
+}
+
+func TestStrictAssignMarksInitialized(t *testing.T) {
+	prog, _ := setup(t, `
+		int a; int b;
+		void main() {
+			a = 2;
+			b = a * a;
+		}`)
+	st := interp.NewStrictState(prog, wp.NewAddrMap(prog))
+	path := cfa.FindPath(prog, prog.Funcs["main"].Exit, cfa.FindOptions{})
+	ok, err := st.ExecTrace(path.Ops(), interp.ZeroInputs{})
+	if !ok || err != nil {
+		t.Fatalf("writes on the trace cover the reads: ok=%v err=%v", ok, err)
+	}
+	// Clone must preserve both strictness and the assigned set.
+	c := st.Clone()
+	if _, err := c.EvalExpr(&ast.Ident{Name: "b"}, interp.ZeroInputs{}); err != nil {
+		t.Fatalf("b assigned before clone: %v", err)
+	}
+	prog2, _ := setup(t, `int z; void main() { skip; }`)
+	st3 := interp.NewStrictState(prog2, wp.NewAddrMap(prog2)).Clone()
+	if _, err := st3.EvalExpr(&ast.Ident{Name: "z"}, interp.ZeroInputs{}); err == nil {
+		t.Fatal("clone must stay strict")
+	}
+}
+
+func TestNonStrictReadsStayZero(t *testing.T) {
+	prog, st := setup(t, `
+		int g; int h;
+		void main() {
+			h = g + 1;
+		}`)
+	res := interp.Run(prog, st, interp.ZeroInputs{}, interp.RunOptions{})
+	if !res.ExitNormally {
+		t.Fatalf("default mode keeps zero-value reads: %+v", res)
+	}
+	if st.Get("h") != 1 {
+		t.Errorf("h=%d", st.Get("h"))
 	}
 }
 

@@ -1,0 +1,450 @@
+// Seed specs and the MiniC renderer for the oracle's program
+// generator. A SeedSpec is a small, fully serializable description of
+// one generated program; rendering is deterministic in the spec, so a
+// failing seed can be checked into testdata/oracle/ and replayed
+// forever. The shapes concentrate on what the slicer can get wrong:
+// writes through aliased pointers, cross-procedure mod-ref, loop-carried
+// dependences, and nested guards whose By-test relevance is subtle.
+//
+// One generator discipline matters for the replay oracle: nondet()
+// appears only as a standalone assignment RHS, never inside && / ||.
+// The interpreter short-circuits boolean operators while the SSA
+// encoder does not, so nondet inside them would consume inputs at
+// different rates and break the model-to-replay input alignment
+// (wp.TraceEncoder.NondetInputs).
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SeedSpec describes one generated program. All fields are small
+// integers so the spec round-trips through SpecString/ParseSpec.
+type SeedSpec struct {
+	Seed    int64 // drives literal and filler choices
+	NVars   int   // int globals g0..g{NVars-1} (2..4)
+	Nondets int   // g0..g{Nondets-1} read nondet() in the prologue (0..2)
+	// PtrShape: 0 none; 1 overwrite-through-alias (gT = c1; p = &gT;
+	// *p = c2; error guard compares gT against c2 — the shape that
+	// exposes an alias-blind Take); 2 read-through (p = &gT; gR = *p + 1).
+	PtrShape  int
+	PtrTarget int // which global p points at
+	// CalleeShape: 0 none; 1 callee writes the error-guard variable
+	// (mod-ref must keep the frame); 2 callee writes only a junk
+	// variable (mod-ref may skip it); 3 both callees are called.
+	CalleeShape int
+	// LoopShape: 0 none; 1 loop-carried accumulation into the error
+	// variable; 2 guarded write inside the loop.
+	LoopShape int
+	LoopBound int // 1..3
+	Guards    int // extra nested guards around the error guard (0..2)
+	GuardVar  int // global tested by the outermost extra guard
+	// GuardSat: whether the prologue initializer of GuardVar satisfies
+	// the extra guard (feasible path) or refutes it (infeasible path).
+	GuardSat bool
+	ErrVar   int   // global compared at the error site
+	ErrCmp   int64 // the comparison constant
+	Junk     int   // junk statements in the prologue (0..2)
+}
+
+// normalize clamps every field into its valid range; mutation and
+// parsing both funnel through it.
+func (s SeedSpec) normalize() SeedSpec {
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	s.NVars = clamp(s.NVars, 2, 4)
+	s.Nondets = clamp(s.Nondets, 0, 2)
+	if s.Nondets > s.NVars {
+		s.Nondets = s.NVars
+	}
+	s.PtrShape = clamp(s.PtrShape, 0, 2)
+	s.PtrTarget = clamp(s.PtrTarget, 0, s.NVars-1)
+	// The alias-overwrite shape needs a deterministic initializer for
+	// the pointee, so keep it off nondet-fed globals.
+	if s.PtrShape == 1 && s.PtrTarget < s.Nondets {
+		s.PtrTarget = s.Nondets % s.NVars
+		if s.PtrTarget < s.Nondets {
+			s.PtrShape = 2
+		}
+	}
+	s.CalleeShape = clamp(s.CalleeShape, 0, 3)
+	s.LoopShape = clamp(s.LoopShape, 0, 2)
+	s.LoopBound = clamp(s.LoopBound, 1, 3)
+	s.Guards = clamp(s.Guards, 0, 2)
+	s.GuardVar = clamp(s.GuardVar, 0, s.NVars-1)
+	s.ErrVar = clamp(s.ErrVar, 0, s.NVars-1)
+	if s.PtrShape == 1 {
+		s.ErrVar = s.PtrTarget
+	}
+	if s.ErrCmp < -9 || s.ErrCmp > 9 {
+		s.ErrCmp = s.ErrCmp % 10
+	}
+	s.Junk = clamp(s.Junk, 0, 2)
+	return s
+}
+
+// tiny returns a shrunken copy whose paths are short enough for the
+// brute-force reference slicer to enumerate subtraces exhaustively.
+func (s SeedSpec) tiny() SeedSpec {
+	s.LoopShape = 0
+	s.CalleeShape = 0
+	s.Guards = min(s.Guards, 1)
+	s.Junk = 0
+	s.NVars = min(s.NVars, 3)
+	return s.normalize()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SpecString serializes a spec as sorted key=value pairs on one line —
+// the on-disk format of testdata/oracle/seeds.txt.
+func SpecString(s SeedSpec) string {
+	kv := map[string]int64{
+		"seed": s.Seed, "nvars": int64(s.NVars), "nondets": int64(s.Nondets),
+		"ptr": int64(s.PtrShape), "ptrtgt": int64(s.PtrTarget),
+		"callee": int64(s.CalleeShape), "loop": int64(s.LoopShape),
+		"loopbound": int64(s.LoopBound), "guards": int64(s.Guards),
+		"guardvar": int64(s.GuardVar), "guardsat": 0,
+		"errvar": int64(s.ErrVar), "errcmp": s.ErrCmp, "junk": int64(s.Junk),
+	}
+	if s.GuardSat {
+		kv["guardsat"] = 1
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, kv[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// ParseSpec parses the SpecString format. Unknown keys are errors so a
+// corrupted corpus line fails loudly; missing keys keep zero values and
+// are then normalized.
+func ParseSpec(line string) (SeedSpec, error) {
+	var s SeedSpec
+	for _, field := range strings.Fields(line) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return s, fmt.Errorf("oracle: bad spec field %q", field)
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return s, fmt.Errorf("oracle: bad spec value %q: %v", field, err)
+		}
+		switch k {
+		case "seed":
+			s.Seed = n
+		case "nvars":
+			s.NVars = int(n)
+		case "nondets":
+			s.Nondets = int(n)
+		case "ptr":
+			s.PtrShape = int(n)
+		case "ptrtgt":
+			s.PtrTarget = int(n)
+		case "callee":
+			s.CalleeShape = int(n)
+		case "loop":
+			s.LoopShape = int(n)
+		case "loopbound":
+			s.LoopBound = int(n)
+		case "guards":
+			s.Guards = int(n)
+		case "guardvar":
+			s.GuardVar = int(n)
+		case "guardsat":
+			s.GuardSat = n != 0
+		case "errvar":
+			s.ErrVar = int(n)
+		case "errcmp":
+			s.ErrCmp = n
+		case "junk":
+			s.Junk = int(n)
+		default:
+			return s, fmt.Errorf("oracle: unknown spec key %q", k)
+		}
+	}
+	return s.normalize(), nil
+}
+
+// RandomSpec draws a fresh spec from the rng.
+func RandomSpec(rng *rand.Rand) SeedSpec {
+	return SeedSpec{
+		Seed:        rng.Int63n(1 << 30),
+		NVars:       2 + rng.Intn(3),
+		Nondets:     rng.Intn(3),
+		PtrShape:    rng.Intn(3),
+		PtrTarget:   rng.Intn(4),
+		CalleeShape: rng.Intn(4),
+		LoopShape:   rng.Intn(3),
+		LoopBound:   1 + rng.Intn(3),
+		Guards:      rng.Intn(3),
+		GuardVar:    rng.Intn(4),
+		GuardSat:    rng.Intn(5) < 3,
+		ErrVar:      rng.Intn(4),
+		ErrCmp:      int64(rng.Intn(7)),
+		Junk:        rng.Intn(3),
+	}.normalize()
+}
+
+// Mutate tweaks 1-2 fields of a spec that hit new coverage, steering
+// the corpus toward unexplored slicer behavior.
+func Mutate(s SeedSpec, rng *rand.Rand) SeedSpec {
+	for n := 1 + rng.Intn(2); n > 0; n-- {
+		switch rng.Intn(10) {
+		case 0:
+			s.Seed = rng.Int63n(1 << 30)
+		case 1:
+			s.Nondets = rng.Intn(3)
+		case 2:
+			s.PtrShape = rng.Intn(3)
+		case 3:
+			s.CalleeShape = rng.Intn(4)
+		case 4:
+			s.LoopShape = rng.Intn(3)
+		case 5:
+			s.Guards = rng.Intn(3)
+		case 6:
+			s.GuardSat = !s.GuardSat
+		case 7:
+			s.ErrVar = rng.Intn(4)
+		case 8:
+			s.ErrCmp = int64(rng.Intn(7))
+		default:
+			s.Junk = rng.Intn(3)
+		}
+	}
+	return s.normalize()
+}
+
+// renderOpts selects a metamorphic variant of a spec's program.
+type renderOpts struct {
+	rename    bool // gN→vN, jN→wN, callees too: a pure alpha-renaming
+	junkExtra int  // extra never-read prologue writes
+	permute   bool // reverse the independent prologue init block
+	unroll    bool // peel the first loop iteration (LoopBound ≥ 1)
+}
+
+// Render emits the MiniC source of a spec, optionally transformed.
+func Render(s SeedSpec, opts renderOpts) string {
+	s = s.normalize()
+	rng := rand.New(rand.NewSource(s.Seed))
+	v := func(i int) string {
+		if opts.rename {
+			return fmt.Sprintf("v%d", i)
+		}
+		return fmt.Sprintf("g%d", i)
+	}
+	j := func(i int) string {
+		if opts.rename {
+			return fmt.Sprintf("w%d", i)
+		}
+		return fmt.Sprintf("j%d", i)
+	}
+	fn := func(name string) string {
+		if opts.rename {
+			return "r" + name
+		}
+		return name
+	}
+	lit := func() int64 { return int64(rng.Intn(9)) }
+
+	var b strings.Builder
+	p := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	p("// oracle seed: %s\n", SpecString(s))
+	for i := 0; i < s.NVars; i++ {
+		p("int %s;\n", v(i))
+	}
+	nJunk := s.Junk + opts.junkExtra
+	for i := 0; i < nJunk; i++ {
+		p("int %s;\n", j(i))
+	}
+	if s.PtrShape > 0 {
+		p("int *%s;\n", fn("p"))
+	}
+	p("\n")
+
+	// Callees: bump writes the error variable (mod-ref must keep its
+	// frame); jnk writes only junk (mod-ref may skip it). bump either
+	// sets the error variable to the guard constant (a skipped frame is
+	// a soundness bug) or increments it.
+	bumpSets := rng.Intn(2) == 0
+	bumpDelta := 1 + int64(rng.Intn(3))
+	if s.CalleeShape == 1 || s.CalleeShape == 3 {
+		if bumpSets {
+			p("void %s() {\n  %s = %d;\n}\n\n", fn("bump"), v(s.ErrVar), s.ErrCmp)
+		} else {
+			p("void %s() {\n  %s = %s + %d;\n}\n\n", fn("bump"), v(s.ErrVar), v(s.ErrVar), bumpDelta)
+		}
+	}
+	if s.CalleeShape == 2 || s.CalleeShape == 3 {
+		name := j(0)
+		if nJunk == 0 {
+			// Callee-written junk still needs a variable.
+			name = fn("jg")
+			p("int %s;\n", name)
+		}
+		p("void %s() {\n  %s = %s + 1;\n}\n\n", fn("jnk"), name, name)
+	}
+
+	p("void main() {\n")
+	// Prologue: nondet reads first, then the independent init block
+	// (assignments to distinct globals with no cross-reads — the
+	// permutable region), then junk writes.
+	for i := 0; i < s.Nondets; i++ {
+		p("  %s = nondet();\n", v(i))
+	}
+	guardInit := lit()
+	guardCmp := guardInit - 1 - int64(rng.Intn(2)) // init > cmp: guard satisfied
+	if !s.GuardSat {
+		guardCmp = guardInit + 1 + int64(rng.Intn(2)) // init < cmp: guard refuted
+	}
+	var inits []string
+	for i := s.Nondets; i < s.NVars; i++ {
+		val := lit()
+		if i == s.GuardVar {
+			val = guardInit
+		}
+		inits = append(inits, fmt.Sprintf("  %s = %d;\n", v(i), val))
+	}
+	if opts.permute {
+		for l, r := 0, len(inits)-1; l < r; l, r = l+1, r-1 {
+			inits[l], inits[r] = inits[r], inits[l]
+		}
+	}
+	for _, line := range inits {
+		p("%s", line)
+	}
+	for i := 0; i < nJunk; i++ {
+		if i == 0 {
+			p("  %s = %d;\n", j(i), lit())
+		} else {
+			p("  %s = %s + %d;\n", j(i), j(i-1), lit())
+		}
+	}
+
+	switch s.PtrShape {
+	case 1: // overwrite through alias; the error guard watches the pointee
+		p("  %s = %d;\n", v(s.PtrTarget), s.ErrCmp+1+int64(rng.Intn(3)))
+		p("  %s = &%s;\n", fn("p"), v(s.PtrTarget))
+		p("  *%s = %d;\n", fn("p"), s.ErrCmp)
+	case 2: // read through the pointer
+		p("  %s = &%s;\n", fn("p"), v(s.PtrTarget))
+		p("  %s = *%s + 1;\n", v((s.PtrTarget+1)%s.NVars), fn("p"))
+	}
+
+	acc, src := v(s.ErrVar), v((s.ErrVar+1)%s.NVars)
+	switch s.LoopShape {
+	case 1: // loop-carried accumulation into the error variable
+		if opts.unroll {
+			p("  %s = %s + %s;\n", acc, acc, src)
+			p("  for (int i = 1; i < %d; i = i + 1) {\n    %s = %s + %s;\n  }\n",
+				s.LoopBound, acc, acc, src)
+		} else {
+			p("  for (int i = 0; i < %d; i = i + 1) {\n    %s = %s + %s;\n  }\n",
+				s.LoopBound, acc, acc, src)
+		}
+	case 2: // guarded write inside the loop
+		if opts.unroll {
+			p("  if (%s > 0) {\n    %s = %s + 1;\n  }\n", src, acc, acc)
+			p("  for (int i = 1; i < %d; i = i + 1) {\n    if (%s > i) {\n      %s = %s + 1;\n    }\n  }\n",
+				s.LoopBound, src, acc, acc)
+		} else {
+			p("  for (int i = 0; i < %d; i = i + 1) {\n    if (%s > i) {\n      %s = %s + 1;\n    }\n  }\n",
+				s.LoopBound, src, acc, acc)
+		}
+	}
+
+	switch s.CalleeShape {
+	case 1:
+		p("  %s();\n", fn("bump"))
+	case 2:
+		p("  %s();\n", fn("jnk"))
+	case 3:
+		p("  %s();\n  %s();\n", fn("jnk"), fn("bump"))
+	}
+
+	// Guard nest around the error site. Guards test globals the error
+	// comparison does not mention, so their relevance rests entirely on
+	// the By test.
+	indent := "  "
+	var closes []string
+	if s.Guards >= 1 {
+		p("%sif (%s > %d) {\n", indent, v(s.GuardVar), guardCmp)
+		closes = append(closes, indent+"}\n")
+		indent += "  "
+	}
+	if s.Guards >= 2 {
+		g2 := v((s.GuardVar + 1) % s.NVars)
+		p("%sif (%s != %d) {\n", indent, g2, 100+rng.Intn(20))
+		closes = append(closes, indent+"}\n")
+		indent += "  "
+	}
+	p("%sif (%s == %d) {\n%s  error;\n%s}\n", indent, v(s.ErrVar), s.ErrCmp, indent, indent)
+	for i := len(closes) - 1; i >= 0; i-- {
+		p("%s", closes[i])
+	}
+	p("}\n")
+	return b.String()
+}
+
+// StarterSpecs is the hand-seeded corpus: one spec per interesting
+// shape family, so the first campaign round already exercises aliasing,
+// mod-ref skipping, loop carry, and infeasible guard nests.
+func StarterSpecs() []SeedSpec {
+	specs := []SeedSpec{
+		// Plain straight-line, feasible and infeasible error guards.
+		{Seed: 11, NVars: 2, ErrVar: 0, ErrCmp: 0},
+		{Seed: 12, NVars: 2, ErrVar: 1, ErrCmp: 5},
+		// Nondet-fed error variable: Sat slices with model replay.
+		{Seed: 21, NVars: 3, Nondets: 1, ErrVar: 0, ErrCmp: 3},
+		{Seed: 22, NVars: 3, Nondets: 2, ErrVar: 1, ErrCmp: 4, Guards: 1, GuardSat: true, GuardVar: 2},
+		// Alias overwrite: the UnsoundDropAliasedWrites witness shape.
+		{Seed: 31, NVars: 3, PtrShape: 1, PtrTarget: 2, ErrCmp: 5},
+		{Seed: 32, NVars: 3, Nondets: 1, PtrShape: 1, PtrTarget: 1, ErrCmp: 2, Guards: 1, GuardSat: true},
+		// Pointer read-through.
+		{Seed: 33, NVars: 3, PtrShape: 2, PtrTarget: 0, ErrVar: 1, ErrCmp: 1},
+		// Callee mod-ref: frame must be kept / may be skipped.
+		{Seed: 41, NVars: 3, CalleeShape: 1, ErrVar: 0, ErrCmp: 6},
+		{Seed: 42, NVars: 3, CalleeShape: 2, ErrVar: 1, ErrCmp: 0, Junk: 1},
+		{Seed: 43, NVars: 3, Nondets: 1, CalleeShape: 3, ErrVar: 2, ErrCmp: 3, Junk: 2},
+		// Loop-carried accumulation and guarded loop writes.
+		{Seed: 51, NVars: 3, LoopShape: 1, LoopBound: 2, ErrVar: 0, ErrCmp: 4},
+		{Seed: 52, NVars: 3, Nondets: 1, LoopShape: 2, LoopBound: 3, ErrVar: 1, ErrCmp: 2},
+		// Guard nests: satisfied and refuted outer guards (the refuted
+		// ones make infeasible paths whose By relevance a broken slicer
+		// drops).
+		{Seed: 61, NVars: 3, Guards: 2, GuardSat: true, GuardVar: 1, Nondets: 1, ErrVar: 0, ErrCmp: 1},
+		{Seed: 62, NVars: 3, Guards: 1, GuardSat: false, GuardVar: 2, Nondets: 1, ErrVar: 0, ErrCmp: 1},
+		{Seed: 63, NVars: 4, Guards: 2, GuardSat: false, GuardVar: 3, ErrVar: 1, ErrCmp: 0, Junk: 1},
+		// Everything at once.
+		{Seed: 71, NVars: 4, Nondets: 2, PtrShape: 1, PtrTarget: 2, CalleeShape: 3,
+			LoopShape: 1, LoopBound: 2, Guards: 2, GuardSat: true, GuardVar: 3, ErrCmp: 3, Junk: 2},
+	}
+	for i := range specs {
+		specs[i] = specs[i].normalize()
+	}
+	return specs
+}

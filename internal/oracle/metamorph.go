@@ -1,0 +1,229 @@
+// Metamorphic transformations over generated programs. Each transform
+// rewrites a SeedSpec's source in a way with a known effect on the
+// slicer's answer, giving oracle invariants that need no reference
+// implementation:
+//
+//   - rename: a pure alpha-renaming keeps the CFA structure identical,
+//     so the slice must select exactly the same edge positions;
+//   - junk: inserting never-read prologue writes must not change the
+//     slice beyond shifting positions — junk edges are never taken and
+//     the slice size is unchanged;
+//   - permute: reordering the independent prologue initializers must
+//     keep the same slice operations (as a multiset) and verdict;
+//   - unroll: peeling one loop iteration preserves program semantics,
+//     so concrete target reachability from the zero state is unchanged.
+//
+// When a transform unexpectedly changes the path skeleton (the finder
+// picked a structurally different route), position-level invariants are
+// skipped and counted as skeleton mismatches rather than failures.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/compile"
+	"pathslice/internal/core"
+	"pathslice/internal/interp"
+	"pathslice/internal/smt"
+)
+
+// MetamorphReport aggregates the variant checks for one spec.
+type MetamorphReport struct {
+	Pairs              int // program/trace pairs checked (variants incl. base reuse)
+	SkeletonMismatches int
+	Violations         []Violation
+	Inconclusive       []string
+}
+
+type checkedPair struct {
+	prog *cfa.Program
+	path cfa.Path
+	rep  *Report
+}
+
+// preparePair compiles a rendered source and checks its shortest
+// error path with the replay oracle. A nil return means the variant
+// could not be prepared (counted by the caller as inconclusive).
+func preparePair(src string, sopts core.Options, copts CheckOptions) *checkedPair {
+	prog, err := compile.Source(src)
+	if err != nil {
+		return nil
+	}
+	path := cfa.FindPathToError(prog, cfa.FindOptions{})
+	if path == nil {
+		return nil
+	}
+	return &checkedPair{prog: prog, path: path, rep: CheckTrace(prog, path, sopts, copts)}
+}
+
+// CheckMetamorphic renders a spec and its transforms, runs the replay
+// oracle on every variant, and checks the cross-variant invariants.
+func CheckMetamorphic(spec SeedSpec, sopts core.Options, copts CheckOptions) *MetamorphReport {
+	mr := &MetamorphReport{}
+	base := preparePair(Render(spec, renderOpts{}), sopts, copts)
+	if base == nil {
+		mr.Inconclusive = append(mr.Inconclusive, "base variant did not prepare")
+		return mr
+	}
+	mr.absorb(base.rep)
+
+	// Rename: identical structure, identical slice positions.
+	if ren := preparePair(Render(spec, renderOpts{rename: true}), sopts, copts); ren == nil {
+		mr.Inconclusive = append(mr.Inconclusive, "rename variant did not prepare")
+	} else {
+		mr.absorb(ren.rep)
+		if !sameSkeleton(base.path, ren.path) {
+			mr.SkeletonMismatches++
+		} else if base.rep.Res != nil && ren.rep.Res != nil {
+			if !sameTaken(base.rep.Res.Taken, ren.rep.Res.Taken) {
+				mr.violate("renaming locals changed the slice positions (base %d edges, renamed %d)",
+					len(base.rep.Res.Slice), len(ren.rep.Res.Slice))
+			}
+			mr.compareVerdicts("rename", base.rep, ren.rep)
+		}
+	}
+
+	// Junk: two extra never-read writes; slice size unchanged, junk
+	// edges never taken.
+	if jnk := preparePair(Render(spec, renderOpts{junkExtra: 2}), sopts, copts); jnk == nil {
+		mr.Inconclusive = append(mr.Inconclusive, "junk variant did not prepare")
+	} else {
+		mr.absorb(jnk.rep)
+		if jnk.rep.Res != nil {
+			for i, t := range jnk.rep.Res.Taken {
+				if t && isJunkEdge(jnk.path[i]) {
+					mr.violate("irrelevant junk write %s was taken into the slice", jnk.path[i].Op)
+				}
+			}
+		}
+		if len(jnk.path) != len(base.path)+2 {
+			mr.SkeletonMismatches++
+		} else if base.rep.Res != nil && jnk.rep.Res != nil {
+			if len(jnk.rep.Res.Slice) != len(base.rep.Res.Slice) {
+				mr.violate("junk insertion changed the slice size (%d → %d)",
+					len(base.rep.Res.Slice), len(jnk.rep.Res.Slice))
+			}
+			mr.compareVerdicts("junk", base.rep, jnk.rep)
+		}
+	}
+
+	// Permute: only meaningful when the independent init block has at
+	// least two assignments.
+	if spec.NVars-spec.Nondets >= 2 {
+		if prm := preparePair(Render(spec, renderOpts{permute: true}), sopts, copts); prm == nil {
+			mr.Inconclusive = append(mr.Inconclusive, "permute variant did not prepare")
+		} else {
+			mr.absorb(prm.rep)
+			if !sameSkeleton(base.path, prm.path) {
+				mr.SkeletonMismatches++
+			} else if base.rep.Res != nil && prm.rep.Res != nil {
+				if a, b := sliceOpSet(base.rep.Res.Slice), sliceOpSet(prm.rep.Res.Slice); a != b {
+					mr.violate("permuting independent initializers changed the slice contents:\n  base: %s\n  perm: %s", a, b)
+				}
+				mr.compareVerdicts("permute", base.rep, prm.rep)
+			}
+		}
+	}
+
+	// Unroll: semantics preserved, so zero-state target reachability
+	// must match whenever both searches are exhaustive.
+	if spec.LoopShape > 0 {
+		if unr := preparePair(Render(spec, renderOpts{unroll: true}), sopts, copts); unr == nil {
+			mr.Inconclusive = append(mr.Inconclusive, "unroll variant did not prepare")
+		} else {
+			mr.absorb(unr.rep)
+			br, be := zeroReach(base.prog, copts)
+			ur, ue := zeroReach(unr.prog, copts)
+			switch {
+			case be && ue && br != ur:
+				mr.violate("loop peeling changed zero-state reachability (base %v, unrolled %v)", br, ur)
+			case !be || !ue:
+				mr.Inconclusive = append(mr.Inconclusive, "unroll reach comparison inconclusive")
+			}
+		}
+	}
+	return mr
+}
+
+func (mr *MetamorphReport) violate(format string, args ...any) {
+	mr.Violations = append(mr.Violations, Violation{Kind: "metamorphic", Detail: fmt.Sprintf(format, args...)})
+}
+
+// absorb folds one variant's replay-oracle report into the aggregate.
+func (mr *MetamorphReport) absorb(rep *Report) {
+	mr.Pairs++
+	mr.Violations = append(mr.Violations, rep.Violations...)
+	mr.Inconclusive = append(mr.Inconclusive, rep.Inconclusive...)
+}
+
+// compareVerdicts asserts two structurally equivalent variants got the
+// same feasibility verdict; Unknown on either side is inconclusive.
+func (mr *MetamorphReport) compareVerdicts(transform string, a, b *Report) {
+	if a.SliceStatus == smt.StatusUnknown || b.SliceStatus == smt.StatusUnknown {
+		mr.Inconclusive = append(mr.Inconclusive, transform+": verdict comparison inconclusive (Unknown)")
+		return
+	}
+	if a.SliceStatus != b.SliceStatus {
+		mr.violate("%s changed the slice feasibility verdict (%v → %v)", transform, a.SliceStatus, b.SliceStatus)
+	}
+}
+
+// sameSkeleton reports whether two paths have the same length and
+// per-edge operation kinds — the structural frame position-level
+// invariants rely on.
+func sameSkeleton(a, b cfa.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Op.Kind != b[i].Op.Kind {
+			return false
+		}
+	}
+	return true
+}
+
+func sameTaken(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sliceOpSet renders a slice's operations as a sorted multiset key.
+func sliceOpSet(p cfa.Path) string {
+	ops := make([]string, len(p))
+	for i, e := range p {
+		ops[i] = e.Op.String()
+	}
+	// Insertion sort: slices here are tiny.
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j] < ops[j-1]; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+	return strings.Join(ops, " | ")
+}
+
+// isJunkEdge recognizes writes to the generator's junk variables.
+func isJunkEdge(e *cfa.Edge) bool {
+	if e.Op.Kind != cfa.OpAssign || e.Op.LHS.Deref {
+		return false
+	}
+	name := e.Op.LHS.Var
+	return strings.HasPrefix(name, "j") || strings.HasPrefix(name, "w")
+}
+
+// zeroReach runs the bounded reach search from the all-zero state.
+func zeroReach(prog *cfa.Program, copts CheckOptions) (reached, exhaustive bool) {
+	sl := core.New(prog)
+	st := interp.NewState(prog, sl.Addrs)
+	return searchReach(prog, st, nil, candidateValues(prog), copts.withDefaults())
+}

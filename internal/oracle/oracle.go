@@ -1,0 +1,387 @@
+// Package oracle is a differential and metamorphic verification
+// subsystem that treats core.Slicer as the system under test. For each
+// program/trace pair it machine-checks the Theorem-1 contract:
+//
+//   - soundness: if the slice's trace is infeasible, the original trace
+//     is infeasible too — cross-checked three ways (stateless solver on
+//     both traces, the slicer's incremental early-stop verdict, and a
+//     concrete interpreter replay of any satisfying model);
+//   - completeness: a state satisfying the slice's constraints reaches
+//     the target in the full program or diverges — checked by replaying
+//     the solver model concretely and exhaustively enumerating nondet
+//     inputs where that is affordable.
+//
+// Every check that cannot be decided within its budget is counted as
+// inconclusive, never as a violation: the oracle is allowed to miss
+// bugs under resource pressure but must not produce flaky failures in
+// `make check`. See docs/TESTING.md for how the pieces fit the test
+// pyramid.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/core"
+	"pathslice/internal/interp"
+	"pathslice/internal/lang/ast"
+	"pathslice/internal/obs"
+	"pathslice/internal/smt"
+	"pathslice/internal/wp"
+)
+
+var (
+	mPairs        = obs.Default().Counter("oracle_pairs_total")
+	mViolations   = obs.Default().Counter("oracle_violations_total")
+	mInconclusive = obs.Default().Counter("oracle_inconclusive_total")
+)
+
+// Violation is one broken Theorem-1 implication, with enough detail to
+// reproduce it. Kind is one of: slicer-error, structural, differential,
+// soundness, model-replay, completeness, brute, metamorphic, cegar.
+type Violation struct {
+	Kind   string
+	Detail string
+	Spec   string // generator spec line, when the campaign produced it
+}
+
+func (v Violation) String() string {
+	if v.Spec == "" {
+		return fmt.Sprintf("[%s] %s", v.Kind, v.Detail)
+	}
+	return fmt.Sprintf("[%s] %s (seed: %s)", v.Kind, v.Detail, v.Spec)
+}
+
+// Report is the outcome of checking one program/trace pair.
+type Report struct {
+	Res          *core.Result
+	SliceStatus  smt.Status
+	FullStatus   smt.Status
+	Violations   []Violation
+	Inconclusive []string
+}
+
+func (r *Report) violate(kind, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (r *Report) undecided(format string, args ...any) {
+	r.Inconclusive = append(r.Inconclusive, fmt.Sprintf(format, args...))
+}
+
+// CheckOptions bounds the concrete side of the oracle.
+type CheckOptions struct {
+	// ReachCheck enables the completeness reach search (requires the
+	// slicer to run without SkipFunctions, which sacrifices
+	// completeness by design).
+	ReachCheck bool
+	// MaxRuns bounds the number of concrete runs one reach search may
+	// spend (default 512).
+	MaxRuns int
+	// MaxSteps bounds each concrete run (default 2000).
+	MaxSteps int
+	// MaxDepth bounds the enumerated nondet input prefix (default 3).
+	MaxDepth int
+}
+
+func (o CheckOptions) withDefaults() CheckOptions {
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 512
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 2000
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 3
+	}
+	return o
+}
+
+// CheckTrace runs the full replay oracle on one pair: slice the path,
+// then verify every Theorem-1 implication the available budgets can
+// decide. The slicer is constructed from sopts, so callers can exercise
+// early-stop, function-skipping, or the deliberately Unsound modes.
+func CheckTrace(prog *cfa.Program, path cfa.Path, sopts core.Options, copts CheckOptions) *Report {
+	slicer := core.NewWithOptions(prog, sopts)
+	res, err := slicer.Slice(path)
+	if err != nil {
+		rep := &Report{}
+		mPairs.Inc()
+		rep.violate("slicer-error", "Slice failed on a valid path: %v", err)
+		mViolations.Add(int64(len(rep.Violations)))
+		return rep
+	}
+	return CheckResult(prog, path, res, sopts, copts)
+}
+
+// CheckResult verifies an already-computed slice against the same
+// contract. Use it directly when the result came from a run CheckTrace
+// cannot reproduce itself — a context-deadlined SliceCtx call whose
+// Degraded superset must still be sound, say. sopts must be the
+// options res was produced under: the differential check interprets
+// res.KnownInfeasible, which only an EarlyUnsatStop slicer sets.
+func CheckResult(prog *cfa.Program, path cfa.Path, res *core.Result, sopts core.Options, copts CheckOptions) *Report {
+	copts = copts.withDefaults()
+	rep := &Report{Res: res}
+	mPairs.Inc()
+	defer func() {
+		mViolations.Add(int64(len(rep.Violations)))
+		mInconclusive.Add(int64(len(rep.Inconclusive)))
+	}()
+
+	slicer := core.NewWithOptions(prog, sopts)
+
+	// Structural: a path slice is by definition a subsequence of its
+	// input (§3.2), and Taken must agree with it.
+	if !path.Subsequence(res.Slice) {
+		rep.violate("structural", "slice is not a subsequence of the input path")
+		return rep
+	}
+	taken := 0
+	for _, t := range res.Taken {
+		if t {
+			taken++
+		}
+	}
+	if taken != len(res.Slice) {
+		rep.violate("structural", "Taken marks %d edges but the slice has %d", taken, len(res.Slice))
+	}
+
+	// Feasibility of both traces through the stateless solver. These
+	// also anchor the differential check against the incremental
+	// early-stop verdict.
+	rs, encS := slicer.CheckFeasibility(res.Slice)
+	rf, encF := slicer.CheckFeasibility(path)
+	rep.SliceStatus, rep.FullStatus = rs.Status, rf.Status
+
+	if res.KnownInfeasible {
+		// The incremental backward encoding proved Unsat during
+		// slicing; the stateless forward encoding must agree.
+		switch rs.Status {
+		case smt.StatusSat:
+			rep.violate("differential", "early-stop proved the slice Unsat but the stateless solver says Sat")
+		case smt.StatusUnknown:
+			rep.undecided("stateless solver Unknown on an early-stop Unsat slice")
+		}
+	}
+
+	// Soundness (Theorem 1): slice infeasible ⇒ original infeasible.
+	// When the solver claims the original IS feasible, its model is a
+	// concrete counterexample we can replay end to end — a confirmed
+	// violation needs no trust in either encoder.
+	if rs.Status == smt.StatusUnsat && rf.Status == smt.StatusSat {
+		ok, rerr := replayModel(prog, slicer, path, rf.Model, encF.NondetInputs())
+		switch {
+		case ok:
+			rep.violate("soundness",
+				"slice Unsat but the original trace replays concretely from the solver model")
+		case rerr != nil:
+			rep.undecided("soundness witness model did not replay (%v)", rerr)
+		default:
+			// The model fails to replay: the Sat verdict itself is
+			// suspect. That is a solver/encoder disagreement, which the
+			// model-replay check below also polices for slices.
+			rep.violate("model-replay", "full-trace Sat model does not execute the trace")
+		}
+	}
+	if rs.Status == smt.StatusUnknown || rf.Status == smt.StatusUnknown {
+		rep.undecided("solver Unknown (slice=%v full=%v)", rs.Status, rf.Status)
+	}
+
+	// A Sat slice must be witnessed: the model's initial state executes
+	// the slice's trace concretely.
+	if rs.Status == smt.StatusSat {
+		ok, rerr := replayModel(prog, slicer, res.Slice, rs.Model, encS.NondetInputs())
+		if rerr != nil {
+			rep.undecided("slice model replay undecided: %v", rerr)
+		} else if !ok {
+			rep.violate("model-replay", "slice Sat model does not execute the slice trace")
+		} else if copts.ReachCheck && !sopts.SkipFunctions {
+			// Completeness: from that same initial state the FULL
+			// program must reach the target or diverge. Divergence and
+			// budget exhaustion are indistinguishable here, so only an
+			// exhaustive terminating search may claim a violation.
+			checkCompleteness(rep, prog, slicer, path, rs.Model, encS.NondetInputs(), copts)
+		}
+	}
+	return rep
+}
+
+// replayModel decodes a solver model into an initial state and input
+// sequence and executes the given trace with the concrete interpreter.
+// It returns (executed, nil) on a decisive run and a non-nil error when
+// the replay itself is not trustworthy (e.g. a stuck execution).
+func replayModel(prog *cfa.Program, slicer *core.Slicer, trace cfa.Path, model map[string]int64, nondets []string) (bool, error) {
+	init := decodeInit(slicer, prog, model)
+	st := interp.NewState(prog, slicer.Addrs)
+	for name, v := range init {
+		st.Set(name, v)
+	}
+	vals := make([]int64, len(nondets))
+	for i, name := range nondets {
+		vals[i] = model[name]
+	}
+	ok, err := st.ExecTrace(trace.Ops(), &interp.SliceInputs{Vals: vals})
+	if err != nil {
+		return false, err
+	}
+	return ok, nil
+}
+
+// checkCompleteness runs the bounded reach search from the model state.
+func checkCompleteness(rep *Report, prog *cfa.Program, slicer *core.Slicer, path cfa.Path, model map[string]int64, nondets []string, copts CheckOptions) {
+	init := decodeInit(slicer, prog, model)
+	st := interp.NewState(prog, slicer.Addrs)
+	for name, v := range init {
+		st.Set(name, v)
+	}
+	values := candidateValues(prog)
+	for _, name := range nondets {
+		values = addValue(values, model[name])
+	}
+	reached, exhaustive := searchReach(prog, st, path.Target(), values, copts)
+	switch {
+	case reached:
+		// Theorem 1 completeness holds concretely.
+	case exhaustive:
+		rep.violate("completeness",
+			"slice Sat model cannot reach the target in the full program (exhaustive %d-deep input search)",
+			copts.MaxDepth)
+	default:
+		rep.undecided("reach search exhausted its budget without a verdict")
+	}
+}
+
+// decodeInit projects a solver model onto the program's variables at
+// SSA version 0 — the initial state the trace was decided under. A
+// fresh encoder suffices: initial names do not depend on any encoding
+// run.
+func decodeInit(slicer *core.Slicer, prog *cfa.Program, model map[string]int64) map[string]int64 {
+	return wp.NewTraceEncoder(prog, slicer.Alias, slicer.Addrs).DecodeInitialState(model, prog)
+}
+
+// ---------------------------------------------------------------------------
+// Concrete reach search
+
+// countInputs feeds a fixed prefix then zeros, recording whether the
+// run consumed more inputs than the prefix supplied — the signal that a
+// deeper enumeration could steer the run differently.
+type countInputs struct {
+	vals     []int64
+	pos      int
+	overflow bool
+}
+
+func (c *countInputs) Next() int64 {
+	if c.pos < len(c.vals) {
+		v := c.vals[c.pos]
+		c.pos++
+		return v
+	}
+	c.pos++
+	c.overflow = true
+	return 0
+}
+
+// searchReach reports whether some nondet input sequence drives the
+// full program from st to the target. The second result is true only
+// when the search provably covered every behavior: every run terminated
+// within the step bound, and no run consumed inputs beyond the deepest
+// enumerated prefix. Input values are drawn from the candidate set
+// (program literals, their successors, and the model's inputs), which
+// is exhaustive for programs whose branch predicates only compare
+// against those values — the generator guarantees that shape.
+func searchReach(prog *cfa.Program, st *interp.State, target *cfa.Loc, values []int64, copts CheckOptions) (reached, exhaustive bool) {
+	runs := 0
+	exhaustive = true
+	var rec func(prefix []int64) bool
+	rec = func(prefix []int64) bool {
+		if runs >= copts.MaxRuns {
+			exhaustive = false
+			return false
+		}
+		runs++
+		in := &countInputs{vals: prefix}
+		res := interp.Run(prog, st.Clone(), in, interp.RunOptions{MaxSteps: copts.MaxSteps})
+		if res.ReachedError && (target == nil || res.ErrorLoc == target) {
+			return true
+		}
+		if res.Steps >= copts.MaxSteps {
+			exhaustive = false // possible divergence
+			return false
+		}
+		if !in.overflow {
+			return false // the prefix fully determined this run
+		}
+		if len(prefix) >= copts.MaxDepth {
+			exhaustive = false // would need deeper inputs than we enumerate
+			return false
+		}
+		for _, v := range values {
+			if rec(append(prefix, v)) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(nil), exhaustive
+}
+
+// candidateValues collects the integer literals appearing anywhere in
+// the program, plus each literal's successor (to cross strict
+// inequalities) and {0, 1}, capped to keep the branching factor sane.
+func candidateValues(prog *cfa.Program) []int64 {
+	set := map[int64]bool{0: true, 1: true}
+	for _, fn := range prog.Funcs {
+		for _, loc := range fn.Locs {
+			for _, e := range loc.Out {
+				exprLits(e.Op.Pred, set)
+				exprLits(e.Op.RHS, set)
+			}
+		}
+	}
+	out := make([]int64, 0, 2*len(set))
+	for v := range set {
+		out = append(out, v, v+1)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out = dedupSorted(out)
+	const maxValues = 10
+	if len(out) > maxValues {
+		out = out[:maxValues]
+	}
+	return out
+}
+
+func exprLits(e ast.Expr, set map[int64]bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.IntLit:
+		set[e.Value] = true
+	case *ast.Unary:
+		exprLits(e.X, set)
+	case *ast.Binary:
+		exprLits(e.X, set)
+		exprLits(e.Y, set)
+	}
+}
+
+func addValue(vals []int64, v int64) []int64 {
+	for _, x := range vals {
+		if x == v {
+			return vals
+		}
+	}
+	return append(vals, v)
+}
+
+func dedupSorted(vals []int64) []int64 {
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -108,6 +108,12 @@ type TraceEncoder struct {
 	addrs   *AddrMap
 	version map[string]int
 	inputs  int
+	// nondet records the SSA input names allocated for ast.Nondet
+	// occurrences, in allocation (= evaluation) order. The concrete
+	// oracle (internal/oracle) projects a solver model onto this list
+	// to feed an interpreter replay the same input sequence the
+	// constraints were solved under.
+	nondet []string
 }
 
 // NewTraceEncoder returns an encoder with all variables at version 0
@@ -132,10 +138,31 @@ func (e *TraceEncoder) next(name string) logic.Term {
 	return e.cur(name)
 }
 
-// freshInput returns a fresh unconstrained input variable (for nondet).
+// freshInput returns a fresh unconstrained input variable. It is used
+// both for nondet occurrences and for internal reification (boolean
+// values in term position); only the former correspond to interpreter
+// input draws — see freshNondet.
 func (e *TraceEncoder) freshInput() logic.Term {
 	e.inputs++
 	return logic.Var{Name: fmt.Sprintf("$in%d", e.inputs)}
+}
+
+// freshNondet allocates a fresh input for an ast.Nondet occurrence and
+// records its name for NondetInputs.
+func (e *TraceEncoder) freshNondet() logic.Term {
+	t := e.freshInput()
+	e.nondet = append(e.nondet, t.(logic.Var).Name)
+	return t
+}
+
+// NondetInputs returns the SSA names of the inputs allocated for
+// nondet() occurrences, in the order the trace evaluates them. A
+// solver model restricted to these names is the input sequence under
+// which the encoded trace was decided.
+func (e *TraceEncoder) NondetInputs() []string {
+	out := make([]string, len(e.nondet))
+	copy(out, e.nondet)
+	return out
 }
 
 // InitialName returns the SSA name holding the initial value of a
@@ -217,7 +244,7 @@ func (e *TraceEncoder) term(expr ast.Expr) (logic.Term, []logic.Formula) {
 	case *ast.IntLit:
 		return logic.Const{V: expr.Value}, nil
 	case *ast.Nondet:
-		return e.freshInput(), nil
+		return e.freshNondet(), nil
 	case *ast.Ident:
 		return e.cur(expr.Name), nil
 	case *ast.Unary:

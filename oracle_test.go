@@ -1,0 +1,64 @@
+package pathslice
+
+// Tier-1 oracle gate (docs/TESTING.md): a full campaign of generated
+// program/trace pairs must pass the Theorem-1 contract checks with
+// zero violations, and a deliberately broken slicer must be caught
+// within the same budget. `make oracle` runs exactly these tests;
+// `make check` includes them via `make test`.
+
+import (
+	"testing"
+	"time"
+
+	"pathslice/internal/core"
+	"pathslice/internal/oracle"
+)
+
+// oracleConfig is the shared campaign shape: the checked-in regression
+// corpus first, then generated + mutated specs, 30s ceiling (the run
+// finishes in well under a second; the budget only guards slow hosts).
+func oracleConfig() oracle.Config {
+	return oracle.Config{
+		Seeds:     140,
+		Budget:    30 * time.Second,
+		Seed:      1,
+		CorpusDir: "testdata/oracle",
+	}
+}
+
+// TestOracleCampaign is the acceptance bar: at least 500 slicer
+// verdicts cross-checked per run, none of them violating soundness,
+// completeness, differential agreement, brute-force sufficiency, or a
+// metamorphic invariant.
+func TestOracleCampaign(t *testing.T) {
+	stats := oracle.Run(oracleConfig())
+	for _, v := range stats.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if stats.Pairs < 500 {
+		t.Errorf("campaign produced only %d pairs, want >= 500", stats.Pairs)
+	}
+	if stats.Inconclusive > stats.Pairs/10 {
+		t.Errorf("%d of %d pairs inconclusive — oracle losing decisiveness", stats.Inconclusive, stats.Pairs)
+	}
+	t.Log(stats.Summary())
+}
+
+// TestOracleCatchesPlantedBugs proves the gate has teeth: each
+// deliberately unsound Take-rule mode must produce at least one
+// violation inside the default campaign budget.
+func TestOracleCatchesPlantedBugs(t *testing.T) {
+	for _, mode := range []core.UnsoundMode{
+		core.UnsoundDropGuards,
+		core.UnsoundDropAliasedWrites,
+		core.UnsoundSkipCallees,
+	} {
+		cfg := oracleConfig()
+		cfg.Seeds = 40
+		cfg.Unsound = mode
+		stats := oracle.Run(cfg)
+		if len(stats.Violations) == 0 {
+			t.Errorf("unsound mode %d survived the campaign: %s", mode, stats.Summary())
+		}
+	}
+}

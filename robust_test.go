@@ -22,6 +22,7 @@ import (
 	"pathslice/internal/compile"
 	"pathslice/internal/core"
 	"pathslice/internal/faults"
+	"pathslice/internal/oracle"
 )
 
 func loadProgram(t *testing.T, file string) *cfa.Program {
@@ -124,6 +125,70 @@ func TestMetamorphicDegradedSliceIsSuperset(t *testing.T) {
 			t.Fatalf("path %d: cancelled context did not set Degraded", pi)
 		}
 		assertSuperset(t, "ex2.mc (cancelled ctx)", baseline, degraded)
+	}
+}
+
+// TestOracleContractHoldsForDegradedSlices: a Degraded slice (deadline
+// expired mid-scan, slicer fell back to keeping every remaining edge)
+// is still a slice, so the full Theorem-1 replay oracle must accept it
+// with zero violations — degradation weakens minimality, never
+// soundness or completeness.
+func TestOracleContractHoldsForDegradedSlices(t *testing.T) {
+	for _, file := range []string{"ex2.mc", "safe.mc", "overdraft.mc"} {
+		prog := loadProgram(t, file)
+		slicer := core.New(prog)
+		degradedSeen := false
+		for pi, path := range candidatePaths(t, prog) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			res, err := slicer.SliceCtx(ctx, path)
+			if err != nil {
+				t.Fatalf("%s path %d: degraded slice must still be produced, got %v", file, pi, err)
+			}
+			if res.Degraded {
+				degradedSeen = true
+			}
+			rep := oracle.CheckResult(prog, path, res, core.Options{},
+				oracle.CheckOptions{ReachCheck: true})
+			for _, v := range rep.Violations {
+				t.Errorf("%s path %d: degraded slice breaks the contract: %s", file, pi, v)
+			}
+		}
+		if !degradedSeen {
+			t.Errorf("%s: cancelled context never produced a Degraded result — property not exercised", file)
+		}
+	}
+}
+
+// TestOracleContractHoldsUnderInjectedUnknowns: with solver Unknowns
+// injected under the early-unsat-stop slicer, lost proofs may make the
+// oracle inconclusive but must never make it report a violation — the
+// conservative slice stays sound, and the oracle's own undecidable
+// checks degrade to "inconclusive", not to noise.
+func TestOracleContractHoldsUnderInjectedUnknowns(t *testing.T) {
+	sopts := core.Options{EarlyUnsatStop: true, CheckEvery: 1}
+	copts := oracle.CheckOptions{ReachCheck: true}
+	injectedTotal := int64(0)
+	for _, file := range []string{"ex2.mc", "safe.mc", "overdraft.mc"} {
+		prog := loadProgram(t, file)
+		for pi, path := range candidatePaths(t, prog) {
+			for seed := int64(1); seed <= 3; seed++ {
+				in := faults.New(faults.Config{
+					Seed:  seed,
+					Rates: map[faults.Kind]float64{faults.SolverUnknown: 0.25},
+				})
+				prev := faults.Install(in)
+				rep := oracle.CheckTrace(prog, path, sopts, copts)
+				faults.Install(prev)
+				for _, v := range rep.Violations {
+					t.Errorf("%s path %d seed %d: faulted run reported a violation: %s", file, pi, seed, v)
+				}
+				injectedTotal += in.Injected(faults.SolverUnknown)
+			}
+		}
+	}
+	if injectedTotal == 0 {
+		t.Fatal("no solver-unknown faults fired at a 25% injection rate — the property was not exercised")
 	}
 }
 
