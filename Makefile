@@ -9,9 +9,9 @@ GO ?= go
 
 RACE_PKGS = ./internal/cegar/ ./internal/core/ ./internal/dataflow/ ./internal/logic/ ./internal/obs/ ./internal/smt/
 
-.PHONY: check build vet test race fuzz oracle docs-check bench bench-json experiments
+.PHONY: check build vet test race fuzz oracle docs-check bench bench-json bench-diff experiments
 
-check: build vet test race fuzz oracle docs-check
+check: build vet test race fuzz oracle docs-check bench-diff
 
 build:
 	$(GO) build ./...
@@ -48,10 +48,18 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Machine-readable performance artifact (suite wall time, solver-call
-# counts, early-unsat-stop speedup, oracle corpus statistics). Not part
-# of `make check` — it records numbers, it doesn't gate on them.
+# counts, early-unsat-stop speedup, the gcc-class summary sweep, oracle
+# corpus statistics). Not part of `make check` — it records numbers;
+# `make bench-diff` gates on them.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR6.json
+
+# Gate: compares the two newest checked-in BENCH_PR*.json artifacts and
+# fails on a >20% regression of any deterministic metric (wall times
+# only when the host fingerprints match), and on the summary sweep
+# losing its sublinear walked-edge curve. Part of `make check`.
+bench-diff:
+	$(GO) run ./cmd/benchdiff
 
 experiments:
 	$(GO) run ./cmd/experiments

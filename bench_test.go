@@ -145,6 +145,43 @@ func BenchmarkFigure6_GccSlicing(b *testing.B) {
 	}
 }
 
+// BenchmarkSummarizedSlice measures the context-keyed frame summaries
+// (internal/summ) on the call-heavy gcc-class subject: a ~40k-op trace
+// of deep repeated call chains, sliced plain and summarized. The
+// walked-edge metrics expose the deterministic work reduction the
+// wall-time ratio comes from; `make bench-json` records the full
+// 10k/20k/40k doubling sweep in BENCH_PR6.json.
+func BenchmarkSummarizedSlice(b *testing.B) {
+	prog, target, err := bench.CallHeavySetup(bench.DefaultGccConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := cfa.WalkLongPath(prog, target, 172, 0)
+	if path == nil {
+		b.Fatal("no long path")
+	}
+	for _, summaries := range []bool{false, true} {
+		name := "plain"
+		if summaries {
+			name = "summarized"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				slicer := core.NewWithOptions(prog, core.Options{Summaries: summaries})
+				res, err := slicer.Slice(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(len(path)), "trace-ops")
+					b.ReportMetric(float64(res.Stats.WalkedEdges), "walked-edges")
+				}
+			}
+		})
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Ablations (DESIGN.md §4)
 

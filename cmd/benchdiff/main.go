@@ -1,0 +1,245 @@
+// Command benchdiff gates performance regressions between the two
+// newest BENCH_PR*.json artifacts (cmd/benchjson). It exits nonzero
+// when any tracked deterministic metric regresses by more than 20%,
+// and — independently of whether a predecessor exists — when the new
+// artifact's gcc-class summary sweep stops being sublinear: the
+// walked-edge count of the summarized slicer must grow by less than
+// 1.8x per trace-length doubling, and the streamed reader's peak
+// resident frames must stay at the bounded window.
+//
+// Deterministic counters (solver calls, early-stop checks, oracle
+// pairs and violations, walked edges) are compared unconditionally —
+// they cannot drift with machine load. Wall-time metrics are compared
+// only when both artifacts carry the same host fingerprint; older
+// artifacts (BENCH_PR5.json and before) have none, so timing
+// comparisons are skipped with a note rather than producing noise.
+//
+// Usage:
+//
+//	benchdiff [-dir .] [-old f] [-new f] [-max-regress 0.20] [-max-growth 1.8]
+//
+// `make bench-diff` runs it over the checked-in artifacts; `make
+// check` includes it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// artifact is the subset of cmd/benchjson's output that benchdiff
+// tracks. Fields absent from older artifacts unmarshal to zero values
+// and are skipped.
+type artifact struct {
+	Host             string  `json:"host"`
+	SuiteWallMS      float64 `json:"suite_wall_ms"`
+	TotalSolverCalls int64   `json:"total_solver_calls"`
+	EarlyUnsatStop   *struct {
+		SolverChecks  int     `json:"solver_checks"`
+		IncrementalMS float64 `json:"incremental_ms"`
+	} `json:"early_unsat_stop"`
+	SummarySweep []struct {
+		TraceOps         int     `json:"trace_ops"`
+		SliceEdges       int     `json:"slice_edges"`
+		BaselineWalked   int     `json:"baseline_walked"`
+		SummarizedWalked int     `json:"summarized_walked"`
+		SummarizedMS     float64 `json:"summarized_ms"`
+		StreamPeakFrames int     `json:"stream_peak_frames"`
+	} `json:"summary_sweep"`
+	Oracle *struct {
+		Pairs      int `json:"pairs"`
+		Violations int `json:"violations"`
+	} `json:"oracle"`
+}
+
+// streamWindowFrames mirrors the PathReader block cache bound
+// (cfa: 4 blocks x 1024 edges).
+const streamWindowFrames = 4096
+
+var failures int
+
+func failf(format string, args ...any) {
+	fmt.Printf("FAIL: "+format+"\n", args...)
+	failures++
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory to scan for BENCH_PR*.json")
+	oldPath := flag.String("old", "", "baseline artifact (default: second-newest BENCH_PR*.json)")
+	newPath := flag.String("new", "", "fresh artifact (default: newest BENCH_PR*.json)")
+	maxRegress := flag.Float64("max-regress", 0.20, "allowed relative regression per tracked metric")
+	maxGrowth := flag.Float64("max-growth", 1.8, "allowed summarized walked-edge growth per trace doubling")
+	flag.Parse()
+
+	if *newPath == "" || *oldPath == "" {
+		found := findArtifacts(*dir)
+		if *newPath == "" {
+			if len(found) == 0 {
+				fatal(fmt.Errorf("no BENCH_PR*.json artifacts in %s", *dir))
+			}
+			*newPath = found[len(found)-1]
+		}
+		if *oldPath == "" && len(found) > 1 {
+			*oldPath = found[len(found)-2]
+		}
+	}
+
+	fresh := load(*newPath)
+	checkSublinear(*newPath, fresh, *maxGrowth)
+
+	if *oldPath == "" {
+		fmt.Printf("note: no predecessor artifact, skipping regression comparison\n")
+	} else {
+		base := load(*oldPath)
+		fmt.Printf("comparing %s (baseline) -> %s\n", *oldPath, *newPath)
+		compare(base, fresh, *maxRegress)
+	}
+
+	if failures > 0 {
+		fmt.Printf("benchdiff: %d failure(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}
+
+// findArtifacts returns the BENCH_PR<n>.json files in dir sorted by n.
+func findArtifacts(dir string) []string {
+	re := regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var found []numbered
+	for _, e := range entries {
+		m := re.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		found = append(found, numbered{n, filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	paths := make([]string, len(found))
+	for i, f := range found {
+		paths[i] = f.path
+	}
+	return paths
+}
+
+func load(path string) *artifact {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var a artifact
+	if err := json.Unmarshal(buf, &a); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return &a
+}
+
+// checkSublinear enforces the fresh artifact's own invariants: the
+// summary sweep exists, its points double the trace length, the
+// summarized walked-edge count grows sublinearly per doubling, and
+// streaming never held more than the bounded window resident.
+func checkSublinear(path string, a *artifact, maxGrowth float64) {
+	if len(a.SummarySweep) < 3 {
+		failf("%s: summary_sweep has %d points, want >= 3 (one per trace doubling)", path, len(a.SummarySweep))
+		return
+	}
+	for i, r := range a.SummarySweep {
+		if r.StreamPeakFrames > streamWindowFrames {
+			failf("%s: sweep point %d held %d frames resident, window is %d",
+				path, i, r.StreamPeakFrames, streamWindowFrames)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := a.SummarySweep[i-1]
+		opsRatio := float64(r.TraceOps) / float64(prev.TraceOps)
+		if opsRatio < 1.7 || opsRatio > 2.3 {
+			failf("%s: sweep points %d->%d scale trace ops by %.2fx, want a doubling", path, i-1, i, opsRatio)
+			continue
+		}
+		growth := float64(r.SummarizedWalked) / float64(prev.SummarizedWalked)
+		baseGrowth := float64(r.BaselineWalked) / float64(prev.BaselineWalked)
+		fmt.Printf("sweep %6d -> %6d ops: summarized walked %5d -> %5d (%.2fx per doubling, plain %.2fx)\n",
+			prev.TraceOps, r.TraceOps, prev.SummarizedWalked, r.SummarizedWalked, growth, baseGrowth)
+		if growth >= maxGrowth {
+			failf("%s: summarized walked edges grew %.2fx per doubling (>= %.2f) — summaries no longer sublinear",
+				path, growth, maxGrowth)
+		}
+	}
+	if o := a.Oracle; o != nil && o.Violations != 0 {
+		failf("%s: artifact recorded %d oracle violations", path, o.Violations)
+	}
+}
+
+// compare gates the fresh artifact's tracked metrics against the
+// baseline's. direction +1 means higher is worse, -1 lower is worse.
+func compare(base, fresh *artifact, maxRegress float64) {
+	gate := func(name string, old, new float64, direction int) {
+		if old == 0 {
+			fmt.Printf("note: %s absent from baseline, skipping\n", name)
+			return
+		}
+		rel := (new - old) / old * float64(direction)
+		if rel > maxRegress {
+			failf("%s regressed %.0f%%: %v -> %v", name, rel*100, old, new)
+			return
+		}
+		fmt.Printf("ok: %s %v -> %v (%+.0f%%)\n", name, old, new, (new-old)/old*100)
+	}
+
+	gate("total_solver_calls", float64(base.TotalSolverCalls), float64(fresh.TotalSolverCalls), +1)
+	if base.EarlyUnsatStop != nil && fresh.EarlyUnsatStop != nil {
+		gate("early_unsat_stop.solver_checks",
+			float64(base.EarlyUnsatStop.SolverChecks), float64(fresh.EarlyUnsatStop.SolverChecks), +1)
+	}
+	if base.Oracle != nil && fresh.Oracle != nil {
+		gate("oracle.pairs", float64(base.Oracle.Pairs), float64(fresh.Oracle.Pairs), -1)
+	}
+	if len(base.SummarySweep) > 0 && len(fresh.SummarySweep) > 0 {
+		ob, nb := base.SummarySweep[len(base.SummarySweep)-1], fresh.SummarySweep[len(fresh.SummarySweep)-1]
+		if ob.TraceOps == nb.TraceOps {
+			gate("summary_sweep.summarized_walked", float64(ob.SummarizedWalked), float64(nb.SummarizedWalked), +1)
+			gate("summary_sweep.slice_edges", float64(ob.SliceEdges), float64(nb.SliceEdges), +1)
+		} else {
+			fmt.Printf("note: sweep trace sizes differ (%d vs %d ops), skipping walked-edge comparison\n",
+				ob.TraceOps, nb.TraceOps)
+		}
+	}
+
+	// Wall-time metrics: only meaningful on the same machine class.
+	if base.Host == "" || base.Host != fresh.Host {
+		fmt.Printf("note: host fingerprints differ (%q vs %q), skipping wall-time comparisons\n",
+			base.Host, fresh.Host)
+		return
+	}
+	gate("suite_wall_ms", base.SuiteWallMS, fresh.SuiteWallMS, +1)
+	if base.EarlyUnsatStop != nil && fresh.EarlyUnsatStop != nil {
+		gate("early_unsat_stop.incremental_ms",
+			base.EarlyUnsatStop.IncrementalMS, fresh.EarlyUnsatStop.IncrementalMS, +1)
+	}
+	if len(base.SummarySweep) > 0 && len(fresh.SummarySweep) > 0 {
+		ob, nb := base.SummarySweep[len(base.SummarySweep)-1], fresh.SummarySweep[len(fresh.SummarySweep)-1]
+		if ob.TraceOps == nb.TraceOps {
+			gate("summary_sweep.summarized_ms", ob.SummarizedMS, nb.SummarizedMS, +1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

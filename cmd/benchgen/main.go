@@ -2,9 +2,17 @@
 // for the paper's C subjects (Table 1 plus muh and gcc). Use it to
 // inspect the workloads or to feed blastlite/pathslice by hand.
 //
+// With -callheavy it instead emits the gcc-class summary-sweep subject
+// (bench.CallHeavySource): deep call chains invoked repeatedly from a
+// loop, the trace shape on which the frame summaries of internal/summ
+// pay off. -chains, -depth, and -bodyops shape it; feed the output to
+// `pathslice -long -summaries -trace-file t.pstrc -stream` to
+// reproduce the BENCH_PR6.json regime by hand.
+//
 // Usage:
 //
 //	benchgen [-scale f] [-list] [-o dir] [name]
+//	benchgen -callheavy [-chains n] [-depth n] [-bodyops n] [-o dir]
 package main
 
 import (
@@ -13,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"pathslice/internal/bench"
 	"pathslice/internal/synth"
 )
 
@@ -20,7 +29,26 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	list := flag.Bool("list", false, "list available benchmark names")
 	outDir := flag.String("o", "", "write <name>.mc files into this directory instead of stdout")
+	callHeavy := flag.Bool("callheavy", false, "emit the gcc-class call-heavy summary-sweep subject")
+	chains := flag.Int("chains", bench.DefaultGccConfig().Chains, "call-heavy: distinct call chains per loop iteration")
+	depth := flag.Int("depth", bench.DefaultGccConfig().Depth, "call-heavy: nested functions per chain")
+	bodyOps := flag.Int("bodyops", bench.DefaultGccConfig().BodyOps, "call-heavy: straight-line ops per leaf body")
 	flag.Parse()
+
+	if *callHeavy {
+		src := bench.CallHeavySource(bench.CallHeavyConfig{Chains: *chains, Depth: *depth, BodyOps: *bodyOps})
+		if *outDir == "" {
+			fmt.Print(src)
+			return
+		}
+		path := filepath.Join(*outDir, "callheavy.mc")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+		return
+	}
 
 	profiles := synth.PaperProfiles(*scale)
 	profiles = append(profiles, synth.MuhProfile(*scale), synth.GccProfile(*scale))

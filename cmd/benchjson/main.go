@@ -1,17 +1,21 @@
 // Command benchjson runs the scaled benchmark suite once and writes a
 // machine-readable JSON record of its wall time, per-row solver-call
 // counts, the incremental-solver counters, the early-unsat-stop
-// incremental-vs-scratch comparison, and the oracle campaign's corpus
-// statistics (pairs checked, coverage fingerprints, brute-force
-// minimal-slice agreement). It backs `make bench-json` (output:
-// BENCH_PR5.json), giving performance and test-coverage work a
-// before/after artifact that diffs more honestly than eyeballing
-// `go test -bench` output.
+// incremental-vs-scratch comparison, the gcc-class summary sweep
+// (trace length vs slice time and deterministic walked-edge counts,
+// the sublinearity series `make bench-diff` gates on), and the oracle
+// campaign's corpus statistics (pairs checked, coverage fingerprints,
+// brute-force minimal-slice agreement). It backs `make bench-json`
+// (output: BENCH_PR6.json), giving performance and test-coverage work
+// a before/after artifact that diffs more honestly than eyeballing
+// `go test -bench` output. The host fingerprint lets cmd/benchdiff
+// skip wall-time comparisons across different machines while still
+// gating the deterministic counters.
 //
 // Usage:
 //
-//	benchjson [-out BENCH_PR5.json] [-scale f] [-guards n] [-workers n]
-//	          [-oracle-seeds n]
+//	benchjson [-out BENCH_PR6.json] [-scale f] [-guards n] [-workers n]
+//	          [-oracle-seeds n] [-sweep-reps n]
 //
 // The suite is intentionally small-scale (default 0.12, the same scale
 // the root Table 1 benchmarks use): the artifact is for tracking the
@@ -24,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -57,26 +62,43 @@ type oracleRecord struct {
 }
 
 type output struct {
-	Scale            float64                     `json:"scale"`
-	SuiteWallMS      float64                     `json:"suite_wall_ms"`
-	TotalSolverCalls int64                       `json:"total_solver_calls"`
-	Rows             []rowRecord                 `json:"rows"`
-	EarlyUnsatStop   *bench.EarlyStopComparison  `json:"early_unsat_stop"`
-	SolverCounters   map[string]int64            `json:"solver_counters"`
-	Oracle           *oracleRecord               `json:"oracle"`
+	// Host identifies the machine class the timings were taken on;
+	// benchdiff compares wall-time metrics only between artifacts with
+	// equal fingerprints (deterministic counters are always compared).
+	Host             string                     `json:"host"`
+	Scale            float64                    `json:"scale"`
+	SuiteWallMS      float64                    `json:"suite_wall_ms"`
+	TotalSolverCalls int64                      `json:"total_solver_calls"`
+	Rows             []rowRecord                `json:"rows"`
+	EarlyUnsatStop   *bench.EarlyStopComparison `json:"early_unsat_stop"`
+	// SummarySweep is the gcc-class doubling series (10k/20k/40k trace
+	// ops): per-row wall times, summary hit/miss counts, streamed peak
+	// resident frames, and the walked-edge counts whose per-doubling
+	// growth benchdiff requires to stay sublinear.
+	SummarySweep   []bench.SummarySweepRow `json:"summary_sweep"`
+	SolverCounters map[string]int64        `json:"solver_counters"`
+	Oracle         *oracleRecord           `json:"oracle"`
+}
+
+// hostFingerprint is intentionally coarse: same OS, architecture, CPU
+// count, and Go release means timings are roughly comparable.
+func hostFingerprint() string {
+	return fmt.Sprintf("%s/%s/%dcpu/%s", runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.Version())
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output path")
+	out := flag.String("out", "BENCH_PR6.json", "output path")
 	scale := flag.Float64("scale", 0.12, "workload scale for the Table 1 profiles")
 	guards := flag.Int("guards", 300, "guard-chain length for the early-unsat-stop comparison")
 	workers := flag.Int("workers", 1, "parallel cluster checks (1 keeps timings comparable)")
 	oracleSeeds := flag.Int("oracle-seeds", 140, "oracle campaign size (0 skips the campaign)")
+	sweepReps := flag.Int("sweep-reps", 5, "timed repetitions per summary-sweep point (best is kept)")
 	flag.Parse()
 
 	obs.Default().SetEnabled(true)
 
 	var o output
+	o.Host = hostFingerprint()
 	o.Scale = *scale
 	t0 := time.Now()
 	for _, p := range synth.PaperProfiles(*scale) {
@@ -109,6 +131,13 @@ func main() {
 	}
 	o.EarlyUnsatStop = cmpRes
 
+	// The gcc-class doubling series: unrollings chosen so the traces
+	// land near 10k, 20k, and 40k operations with DefaultGccConfig.
+	o.SummarySweep, err = bench.SummarySweep(bench.DefaultGccConfig(), []int{43, 86, 172}, *sweepReps)
+	if err != nil {
+		fatal(err)
+	}
+
 	o.SolverCounters = make(map[string]int64)
 	for _, c := range obs.Default().Snapshot().Counters {
 		if strings.HasPrefix(c.Name, "smt_") {
@@ -140,6 +169,9 @@ func main() {
 	}
 	fmt.Printf("wrote %s: suite %.0fms, %d solver calls, early-stop speedup %.1fx (%d checks)\n",
 		*out, o.SuiteWallMS, o.TotalSolverCalls, cmpRes.Speedup, cmpRes.SolverChecks)
+	last := o.SummarySweep[len(o.SummarySweep)-1]
+	fmt.Printf("  summary sweep: %d-op trace walked %d edges summarized (vs %d plain), %.1fx wall speedup\n",
+		last.TraceOps, last.SummarizedWalked, last.BaselineWalked, last.Speedup)
 	if o.Oracle != nil {
 		fmt.Printf("  %s\n", o.Oracle.Summary())
 	}

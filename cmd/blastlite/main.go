@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	blastlite [-noslice] [-dfs] [-file-property] [-maxwork n] [-workers n]
-//	          [-deadline d] [-fault-* ...] [-trace-out f] [-metrics-addr a]
-//	          [-v] file.mc
+//	blastlite [-noslice] [-summaries] [-trace-file f] [-dfs]
+//	          [-file-property] [-maxwork n] [-workers n] [-deadline d]
+//	          [-fault-* ...] [-trace-out f] [-metrics-addr a] [-v] file.mc
 //
 // With -file-property the program may call the fopen/fclose/fgets/
 // fprintf/fputs intrinsics; it is instrumented for the file-handling
@@ -34,6 +34,7 @@ import (
 	"pathslice/internal/cegar"
 	"pathslice/internal/cfa"
 	"pathslice/internal/compile"
+	"pathslice/internal/core"
 	"pathslice/internal/faults"
 	"pathslice/internal/instrument"
 	"pathslice/internal/lang/ast"
@@ -53,6 +54,8 @@ const (
 
 func main() {
 	noslice := flag.Bool("noslice", false, "disable path slicing (raw counterexample analysis)")
+	summaries := flag.Bool("summaries", false, "memoize context-keyed frame summaries in the counterexample slicer (docs/PERFORMANCE.md)")
+	traceFile := flag.String("trace-file", "", "record each feasible witness path to this binary trace file (.N suffix per extra witness)")
 	dfs := flag.Bool("dfs", false, "depth-first abstract search (long counterexamples)")
 	fileProp := flag.Bool("file-property", false, "instrument and check the file-handling property")
 	lockProp := flag.Bool("lock-property", false, "instrument and check the lock discipline property")
@@ -93,9 +96,11 @@ func main() {
 		DisableSolverCache: *noCache,
 		DisablePostMemo:    *noCache,
 		Deadline:           *deadline,
+		SlicerOpts:         core.Options{Summaries: *summaries},
 	}
 
 	var totals checkTotals
+	totals.TraceFile = *traceFile
 	if *fileProp {
 		checkProperty(string(src), opts, *verbose, &totals, instrument.Instrument)
 	} else if *lockProp {
@@ -129,6 +134,11 @@ type checkTotals struct {
 	SolverCalls int64
 	Unsafe      int64 // checks with a feasible counterexample
 	Undecided   int64 // timeout / diverged / unknown checks
+
+	// TraceFile, when set, records each feasible witness path in the
+	// binary PSTRC trace format (a .N suffix distinguishes witnesses
+	// after the first).
+	TraceFile string
 }
 
 // exitCode maps the run's verdicts to the shared exit-code scheme: a
@@ -157,6 +167,7 @@ func checkProgram(prog *cfa.Program, opts cegar.Options, verbose bool, totals *c
 		switch {
 		case r.Verdict == cegar.VerdictUnsafe:
 			totals.Unsafe++
+			recordWitness(prog, r.Witness, totals)
 		case !r.Verdict.Decided():
 			totals.Undecided++
 		}
@@ -174,6 +185,30 @@ func checkProgram(prog *cfa.Program, opts cegar.Options, verbose bool, totals *c
 				ts.TraceBlocks, ts.SliceBlocks, ts.RatioPercent())
 		}
 	}
+}
+
+// recordWitness writes a feasible witness to totals.TraceFile in the
+// PSTRC format. A sliced witness is a subsequence, not a contiguous
+// program path, so recording needs -noslice (the raw counterexample);
+// otherwise we say so instead of writing a file OpenTraceFile would
+// reject.
+func recordWitness(prog *cfa.Program, witness cfa.Path, totals *checkTotals) {
+	if totals.TraceFile == "" || len(witness) == 0 {
+		return
+	}
+	tf := totals.TraceFile
+	if totals.Unsafe > 1 {
+		tf = fmt.Sprintf("%s.%d", totals.TraceFile, totals.Unsafe-1)
+	}
+	if err := witness.Validate(prog); err != nil {
+		fmt.Fprintf(os.Stderr, "blastlite: -trace-file: witness is a slice, not a contiguous path; rerun with -noslice to record raw traces\n")
+		return
+	}
+	if err := cfa.WriteTraceFile(tf, prog, witness); err != nil {
+		fmt.Fprintf(os.Stderr, "blastlite: -trace-file: %v\n", err)
+		return
+	}
+	fmt.Printf("  witness trace recorded: %s (%d edges)\n", tf, len(witness))
 }
 
 func checkProperty(src string, opts cegar.Options, verbose bool, totals *checkTotals,

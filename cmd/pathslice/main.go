@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	pathslice [-long] [-unroll k] [-early] [-skipfns] [-deadline d]
-//	          [-fault-* ...] [-trace-out f] [-metrics-addr a] [-v] file.mc
+//	pathslice [-long] [-unroll k] [-early] [-skipfns] [-summaries]
+//	          [-trace-file f [-stream]] [-deadline d] [-fault-* ...]
+//	          [-trace-out f] [-metrics-addr a] [-v] file.mc
 //
 // The candidate path is found by a data-free graph search (the kind of
 // possibly-infeasible counterexample an imprecise static analysis
@@ -14,6 +15,12 @@
 // feasibility per target — expiry degrades to a larger (still sound)
 // slice and an UNKNOWN feasibility verdict; -fault-* installs the
 // deterministic fault injector.
+//
+// Scaling (docs/PERFORMANCE.md): -summaries memoizes context-keyed
+// callee frame summaries so repeated calls cost a table lookup;
+// -trace-file records the candidate path in the binary PSTRC format,
+// and -stream slices it straight from that file with only a bounded
+// window of frames resident.
 //
 // Exit codes: 0 every analyzed slice infeasible, 1 internal error,
 // 2 usage, 3 a feasible slice was found, 4 some verdict was
@@ -53,6 +60,9 @@ func main() {
 	unroll := flag.Int("unroll", 3, "loop unrolling bound for -long")
 	early := flag.Bool("early", false, "enable the early-unsat-stop optimization (§4.2)")
 	skip := flag.Bool("skipfns", false, "enable the function-skipping optimization (§4.2; loses completeness)")
+	summaries := flag.Bool("summaries", false, "memoize context-keyed callee frame summaries (gcc-scale traces; docs/PERFORMANCE.md)")
+	traceFile := flag.String("trace-file", "", "record each candidate path to this binary trace file (.N suffix per extra target)")
+	stream := flag.Bool("stream", false, "slice by streaming from -trace-file (bounded resident frames) instead of from memory")
 	trace := flag.Bool("trace", false, "print the annotated backward pass (live sets and step locations, like Fig. 1(C))")
 	traceOut := flag.String("trace-out", "", "write a JSONL trace event log to this file (\"-\" for stderr) and print the per-phase table")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :8080)")
@@ -64,6 +74,10 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pathslice [flags] file.mc")
 		flag.Usage()
+		os.Exit(exitUsage)
+	}
+	if *stream && *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "pathslice: -stream requires -trace-file")
 		os.Exit(exitUsage)
 	}
 	if cfg := faultCfg(); cfg != nil {
@@ -91,10 +105,11 @@ func main() {
 	slicer := core.NewWithOptions(prog, core.Options{
 		EarlyUnsatStop: *early,
 		SkipFunctions:  *skip,
+		Summaries:      *summaries,
 		RecordTrace:    *trace,
 	})
 	feasible, undecided := 0, 0
-	for _, target := range locs {
+	for ti, target := range locs {
 		var path cfa.Path
 		if *long {
 			path = cfa.WalkLongPath(prog, target, *unroll, 0)
@@ -112,7 +127,34 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *deadline)
 			defer cancel()
 		}
-		res, err := slicer.SliceCtx(ctx, path)
+		var res *core.Result
+		if *traceFile != "" {
+			tf := *traceFile
+			if ti > 0 {
+				tf = fmt.Sprintf("%s.%d", *traceFile, ti)
+			}
+			if werr := cfa.WriteTraceFile(tf, prog, path); werr != nil {
+				fatal(werr)
+			}
+			if *stream {
+				r, oerr := cfa.OpenTraceFile(tf, prog)
+				if oerr != nil {
+					fatal(oerr)
+				}
+				res, err = slicer.SliceStream(ctx, r)
+				peak := r.FramesPeak()
+				if cerr := r.Close(); err == nil && cerr != nil {
+					err = cerr
+				}
+				if err == nil {
+					fmt.Printf("%s: streamed %d edges from %s, peak resident frames %d\n",
+						target, res.Stats.InputEdges, tf, peak)
+				}
+			}
+		}
+		if res == nil && err == nil {
+			res, err = slicer.SliceCtx(ctx, path)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -122,6 +164,10 @@ func main() {
 		st := res.Stats
 		fmt.Printf("%s: path %d edges (%d blocks) -> slice %d edges (%d blocks), %.2f%%\n",
 			target, st.InputEdges, st.InputBlocks, st.SliceEdges, st.SliceBlocks, 100*st.Ratio())
+		if slicer.Summ != nil {
+			fmt.Printf("  summaries: %d hits, %d misses (memo %d contexts, %d bytes)\n",
+				st.SummaryHits, st.SummaryMisses, slicer.Summ.Len(), slicer.Summ.Bytes())
+		}
 		if *verbose {
 			fmt.Printf("--- path ---\n%s--- slice ---\n%s", path, res.Slice)
 		}

@@ -8,12 +8,18 @@
 // Usage:
 //
 //	slicecheck [-seeds n] [-budget d] [-seed n] [-corpus dir]
-//	           [-unsound mode] [-v]
+//	           [-summaries] [-unsound mode] [-v]
+//
+// -summaries adds the summary-differential pillar: every pair is also
+// sliced with context-keyed frame summaries on (warm memo included)
+// and compared bit-for-bit against the plain walk, with the generator
+// biased toward call-heavy specs.
 //
 // -unsound deliberately breaks one Take rule (1 = drop guard By tests,
-// 2 = drop aliased writes, 3 = skip callee frames) to demonstrate the
-// oracle catching the regression: the run is then EXPECTED to report
-// violations and exits 0 only if it does.
+// 2 = drop aliased writes, 3 = skip callee frames, 4 = reuse frame
+// summaries across differing live contexts — implies -summaries) to
+// demonstrate the oracle catching the regression: the run is then
+// EXPECTED to report violations and exits 0 only if it does.
 //
 // Exit codes follow the repo convention: 0 clean, 3 violations found,
 // 2 usage error.
@@ -34,16 +40,22 @@ func main() {
 	budget := flag.Duration("budget", 30*time.Second, "wall-clock budget")
 	seed := flag.Int64("seed", 1, "campaign rng seed")
 	corpus := flag.String("corpus", "testdata/oracle", "regression corpus dir (seeds.txt)")
-	unsound := flag.Int("unsound", 0, "break a Take rule on purpose (1..3); expect violations")
+	summaries := flag.Bool("summaries", false, "also diff summary-on vs summary-off slices on call-heavy specs")
+	unsound := flag.Int("unsound", 0, "break a Take rule on purpose (1..4); expect violations")
 	verbose := flag.Bool("v", false, "print every violation and inconclusive count")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: slicecheck [flags]")
 		os.Exit(2)
 	}
-	if *unsound < 0 || *unsound > 3 {
-		fmt.Fprintln(os.Stderr, "slicecheck: -unsound must be 0..3")
+	if *unsound < 0 || *unsound > 4 {
+		fmt.Fprintln(os.Stderr, "slicecheck: -unsound must be 0..4")
 		os.Exit(2)
+	}
+	if core.UnsoundMode(*unsound) == core.UnsoundStaleSummaries {
+		// Stale reuse only manifests with the memo consulted, and only
+		// diverges under context-changing repeated calls.
+		*summaries = true
 	}
 
 	stats := oracle.Run(oracle.Config{
@@ -52,6 +64,8 @@ func main() {
 		Seed:      *seed,
 		CorpusDir: *corpus,
 		Unsound:   core.UnsoundMode(*unsound),
+		Summaries: *summaries,
+		CallHeavy: *summaries,
 	})
 	fmt.Println(stats.Summary())
 	if *verbose || len(stats.Violations) > 0 {

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/compile"
+	"pathslice/internal/core"
+)
+
+// Gcc-class summary sweep: the frame-summary benchmark behind
+// BenchmarkSummarizedSlice and the `summary_sweep` series of
+// BENCH_PR6.json. The subject is a program whose error trace is
+// dominated by deep, repeated call chains — the shape of the paper's
+// gcc counterexamples (§5, Figure 6), where a depth-first model
+// checker unrolls the same procedures thousands of times. A plain
+// backward walk pays the full Take evaluation on every edge of every
+// repetition; the context-keyed summaries (internal/summ) pay it once
+// per distinct (frame, projected live set) and replay the memoized
+// decisions afterwards, so doubling the trace length grows slice time
+// by well under 2x. `make bench-diff` gates on exactly that ratio.
+
+// CallHeavyConfig shapes the gcc-class subject for the summary sweep.
+type CallHeavyConfig struct {
+	// Chains is how many distinct call chains the main loop invokes
+	// per iteration. Every chain is relevant (its leaf increments the
+	// guarded variable), so every frame is entered by the backward
+	// walk rather than skipped at an untaken return.
+	Chains int
+	// Depth is the number of nested functions per chain; summaries for
+	// inner frames compose into the enclosing recording, so the hit at
+	// the chain head covers the whole subtree.
+	Depth int
+	// BodyOps is the count of straight-line noise assignments in each
+	// chain's leaf. They write a variable nothing reads, so they bulk
+	// up the frame the baseline must walk while staying out of the
+	// slice — the summarized replay cost is O(kept), not O(frame).
+	BodyOps int
+}
+
+// DefaultGccConfig is the sweep shape used by `make bench-json`:
+// roughly 330 trace operations per loop iteration, of which only ~60
+// land in the slice.
+func DefaultGccConfig() CallHeavyConfig {
+	return CallHeavyConfig{Chains: 4, Depth: 6, BodyOps: 40}
+}
+
+// CallHeavySource generates the MiniC subject. Each chain c is
+// main -> c<i>f0 -> ... -> c<i>f<Depth-1>; the leaf performs BodyOps
+// noise writes to a dead variable and one increment of the guarded
+// accumulator x. The loop bound is far above any realistic unrolling,
+// so WalkLongPath's budget k alone controls trace length.
+func CallHeavySource(cfg CallHeavyConfig) string {
+	var sb strings.Builder
+	sb.WriteString("int x;\nint noise;\n\n")
+	for c := 0; c < cfg.Chains; c++ {
+		// Leaf first: MiniC callees must be defined before use.
+		fmt.Fprintf(&sb, "void c%df%d() {\n", c, cfg.Depth-1)
+		for op := 0; op < cfg.BodyOps; op++ {
+			fmt.Fprintf(&sb, "  noise = noise + %d;\n", op+1)
+		}
+		sb.WriteString("  x = x + 1;\n}\n\n")
+		for d := cfg.Depth - 2; d >= 0; d-- {
+			fmt.Fprintf(&sb, "void c%df%d() {\n  noise = noise * 2;\n  c%df%d();\n}\n\n", c, d, c, d+1)
+		}
+	}
+	sb.WriteString("void main() {\n  x = 0;\n  noise = 0;\n  for (int i = 0; i < 1000000; i = i + 1) {\n")
+	for c := 0; c < cfg.Chains; c++ {
+		fmt.Fprintf(&sb, "    c%df0();\n", c)
+	}
+	sb.WriteString("  }\n  if (x > 1000000) {\n    error;\n  }\n}\n")
+	return sb.String()
+}
+
+// CallHeavySetup compiles the subject and returns the program plus its
+// error location (the WalkLongPath target).
+func CallHeavySetup(cfg CallHeavyConfig) (*cfa.Program, *cfa.Loc, error) {
+	prog, err := compile.Source(CallHeavySource(cfg))
+	if err != nil {
+		return nil, nil, err
+	}
+	errs := prog.ErrorLocs()
+	if len(errs) == 0 {
+		return nil, nil, fmt.Errorf("bench: call-heavy subject has no error location")
+	}
+	return prog, errs[0], nil
+}
+
+// SummarySweepRow is one trace-length point of the sweep.
+type SummarySweepRow struct {
+	Unroll     int `json:"unroll"`
+	TraceOps   int `json:"trace_ops"`
+	SliceEdges int `json:"slice_edges"`
+	// BaselineWalked/SummarizedWalked are the deterministic Take
+	// evaluation counts (core.Stats.WalkedEdges) of the two walks.
+	// The summarized series is the machine-checked sublinearity claim:
+	// cmd/benchdiff requires its per-doubling growth to stay under
+	// 1.8x, which wall time — noisy on shared hosts — could not gate
+	// reliably.
+	BaselineWalked   int     `json:"baseline_walked"`
+	SummarizedWalked int     `json:"summarized_walked"`
+	BaselineMS       float64 `json:"baseline_ms"`
+	SummarizedMS     float64 `json:"summarized_ms"`
+	Speedup          float64 `json:"speedup"`
+	SummaryHits      int     `json:"summary_hits"`
+	SummaryMisses    int     `json:"summary_misses"`
+	StreamPeakFrames int     `json:"stream_peak_frames"`
+}
+
+// SummarySweep slices one WalkLongPath trace per unrolling bound, each
+// both ways — plain walk and summarized — and reports the better of
+// reps timed runs per variant (fresh slicer each run: the memo warms
+// within a trace, not across runs, so the sublinearity shown is the
+// honest cold-slicer curve). Each trace is also round-tripped through
+// a PSTRC file and sliced with SliceStream to record the bounded
+// resident-frame peak and to cross-check that the streamed slice is
+// identical. Rows are gated by cmd/benchdiff: the per-doubling growth
+// of SummarizedWalked must stay under 1.8x.
+func SummarySweep(cfg CallHeavyConfig, unrolls []int, reps int) ([]SummarySweepRow, error) {
+	if reps <= 0 {
+		reps = 3
+	}
+	prog, target, err := CallHeavySetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "summsweep")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var rows []SummarySweepRow
+	for _, k := range unrolls {
+		path := cfa.WalkLongPath(prog, target, k, 0)
+		if path == nil {
+			return nil, fmt.Errorf("bench: no length-%d walk to the error location", k)
+		}
+		row := SummarySweepRow{Unroll: k, TraceOps: len(path)}
+
+		var base, summ *core.Result
+		row.BaselineMS, base, err = timeSlice(prog, path, core.Options{}, reps)
+		if err != nil {
+			return nil, err
+		}
+		row.SummarizedMS, summ, err = timeSlice(prog, path, core.Options{Summaries: true}, reps)
+		if err != nil {
+			return nil, err
+		}
+		if base.Stats.SliceEdges != summ.Stats.SliceEdges {
+			return nil, fmt.Errorf("bench: summarized slice diverged at k=%d: %d edges vs %d",
+				k, summ.Stats.SliceEdges, base.Stats.SliceEdges)
+		}
+		row.SliceEdges = base.Stats.SliceEdges
+		row.BaselineWalked = base.Stats.WalkedEdges
+		row.SummarizedWalked = summ.Stats.WalkedEdges
+		row.SummaryHits = summ.Stats.SummaryHits
+		row.SummaryMisses = summ.Stats.SummaryMisses
+		if row.SummarizedMS > 0 {
+			row.Speedup = row.BaselineMS / row.SummarizedMS
+		}
+
+		traceFile := filepath.Join(dir, fmt.Sprintf("k%d.pstrc", k))
+		if err := cfa.WriteTraceFile(traceFile, prog, path); err != nil {
+			return nil, err
+		}
+		r, err := cfa.OpenTraceFile(traceFile, prog)
+		if err != nil {
+			return nil, err
+		}
+		streamed, err := core.NewWithOptions(prog, core.Options{Summaries: true}).SliceStream(context.Background(), r)
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		if streamed.Stats.SliceEdges != base.Stats.SliceEdges {
+			return nil, fmt.Errorf("bench: streamed slice diverged at k=%d: %d edges vs %d",
+				k, streamed.Stats.SliceEdges, base.Stats.SliceEdges)
+		}
+		row.StreamPeakFrames = r.FramesPeak()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// timeSlice runs reps cold slices of path under opts and returns the
+// fastest wall time in milliseconds plus the (identical) last result.
+func timeSlice(prog *cfa.Program, path cfa.Path, opts core.Options, reps int) (float64, *core.Result, error) {
+	best := time.Duration(1<<63 - 1)
+	var res *core.Result
+	for i := 0; i < reps; i++ {
+		slicer := core.NewWithOptions(prog, opts)
+		t0 := time.Now()
+		r, err := slicer.Slice(path)
+		d := time.Since(t0)
+		if err != nil {
+			return 0, nil, err
+		}
+		if d < best {
+			best = d
+		}
+		res = r
+	}
+	return float64(best.Microseconds()) / 1000, res, nil
+}
+
+// RenderSummarySweep formats the sweep as an aligned table for
+// EXPERIMENTS.md and the experiments command.
+func RenderSummarySweep(rows []SummarySweepRow) string {
+	var sb strings.Builder
+	sb.WriteString("trace_ops  slice  walked(base)  walked(summ)  baseline_ms  summarized_ms  speedup  hits   misses  peak_frames\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%9d  %5d  %12d  %12d  %11.2f  %13.2f  %6.1fx  %5d  %6d  %11d\n",
+			r.TraceOps, r.SliceEdges, r.BaselineWalked, r.SummarizedWalked,
+			r.BaselineMS, r.SummarizedMS, r.Speedup,
+			r.SummaryHits, r.SummaryMisses, r.StreamPeakFrames)
+	}
+	return sb.String()
+}

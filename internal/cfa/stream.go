@@ -1,0 +1,405 @@
+// Streaming trace ingestion: a compact binary on-disk format for
+// program paths and a random-access reader that keeps only a bounded
+// window of trace frames resident.
+//
+// A path over a known Program is fully determined by its edge-ID
+// sequence, so the trace file is a fixed-size-record stream:
+//
+//	offset 0   8 bytes  magic "PSTRC01\n"
+//	offset 8   8 bytes  program fingerprint (little-endian uint64)
+//	offset 16  4 bytes  per edge: program edge ID (little-endian uint32)
+//
+// Fixed records make the i-th edge seekable without an index, which is
+// what the backward slicing walk needs: it reads the file mostly
+// back-to-front, with occasional forward jumps at frame skips, and a
+// final forward pass that re-reads only the kept edges. PathReader
+// serves that access pattern from a small LRU of decoded blocks, so
+// peak resident trace frames are O(window), independent of trace
+// length (the `slice_stream_frames_peak` gauge records the high-water
+// mark; see docs/OBSERVABILITY.md).
+//
+// Robustness contract (docs/ROBUSTNESS.md): every malformed input —
+// bad magic, program mismatch, truncated record, unknown edge ID, or a
+// sequence that is not a well-formed program path — surfaces as a
+// typed *TraceFormatError from OpenTraceFile, never as a panic.
+// OpenTraceFile validates the whole file in one forward pass (the same
+// checks as Path.Validate) and builds the §4 call-structure index, so
+// a successfully opened reader hands the slicer a known-good path.
+
+package cfa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"pathslice/internal/obs"
+)
+
+const (
+	traceMagic      = "PSTRC01\n"
+	traceHeaderSize = 16
+	traceRecordSize = 4
+
+	// streamBlockEdges is the decode granularity (4 KiB reads);
+	// streamCacheBlocks caps the resident window. Peak frames =
+	// streamBlockEdges * streamCacheBlocks regardless of trace length.
+	streamBlockEdges  = 1024
+	streamCacheBlocks = 4
+)
+
+// mStreamFramesPeak is the high-water mark of trace frames resident in
+// PathReader block caches (docs/OBSERVABILITY.md).
+var mStreamFramesPeak = obs.Default().Gauge("slice_stream_frames_peak")
+
+// TraceFormatError reports a malformed or mismatched trace file.
+type TraceFormatError struct {
+	Path   string // file path, when known
+	Offset int64  // byte offset of the problem, -1 when structural
+	Msg    string
+}
+
+func (e *TraceFormatError) Error() string {
+	where := e.Path
+	if where == "" {
+		where = "trace"
+	}
+	if e.Offset >= 0 {
+		return fmt.Sprintf("cfa: %s: offset %d: %s", where, e.Offset, e.Msg)
+	}
+	return fmt.Sprintf("cfa: %s: %s", where, e.Msg)
+}
+
+// ProgramFingerprint hashes the program's shape (function order, edge
+// and location counts, per-edge endpoints and operation kinds) so a
+// trace file recorded against one program is rejected when replayed
+// against another.
+func ProgramFingerprint(prog *Program) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0x100000001b3
+	}
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			mix(uint64(s[i]))
+		}
+		mix(0x1f)
+	}
+	mix(uint64(prog.NumLocs()))
+	mix(uint64(prog.NumEdges()))
+	for _, name := range prog.Order {
+		mixStr(name)
+		for _, e := range prog.Funcs[name].Edges {
+			mix(uint64(e.ID)<<32 | uint64(uint32(e.Src.ID)))
+			mix(uint64(uint32(e.Dst.ID))<<8 | uint64(e.Op.Kind))
+		}
+	}
+	return h
+}
+
+// edgeTable returns the program's edges indexed by global edge ID.
+func edgeTable(prog *Program) []*Edge {
+	tbl := make([]*Edge, prog.NumEdges())
+	for _, fn := range prog.Funcs {
+		for _, e := range fn.Edges {
+			if e.ID >= 0 && e.ID < len(tbl) {
+				tbl[e.ID] = e
+			}
+		}
+	}
+	return tbl
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+// TraceWriter streams path edges into the binary trace format.
+type TraceWriter struct {
+	w *bufio.Writer
+	n int
+}
+
+// NewTraceWriter writes the header for prog and returns a writer ready
+// to Append edges.
+func NewTraceWriter(w io.Writer, prog *Program) (*TraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	var fp [8]byte
+	binary.LittleEndian.PutUint64(fp[:], ProgramFingerprint(prog))
+	if _, err := bw.Write(fp[:]); err != nil {
+		return nil, err
+	}
+	return &TraceWriter{w: bw}, nil
+}
+
+// Append writes one edge record.
+func (tw *TraceWriter) Append(e *Edge) error {
+	var rec [traceRecordSize]byte
+	binary.LittleEndian.PutUint32(rec[:], uint32(e.ID))
+	if _, err := tw.w.Write(rec[:]); err != nil {
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Len returns the number of edges appended so far.
+func (tw *TraceWriter) Len() int { return tw.n }
+
+// Flush drains buffered records to the underlying writer.
+func (tw *TraceWriter) Flush() error { return tw.w.Flush() }
+
+// WriteTraceFile writes the whole path to a trace file at name.
+func WriteTraceFile(name string, prog *Program, p Path) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	tw, err := NewTraceWriter(f, prog)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for _, e := range p {
+		if err := tw.Append(e); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+// PathReader is a random-access view of a trace file that keeps only a
+// bounded window of frames decoded. It implements core.PathSource. Not
+// safe for concurrent use; each slicing goroutine opens its own.
+type PathReader struct {
+	f       *os.File
+	name    string
+	prog    *Program
+	edges   []*Edge // by global edge ID
+	n       int
+	callIdx []int32
+
+	blocks     [streamCacheBlocks]streamBlock
+	clock      uint64 // LRU tick
+	frames     int    // decoded records currently resident
+	framesPeak int
+	err        error
+}
+
+type streamBlock struct {
+	idx  int // block number, -1 when empty
+	used uint64
+	ids  []uint32
+}
+
+// OpenTraceFile opens, fully validates, and indexes a trace file for
+// prog. The validation pass streams: it holds O(1) frames plus the §4
+// call-index array (4 bytes per edge — structure metadata, not trace
+// frames). Any malformation yields a *TraceFormatError.
+func OpenTraceFile(name string, prog *Program) (*PathReader, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newPathReader(f, name, prog)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func newPathReader(f *os.File, name string, prog *Program) (*PathReader, error) {
+	badf := func(off int64, format string, args ...any) error {
+		return &TraceFormatError{Path: name, Offset: off, Msg: fmt.Sprintf(format, args...)}
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < traceHeaderSize {
+		return nil, badf(size, "truncated header: %d bytes, want %d", size, traceHeaderSize)
+	}
+	var hdr [traceHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, err
+	}
+	if string(hdr[:8]) != traceMagic {
+		return nil, badf(0, "bad magic %q", hdr[:8])
+	}
+	if fp := binary.LittleEndian.Uint64(hdr[8:]); fp != ProgramFingerprint(prog) {
+		return nil, badf(8, "trace was recorded against a different program (fingerprint %#x)", fp)
+	}
+	body := size - traceHeaderSize
+	if body%traceRecordSize != 0 {
+		return nil, badf(size, "truncated record: %d trailing bytes", body%traceRecordSize)
+	}
+	n := int(body / traceRecordSize)
+	if n == 0 {
+		return nil, badf(-1, "empty path")
+	}
+
+	r := &PathReader{f: f, name: name, prog: prog, edges: edgeTable(prog), n: n}
+	for i := range r.blocks {
+		r.blocks[i].idx = -1
+	}
+
+	// Forward validation pass: decode each record once, check the path
+	// is well-formed (the same invariants as Path.Validate), and build
+	// the call-structure index. Only the previous edge and the open
+	// call stack stay resident; the stack carries each call edge's
+	// resume location so return checking never needs random access.
+	r.callIdx = make([]int32, n)
+	br := bufio.NewReaderSize(f, 32*1024)
+	var prev *Edge
+	type openCall struct {
+		idx    int32
+		resume *Loc // the call edge's Dst: where the matching return resumes
+	}
+	var stack []openCall
+	var pendingResume *Loc   // set when a return edge pops its frame
+	var pendingCallIdx int32 // the popped frame's enclosing call index
+	var rec [traceRecordSize]byte
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, badf(traceHeaderSize+int64(i)*traceRecordSize, "read: %v", err)
+		}
+		id := binary.LittleEndian.Uint32(rec[:])
+		if int(id) >= len(r.edges) || r.edges[id] == nil {
+			return nil, badf(traceHeaderSize+int64(i)*traceRecordSize, "edge %d: unknown edge ID %d", i, id)
+		}
+		e := r.edges[id]
+		if i == 0 {
+			r.callIdx[0] = -1
+		} else {
+			switch prev.Op.Kind {
+			case OpCall:
+				callee := prog.Funcs[prev.Op.Callee]
+				if callee == nil {
+					return nil, badf(-1, "edge %d calls unknown function %s", i-1, prev.Op.Callee)
+				}
+				if e.Src != callee.Entry {
+					return nil, badf(-1, "edge %d after call to %s starts at %s, want entry %s",
+						i, prev.Op.Callee, e.Src, callee.Entry)
+				}
+				r.callIdx[i] = int32(i - 1)
+			case OpReturn:
+				if e.Src != pendingResume {
+					return nil, badf(-1, "edge %d after return resumes at %s, want %s",
+						i, e.Src, pendingResume)
+				}
+				r.callIdx[i] = pendingCallIdx
+			default:
+				if e.Src != prev.Dst {
+					return nil, badf(-1, "edge %d source %s does not follow edge %d target %s",
+						i, e.Src, i-1, prev.Dst)
+				}
+				r.callIdx[i] = r.callIdx[i-1]
+			}
+		}
+		switch e.Op.Kind {
+		case OpCall:
+			stack = append(stack, openCall{idx: int32(i), resume: e.Dst})
+		case OpReturn:
+			if len(stack) == 0 {
+				return nil, badf(-1, "edge %d returns from the outermost frame", i)
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			pendingResume = top.resume
+			pendingCallIdx = r.callIdx[top.idx]
+		}
+		prev = e
+	}
+	return r, nil
+}
+
+// Len returns the path length in edges.
+func (r *PathReader) Len() int { return r.n }
+
+// CallIdx returns the §4 call-structure index for edge i (the index of
+// the call edge opening edge i's frame, or -1 in the outermost frame).
+func (r *PathReader) CallIdx(i int) int { return int(r.callIdx[i]) }
+
+// Err returns the sticky read error, set when Edge returned nil.
+func (r *PathReader) Err() error { return r.err }
+
+// FramesPeak returns the high-water mark of resident decoded frames.
+func (r *PathReader) FramesPeak() int { return r.framesPeak }
+
+// Edge returns the i-th path edge, decoding through the bounded block
+// cache. On an I/O failure it returns nil and records the error in
+// Err (OpenTraceFile has already proven the file well-formed, so this
+// only trips when the file changes or vanishes underneath us).
+func (r *PathReader) Edge(i int) *Edge {
+	if i < 0 || i >= r.n {
+		r.err = &TraceFormatError{Path: r.name, Offset: -1, Msg: fmt.Sprintf("edge index %d out of range [0,%d)", i, r.n)}
+		return nil
+	}
+	blk := i / streamBlockEdges
+	b := r.block(blk)
+	if b == nil {
+		return nil
+	}
+	return r.edges[b.ids[i-blk*streamBlockEdges]]
+}
+
+func (r *PathReader) block(blk int) *streamBlock {
+	r.clock++
+	var victim *streamBlock
+	for bi := range r.blocks {
+		b := &r.blocks[bi]
+		if b.idx == blk {
+			b.used = r.clock
+			return b
+		}
+		if victim == nil || b.used < victim.used {
+			victim = b
+		}
+	}
+	// Miss: evict the least-recently-used block and load.
+	lo := blk * streamBlockEdges
+	count := r.n - lo
+	if count > streamBlockEdges {
+		count = streamBlockEdges
+	}
+	buf := make([]byte, count*traceRecordSize)
+	if _, err := r.f.ReadAt(buf, traceHeaderSize+int64(lo)*traceRecordSize); err != nil {
+		r.err = &TraceFormatError{Path: r.name, Offset: traceHeaderSize + int64(lo)*traceRecordSize,
+			Msg: fmt.Sprintf("read block %d: %v", blk, err)}
+		return nil
+	}
+	r.frames -= len(victim.ids)
+	if cap(victim.ids) < count {
+		victim.ids = make([]uint32, count)
+	}
+	victim.ids = victim.ids[:count]
+	for k := 0; k < count; k++ {
+		victim.ids[k] = binary.LittleEndian.Uint32(buf[k*traceRecordSize:])
+	}
+	victim.idx = blk
+	victim.used = r.clock
+	r.frames += count
+	if r.frames > r.framesPeak {
+		r.framesPeak = r.frames
+		mStreamFramesPeak.SetMax(int64(r.framesPeak))
+	}
+	return victim
+}
+
+// Close releases the underlying file.
+func (r *PathReader) Close() error { return r.f.Close() }

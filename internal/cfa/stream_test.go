@@ -1,0 +1,222 @@
+package cfa_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/compile"
+)
+
+const streamProg = `
+int g;
+void helper() {
+  g = g + 1;
+}
+void main() {
+  for (int i = 0; i < 10; i = i + 1) {
+    helper();
+  }
+  if (g == 0) { error; }
+}
+`
+
+func streamFixture(t *testing.T) (*cfa.Program, cfa.Path, string) {
+	t.Helper()
+	prog := compile.MustSource(streamProg)
+	p := cfa.FindPathToError(prog, cfa.FindOptions{PreferLong: true, MaxEdgeUses: 2})
+	if p == nil {
+		t.Fatal("no path to error")
+	}
+	file := filepath.Join(t.TempDir(), "trace.pstrc")
+	if err := cfa.WriteTraceFile(file, prog, p); err != nil {
+		t.Fatal(err)
+	}
+	return prog, p, file
+}
+
+func TestTraceRoundtrip(t *testing.T) {
+	prog, p, file := streamFixture(t)
+	r, err := cfa.OpenTraceFile(file, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != len(p) {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(p))
+	}
+	want := p.CallIdx()
+	// Read backward, the slicer's access pattern.
+	for i := r.Len() - 1; i >= 0; i-- {
+		e := r.Edge(i)
+		if e == nil {
+			t.Fatalf("Edge(%d) failed: %v", i, r.Err())
+		}
+		if e != p[i] {
+			t.Fatalf("Edge(%d) = %v, want %v", i, e, p[i])
+		}
+		if r.CallIdx(i) != want[i] {
+			t.Fatalf("CallIdx(%d) = %d, want %d", i, r.CallIdx(i), want[i])
+		}
+	}
+	if r.FramesPeak() == 0 || r.FramesPeak() > r.Len() {
+		t.Fatalf("FramesPeak = %d out of range", r.FramesPeak())
+	}
+}
+
+// TestTraceLongPathBoundedWindow: on a trace spanning many cache
+// blocks, the resident window must stay at the cache bound while the
+// whole path remains readable.
+func TestTraceLongPathBoundedWindow(t *testing.T) {
+	prog := compile.MustSource(streamProg)
+	target := prog.ErrorLocs()[0]
+	p := cfa.WalkLongPath(prog, target, 1200, 0)
+	if p == nil {
+		t.Fatal("walker stuck")
+	}
+	if len(p) < 5000 {
+		t.Fatalf("want a multi-block path, got %d edges", len(p))
+	}
+	file := filepath.Join(t.TempDir(), "long.pstrc")
+	if err := cfa.WriteTraceFile(file, prog, p); err != nil {
+		t.Fatal(err)
+	}
+	r, err := cfa.OpenTraceFile(file, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := r.Len() - 1; i >= 0; i-- {
+		if r.Edge(i) != p[i] {
+			t.Fatalf("Edge(%d) mismatch (err %v)", i, r.Err())
+		}
+	}
+	// 4 blocks × 1024 edges is the documented bound.
+	if peak := r.FramesPeak(); peak > 4096 {
+		t.Fatalf("FramesPeak = %d, want ≤ 4096 despite %d-edge trace", peak, len(p))
+	}
+}
+
+// corrupt writes a mutated copy of the fixture file and reports the
+// typed error OpenTraceFile yields for it.
+func corrupt(t *testing.T, file string, mutate func([]byte) []byte) error {
+	t.Helper()
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "corrupt.pstrc")
+	if err := os.WriteFile(out, mutate(append([]byte(nil), raw...)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog := compile.MustSource(streamProg)
+	r, err := cfa.OpenTraceFile(out, prog)
+	if r != nil {
+		r.Close()
+		t.Fatal("corrupt file must not open")
+	}
+	return err
+}
+
+func wantFormatError(t *testing.T, name string, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: want error, got nil", name)
+	}
+	var fe *cfa.TraceFormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("%s: want *cfa.TraceFormatError, got %T: %v", name, err, err)
+	}
+	if fe.Error() == "" {
+		t.Fatalf("%s: empty error message", name)
+	}
+}
+
+// TestTraceCorruptionTypedErrors: every malformation class must yield
+// a *TraceFormatError from OpenTraceFile, never a panic or a reader.
+func TestTraceCorruptionTypedErrors(t *testing.T) {
+	_, _, file := streamFixture(t)
+	cases := map[string]func([]byte) []byte{
+		"truncated header": func(b []byte) []byte { return b[:10] },
+		"bad magic":        func(b []byte) []byte { b[0] = 'X'; return b },
+		"wrong program": func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:], 0xdeadbeef)
+			return b
+		},
+		"truncated record": func(b []byte) []byte { return b[:len(b)-2] },
+		"empty path":       func(b []byte) []byte { return b[:16] },
+		"unknown edge ID": func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:], 0xffff)
+			return b
+		},
+		"broken adjacency": func(b []byte) []byte {
+			// Swap two interior records: the edge sequence stops being a
+			// connected path.
+			copy(b[24:28], b[20:24])
+			return b
+		},
+	}
+	for name, mutate := range cases {
+		wantFormatError(t, name, corrupt(t, file, mutate))
+	}
+}
+
+// TestTraceWrongProgramRejected: a structurally different program has
+// a different fingerprint.
+func TestTraceWrongProgramRejected(t *testing.T) {
+	_, _, file := streamFixture(t)
+	other := compile.MustSource(`int z; void main() { if (z == 0) { error; } }`)
+	r, err := cfa.OpenTraceFile(file, other)
+	if r != nil {
+		r.Close()
+		t.Fatal("trace must not open against a different program")
+	}
+	wantFormatError(t, "wrong program", err)
+}
+
+func TestTraceMissingFile(t *testing.T) {
+	prog := compile.MustSource(streamProg)
+	if _, err := cfa.OpenTraceFile(filepath.Join(t.TempDir(), "nope.pstrc"), prog); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// TestTraceWriterIncremental exercises the streaming writer the way a
+// model checker would use it: append edges one at a time, then replay.
+func TestTraceWriterIncremental(t *testing.T) {
+	prog, p, _ := streamFixture(t)
+	file := filepath.Join(t.TempDir(), "incr.pstrc")
+	f, err := os.Create(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := cfa.NewTraceWriter(f, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range p {
+		if err := tw.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tw.Len() != len(p) {
+		t.Fatalf("Len = %d, want %d", tw.Len(), len(p))
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := cfa.OpenTraceFile(file, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != len(p) {
+		t.Fatalf("reopened Len = %d, want %d", r.Len(), len(p))
+	}
+}

@@ -2,7 +2,7 @@
 // runs every oracle pillar over the resulting program/trace pairs, and
 // feeds specs that exercised new slicer behavior back into the queue as
 // mutation candidates. Coverage is fingerprinted from the slicer's
-// Stats plus which smt_/pathslice_ obs counters each pair moved — cheap,
+// Stats plus which smt_/pathslice_/summ_ obs counters each pair moved — cheap,
 // deterministic, and sensitive to exactly the branches (early-stop,
 // degradation, frame skips, solver case splits) the oracle wants the
 // corpus to reach.
@@ -44,6 +44,15 @@ type Config struct {
 	// Unsound injects a deliberately broken Take rule — the oracle's
 	// self-test that it would catch a real regression.
 	Unsound core.UnsoundMode
+	// Summaries adds the summary-differential pillar: every pair is
+	// also sliced with context-keyed frame summaries on, and any
+	// observable divergence from the plain walk is a violation. With
+	// Unsound == core.UnsoundStaleSummaries this is the pillar that
+	// must catch the planted stale-reuse bug.
+	Summaries bool
+	// CallHeavy biases generated specs toward deep, repeated call
+	// chains (CallHeavySpec), the regime the summaries target.
+	CallHeavy bool
 	// CorpusDir, when set, loads regression specs from
 	// <CorpusDir>/seeds.txt ahead of the starter corpus.
 	CorpusDir string
@@ -131,9 +140,12 @@ func Run(cfg Config) *Stats {
 			break
 		}
 		var spec SeedSpec
-		if len(queue) > 0 {
+		switch {
+		case len(queue) > 0:
 			spec, queue = queue[0], queue[1:]
-		} else {
+		case cfg.CallHeavy:
+			spec = CallHeavySpec(rng)
+		default:
 			spec = RandomSpec(rng)
 		}
 		stats.Seeds++
@@ -164,8 +176,15 @@ func runSpec(spec SeedSpec, cfg Config, stats *Stats, fingerprints map[string]bo
 	}
 	stats.Programs++
 
-	short := cfa.FindPathToError(prog, cfa.FindOptions{})
-	long := cfa.FindPathToError(prog, cfa.FindOptions{PreferLong: true, MaxLen: 600})
+	// Repeated chain invocations reuse the callee's body edges once per
+	// call, so the edge-use budget must cover every repeat (the default
+	// of 2 otherwise makes call-heavy targets unreachable in the graph).
+	uses := 0 // 0 = the finder's default
+	if spec.CallRepeat > 0 {
+		uses = spec.CallRepeat + 2
+	}
+	short := cfa.FindPathToError(prog, cfa.FindOptions{MaxEdgeUses: uses})
+	long := cfa.FindPathToError(prog, cfa.FindOptions{PreferLong: true, MaxLen: 600, MaxEdgeUses: uses})
 	if short == nil {
 		stats.Violations = append(stats.Violations, Violation{
 			Kind: "generator", Detail: "no path to the error location", Spec: SpecString(spec),
@@ -194,6 +213,13 @@ func runSpec(spec SeedSpec, cfg Config, stats *Stats, fingerprints map[string]bo
 			for _, v := range rep.Violations {
 				v.Spec = SpecString(spec)
 				stats.Violations = append(stats.Violations, v)
+			}
+			if cfg.Summaries {
+				stats.Pairs++
+				for _, v := range CheckSummaryDiff(prog, path, sopts) {
+					v.Spec = SpecString(spec)
+					stats.Violations = append(stats.Violations, v)
+				}
 			}
 			fp := fingerprint(rep, before)
 			if !fingerprints[fp] {
@@ -264,7 +290,7 @@ func counterSnapshot() map[string]int64 {
 	snap := obs.Default().Snapshot()
 	out := make(map[string]int64, len(snap.Counters))
 	for _, c := range snap.Counters {
-		if strings.HasPrefix(c.Name, "smt_") || strings.HasPrefix(c.Name, "pathslice_") {
+		if strings.HasPrefix(c.Name, "smt_") || strings.HasPrefix(c.Name, "pathslice_") || strings.HasPrefix(c.Name, "summ_") {
 			out[c.Name] = c.Value
 		}
 	}

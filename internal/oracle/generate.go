@@ -49,6 +49,17 @@ type SeedSpec struct {
 	ErrVar   int   // global compared at the error site
 	ErrCmp   int64 // the comparison constant
 	Junk     int   // junk statements in the prologue (0..2)
+	// CallDepth/CallRepeat shape the gcc-class call structure the frame
+	// summaries target: a chain of CallDepth nested procedures whose
+	// deepest member writes the error variable plus one other global,
+	// invoked CallRepeat times from main with a liveness-changing write
+	// between repeats. The repeats make the backward walk meet the same
+	// frame segment several times; the interleaved write splits those
+	// meetings across different projected live sets, which is exactly
+	// the distinction a stale summary reuse (core.UnsoundStaleSummaries)
+	// erases. Both zero renders the pre-knob program byte-identically.
+	CallDepth  int // nested call chain depth (0..3)
+	CallRepeat int // repeated chain invocations in main (0..4)
 }
 
 // normalize clamps every field into its valid range; mutation and
@@ -91,6 +102,16 @@ func (s SeedSpec) normalize() SeedSpec {
 		s.ErrCmp = s.ErrCmp % 10
 	}
 	s.Junk = clamp(s.Junk, 0, 2)
+	s.CallDepth = clamp(s.CallDepth, 0, 3)
+	s.CallRepeat = clamp(s.CallRepeat, 0, 4)
+	// The knobs only mean something together: a chain nobody calls (or
+	// calls without a chain) normalizes to the minimal call-heavy shape.
+	if s.CallDepth == 0 && s.CallRepeat > 0 {
+		s.CallDepth = 1
+	}
+	if s.CallDepth > 0 && s.CallRepeat == 0 {
+		s.CallRepeat = 1
+	}
 	return s
 }
 
@@ -99,6 +120,8 @@ func (s SeedSpec) normalize() SeedSpec {
 func (s SeedSpec) tiny() SeedSpec {
 	s.LoopShape = 0
 	s.CalleeShape = 0
+	s.CallDepth = 0
+	s.CallRepeat = 0
 	s.Guards = min(s.Guards, 1)
 	s.Junk = 0
 	s.NVars = min(s.NVars, 3)
@@ -122,6 +145,7 @@ func SpecString(s SeedSpec) string {
 		"loopbound": int64(s.LoopBound), "guards": int64(s.Guards),
 		"guardvar": int64(s.GuardVar), "guardsat": 0,
 		"errvar": int64(s.ErrVar), "errcmp": s.ErrCmp, "junk": int64(s.Junk),
+		"calldepth": int64(s.CallDepth), "callrepeat": int64(s.CallRepeat),
 	}
 	if s.GuardSat {
 		kv["guardsat"] = 1
@@ -181,6 +205,10 @@ func ParseSpec(line string) (SeedSpec, error) {
 			s.ErrCmp = n
 		case "junk":
 			s.Junk = int(n)
+		case "calldepth":
+			s.CallDepth = int(n)
+		case "callrepeat":
+			s.CallRepeat = int(n)
 		default:
 			return s, fmt.Errorf("oracle: unknown spec key %q", k)
 		}
@@ -205,14 +233,33 @@ func RandomSpec(rng *rand.Rand) SeedSpec {
 		ErrVar:      rng.Intn(4),
 		ErrCmp:      int64(rng.Intn(7)),
 		Junk:        rng.Intn(3),
+		CallDepth:   rng.Intn(3),
+		CallRepeat:  rng.Intn(4),
 	}.normalize()
+}
+
+// CallHeavySpec draws a spec biased toward the gcc-class call regime:
+// the chain knobs are always on and deep, so every pair exercises
+// repeated frame segments — the inputs the summary memo (and its
+// planted stale-reuse bug) live on.
+func CallHeavySpec(rng *rand.Rand) SeedSpec {
+	s := RandomSpec(rng)
+	s.CallDepth = 1 + rng.Intn(3)
+	s.CallRepeat = 2 + rng.Intn(3)
+	if rng.Intn(2) == 0 {
+		s.CalleeShape = 1 + rng.Intn(3)
+	}
+	if s.Guards == 0 {
+		s.Guards = 1 // a guard var distinct from ErrVar splits live contexts
+	}
+	return s.normalize()
 }
 
 // Mutate tweaks 1-2 fields of a spec that hit new coverage, steering
 // the corpus toward unexplored slicer behavior.
 func Mutate(s SeedSpec, rng *rand.Rand) SeedSpec {
 	for n := 1 + rng.Intn(2); n > 0; n-- {
-		switch rng.Intn(10) {
+		switch rng.Intn(12) {
 		case 0:
 			s.Seed = rng.Int63n(1 << 30)
 		case 1:
@@ -231,8 +278,12 @@ func Mutate(s SeedSpec, rng *rand.Rand) SeedSpec {
 			s.ErrVar = rng.Intn(4)
 		case 8:
 			s.ErrCmp = int64(rng.Intn(7))
-		default:
+		case 9:
 			s.Junk = rng.Intn(3)
+		case 10:
+			s.CallDepth = rng.Intn(4)
+		default:
+			s.CallRepeat = rng.Intn(5)
 		}
 	}
 	return s.normalize()
@@ -307,6 +358,28 @@ func Render(s SeedSpec, opts renderOpts) string {
 			p("int %s;\n", name)
 		}
 		p("void %s() {\n  %s = %s + 1;\n}\n\n", fn("jnk"), name, name)
+	}
+
+	// The call-heavy chain (CallDepth/CallRepeat): deepest member writes
+	// the error variable plus one other global, the rest just descend.
+	// Defined deepest-first so every call refers to an earlier function.
+	// Chain literals come from their own rng stream: the metamorphic
+	// transforms (junkExtra in particular) add draws to the main stream,
+	// and chain constants are semantic — shifting them would change
+	// feasibility under a supposedly meaning-preserving transform.
+	chainRng := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
+	chain := func(i int) string { return fn(fmt.Sprintf("chain%d", i)) }
+	chainOther := s.GuardVar
+	if chainOther == s.ErrVar {
+		chainOther = (s.ErrVar + 1) % s.NVars
+	}
+	if s.CallDepth > 0 && s.CallRepeat > 0 {
+		p("void %s() {\n  %s = %s + %d;\n  %s = %s + 1;\n}\n\n",
+			chain(s.CallDepth-1), v(s.ErrVar), v(s.ErrVar), 1+chainRng.Intn(2),
+			v(chainOther), v(chainOther))
+		for i := s.CallDepth - 2; i >= 0; i-- {
+			p("void %s() {\n  %s();\n}\n\n", chain(i), chain(i+1))
+		}
 	}
 
 	p("void main() {\n")
@@ -386,6 +459,19 @@ func Render(s SeedSpec, opts renderOpts) string {
 		p("  %s();\n  %s();\n", fn("jnk"), fn("bump"))
 	}
 
+	// Repeated chain invocations. The write between repeats kills the
+	// chain's second output backward, so the same frame segment is met
+	// under different projected live sets — earlier repeats must drop
+	// the assignment to it, later ones must keep it.
+	if s.CallDepth > 0 && s.CallRepeat > 0 {
+		for r := 0; r < s.CallRepeat; r++ {
+			if r > 0 {
+				p("  %s = %d;\n", v(chainOther), chainRng.Intn(9))
+			}
+			p("  %s();\n", chain(0))
+		}
+	}
+
 	// Guard nest around the error site. Guards test globals the error
 	// comparison does not mention, so their relevance rests entirely on
 	// the By test.
@@ -442,6 +528,11 @@ func StarterSpecs() []SeedSpec {
 		// Everything at once.
 		{Seed: 71, NVars: 4, Nondets: 2, PtrShape: 1, PtrTarget: 2, CalleeShape: 3,
 			LoopShape: 1, LoopBound: 2, Guards: 2, GuardSat: true, GuardVar: 3, ErrCmp: 3, Junk: 2},
+		// Call-heavy chains: repeated frame segments under differing
+		// projected live sets — the summary memo's home turf.
+		{Seed: 81, NVars: 3, CallDepth: 1, CallRepeat: 3, Guards: 1, GuardSat: true, GuardVar: 1, ErrVar: 0, ErrCmp: 2},
+		{Seed: 82, NVars: 3, Nondets: 1, CallDepth: 2, CallRepeat: 2, Guards: 1, GuardSat: false, GuardVar: 2, ErrVar: 0, ErrCmp: 4},
+		{Seed: 83, NVars: 4, CallDepth: 3, CallRepeat: 4, CalleeShape: 3, Guards: 2, GuardSat: true, GuardVar: 3, ErrVar: 1, ErrCmp: 1, Junk: 1},
 	}
 	for i := range specs {
 		specs[i] = specs[i].normalize()

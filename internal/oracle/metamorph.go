@@ -46,12 +46,12 @@ type checkedPair struct {
 // preparePair compiles a rendered source and checks its shortest
 // error path with the replay oracle. A nil return means the variant
 // could not be prepared (counted by the caller as inconclusive).
-func preparePair(src string, sopts core.Options, copts CheckOptions) *checkedPair {
+func preparePair(src string, uses int, sopts core.Options, copts CheckOptions) *checkedPair {
 	prog, err := compile.Source(src)
 	if err != nil {
 		return nil
 	}
-	path := cfa.FindPathToError(prog, cfa.FindOptions{})
+	path := cfa.FindPathToError(prog, cfa.FindOptions{MaxEdgeUses: uses})
 	if path == nil {
 		return nil
 	}
@@ -62,7 +62,13 @@ func preparePair(src string, sopts core.Options, copts CheckOptions) *checkedPai
 // oracle on every variant, and checks the cross-variant invariants.
 func CheckMetamorphic(spec SeedSpec, sopts core.Options, copts CheckOptions) *MetamorphReport {
 	mr := &MetamorphReport{}
-	base := preparePair(Render(spec, renderOpts{}), sopts, copts)
+	// Call-heavy specs reuse callee body edges once per chain repeat;
+	// the finder's edge-use budget must cover that (see runSpec).
+	uses := 0
+	if spec.CallRepeat > 0 {
+		uses = spec.CallRepeat + 2
+	}
+	base := preparePair(Render(spec, renderOpts{}), uses, sopts, copts)
 	if base == nil {
 		mr.Inconclusive = append(mr.Inconclusive, "base variant did not prepare")
 		return mr
@@ -70,7 +76,7 @@ func CheckMetamorphic(spec SeedSpec, sopts core.Options, copts CheckOptions) *Me
 	mr.absorb(base.rep)
 
 	// Rename: identical structure, identical slice positions.
-	if ren := preparePair(Render(spec, renderOpts{rename: true}), sopts, copts); ren == nil {
+	if ren := preparePair(Render(spec, renderOpts{rename: true}), uses, sopts, copts); ren == nil {
 		mr.Inconclusive = append(mr.Inconclusive, "rename variant did not prepare")
 	} else {
 		mr.absorb(ren.rep)
@@ -87,7 +93,7 @@ func CheckMetamorphic(spec SeedSpec, sopts core.Options, copts CheckOptions) *Me
 
 	// Junk: two extra never-read writes; slice size unchanged, junk
 	// edges never taken.
-	if jnk := preparePair(Render(spec, renderOpts{junkExtra: 2}), sopts, copts); jnk == nil {
+	if jnk := preparePair(Render(spec, renderOpts{junkExtra: 2}), uses, sopts, copts); jnk == nil {
 		mr.Inconclusive = append(mr.Inconclusive, "junk variant did not prepare")
 	} else {
 		mr.absorb(jnk.rep)
@@ -112,7 +118,7 @@ func CheckMetamorphic(spec SeedSpec, sopts core.Options, copts CheckOptions) *Me
 	// Permute: only meaningful when the independent init block has at
 	// least two assignments.
 	if spec.NVars-spec.Nondets >= 2 {
-		if prm := preparePair(Render(spec, renderOpts{permute: true}), sopts, copts); prm == nil {
+		if prm := preparePair(Render(spec, renderOpts{permute: true}), uses, sopts, copts); prm == nil {
 			mr.Inconclusive = append(mr.Inconclusive, "permute variant did not prepare")
 		} else {
 			mr.absorb(prm.rep)
@@ -130,7 +136,7 @@ func CheckMetamorphic(spec SeedSpec, sopts core.Options, copts CheckOptions) *Me
 	// Unroll: semantics preserved, so zero-state target reachability
 	// must match whenever both searches are exhaustive.
 	if spec.LoopShape > 0 {
-		if unr := preparePair(Render(spec, renderOpts{unroll: true}), sopts, copts); unr == nil {
+		if unr := preparePair(Render(spec, renderOpts{unroll: true}), uses, sopts, copts); unr == nil {
 			mr.Inconclusive = append(mr.Inconclusive, "unroll variant did not prepare")
 		} else {
 			mr.absorb(unr.rep)

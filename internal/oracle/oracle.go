@@ -39,7 +39,8 @@ var (
 
 // Violation is one broken Theorem-1 implication, with enough detail to
 // reproduce it. Kind is one of: slicer-error, structural, differential,
-// soundness, model-replay, completeness, brute, metamorphic, cegar.
+// soundness, model-replay, completeness, brute, metamorphic, cegar,
+// summ-diff.
 type Violation struct {
 	Kind   string
 	Detail string

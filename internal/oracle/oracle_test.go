@@ -152,7 +152,14 @@ func TestRenderedSpecsCompile(t *testing.T) {
 			if err != nil {
 				t.Fatalf("spec %s (opts %+v) does not compile: %v\n%s", SpecString(spec), opts, err, src)
 			}
-			if cfa.FindPathToError(prog, cfa.FindOptions{}) == nil {
+			// Call-heavy specs re-enter the shared chain body CallRepeat
+			// times, which the finder's default per-edge use budget of 2
+			// cannot cover (same adjustment the campaign makes).
+			uses := 0
+			if spec.CallRepeat > 0 {
+				uses = spec.CallRepeat + 2
+			}
+			if cfa.FindPathToError(prog, cfa.FindOptions{MaxEdgeUses: uses}) == nil {
 				t.Fatalf("spec %s (opts %+v): error unreachable", SpecString(spec), opts)
 			}
 		}

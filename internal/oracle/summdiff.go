@@ -1,0 +1,93 @@
+// The summary-differential pillar: summary-on and summary-off slicing
+// must be bit-identical — same kept edges, same live set, same verdict
+// flags, same observable Stats. This is the oracle hook for the PR's
+// context-keyed frame summaries (internal/summ): the memo is a pure
+// cache, so ANY observable divergence is a bug, which makes the check
+// both cheap and maximally sensitive. The planted
+// core.UnsoundStaleSummaries mode (stale summary reuse across
+// differing live contexts) must fail exactly here.
+package oracle
+
+import (
+	"fmt"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/core"
+)
+
+// CheckSummaryDiff slices path with and without frame summaries under
+// otherwise identical options and reports every observable divergence.
+// The summarized slicer runs the path twice — the second pass hits a
+// fully warm memo, the state a long-running checker lives in.
+func CheckSummaryDiff(prog *cfa.Program, path cfa.Path, sopts core.Options) []Violation {
+	offOpts := sopts
+	offOpts.Summaries = false
+	onOpts := sopts
+	onOpts.Summaries = true
+
+	var vs []Violation
+	violate := func(format string, args ...any) {
+		vs = append(vs, Violation{Kind: "summ-diff", Detail: fmt.Sprintf(format, args...)})
+	}
+
+	off, err := core.NewWithOptions(prog, offOpts).Slice(path)
+	if err != nil {
+		violate("summary-off slicer failed: %v", err)
+		return vs
+	}
+	onSlicer := core.NewWithOptions(prog, onOpts)
+	for pass := 0; pass < 2; pass++ {
+		on, err := onSlicer.Slice(path)
+		if err != nil {
+			violate("summary-on slicer failed (pass %d): %v", pass, err)
+			return vs
+		}
+		vs = append(vs, diffResults(off, on, pass)...)
+		if len(vs) > 0 {
+			return vs // one pass of divergence detail is enough to reproduce
+		}
+	}
+	return vs
+}
+
+// diffResults compares every observable of the two walks, ignoring
+// only the summary hit/miss and walked-edge counters (which exist to
+// differ).
+func diffResults(off, on *core.Result, pass int) []Violation {
+	var vs []Violation
+	violate := func(format string, args ...any) {
+		vs = append(vs, Violation{
+			Kind:   "summ-diff",
+			Detail: fmt.Sprintf("pass %d: ", pass) + fmt.Sprintf(format, args...),
+		})
+	}
+	for i := range off.Taken {
+		if off.Taken[i] != on.Taken[i] {
+			violate("kept-edge sets diverge at path index %d: off=%v on=%v", i, off.Taken[i], on.Taken[i])
+			break
+		}
+	}
+	if off.KnownInfeasible != on.KnownInfeasible {
+		violate("KnownInfeasible diverges: off=%v on=%v", off.KnownInfeasible, on.KnownInfeasible)
+	}
+	if off.Degraded != on.Degraded {
+		violate("Degraded diverges: off=%v on=%v", off.Degraded, on.Degraded)
+	}
+	if len(off.Live) != len(on.Live) {
+		violate("final live sets diverge: off=%v on=%v", off.Live.Sorted(), on.Live.Sorted())
+	} else {
+		for l := range off.Live {
+			if !on.Live.Has(l) {
+				violate("final live set misses %v with summaries on", l)
+				break
+			}
+		}
+	}
+	a, b := off.Stats, on.Stats
+	a.SummaryHits, a.SummaryMisses, a.WalkedEdges = 0, 0, 0
+	b.SummaryHits, b.SummaryMisses, b.WalkedEdges = 0, 0, 0
+	if a != b {
+		violate("stats diverge: off=%+v on=%+v", a, b)
+	}
+	return vs
+}

@@ -1,0 +1,314 @@
+// Package summ memoizes context-keyed callee slice summaries: the
+// complete effect of running Algorithm PathSlice's backward pass over
+// one callee frame of a path (from the return edge back through the
+// matching call edge), keyed by the frame's exact edge segment and by
+// the fraction of the caller's live set the callee can actually touch.
+//
+// The motivation is the paper's Figure 6 regime (gcc-class subjects:
+// ~80k-block counterexamples over ~2000 procedures): a trace in that
+// regime calls the same procedures over and over, and the plain
+// backward walk re-runs the Take predicate — alias queries against the
+// live set, WrBt/By dataflow lookups — for every edge of every frame
+// at every call site. The decisions inside a frame, however, are a
+// pure function of (a) the frame's edge sequence and (b) the
+// projection of the live set onto the lvalues the callee's transitive
+// mod set can touch (every Take rule inside the frame tests liveness
+// only through may-alias against written lvalues, so live lvalues the
+// callee cannot touch can never change a decision — the flow-
+// insensitive pruning argument of "Data-Flow Guided Slicing"). Two
+// dynamic frames with the same segment and the same projection
+// therefore keep exactly the same edges, kill exactly the same live
+// lvalues, and add exactly the same read lvalues.
+//
+// A Table entry stores, per (segment, projected-live-set) context:
+//
+//   - the per-edge decision vector (taken / not taken / frame-skip /
+//     guard-chain-skip / skipped interior), so a hit reproduces the
+//     walk's kept-edge set and observable Stats counters bit for bit;
+//   - the net live-set transfer as a (kills, adds) pair — the backward
+//     composition of per-edge (must-write, read) updates, which is
+//     closed under out = (in \ kills) ∪ adds;
+//   - the moved-observation effects (taken-by-kind counts, skipped
+//     frames, skipped guard chains) so Result.Stats stays identical to
+//     the summary-off walk.
+//
+// Lookups verify the key exactly (edge-ID sequence and projected live
+// set are compared element-wise, not just by hash), so a 64-bit hash
+// collision can never smuggle in a wrong summary. The table is safe
+// for concurrent use by a shared core.Slicer.
+//
+// The deliberately broken StaleReuse mode drops the live-set component
+// of the key — reusing whichever context was seen first for a segment
+// regardless of what is live now. The oracle campaign must catch it
+// (see core.UnsoundStaleSummaries and docs/TESTING.md); it exists to
+// prove the differential gate has teeth, never for production use.
+package summ
+
+import (
+	"sync"
+
+	"pathslice/internal/alias"
+	"pathslice/internal/cfa"
+	"pathslice/internal/modref"
+	"pathslice/internal/obs"
+)
+
+// Registry metrics (docs/OBSERVABILITY.md). Hits/misses count lookup
+// outcomes at taken return edges; memo bytes approximates the table's
+// resident footprint so a long-running process can watch it grow.
+var (
+	mHits      = obs.Default().Counter("summ_hits_total")
+	mMisses    = obs.Default().Counter("summ_misses_total")
+	mMemoBytes = obs.Default().Gauge("summ_memo_bytes")
+)
+
+// Decision is one edge's outcome in a summarized frame walk.
+type Decision = uint8
+
+// Per-edge decision codes. The walk only ever examines a subset of a
+// frame's edges (skips jump over irrelevant regions); DecSkipped marks
+// the never-examined interiors so a replay reproduces the jumps' stat
+// counters at the exact edges where the original walk charged them.
+const (
+	// DecSkipped: interior of a frame/guard-chain skip; never examined.
+	DecSkipped Decision = iota
+	// DecNotTaken: examined by the Take predicate and dropped.
+	DecNotTaken
+	// DecTaken: kept in the slice.
+	DecTaken
+	// DecSkipFrame: an untaken return edge — the walk charged
+	// SkippedFrames here and jumped past the callee frame and its call
+	// edge.
+	DecSkipFrame
+	// DecSkipChain: a §4.2 guard-chain skip — the walk charged
+	// SkippedGuardChains here and jumped straight to the frame's call
+	// edge.
+	DecSkipChain
+)
+
+// Effects are the observable Stats deltas of one summarized frame:
+// exactly what the plain walk would have added to core.Stats while
+// processing the segment.
+type Effects struct {
+	TakenAssign, TakenAssume, TakenCall, TakenReturn int
+	SkippedFrames, SkippedGuardChains                int
+}
+
+// Summary is one memoized frame context. All fields are immutable
+// after Insert; concurrent readers share them.
+type Summary struct {
+	// Callee names the frame's procedure (the return edge's function).
+	Callee string
+	// EdgeIDs is the exact segment: program edge IDs from the call
+	// edge through the return edge, in path order.
+	EdgeIDs []int32
+	// Live is the projected live context (sorted): the caller's live
+	// lvalues that may alias the callee's transitive mod set.
+	Live []cfa.Lvalue
+	// Dec[k] is the decision for segment edge k (offset from the call
+	// edge).
+	Dec []Decision
+	// TakenOffs lists the offsets with DecTaken, in path order — the
+	// O(slice-contribution) fast-apply path.
+	TakenOffs []int32
+	// Kills and Adds are the net live-set transfer: after the frame,
+	// live = (live \ Kills) ∪ Adds.
+	Kills, Adds []cfa.Lvalue
+	// Effects are the frame's Stats deltas.
+	Effects Effects
+
+	segHash, liveHash uint64
+}
+
+// approxBytes estimates the summary's resident footprint for the
+// summ_memo_bytes gauge (slice headers + payload; lvalue strings are
+// interned program names, counted by header only).
+func (s *Summary) approxBytes() int64 {
+	const lvalSize = 24 // string header + bool, padded
+	n := int64(96)      // struct + map overhead
+	n += int64(len(s.EdgeIDs))*4 + int64(len(s.Dec)) + int64(len(s.TakenOffs))*4
+	n += int64(len(s.Live)+len(s.Kills)+len(s.Adds)) * lvalSize
+	return n
+}
+
+// Options configures a Table.
+type Options struct {
+	// StaleReuse is the planted-bug mode: lookups ignore the live
+	// context and return the first summary recorded for a segment.
+	// Test-only; see the package comment.
+	StaleReuse bool
+}
+
+// Table is the memo. One Table belongs to one (program, slicer
+// options) pair: decisions depend on the slicer's Take configuration,
+// so core builds the table alongside the Slicer and never shares it
+// across option sets.
+type Table struct {
+	alias *alias.Info
+	mods  *modref.Info
+	opts  Options
+
+	mu      sync.Mutex
+	entries map[uint64][]*Summary // keyed by segHash; buckets verified exactly
+	bytes   int64
+}
+
+// NewTable builds an empty summary table over the program's alias and
+// mod-ref analyses.
+func NewTable(al *alias.Info, mr *modref.Info, opts Options) *Table {
+	return &Table{
+		alias:   al,
+		mods:    mr,
+		opts:    opts,
+		entries: make(map[uint64][]*Summary),
+	}
+}
+
+// Project returns the sorted projection of live onto the lvalues the
+// callee's transitive mod set may touch, plus its fingerprint. This is
+// the context half of the summary key: live lvalues outside the
+// projection cannot influence any decision inside the frame (no edge
+// of the callee or its transitive callees can write anything that
+// may-aliases them), so they are deliberately excluded to maximize
+// reuse across call sites.
+func (t *Table) Project(callee string, live cfa.LvalSet) ([]cfa.Lvalue, uint64) {
+	modSet := t.mods.ModsVarSet(callee)
+	var proj []cfa.Lvalue
+	for l := range live {
+		if t.alias.Touches(l, modSet) {
+			proj = append(proj, l)
+		}
+	}
+	sortLvals(proj)
+	return proj, hashLvals(proj)
+}
+
+// Lookup returns the summary for (segment, live context), or nil. The
+// segment is passed both as a hash and as the exact edge-ID sequence;
+// candidates are verified element-wise so the result is never a hash
+// collision. In StaleReuse mode the live context is (unsoundly)
+// ignored.
+func (t *Table) Lookup(segHash uint64, edgeIDs []int32, liveHash uint64, proj []cfa.Lvalue) *Summary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, cand := range t.entries[segHash] {
+		if !equalIDs(cand.EdgeIDs, edgeIDs) {
+			continue
+		}
+		if t.opts.StaleReuse {
+			mHits.Inc()
+			return cand
+		}
+		if cand.liveHash == liveHash && equalLvals(cand.Live, proj) {
+			mHits.Inc()
+			return cand
+		}
+	}
+	mMisses.Inc()
+	return nil
+}
+
+// Insert stores a freshly recorded summary. Duplicate contexts (two
+// goroutines racing on the same miss) are dropped; the first entry
+// wins so every caller sees one canonical summary per context.
+func (t *Table) Insert(sum *Summary, segHash, liveHash uint64) {
+	sum.segHash, sum.liveHash = segHash, liveHash
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, cand := range t.entries[segHash] {
+		if equalIDs(cand.EdgeIDs, sum.EdgeIDs) && cand.liveHash == liveHash && equalLvals(cand.Live, sum.Live) {
+			return
+		}
+	}
+	t.entries[segHash] = append(t.entries[segHash], sum)
+	t.bytes += sum.approxBytes()
+	mMemoBytes.Set(t.bytes)
+}
+
+// Len returns the number of memoized contexts.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, b := range t.entries {
+		n += len(b)
+	}
+	return n
+}
+
+// Bytes returns the approximate resident footprint of the memo.
+func (t *Table) Bytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytes
+}
+
+// ---------------------------------------------------------------------------
+// Hashing and comparison helpers
+
+// HashEdgeID folds one segment edge ID into a running hash
+// (splitmix64-style finalizer per step; the zero seed is a valid
+// start).
+func HashEdgeID(h uint64, id int32) uint64 {
+	x := h + 0x9e3779b97f4a7c15 + uint64(uint32(id))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashLvals(ls []cfa.Lvalue) uint64 {
+	var h uint64 = 0x243f6a8885a308d3
+	for _, l := range ls {
+		for i := 0; i < len(l.Var); i++ {
+			h = (h ^ uint64(l.Var[i])) * 0x100000001b3
+		}
+		if l.Deref {
+			h = (h ^ '*') * 0x100000001b3
+		}
+		h = (h ^ 0x1f) * 0x100000001b3
+	}
+	return h
+}
+
+func sortLvals(ls []cfa.Lvalue) {
+	// Insertion sort: projections are tiny (a handful of lvalues) and
+	// this avoids a sort.Slice closure allocation on the hot path.
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && lvalLess(ls[j], ls[j-1]); j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}
+
+func lvalLess(a, b cfa.Lvalue) bool {
+	if a.Var != b.Var {
+		return a.Var < b.Var
+	}
+	return !a.Deref && b.Deref
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalLvals(a, b []cfa.Lvalue) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

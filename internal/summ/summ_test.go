@@ -1,0 +1,153 @@
+package summ_test
+
+import (
+	"testing"
+
+	"pathslice/internal/alias"
+	"pathslice/internal/cfa"
+	"pathslice/internal/compile"
+	"pathslice/internal/modref"
+	"pathslice/internal/summ"
+)
+
+const src = `
+int x;
+int y;
+int z;
+
+void bump() {
+  x = x + 1;
+}
+
+void noise() {
+  y = y * 2;
+}
+
+void main() {
+  x = 0;
+  bump();
+  noise();
+  if (x > 3) {
+    error;
+  }
+}
+`
+
+func newTable(t *testing.T, opts summ.Options) *summ.Table {
+	t.Helper()
+	prog := compile.MustSource(src)
+	al := alias.Analyze(prog)
+	mr := modref.Analyze(prog, al)
+	return summ.NewTable(al, mr, opts)
+}
+
+func lv(name string) cfa.Lvalue { return cfa.Lvalue{Var: name} }
+
+func liveSet(names ...string) cfa.LvalSet {
+	s := cfa.NewLvalSet()
+	for _, n := range names {
+		s.Add(lv(n))
+	}
+	return s
+}
+
+// TestProjectFiltersUntouched: the context key keeps only live lvalues
+// the callee's transitive mod set can touch, so irrelevant liveness
+// cannot fragment the memo.
+func TestProjectFiltersUntouched(t *testing.T) {
+	tbl := newTable(t, summ.Options{})
+	proj, _ := tbl.Project("bump", liveSet("x", "y", "z"))
+	if len(proj) != 1 || proj[0] != lv("x") {
+		t.Fatalf("bump projection = %v, want [x]", proj)
+	}
+	projN, _ := tbl.Project("noise", liveSet("x", "z"))
+	if len(projN) != 0 {
+		t.Fatalf("noise projection = %v, want empty", projN)
+	}
+	// Same projection → same fingerprint, regardless of what else is
+	// live.
+	_, h1 := tbl.Project("bump", liveSet("x"))
+	_, h2 := tbl.Project("bump", liveSet("x", "y"))
+	if h1 != h2 {
+		t.Fatal("projection hash must ignore untouched lvalues")
+	}
+	_, h3 := tbl.Project("bump", liveSet("y"))
+	if h3 == h1 {
+		t.Fatal("distinct projections must fingerprint differently")
+	}
+}
+
+func seg(ids ...int32) ([]int32, uint64) {
+	var h uint64
+	for _, id := range ids {
+		h = summ.HashEdgeID(h, id)
+	}
+	return ids, h
+}
+
+func TestLookupInsertRoundtrip(t *testing.T) {
+	tbl := newTable(t, summ.Options{})
+	ids, segHash := seg(3, 4, 5)
+	projA, liveA := tbl.Project("bump", liveSet("x"))
+	if got := tbl.Lookup(segHash, ids, liveA, projA); got != nil {
+		t.Fatal("empty table must miss")
+	}
+	sum := &summ.Summary{Callee: "bump", EdgeIDs: ids, Live: projA, Dec: []summ.Decision{summ.DecTaken, summ.DecNotTaken, summ.DecTaken}}
+	tbl.Insert(sum, segHash, liveA)
+	if got := tbl.Lookup(segHash, ids, liveA, projA); got != sum {
+		t.Fatal("exact context must hit")
+	}
+	// A different live context over the same segment must miss…
+	projB, liveB := tbl.Project("bump", liveSet())
+	if got := tbl.Lookup(segHash, ids, liveB, projB); got != nil {
+		t.Fatal("different live context must miss")
+	}
+	// …and a different segment must miss even with the same context.
+	ids2, segHash2 := seg(3, 4, 6)
+	if got := tbl.Lookup(segHash2, ids2, liveA, projA); got != nil {
+		t.Fatal("different segment must miss")
+	}
+	// The exact verify rejects an ID sequence that disagrees with the
+	// hash bucket it landed in.
+	if got := tbl.Lookup(segHash, ids2, liveA, projA); got != nil {
+		t.Fatal("edge-ID mismatch must be rejected regardless of hash")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+	if tbl.Bytes() <= 0 {
+		t.Fatal("Bytes must account for the stored summary")
+	}
+	// Duplicate insert dedupes.
+	before := tbl.Bytes()
+	tbl.Insert(&summ.Summary{Callee: "bump", EdgeIDs: ids, Live: projA}, segHash, liveA)
+	if tbl.Len() != 1 || tbl.Bytes() != before {
+		t.Fatal("duplicate context must not be stored twice")
+	}
+}
+
+// TestStaleReuseIgnoresContext pins the planted-bug mode's behavior:
+// the first context recorded for a segment answers every live set.
+func TestStaleReuseIgnoresContext(t *testing.T) {
+	tbl := newTable(t, summ.Options{StaleReuse: true})
+	ids, segHash := seg(7, 8)
+	projA, liveA := tbl.Project("bump", liveSet("x"))
+	sum := &summ.Summary{Callee: "bump", EdgeIDs: ids, Live: projA}
+	tbl.Insert(sum, segHash, liveA)
+	projB, liveB := tbl.Project("bump", liveSet())
+	if got := tbl.Lookup(segHash, ids, liveB, projB); got != sum {
+		t.Fatal("StaleReuse must (unsoundly) hit across live contexts")
+	}
+}
+
+func TestHashEdgeID(t *testing.T) {
+	_, a := seg(1, 2, 3)
+	_, b := seg(3, 2, 1)
+	_, c := seg(1, 2, 3)
+	if a == b {
+		t.Fatal("segment hash must be order-sensitive")
+	}
+	if a != c {
+		t.Fatal("segment hash must be deterministic")
+	}
+}

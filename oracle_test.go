@@ -62,3 +62,46 @@ func TestOracleCatchesPlantedBugs(t *testing.T) {
 		}
 	}
 }
+
+// TestSummaryDifferentialGate is the PR6 acceptance bar for the frame
+// summaries: a fresh call-heavy campaign of at least 200 pairs — the
+// checked-in corpus and the starter specs included, since they ride at
+// the head of the queue — where every pair is additionally sliced with
+// summaries on and compared bit-for-bit against the plain walk. Zero
+// divergences allowed.
+func TestSummaryDifferentialGate(t *testing.T) {
+	cfg := oracleConfig()
+	cfg.Seeds = 80
+	cfg.Summaries = true
+	cfg.CallHeavy = true
+	stats := oracle.Run(cfg)
+	for _, v := range stats.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if stats.Pairs < 200 {
+		t.Errorf("campaign produced only %d pairs, want >= 200", stats.Pairs)
+	}
+	t.Log(stats.Summary())
+}
+
+// TestSummaryStalePlantedBugCaught: reusing a frame summary across
+// differing live contexts (the one unsound shortcut the summary key
+// exists to prevent) must be caught by the summary-differential
+// pillar within a small campaign.
+func TestSummaryStalePlantedBugCaught(t *testing.T) {
+	cfg := oracleConfig()
+	cfg.Seeds = 40
+	cfg.Summaries = true
+	cfg.CallHeavy = true
+	cfg.Unsound = core.UnsoundStaleSummaries
+	stats := oracle.Run(cfg)
+	if len(stats.Violations) == 0 {
+		t.Fatalf("stale summary reuse survived the campaign: %s", stats.Summary())
+	}
+	for _, v := range stats.Violations {
+		if v.Kind != "summ-diff" {
+			t.Errorf("unexpected violation kind %q (stale reuse must only surface as summ-diff): %s", v.Kind, v)
+		}
+	}
+	t.Logf("caught: %d violations, e.g. %s", len(stats.Violations), stats.Violations[0])
+}

@@ -12,6 +12,8 @@ package pathslice
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -125,6 +127,76 @@ func TestMetamorphicDegradedSliceIsSuperset(t *testing.T) {
 			t.Fatalf("path %d: cancelled context did not set Degraded", pi)
 		}
 		assertSuperset(t, "ex2.mc (cancelled ctx)", baseline, degraded)
+	}
+}
+
+// TestMetamorphicStreamedDegradedSliceIsSuperset: the PR3 degradation
+// contract extends to the streaming reader (cfa.PathReader). A context
+// cancelled before or during SliceStream must still yield a result —
+// Degraded, and a superset of the fault-free slice — never an error or
+// a panic; and a trace file that fails validation surfaces as a typed
+// *cfa.TraceFormatError at open, so callers can distinguish corrupt
+// input from analysis failure.
+func TestMetamorphicStreamedDegradedSliceIsSuperset(t *testing.T) {
+	prog := loadProgram(t, "ex2.mc")
+	slicer := core.New(prog)
+	dir := t.TempDir()
+	for pi, path := range candidatePaths(t, prog) {
+		baseline, err := slicer.Slice(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file := filepath.Join(dir, fmt.Sprintf("p%d.pstrc", pi))
+		if err := cfa.WriteTraceFile(file, prog, path); err != nil {
+			t.Fatal(err)
+		}
+
+		// Pre-cancelled: deterministically degrades at the first step.
+		r, err := cfa.OpenTraceFile(file, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		degraded, err := slicer.SliceStream(ctx, r)
+		r.Close()
+		if err != nil {
+			t.Fatalf("path %d: cancelled stream must still produce a slice, got %v", pi, err)
+		}
+		if !degraded.Degraded {
+			t.Fatalf("path %d: cancelled context did not set Degraded on the streamed slice", pi)
+		}
+		assertSuperset(t, "ex2.mc (streamed, cancelled ctx)", baseline, degraded)
+
+		// Cancelled concurrently: wherever the cancellation lands in the
+		// backward scan, the result must come back error-free and be a
+		// superset; Degraded is set only if it landed before the end.
+		r, err = cfa.OpenTraceFile(file, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel = context.WithCancel(context.Background())
+		go cancel()
+		mid, err := slicer.SliceStream(ctx, r)
+		r.Close()
+		if err != nil {
+			t.Fatalf("path %d: mid-stream cancellation must degrade, not fail: %v", pi, err)
+		}
+		assertSuperset(t, "ex2.mc (streamed, mid-stream cancel)", baseline, mid)
+	}
+
+	// Corrupt input is a typed format error, not a degraded analysis.
+	bad := filepath.Join(dir, "p0.pstrc")
+	buf, err := os.ReadFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, buf[:len(buf)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ferr *cfa.TraceFormatError
+	if _, err := cfa.OpenTraceFile(bad, prog); !errors.As(err, &ferr) {
+		t.Fatalf("truncated trace file: want *cfa.TraceFormatError, got %v", err)
 	}
 }
 
