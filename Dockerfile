@@ -1,0 +1,16 @@
+# Builds the slicerd daemon (docs/DEPLOYMENT.md). Stdlib-only module,
+# so the build stage needs nothing but the Go toolchain and the run
+# stage nothing at all.
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY cmd/ cmd/
+COPY internal/ internal/
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /slicerd ./cmd/slicerd
+
+FROM scratch
+COPY --from=build /slicerd /slicerd
+# Bind all interfaces inside the container so published ports work;
+# operational surfaces stay on their own port.
+ENTRYPOINT ["/slicerd", "-addr", "0.0.0.0:8080", "-admin-addr", "0.0.0.0:9090"]
+EXPOSE 8080 9090

@@ -7,11 +7,11 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/cegar/ ./internal/core/ ./internal/dataflow/ ./internal/logic/ ./internal/obs/ ./internal/smt/
+RACE_PKGS = ./internal/cegar/ ./internal/core/ ./internal/dataflow/ ./internal/logic/ ./internal/obs/ ./internal/service/ ./internal/smt/
 
-.PHONY: check build vet test race fuzz oracle docs-check bench bench-json bench-diff experiments
+.PHONY: check build vet test race fuzz oracle docs-check serve-smoke bench bench-json bench-diff experiments
 
-check: build vet test race fuzz oracle docs-check bench-diff
+check: build vet test race fuzz oracle docs-check serve-smoke bench-diff
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,15 @@ oracle:
 docs-check:
 	$(GO) run ./cmd/doccheck
 
+# End-to-end smoke of the slicerd daemon (docs/DEPLOYMENT.md): builds
+# and launches the real binary with a tiny admission limit and a 100%
+# solver-stall fault rate, bursts past the limit, and asserts the
+# typed load-shed contract plus the slicerd_* series on /metrics.
+serve-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/slicerd ./cmd/slicerd
+	$(GO) run ./cmd/servesmoke -slicerd bin/slicerd
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -52,7 +61,7 @@ bench:
 # corpus statistics). Not part of `make check` — it records numbers;
 # `make bench-diff` gates on them.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR7.json
 
 # Gate: compares the two newest checked-in BENCH_PR*.json artifacts and
 # fails on a >20% regression of any deterministic metric (wall times

@@ -10,9 +10,14 @@
 // Deterministic counters (solver calls, early-stop checks, oracle
 // pairs and violations, walked edges) are compared unconditionally —
 // they cannot drift with machine load. Wall-time metrics are compared
-// only when both artifacts carry the same host fingerprint; older
-// artifacts (BENCH_PR5.json and before) have none, so timing
-// comparisons are skipped with a note rather than producing noise.
+// only when both artifacts carry the same host fingerprint AND a CPU
+// calibration (cmd/benchjson's calibration_ms), which normalizes for
+// VM instances of the same class running at different effective clock
+// speeds; older artifacts missing either are skipped with a note
+// rather than producing noise. It also enforces the fresh artifact's
+// own slicerd warm-reuse invariants (service_warm: the warm round must
+// hit the program cache, shared solver cache, and post memo, and beat
+// the cold round — same-host by construction).
 //
 // Usage:
 //
@@ -38,6 +43,7 @@ import (
 // and are skipped.
 type artifact struct {
 	Host             string  `json:"host"`
+	CalibrationMS    float64 `json:"calibration_ms"`
 	SuiteWallMS      float64 `json:"suite_wall_ms"`
 	TotalSolverCalls int64   `json:"total_solver_calls"`
 	EarlyUnsatStop   *struct {
@@ -56,6 +62,13 @@ type artifact struct {
 		Pairs      int `json:"pairs"`
 		Violations int `json:"violations"`
 	} `json:"oracle"`
+	ServiceWarm *struct {
+		ColdMS          float64 `json:"cold_ms"`
+		WarmMS          float64 `json:"warm_ms"`
+		ProgramCacheHit bool    `json:"program_cache_hit"`
+		SolverCacheHits int64   `json:"solver_cache_hits"`
+		PostMemoHits    int64   `json:"post_memo_hits"`
+	} `json:"service_warm"`
 }
 
 // streamWindowFrames mirrors the PathReader block cache bound
@@ -92,6 +105,7 @@ func main() {
 
 	fresh := load(*newPath)
 	checkSublinear(*newPath, fresh, *maxGrowth)
+	checkServiceWarm(*newPath, fresh)
 
 	if *oldPath == "" {
 		fmt.Printf("note: no predecessor artifact, skipping regression comparison\n")
@@ -185,6 +199,34 @@ func checkSublinear(path string, a *artifact, maxGrowth float64) {
 	}
 }
 
+// checkServiceWarm enforces the fresh artifact's slicerd reuse
+// invariants. Cold and warm rounds come from one benchjson run on one
+// machine, so the wall-time comparison needs no host gating: a warm
+// request that reuses no resident state, or is no faster than the cold
+// one, means the resident daemon stopped paying for itself.
+func checkServiceWarm(path string, a *artifact) {
+	sw := a.ServiceWarm
+	if sw == nil {
+		fmt.Printf("note: %s has no service_warm section, skipping\n", path)
+		return
+	}
+	if !sw.ProgramCacheHit {
+		failf("%s: warm service request missed the program cache", path)
+	}
+	if sw.SolverCacheHits == 0 {
+		failf("%s: warm service request had no shared solver-cache hits", path)
+	}
+	if sw.PostMemoHits == 0 {
+		failf("%s: warm service check had no abstract-post memo hits", path)
+	}
+	if sw.WarmMS >= sw.ColdMS {
+		failf("%s: warm service round (%.2fms) not faster than cold (%.2fms)", path, sw.WarmMS, sw.ColdMS)
+	} else {
+		fmt.Printf("service warm: cold %.1fms -> warm %.1fms (%.1fx), solver-cache %d, post-memo %d\n",
+			sw.ColdMS, sw.WarmMS, sw.ColdMS/sw.WarmMS, sw.SolverCacheHits, sw.PostMemoHits)
+	}
+}
+
 // compare gates the fresh artifact's tracked metrics against the
 // baseline's. direction +1 means higher is worse, -1 lower is worse.
 func compare(base, fresh *artifact, maxRegress float64) {
@@ -220,21 +262,36 @@ func compare(base, fresh *artifact, maxRegress float64) {
 		}
 	}
 
-	// Wall-time metrics: only meaningful on the same machine class.
+	// Wall-time metrics: only meaningful on the same machine class,
+	// and — because identical fingerprints can still mean VM instances
+	// with different effective clock speeds — only when both artifacts
+	// carry a CPU calibration to normalize by. The fresh artifact's
+	// timings are divided by the calibration ratio before gating, so a
+	// uniformly slower machine does not read as a code regression.
 	if base.Host == "" || base.Host != fresh.Host {
 		fmt.Printf("note: host fingerprints differ (%q vs %q), skipping wall-time comparisons\n",
 			base.Host, fresh.Host)
 		return
 	}
-	gate("suite_wall_ms", base.SuiteWallMS, fresh.SuiteWallMS, +1)
+	if base.CalibrationMS == 0 || fresh.CalibrationMS == 0 {
+		fmt.Printf("note: missing CPU calibration (%.1f vs %.1f), skipping wall-time comparisons\n",
+			base.CalibrationMS, fresh.CalibrationMS)
+		return
+	}
+	speed := base.CalibrationMS / fresh.CalibrationMS // <1: machine now slower
+	fmt.Printf("calibration %.1fms -> %.1fms: normalizing fresh wall times by %.2fx\n",
+		base.CalibrationMS, fresh.CalibrationMS, speed)
+	wall := func(name string, old, new float64) { gate(name, old, new*speed, +1) }
+
+	wall("suite_wall_ms", base.SuiteWallMS, fresh.SuiteWallMS)
 	if base.EarlyUnsatStop != nil && fresh.EarlyUnsatStop != nil {
-		gate("early_unsat_stop.incremental_ms",
-			base.EarlyUnsatStop.IncrementalMS, fresh.EarlyUnsatStop.IncrementalMS, +1)
+		wall("early_unsat_stop.incremental_ms",
+			base.EarlyUnsatStop.IncrementalMS, fresh.EarlyUnsatStop.IncrementalMS)
 	}
 	if len(base.SummarySweep) > 0 && len(fresh.SummarySweep) > 0 {
 		ob, nb := base.SummarySweep[len(base.SummarySweep)-1], fresh.SummarySweep[len(fresh.SummarySweep)-1]
 		if ob.TraceOps == nb.TraceOps {
-			gate("summary_sweep.summarized_ms", ob.SummarizedMS, nb.SummarizedMS, +1)
+			wall("summary_sweep.summarized_ms", ob.SummarizedMS, nb.SummarizedMS)
 		}
 	}
 }

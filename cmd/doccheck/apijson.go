@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"pathslice/internal/service"
+)
+
+// apiTypes registers the wire types JSON examples may claim to be. A
+// ```json fence annotated `<!-- doccheck: TypeName -->` must decode
+// into the named struct with unknown fields rejected — exactly the
+// validation slicerd applies to request bodies — so the examples in
+// docs/API.md cannot drift from internal/service's types.
+var apiTypes = map[string]func() any{
+	"SliceRequest":  func() any { return new(service.SliceRequest) },
+	"SliceResponse": func() any { return new(service.SliceResponse) },
+	"CheckRequest":  func() any { return new(service.CheckRequest) },
+	"CheckResponse": func() any { return new(service.CheckResponse) },
+	"ErrorResponse": func() any { return new(service.ErrorResponse) },
+	"HealthResponse": func() any {
+		return new(service.HealthResponse)
+	},
+	"StatsResponse": func() any { return new(service.StatsResponse) },
+}
+
+// markerPrefix introduces an API-example annotation. In any file that
+// uses at least one annotation, every ```json fence must carry one:
+// an unannotated example in the API reference is exactly the kind
+// that silently rots.
+const markerPrefix = "<!-- doccheck:"
+
+// checkAPIExamples validates annotated JSON examples. It returns no
+// problems for files without markers (ordinary docs may show free-form
+// JSON in fences).
+func checkAPIExamples(rel, content string) []string {
+	if !strings.Contains(content, markerPrefix) {
+		return nil
+	}
+	var problems []string
+	lines := strings.Split(content, "\n")
+	typeName := "" // armed by the most recent marker
+	for i := 0; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		if rest, ok := strings.CutPrefix(line, markerPrefix); ok {
+			typeName = strings.TrimSpace(strings.TrimSuffix(rest, "-->"))
+			if _, ok := apiTypes[typeName]; !ok {
+				problems = append(problems, fmt.Sprintf(
+					"%s:%d: doccheck marker names unknown API type %q", rel, i+1, typeName))
+				typeName = ""
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "```") {
+			continue
+		}
+		lang := strings.TrimPrefix(line, "```")
+		fenceStart := i + 1
+		var body strings.Builder
+		for i++; i < len(lines); i++ {
+			if strings.HasPrefix(strings.TrimSpace(lines[i]), "```") {
+				break
+			}
+			body.WriteString(lines[i])
+			body.WriteByte('\n')
+		}
+		if lang != "json" {
+			typeName = "" // a marker only covers the fence right after it
+			continue
+		}
+		if typeName == "" {
+			problems = append(problems, fmt.Sprintf(
+				"%s:%d: json example without a %s TypeName --> marker", rel, fenceStart, markerPrefix))
+			continue
+		}
+		if err := strictDecode(body.String(), apiTypes[typeName]()); err != nil {
+			problems = append(problems, fmt.Sprintf(
+				"%s:%d: json example does not decode as service.%s: %v", rel, fenceStart, typeName, err))
+		}
+		typeName = ""
+	}
+	return problems
+}
+
+// strictDecode mirrors the service's request decoding: one JSON value,
+// unknown fields rejected, nothing trailing.
+func strictDecode(text string, into any) error {
+	dec := json.NewDecoder(strings.NewReader(text))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after the JSON value")
+	}
+	return nil
+}

@@ -6,7 +6,11 @@
 //     skipped);
 //   - stale code references: backticked `pkg.Ident` mentions, where
 //     pkg is one of this module's packages, naming an exported
-//     identifier the package no longer declares.
+//     identifier the package no longer declares;
+//   - drifted API examples: in files that use <!-- doccheck: Type -->
+//     markers (docs/API.md), every ```json fence must carry one and
+//     must strict-decode — unknown fields rejected, exactly like a
+//     slicerd request body — into the named internal/service type.
 //
 // It is wired into `make docs-check` (and `make check`), so docs
 // drift breaks the build the same way a failing test does.
@@ -56,6 +60,7 @@ func main() {
 		rel, _ := filepath.Rel(*root, md)
 		problems = append(problems, checkLinks(*root, rel, string(b))...)
 		problems = append(problems, checkIdents(rel, string(b), exported)...)
+		problems = append(problems, checkAPIExamples(rel, string(b))...)
 	}
 	if len(problems) > 0 {
 		for _, p := range problems {

@@ -1,0 +1,233 @@
+// Command servesmoke is the end-to-end smoke harness for slicerd
+// (`make serve-smoke`, part of `make check`). It builds nothing and
+// mocks nothing: it launches the real daemon with a tiny admission
+// limit and a 100% solver-stall fault rate, bursts more concurrent
+// requests than the limit admits, and asserts the load-shedding
+// contract (docs/ROBUSTNESS.md):
+//
+//   - shed requests get the typed 503 body — error "overloaded",
+//     verdict "undecided", exit code 4, degraded — never a wrong
+//     verdict and never a hung connection;
+//   - admitted requests still answer 200 with a sound verdict;
+//   - the admin port's /metrics reports the slicerd_* series, with
+//     slicerd_load_shed_total matching what the client saw.
+//
+// Usage: servesmoke [-slicerd path] (default "go run ./cmd/slicerd").
+// Exit code 0 on pass, 1 on any violated assertion.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const smokeSrc = `
+int a;
+void main() {
+  int x = 3;
+  if (a == 0) {
+    error;
+  }
+}
+`
+
+const (
+	maxInflight = 2
+	burst       = 12
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func fail(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "servesmoke: FAIL: "+format+"\n", args...)
+	return 1
+}
+
+func run() int {
+	bin := flag.String("slicerd", "", "slicerd binary to launch (default: go run ./cmd/slicerd)")
+	flag.Parse()
+
+	args := []string{
+		"-addr", "127.0.0.1:0", "-admin-addr", "127.0.0.1:0",
+		"-max-inflight", fmt.Sprint(maxInflight),
+		"-default-deadline", "5s",
+		"-fault-stall", "1.0", "-fault-stall-for", "300ms",
+	}
+	var cmd *exec.Cmd
+	if *bin != "" {
+		cmd = exec.Command(*bin, args...)
+	} else {
+		cmd = exec.Command("go", append([]string{"run", "./cmd/slicerd"}, args...)...)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return fail("%v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fail("starting slicerd: %v", err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+
+	// The daemon prints its bound addresses on stdout.
+	apiAddr, adminAddr := "", ""
+	sc := bufio.NewScanner(stdout)
+	for apiAddr == "" || adminAddr == "" {
+		if !sc.Scan() {
+			break
+		}
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "slicerd: api http://"); ok {
+			apiAddr = rest
+		}
+		if rest, ok := strings.CutPrefix(line, "slicerd: admin http://"); ok {
+			adminAddr = rest
+		}
+	}
+	if apiAddr == "" || adminAddr == "" {
+		return fail("daemon never printed its addresses (api=%q admin=%q)", apiAddr, adminAddr)
+	}
+	go io.Copy(io.Discard, stdout)
+
+	if err := waitHealthy("http://" + apiAddr + "/v1/healthz"); err != nil {
+		return fail("%v", err)
+	}
+	fmt.Printf("servesmoke: slicerd up (api %s, admin %s)\n", apiAddr, adminAddr)
+
+	// Burst past the admission limit. Every solver query stalls 300ms,
+	// so admitted sessions hold their slot long enough that most of the
+	// burst must be shed.
+	body, _ := json.Marshal(map[string]any{"source": smokeSrc})
+	var ok200, shed503, other atomic.Int64
+	var firstBad atomic.Value
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post("http://"+apiAddr+"/v1/slice", "application/json", bytes.NewReader(body))
+			if err != nil {
+				other.Add(1)
+				firstBad.CompareAndSwap(nil, fmt.Sprintf("request error: %v", err))
+				return
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var sr struct {
+					Verdict  string `json:"verdict"`
+					ExitCode int    `json:"exit_code"`
+				}
+				if json.Unmarshal(raw, &sr) != nil || (sr.Verdict != "bug" && sr.Verdict != "undecided") {
+					other.Add(1)
+					firstBad.CompareAndSwap(nil, "200 with unsound body: "+string(raw))
+					return
+				}
+				ok200.Add(1)
+			case http.StatusServiceUnavailable:
+				var er struct {
+					Error    string `json:"error"`
+					Degraded bool   `json:"degraded"`
+					Verdict  string `json:"verdict"`
+					ExitCode int    `json:"exit_code"`
+				}
+				if json.Unmarshal(raw, &er) != nil || er.Error != "overloaded" ||
+					!er.Degraded || er.Verdict != "undecided" || er.ExitCode != 4 {
+					other.Add(1)
+					firstBad.CompareAndSwap(nil, "503 without the typed degraded body: "+string(raw))
+					return
+				}
+				shed503.Add(1)
+			default:
+				other.Add(1)
+				firstBad.CompareAndSwap(nil, fmt.Sprintf("unexpected status %d: %s", resp.StatusCode, raw))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if msg := firstBad.Load(); msg != nil {
+		return fail("%s", msg)
+	}
+	if other.Load() != 0 {
+		return fail("%d requests neither served nor shed", other.Load())
+	}
+	if ok200.Load() == 0 {
+		return fail("burst of %d produced no 200s (admission must still admit)", burst)
+	}
+	if shed503.Load() == 0 {
+		return fail("burst of %d over limit %d produced no shed 503s", burst, maxInflight)
+	}
+	fmt.Printf("servesmoke: burst %d → %d served, %d shed (limit %d)\n",
+		burst, ok200.Load(), shed503.Load(), maxInflight)
+
+	// The admin surface must report the slicerd_* series and agree with
+	// what the client observed.
+	metrics, err := fetch("http://" + adminAddr + "/metrics")
+	if err != nil {
+		return fail("admin metrics: %v", err)
+	}
+	for _, name := range []string{
+		"slicerd_requests_total", "slicerd_load_shed_total",
+		"slicerd_program_cache_misses_total", "slicerd_inflight",
+		"slicerd_request_ns",
+	} {
+		if !strings.Contains(metrics, name) {
+			return fail("/metrics is missing %s", name)
+		}
+	}
+	var gotShed int64
+	for _, line := range strings.Split(metrics, "\n") {
+		if n, err := fmt.Sscanf(line, "slicerd_load_shed_total %d", &gotShed); n == 1 && err == nil {
+			break
+		}
+	}
+	if gotShed != shed503.Load() {
+		return fail("slicerd_load_shed_total = %d, client saw %d", gotShed, shed503.Load())
+	}
+	fmt.Println("servesmoke: /metrics reports the slicerd_* series, shed count matches")
+	fmt.Println("servesmoke: PASS")
+	return 0
+}
+
+func waitHealthy(url string) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon never became healthy at %s", url)
+}
+
+func fetch(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return string(raw), err
+}

@@ -1,0 +1,145 @@
+// Command slicerd is the resident slice/verify daemon: a JSON HTTP
+// service that runs many slice and CEGAR-check sessions concurrently
+// over shared long-lived state — the compiled-program LRU, per-program
+// frame summaries and abstract-post memos, one shared solver-verdict
+// cache, and the epoch-collected hash-cons interner (docs/API.md,
+// docs/DEPLOYMENT.md).
+//
+// Usage:
+//
+//	slicerd [-addr a] [-admin-addr a] [-max-inflight n]
+//	        [-default-deadline d] [-max-deadline d] [-max-programs n]
+//	        [-cache-size n] [-solver-workers n] [-intern-keep n]
+//	        [-gc-every d] [-max-source-bytes n] [-max-body-bytes n]
+//	        [-fault-* ...] [-trace-out f]
+//
+// The API port serves POST /v1/slice, POST /v1/check, GET /v1/healthz
+// and GET /v1/stats. The admin port serves the obs surface — /metrics
+// (Prometheus), /debug/vars (expvar) and /debug/pprof — so operational
+// endpoints are never exposed on the API address.
+//
+// Robustness (docs/ROBUSTNESS.md): at most -max-inflight sessions run
+// at once; excess traffic is shed with a typed 503 "undecided" body,
+// and every request runs under a deadline. Overload and expiry degrade
+// — they never flip a verdict. -fault-* installs the deterministic
+// fault injector (the serve-smoke harness uses it to force overload).
+//
+// Exit codes: 0 clean shutdown, 1 internal error, 2 usage.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pathslice/internal/faults"
+	"pathslice/internal/obs"
+	"pathslice/internal/service"
+)
+
+const (
+	exitOK       = 0
+	exitInternal = 1
+	exitUsage    = 2
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8080", "API listen address (POST /v1/slice, /v1/check; GET /v1/healthz, /v1/stats)")
+	adminAddr := flag.String("admin-addr", "127.0.0.1:9090", "admin listen address for /metrics, /debug/vars, /debug/pprof (\"\" disables)")
+	maxInflight := flag.Int("max-inflight", 8, "maximum concurrently admitted sessions; excess requests get a typed 503")
+	defaultDeadline := flag.Duration("default-deadline", 30*time.Second, "deadline for requests that set no deadline_ms")
+	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "upper clamp on requested deadlines")
+	maxPrograms := flag.Int("max-programs", 64, "program-state LRU capacity (compiled CFAs, summaries, checker memos)")
+	cacheSize := flag.Int("cache-size", 0, "shared solver verdict cache capacity (0 = default)")
+	solverWorkers := flag.Int("solver-workers", 4, "upper clamp on per-request solver_workers")
+	internKeep := flag.Int("intern-keep", 4, "interner GC retention window in epochs")
+	gcEvery := flag.Duration("gc-every", time.Minute, "interner GC epoch cadence (0 disables the loop)")
+	maxSourceBytes := flag.Int64("max-source-bytes", 1<<20, "maximum uploaded program size in bytes")
+	maxBodyBytes := flag.Int64("max-body-bytes", 16<<20, "maximum request body size in bytes (traces included)")
+	traceOut := flag.String("trace-out", "", "write a JSONL trace event log to this file (\"-\" for stderr)")
+	faultCfg := faults.FlagConfig(flag.CommandLine)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: slicerd [flags]")
+		flag.Usage()
+		return exitUsage
+	}
+
+	if cfg := faultCfg(); cfg != nil {
+		faults.Install(faults.New(*cfg))
+		fmt.Fprintln(os.Stderr, "slicerd: fault injection enabled")
+	}
+
+	cleanup, err := obs.Setup(*traceOut, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slicerd:", err)
+		return exitUsage
+	}
+	defer func() { _ = cleanup() }()
+
+	srv := service.New(service.Config{
+		MaxInflight:      *maxInflight,
+		DefaultDeadline:  *defaultDeadline,
+		MaxDeadline:      *maxDeadline,
+		MaxSourceBytes:   *maxSourceBytes,
+		MaxBodyBytes:     *maxBodyBytes,
+		MaxPrograms:      *maxPrograms,
+		SolverCacheSize:  *cacheSize,
+		MaxSolverWorkers: *solverWorkers,
+		InternKeepEpochs: *internKeep,
+		GCInterval:       *gcEvery,
+	})
+	defer srv.Close()
+
+	if *adminAddr != "" {
+		bound, stopAdmin, err := obs.Serve(*adminAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slicerd:", err)
+			return exitInternal
+		}
+		defer func() { _ = stopAdmin() }()
+		fmt.Printf("slicerd: admin http://%s\n", bound)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slicerd:", err)
+		return exitInternal
+	}
+	// The bound address goes to stdout so harnesses that listen on
+	// ":0" (cmd/servesmoke, the tests) can find the port.
+	fmt.Printf("slicerd: api http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "slicerd: %s, shutting down\n", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			_ = httpSrv.Close()
+		}
+		return exitOK
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "slicerd:", err)
+			return exitInternal
+		}
+		return exitOK
+	}
+}

@@ -160,6 +160,14 @@ type Options struct {
 	// SolverCacheSize bounds the solver cache entries (default
 	// smt.DefaultCacheSize).
 	SolverCacheSize int
+	// SharedCache, when non-nil, replaces the checker's private solver
+	// cache with a caller-owned one, letting many checkers (and the
+	// slice-feasibility path) share one long-lived verdict store.
+	// Cached verdicts are pure facts about formulas, so sharing across
+	// programs is sound. Overrides DisableSolverCache/SolverCacheSize.
+	// Per-check CacheHits/CacheMisses attribution assumes the cache is
+	// not used concurrently by others during the check.
+	SharedCache *smt.Cache
 	// Deadline bounds the wall-clock time of one Check; zero means no
 	// deadline. On expiry the check stops at the next cancellation
 	// point and returns VerdictTimeout. Deadlines are sound: they can
@@ -283,11 +291,18 @@ func New(prog *cfa.Program, opts Options) *Checker {
 		opts:      opts,
 		predScope: make(map[string][]string),
 	}
-	if !opts.DisableSolverCache {
+	if opts.SharedCache != nil {
+		c.cache = opts.SharedCache
+	} else if !opts.DisableSolverCache {
 		c.cache = smt.NewCache(opts.SolverCacheSize)
 	}
 	return c
 }
+
+// maxPostMemoEntries caps the persistent abstract-post memo; crossing
+// it flushes the table at the next Check (a warm service trades the
+// occasional cold start for bounded memory).
+const maxPostMemoEntries = 1 << 17
 
 // solve routes an abstract-post query through the solver cache, under
 // the check's context and per-query limits. A cancelled or
@@ -344,7 +359,15 @@ func (c *Checker) CheckCtx(ctx context.Context, target *cfa.Loc) (res *Result, e
 	}()
 	csp := obs.StartNamedSpan(obs.PhaseCheck, "check "+target.String())
 	res = &Result{}
-	c.postMemo = make(map[string]*postMemoEntry)
+	// The abstract-post memo persists across checks: its keys are
+	// content-based (edge, determined conjuncts by predicate string,
+	// scope), so entries from an earlier check of the same program stay
+	// valid even though predicate indices restart. A long-lived Checker
+	// (cmd/slicerd) therefore answers repeat traffic from a warm memo;
+	// the cap below bounds its memory on pathological workloads.
+	if c.postMemo == nil || len(c.postMemo) > maxPostMemoEntries {
+		c.postMemo = make(map[string]*postMemoEntry)
+	}
 	startUncached := c.uncachedCalls.Load()
 	startCache := c.cacheStats()
 	startMemo := c.memoHits
@@ -642,14 +665,18 @@ func (c *Checker) reach(ctx context.Context, target *cfa.Loc, preds []logic.Form
 	return nil, work, false
 }
 
-// postMemoEntry is one memoized abstract-post computation. vals holds
-// the successor valuation for the first len(vals) predicates; when the
-// predicate list has since grown, a lookup reuses this prefix and only
-// the new suffix is computed.
+// postMemoEntry is one memoized abstract-post computation. vals maps a
+// predicate's canonical string to its successor value, so an entry is
+// valid for any predicate list: a lookup reuses every predicate it has
+// seen before (under the same determined source conjuncts, captured by
+// the memo key) and computes only the rest. Content keying is what lets
+// the memo outlive a single Check — indices restart per check, but a
+// predicate's meaning does not (cmd/slicerd keeps one Checker per
+// program and reuses this memo across requests).
 type postMemoEntry struct {
 	prunedKnown bool
 	pruned      bool
-	vals        []int8
+	vals        map[string]int8
 }
 
 // freshStride separates the fresh-variable namespaces of the per-
@@ -663,13 +690,16 @@ const freshStride = 4096
 // determined entries of the source valuation (exactly what stateFormula
 // conjoins — undetermined predicates contribute nothing), and the
 // localization scope (the set of functions on the stack decides which
-// predicates are evaluated at all).
-func (c *Checker) memoKey(st *absState, e *cfa.Edge) string {
+// predicates are evaluated at all). Determined conjuncts are keyed by
+// predicate content, not index, so a key stays valid across checks
+// whose predicate lists differ (the predicate index space restarts per
+// Check; its contents do not).
+func (c *Checker) memoKey(st *absState, e *cfa.Edge, preds []logic.Formula) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d|", e.ID)
 	for i, v := range st.vals {
 		if v != 0 {
-			fmt.Fprintf(&b, "%d:%d,", i, v)
+			fmt.Fprintf(&b, "%s:%d,", preds[i], v)
 		}
 	}
 	if !c.opts.NoLocalize && len(st.stack) > 0 {
@@ -718,12 +748,12 @@ func (c *Checker) post(ctx context.Context, st *absState, e *cfa.Edge, preds []l
 	cur := stateFormula(preds, st.vals)
 	var memo *postMemoEntry
 	if !c.opts.DisablePostMemo {
-		key := c.memoKey(st, e)
+		key := c.memoKey(st, e, preds)
 		var ok bool
 		if memo, ok = c.postMemo[key]; ok {
 			c.memoHits++
 		} else {
-			memo = &postMemoEntry{}
+			memo = &postMemoEntry{vals: make(map[string]int8)}
 			c.postMemo[key] = memo
 		}
 	}
@@ -752,19 +782,23 @@ func (c *Checker) post(ctx context.Context, st *absState, e *cfa.Edge, preds []l
 	// the memo keep their cached value; the rest fan out over the
 	// worker pool.
 	vals := make([]int8, len(preds))
-	start := 0
-	if memo != nil {
-		start = copy(vals, memo.vals)
-	}
 	var need []int
+	var predKeys []string
+	if memo != nil {
+		predKeys = make([]string, len(preds))
+	}
 	for i, p := range preds {
 		if !c.opts.NoLocalize && !c.predInScope(p, e.Dst, st.stack) {
 			vals[i] = 0
 			continue
 		}
 		work += 2
-		if i < start {
-			continue // memoized
+		if memo != nil {
+			predKeys[i] = p.String()
+			if v, ok := memo.vals[predKeys[i]]; ok {
+				vals[i] = v
+				continue // memoized
+			}
 		}
 		need = append(need, i)
 	}
@@ -827,8 +861,10 @@ func (c *Checker) post(ctx context.Context, st *absState, e *cfa.Edge, preds []l
 			compute(i)
 		}
 	}
-	if memo != nil && len(memo.vals) < len(preds) {
-		memo.vals = vals
+	if memo != nil {
+		for _, i := range need {
+			memo.vals[predKeys[i]] = vals[i]
+		}
 	}
 	succ := &absState{loc: e.Dst, vals: vals, parent: st, via: e,
 		stack: st.stack}

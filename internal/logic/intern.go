@@ -22,10 +22,14 @@ import (
 // falls back to a hash comparison and then a structural walk whenever
 // the pointers differ.
 
-// hcMeta is the per-node hash-consing record.
+// hcMeta is the per-node hash-consing record. epoch is the interner
+// epoch the node was last returned from the table in; CollectInterned
+// uses it to drop entries no recent work has touched (a removed entry's
+// meta stays valid — only future sharing is lost).
 type hcMeta struct {
-	hash uint64
-	key  atomic.Pointer[string] // cached canonical Key of this node as a root
+	hash  uint64
+	key   atomic.Pointer[string] // cached canonical Key of this node as a root
+	epoch uint64                 // guarded by the owning interner's mu
 }
 
 // maxInternedNodes bounds the global intern table; on overflow the
@@ -37,6 +41,7 @@ type interner struct {
 	fs    map[uint64][]Formula
 	ts    map[uint64][]Term
 	count int
+	epoch uint64
 }
 
 var globalInterner = &interner{
@@ -91,6 +96,7 @@ func (in *interner) formula(f Formula) Formula {
 		h := mix(mix(mix(hashSeed, tagCmp), uint64(f.Op)), mix(hashTerm(x), hashTerm(y)))
 		for _, cand := range in.fs[h] {
 			if c, ok := cand.(Cmp); ok && c.Op == f.Op && equalTerm(c.X, x) && equalTerm(c.Y, y) {
+				c.meta.epoch = in.epoch
 				return c
 			}
 		}
@@ -105,6 +111,7 @@ func (in *interner) formula(f Formula) Formula {
 		h := mix(mix(hashSeed, tagNot), hashFormula(g))
 		for _, cand := range in.fs[h] {
 			if c, ok := cand.(Not); ok && equalFormula(c.F, g) {
+				c.meta.epoch = in.epoch
 				return c
 			}
 		}
@@ -118,6 +125,7 @@ func (in *interner) formula(f Formula) Formula {
 		fs, h := in.formulas(f.Fs, tagAnd)
 		for _, cand := range in.fs[h] {
 			if c, ok := cand.(And); ok && equalFormulaSlices(c.Fs, fs) {
+				c.meta.epoch = in.epoch
 				return c
 			}
 		}
@@ -131,6 +139,7 @@ func (in *interner) formula(f Formula) Formula {
 		fs, h := in.formulas(f.Fs, tagOr)
 		for _, cand := range in.fs[h] {
 			if c, ok := cand.(Or); ok && equalFormulaSlices(c.Fs, fs) {
+				c.meta.epoch = in.epoch
 				return c
 			}
 		}
@@ -163,6 +172,7 @@ func (in *interner) term(t Term) Term {
 		h := mix(mix(mix(hashSeed, tagBin), uint64(t.Op)), mix(hashTerm(x), hashTerm(y)))
 		for _, cand := range in.ts[h] {
 			if c, ok := cand.(Bin); ok && c.Op == t.Op && equalTerm(c.X, x) && equalTerm(c.Y, y) {
+				c.meta.epoch = in.epoch
 				return c
 			}
 		}
@@ -177,6 +187,7 @@ func (in *interner) term(t Term) Term {
 		h := mix(mix(hashSeed, tagNeg), hashTerm(x))
 		for _, cand := range in.ts[h] {
 			if c, ok := cand.(Neg); ok && equalTerm(c.X, x) {
+				c.meta.epoch = in.epoch
 				return c
 			}
 		}
@@ -189,14 +200,107 @@ func (in *interner) term(t Term) Term {
 
 func (in *interner) register(h uint64, f Formula) {
 	in.flushIfFull()
+	formulaMeta(f).epoch = in.epoch
 	in.fs[h] = append(in.fs[h], f)
 	in.count++
 }
 
 func (in *interner) registerTerm(h uint64, t Term) {
 	in.flushIfFull()
+	termMeta(t).epoch = in.epoch
 	in.ts[h] = append(in.ts[h], t)
 	in.count++
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-based garbage collection
+//
+// A long-running process (cmd/slicerd) interns formulas forever, so the
+// table cannot rely on the overflow flush alone: flushing drops *all*
+// sharing, including the hot entries a warm service exists to keep. The
+// epoch mechanism collects selectively. Time is divided into epochs
+// (AdvanceInternEpoch); every table hit or registration stamps the
+// entry with the current epoch; CollectInterned removes entries whose
+// stamp is older than the retention window. Collection is always sound:
+// an evicted node's meta (hash, cached Key) stays valid on every copy
+// already handed out — only the table's ability to share it with
+// *future* structurally equal nodes is lost. Nodes that bypass the
+// table because they already carry a meta do not refresh their stamp;
+// their table entry may be collected while the nodes themselves remain
+// in use, which again costs only future sharing.
+
+// InternEpoch returns the current interner epoch.
+func InternEpoch() uint64 {
+	globalInterner.mu.Lock()
+	defer globalInterner.mu.Unlock()
+	return globalInterner.epoch
+}
+
+// AdvanceInternEpoch begins a new interner epoch and returns it. A
+// resident service calls this on a timer; one epoch then corresponds to
+// one GC interval of table activity.
+func AdvanceInternEpoch() uint64 {
+	globalInterner.mu.Lock()
+	defer globalInterner.mu.Unlock()
+	globalInterner.epoch++
+	return globalInterner.epoch
+}
+
+// CollectInterned removes every intern-table entry not used within the
+// last keep epochs (keep < 1 is treated as 1: only entries touched in
+// the current epoch survive) and returns how many entries it removed.
+func CollectInterned(keep int) int {
+	if keep < 1 {
+		keep = 1
+	}
+	in := globalInterner
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.epoch < uint64(keep) {
+		return 0 // retention window still covers epoch 0
+	}
+	cutoff := in.epoch - uint64(keep) + 1
+	removed := 0
+	for h, bucket := range in.fs {
+		kept := bucket[:0]
+		for _, f := range bucket {
+			if formulaMeta(f).epoch >= cutoff {
+				kept = append(kept, f)
+			} else {
+				removed++
+			}
+		}
+		if len(kept) == 0 {
+			delete(in.fs, h)
+		} else {
+			in.fs[h] = kept
+		}
+	}
+	for h, bucket := range in.ts {
+		kept := bucket[:0]
+		for _, t := range bucket {
+			if termMeta(t).epoch >= cutoff {
+				kept = append(kept, t)
+			} else {
+				removed++
+			}
+		}
+		if len(kept) == 0 {
+			delete(in.ts, h)
+		} else {
+			in.ts[h] = kept
+		}
+	}
+	in.count -= removed
+	return removed
+}
+
+// InternedCount returns the number of entries currently in the global
+// intern table.
+func InternedCount() int {
+	globalInterner.mu.Lock()
+	defer globalInterner.mu.Unlock()
+	return globalInterner.count
 }
 
 // ---------------------------------------------------------------------------
