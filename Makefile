@@ -7,11 +7,11 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/cegar/ ./internal/core/ ./internal/dataflow/ ./internal/logic/ ./internal/obs/ ./internal/service/ ./internal/smt/
+RACE_PKGS = ./internal/cegar/ ./internal/client/ ./internal/core/ ./internal/dataflow/ ./internal/faults/ ./internal/logic/ ./internal/obs/ ./internal/service/ ./internal/smt/
 
-.PHONY: check build vet test race fuzz oracle docs-check serve-smoke bench bench-json bench-diff experiments
+.PHONY: check build vet test race fuzz oracle docs-check serve-smoke chaos-smoke bench bench-json bench-diff experiments
 
-check: build vet test race fuzz oracle docs-check serve-smoke bench-diff
+check: build vet test race fuzz oracle docs-check serve-smoke chaos-smoke bench-diff
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,16 @@ serve-smoke:
 	$(GO) build -o bin/slicerd ./cmd/slicerd
 	$(GO) run ./cmd/servesmoke -slicerd bin/slicerd
 
+# Network-level chaos campaign (docs/ROBUSTNESS.md): a real slicerd
+# behind the deterministic faulty proxy (connection resets, stalls,
+# partial writes, byte corruption), driven by the retrying client
+# through SIGTERM drains, SIGKILL crashes, and a deliberately corrupted
+# snapshot. Asserts zero wrong verdicts and eventual success.
+chaos-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/slicerd ./cmd/slicerd
+	$(GO) run ./cmd/chaossmoke -slicerd bin/slicerd
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -61,7 +71,7 @@ bench:
 # corpus statistics). Not part of `make check` — it records numbers;
 # `make bench-diff` gates on them.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR8.json
 
 # Gate: compares the two newest checked-in BENCH_PR*.json artifacts and
 # fails on a >20% regression of any deterministic metric (wall times

@@ -17,7 +17,10 @@
 // rather than producing noise. It also enforces the fresh artifact's
 // own slicerd warm-reuse invariants (service_warm: the warm round must
 // hit the program cache, shared solver cache, and post memo, and beat
-// the cold round — same-host by construction).
+// the cold round — same-host by construction) and its snapshot-restart
+// invariants (snapshot_restart: a restored server's first request must
+// reuse every snapshot constituent, drop nothing, and beat a cold
+// first request).
 //
 // Usage:
 //
@@ -69,6 +72,17 @@ type artifact struct {
 		SolverCacheHits int64   `json:"solver_cache_hits"`
 		PostMemoHits    int64   `json:"post_memo_hits"`
 	} `json:"service_warm"`
+	SnapshotRestart *struct {
+		ColdFirstMS       float64 `json:"cold_first_ms"`
+		WarmFirstMS       float64 `json:"warm_first_ms"`
+		RestoredPrograms  int64   `json:"restored_programs"`
+		RestoredSummaries int64   `json:"restored_summaries"`
+		RestoredVerdicts  int64   `json:"restored_verdicts"`
+		DroppedRecords    int64   `json:"dropped_records"`
+		ProgramCacheHit   bool    `json:"program_cache_hit"`
+		SummaryHits       int64   `json:"summary_hits"`
+		SolverCacheHits   int64   `json:"solver_cache_hits"`
+	} `json:"snapshot_restart"`
 }
 
 // streamWindowFrames mirrors the PathReader block cache bound
@@ -106,6 +120,7 @@ func main() {
 	fresh := load(*newPath)
 	checkSublinear(*newPath, fresh, *maxGrowth)
 	checkServiceWarm(*newPath, fresh)
+	checkSnapshotRestart(*newPath, fresh)
 
 	if *oldPath == "" {
 		fmt.Printf("note: no predecessor artifact, skipping regression comparison\n")
@@ -224,6 +239,44 @@ func checkServiceWarm(path string, a *artifact) {
 	} else {
 		fmt.Printf("service warm: cold %.1fms -> warm %.1fms (%.1fx), solver-cache %d, post-memo %d\n",
 			sw.ColdMS, sw.WarmMS, sw.ColdMS/sw.WarmMS, sw.SolverCacheHits, sw.PostMemoHits)
+	}
+}
+
+// checkSnapshotRestart enforces the fresh artifact's cross-restart
+// invariants: a clean snapshot restores every constituent (programs,
+// frame summaries, solver verdicts) without dropping records, and the
+// restored server's first request reuses all of it and beats a cold
+// server's first request — otherwise warm-state snapshots stopped
+// paying for themselves.
+func checkSnapshotRestart(path string, a *artifact) {
+	sr := a.SnapshotRestart
+	if sr == nil {
+		fmt.Printf("note: %s has no snapshot_restart section, skipping\n", path)
+		return
+	}
+	if sr.RestoredPrograms == 0 || sr.RestoredSummaries == 0 || sr.RestoredVerdicts == 0 {
+		failf("%s: snapshot restore incomplete (%d programs, %d summaries, %d verdicts)",
+			path, sr.RestoredPrograms, sr.RestoredSummaries, sr.RestoredVerdicts)
+	}
+	if sr.DroppedRecords != 0 {
+		failf("%s: clean snapshot dropped %d records on restore", path, sr.DroppedRecords)
+	}
+	if !sr.ProgramCacheHit {
+		failf("%s: restored server's first request missed the program cache", path)
+	}
+	if sr.SummaryHits == 0 {
+		failf("%s: restored server's first request replayed no restored summaries", path)
+	}
+	if sr.SolverCacheHits == 0 {
+		failf("%s: restored server's first request hit no restored solver verdicts", path)
+	}
+	if sr.WarmFirstMS >= sr.ColdFirstMS {
+		failf("%s: restored first request (%.2fms) not faster than cold (%.2fms)",
+			path, sr.WarmFirstMS, sr.ColdFirstMS)
+	} else {
+		fmt.Printf("snapshot restart: cold first %.1fms -> restored first %.1fms (%.1fx), %d/%d/%d restored\n",
+			sr.ColdFirstMS, sr.WarmFirstMS, sr.ColdFirstMS/sr.WarmFirstMS,
+			sr.RestoredPrograms, sr.RestoredSummaries, sr.RestoredVerdicts)
 	}
 }
 

@@ -5,10 +5,12 @@
 // (trace length vs slice time and deterministic walked-edge counts,
 // the sublinearity series `make bench-diff` gates on), the slicerd
 // cold-vs-warm service round trip (cross-request reuse counters that
-// `make bench-diff` also gates on), and the oracle campaign's corpus
+// `make bench-diff` also gates on), the snapshot-restart comparison
+// (a snapshot-restored server's first request vs a cold server's,
+// also gated), and the oracle campaign's corpus
 // statistics (pairs checked, coverage fingerprints, brute-force
 // minimal-slice agreement). It backs `make bench-json`
-// (output: BENCH_PR7.json), giving performance and test-coverage work
+// (output: BENCH_PR8.json), giving performance and test-coverage work
 // a before/after artifact that diffs more honestly than eyeballing
 // `go test -bench` output. The host fingerprint lets cmd/benchdiff
 // skip wall-time comparisons across different machines while still
@@ -90,6 +92,12 @@ type output struct {
 	// real HTTP handler; benchdiff requires the warm request to reuse
 	// resident state and beat the cold one within this artifact.
 	ServiceWarm *serviceWarmRecord `json:"service_warm"`
+	// SnapshotRestart is the cross-restart variant: save a warm
+	// server's snapshot, restore it in a fresh server, and compare the
+	// restored first request against a cold first request. benchdiff
+	// requires the restored request to reuse programs, summaries, and
+	// verdicts, drop nothing, and beat the cold one.
+	SnapshotRestart *snapshotRestartRecord `json:"snapshot_restart"`
 }
 
 // hostFingerprint is intentionally coarse: same OS, architecture, CPU
@@ -123,7 +131,7 @@ func calibrate() float64 {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output path")
+	out := flag.String("out", "BENCH_PR8.json", "output path")
 	scale := flag.Float64("scale", 0.12, "workload scale for the Table 1 profiles")
 	guards := flag.Int("guards", 300, "guard-chain length for the early-unsat-stop comparison")
 	workers := flag.Int("workers", 1, "parallel cluster checks (1 keeps timings comparable)")
@@ -216,6 +224,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	o.SnapshotRestart, err = runSnapshotRestart()
+	if err != nil {
+		fatal(err)
+	}
 
 	buf, err := json.MarshalIndent(&o, "", "  ")
 	if err != nil {
@@ -236,6 +248,9 @@ func main() {
 	sw := o.ServiceWarm
 	fmt.Printf("  service warm: cold %.1fms -> warm %.1fms (%.1fx), %d solver-cache + %d post-memo hits\n",
 		sw.ColdMS, sw.WarmMS, sw.Speedup, sw.SolverCacheHits, sw.PostMemoHits)
+	sr := o.SnapshotRestart
+	fmt.Printf("  snapshot restart: cold first %.1fms -> restored first %.1fms (%.1fx), %d programs + %d summaries + %d verdicts restored (%dB)\n",
+		sr.ColdFirstMS, sr.WarmFirstMS, sr.Speedup, sr.RestoredPrograms, sr.RestoredSummaries, sr.RestoredVerdicts, sr.SnapshotBytes)
 }
 
 func fatal(err error) {

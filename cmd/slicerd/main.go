@@ -11,6 +11,8 @@
 //	        [-default-deadline d] [-max-deadline d] [-max-programs n]
 //	        [-cache-size n] [-solver-workers n] [-intern-keep n]
 //	        [-gc-every d] [-max-source-bytes n] [-max-body-bytes n]
+//	        [-drain-timeout d] [-snapshot-path f] [-snapshot-every d]
+//	        [-tls-cert f -tls-key f] [-auth-token t]
 //	        [-fault-* ...] [-trace-out f]
 //
 // The API port serves POST /v1/slice, POST /v1/check, GET /v1/healthz
@@ -23,6 +25,18 @@
 // and every request runs under a deadline. Overload and expiry degrade
 // — they never flip a verdict. -fault-* installs the deterministic
 // fault injector (the serve-smoke harness uses it to force overload).
+//
+// Crash safety (docs/DEPLOYMENT.md): SIGTERM/SIGINT triggers a
+// graceful drain — healthz flips to 503 "draining", new sessions get
+// the typed 503, in-flight sessions finish (up to -drain-timeout, then
+// they are force-degraded soundly) — and, with -snapshot-path set, the
+// warm state is saved on the way out and restored on the next boot.
+// -snapshot-every adds a periodic save so even a SIGKILL loses at most
+// one interval of warm-up.
+//
+// Security: -tls-cert/-tls-key serve the API over TLS; -auth-token
+// requires `Authorization: Bearer <token>` on every endpoint except
+// /v1/healthz.
 //
 // Exit codes: 0 clean shutdown, 1 internal error, 2 usage.
 package main
@@ -67,11 +81,21 @@ func run() int {
 	maxSourceBytes := flag.Int64("max-source-bytes", 1<<20, "maximum uploaded program size in bytes")
 	maxBodyBytes := flag.Int64("max-body-bytes", 16<<20, "maximum request body size in bytes (traces included)")
 	traceOut := flag.String("trace-out", "", "write a JSONL trace event log to this file (\"-\" for stderr)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits for in-flight sessions before force-degrading them")
+	snapshotPath := flag.String("snapshot-path", "", "warm-state snapshot file: restored on boot, saved on drain (\"\" disables)")
+	snapshotEvery := flag.Duration("snapshot-every", 0, "periodic snapshot-save cadence (0 = save only on drain)")
+	tlsCert := flag.String("tls-cert", "", "serve the API over TLS with this certificate file (requires -tls-key)")
+	tlsKey := flag.String("tls-key", "", "TLS private key file (requires -tls-cert)")
+	authToken := flag.String("auth-token", "", "require `Authorization: Bearer <token>` on every endpoint except /v1/healthz")
 	faultCfg := faults.FlagConfig(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: slicerd [flags]")
 		flag.Usage()
+		return exitUsage
+	}
+	if (*tlsCert == "") != (*tlsKey == "") {
+		fmt.Fprintln(os.Stderr, "slicerd: -tls-cert and -tls-key must be set together")
 		return exitUsage
 	}
 
@@ -98,8 +122,17 @@ func run() int {
 		MaxSolverWorkers: *solverWorkers,
 		InternKeepEpochs: *internKeep,
 		GCInterval:       *gcEvery,
+		SnapshotPath:     *snapshotPath,
+		SnapshotInterval: *snapshotEvery,
+		AuthToken:        *authToken,
 	})
 	defer srv.Close()
+	if *snapshotPath != "" {
+		if st := srv.Stats().Snapshot; st != nil && st.RestoredPrograms+st.RestoredVerdicts > 0 {
+			fmt.Fprintf(os.Stderr, "slicerd: snapshot restored %d programs, %d summaries, %d verdicts (%d records dropped)\n",
+				st.RestoredPrograms, st.RestoredSummaries, st.RestoredVerdicts, st.DroppedRecords)
+		}
+	}
 
 	if *adminAddr != "" {
 		bound, stopAdmin, err := obs.Serve(*adminAddr, obs.Default())
@@ -117,18 +150,46 @@ func run() int {
 		return exitInternal
 	}
 	// The bound address goes to stdout so harnesses that listen on
-	// ":0" (cmd/servesmoke, the tests) can find the port.
-	fmt.Printf("slicerd: api http://%s\n", ln.Addr())
+	// ":0" (cmd/servesmoke, cmd/chaossmoke, the tests) can find the
+	// port.
+	scheme := "http"
+	if *tlsCert != "" {
+		scheme = "https"
+	}
+	fmt.Printf("slicerd: api %s://%s\n", scheme, ln.Addr())
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.Serve(ln) }()
+	go func() {
+		if *tlsCert != "" {
+			errc <- httpSrv.ServeTLS(ln, *tlsCert, *tlsKey)
+			return
+		}
+		errc <- httpSrv.Serve(ln)
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case got := <-sig:
-		fmt.Fprintf(os.Stderr, "slicerd: %s, shutting down\n", got)
+		fmt.Fprintf(os.Stderr, "slicerd: %s, draining\n", got)
+		// Graceful drain (docs/DEPLOYMENT.md): stop admitting (typed
+		// 503s, healthz flips to "draining"), let in-flight sessions
+		// finish up to -drain-timeout, then force-degrade stragglers —
+		// they answer soundly weakened, never wrong. Only after the
+		// sessions settle is the warm state snapshotted and the
+		// listener shut down.
+		clean := srv.Drain(*drainTimeout)
+		if !clean {
+			fmt.Fprintln(os.Stderr, "slicerd: drain timeout, stragglers force-degraded")
+		}
+		if *snapshotPath != "" {
+			if err := srv.SaveSnapshot(*snapshotPath); err != nil {
+				fmt.Fprintln(os.Stderr, "slicerd: snapshot save:", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "slicerd: warm state snapshotted to", *snapshotPath)
+			}
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

@@ -47,6 +47,24 @@ const (
 	// must recover it and degrade the predicate valuation to unknown.
 	WorkerPanic
 
+	// The wire kinds below are consumed by Proxy (proxy.go), the
+	// network-level half of the campaign (docs/ROBUSTNESS.md): the
+	// same seeded machinery, applied to TCP connections instead of
+	// solver queries.
+
+	// ConnReset aborts a proxied connection (RST, not FIN) — before
+	// any byte or mid-response, depending on the draw.
+	ConnReset
+	// WireStall freezes a proxied response stream for the configured
+	// stall duration, simulating a hung peer or a saturated link.
+	WireStall
+	// PartialWrite truncates a proxied response after a deterministic
+	// prefix and aborts the connection.
+	PartialWrite
+	// CorruptByte flips one byte of a proxied stream — the fault the
+	// end-to-end checksum headers exist to catch.
+	CorruptByte
+
 	numKinds
 )
 
@@ -61,6 +79,14 @@ func (k Kind) String() string {
 		return "cache-evict"
 	case WorkerPanic:
 		return "worker-panic"
+	case ConnReset:
+		return "conn-reset"
+	case WireStall:
+		return "wire-stall"
+	case PartialWrite:
+		return "partial-write"
+	case CorruptByte:
+		return "corrupt-byte"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -74,6 +100,10 @@ var (
 		SolverStall:   obs.Default().Counter("faults_solver_stall_total"),
 		CacheEvict:    obs.Default().Counter("faults_cache_evict_total"),
 		WorkerPanic:   obs.Default().Counter("faults_worker_panic_total"),
+		ConnReset:     obs.Default().Counter("faults_conn_reset_total"),
+		WireStall:     obs.Default().Counter("faults_wire_stall_total"),
+		PartialWrite:  obs.Default().Counter("faults_partial_write_total"),
+		CorruptByte:   obs.Default().Counter("faults_corrupt_byte_total"),
 	}
 )
 

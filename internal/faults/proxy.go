@@ -1,0 +1,231 @@
+package faults
+
+// Proxy extends the injection campaign to the wire: a TCP forwarder
+// that — driven by the same seeded, deterministic Injector machinery
+// as the solver-level faults — resets connections, stalls streams,
+// truncates writes, and flips bytes between a client and a daemon.
+// cmd/chaossmoke puts a real slicerd and a real internal/client on
+// either side of one and asserts the system-level contract: typed,
+// retryable degradations and zero wrong verdicts, no matter what the
+// network does (docs/ROBUSTNESS.md).
+//
+// Fault decisions are drawn per accepted connection, in accept order,
+// so a fixed seed and a serial client replay the same schedule. The
+// target is swappable (SetTarget) because chaos tests kill and
+// restart the daemon on a new address mid-run.
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// connFaults is one connection's drawn fault plan.
+type connFaults struct {
+	resetEarly bool // RST before forwarding anything
+	resetMid   bool // RST after resetAfter response bytes
+	stall      bool // freeze the response stream once
+	partial    bool // truncate the response after partialAfter bytes
+	corrupt    bool // flip one byte of the response stream
+
+	resetAfter   int
+	partialAfter int
+	corruptAt    int
+	stallFor     time.Duration
+}
+
+// Proxy is the seed-driven faulty TCP forwarder. Create with NewProxy,
+// point clients at Addr(), stop with Close.
+type Proxy struct {
+	ln     net.Listener
+	in     *Injector
+	target atomic.Value // string
+	conns  atomic.Uint64
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy listens on listenAddr (e.g. "127.0.0.1:0") and forwards to
+// target through the fault plan drawn from in. A nil injector forwards
+// cleanly — useful as the control arm of a chaos run.
+func NewProxy(listenAddr, target string, in *Injector) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, in: in}
+	p.target.Store(target)
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// Addr is the address clients should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Target returns the current upstream address.
+func (p *Proxy) Target() string { return p.target.Load().(string) }
+
+// SetTarget repoints the proxy at a new upstream — chaos tests restart
+// the daemon on a fresh port and keep the same client-facing address.
+func (p *Proxy) SetTarget(addr string) { p.target.Store(addr) }
+
+// Conns returns how many connections have been accepted.
+func (p *Proxy) Conns() uint64 { return p.conns.Load() }
+
+// Close stops accepting and waits for in-flight connection handlers.
+func (p *Proxy) Close() error {
+	p.closed.Store(true)
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) serve() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n := p.conns.Add(1)
+		plan := p.drawPlan(n)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handle(c, plan)
+		}()
+	}
+}
+
+// drawPlan consumes this connection's fault draws. Offsets come from a
+// splitmix chain over (seed, conn index) so the same run positions
+// faults identically; they are sized for HTTP exchanges in the
+// hundreds-to-thousands of bytes.
+func (p *Proxy) drawPlan(conn uint64) connFaults {
+	var f connFaults
+	if p.in == nil {
+		return f
+	}
+	f.resetEarly = p.in.Should(ConnReset)
+	f.resetMid = !f.resetEarly && p.in.Should(ConnReset)
+	f.stall = p.in.Should(WireStall)
+	f.partial = p.in.Should(PartialWrite)
+	f.corrupt = p.in.Should(CorruptByte)
+	h := splitmix64(uint64(p.in.seed)*0x9e3779b97f4a7c15 ^ conn)
+	f.resetAfter = int(h % 512)
+	h = splitmix64(h)
+	f.partialAfter = int(h % 256)
+	h = splitmix64(h)
+	f.corruptAt = int(h % 600)
+	f.stallFor = p.in.stall
+	if f.stallFor <= 0 {
+		f.stall = false
+	}
+	return f
+}
+
+func (p *Proxy) handle(client net.Conn, f connFaults) {
+	if f.resetEarly {
+		abortive(client)
+		return
+	}
+	up, err := net.DialTimeout("tcp", p.Target(), 2*time.Second)
+	if err != nil {
+		// Upstream down (mid-restart): an abortive close gives the
+		// client an honest connection error to retry on.
+		abortive(client)
+		return
+	}
+
+	done := make(chan struct{}, 2)
+	// Request path: forwarded clean — request-side corruption is
+	// exercised separately (the server's X-Content-SHA256 check has
+	// its own unit tests); the proxy focuses its violence on the
+	// response path, where a flipped verdict would be dangerous.
+	go func() {
+		_, _ = io.Copy(up, client)
+		halfCloseWrite(up)
+		done <- struct{}{}
+	}()
+	// Response path: the fault plan applies here.
+	go func() {
+		p.pump(client, up, f)
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+	client.Close()
+	up.Close()
+}
+
+// pump copies the response stream from src to dst, applying the plan.
+func (p *Proxy) pump(dst, src net.Conn, f connFaults) {
+	buf := make([]byte, 2048)
+	total := 0
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if f.corrupt && total+n > f.corruptAt {
+				off := f.corruptAt - total
+				if off < 0 || off >= n {
+					off = n - 1
+				}
+				chunk[off] ^= 0x04 // flips a digit/letter, keeps it printable-ish
+				f.corrupt = false
+			}
+			if f.stall {
+				f.stall = false
+				time.Sleep(f.stallFor)
+			}
+			if f.partial && total+n > f.partialAfter {
+				keep := f.partialAfter - total
+				if keep < 0 {
+					keep = 0
+				}
+				_, _ = dst.Write(chunk[:keep])
+				abortive(dst)
+				abortive(src)
+				return
+			}
+			if f.resetMid && total+n > f.resetAfter {
+				keep := f.resetAfter - total
+				if keep < 0 {
+					keep = 0
+				}
+				_, _ = dst.Write(chunk[:keep])
+				abortive(dst)
+				abortive(src)
+				return
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+			total += n
+		}
+		if err != nil {
+			halfCloseWrite(dst)
+			return
+		}
+	}
+}
+
+// abortive closes c with RST semantics (SO_LINGER 0) so the peer sees
+// "connection reset", not a clean EOF a parser could mistake for a
+// complete message.
+func abortive(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Close()
+}
+
+// halfCloseWrite propagates EOF without tearing down the read side.
+func halfCloseWrite(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	}
+}

@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes everything back, closing
+// its write side when the client half-closes.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				_, _ = io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+	return ln
+}
+
+// exchange dials the proxy, writes payload, half-closes, and reads the
+// echo back.
+func exchange(t *testing.T, addr string, payload []byte) ([]byte, error) {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Write(payload); err != nil {
+		return nil, err
+	}
+	halfCloseWrite(c)
+	return io.ReadAll(c)
+}
+
+func TestProxyCleanPassThrough(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	p, err := NewProxy("127.0.0.1:0", ln.Addr().String(), nil)
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer p.Close()
+
+	payload := bytes.Repeat([]byte("pathslice "), 100)
+	got, err := exchange(t, p.Addr(), payload)
+	if err != nil {
+		t.Fatalf("exchange: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("clean proxy altered %d bytes", diffBytes(got, payload))
+	}
+}
+
+func TestProxyCorruptsDeterministically(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	run := func() []int {
+		in := New(Config{Seed: 7, Rates: map[Kind]float64{CorruptByte: 1}})
+		p, err := NewProxy("127.0.0.1:0", ln.Addr().String(), in)
+		if err != nil {
+			t.Fatalf("NewProxy: %v", err)
+		}
+		defer p.Close()
+		var diffs []int
+		payload := bytes.Repeat([]byte("pathslice "), 100) // 1000 bytes > any corruptAt
+		for i := 0; i < 4; i++ {
+			got, err := exchange(t, p.Addr(), payload)
+			if err != nil {
+				t.Fatalf("exchange %d: %v", i, err)
+			}
+			if len(got) != len(payload) {
+				t.Fatalf("exchange %d: length changed %d -> %d", i, len(payload), len(got))
+			}
+			d := diffBytes(got, payload)
+			if d != 1 {
+				t.Fatalf("exchange %d: %d bytes corrupted, want exactly 1", i, d)
+			}
+			diffs = append(diffs, firstDiff(got, payload))
+		}
+		return diffs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("corruption offsets not reproducible: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestProxyResetsConnections(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	in := New(Config{Seed: 3, Rates: map[Kind]float64{ConnReset: 1}})
+	p, err := NewProxy("127.0.0.1:0", ln.Addr().String(), in)
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer p.Close()
+
+	payload := bytes.Repeat([]byte("x"), 1000)
+	got, err := exchange(t, p.Addr(), payload)
+	if err == nil && len(got) == len(payload) {
+		t.Fatal("rate-1 reset proxy completed a full exchange")
+	}
+	if in.Injected(ConnReset) == 0 {
+		t.Fatal("no reset recorded")
+	}
+}
+
+func TestProxySetTarget(t *testing.T) {
+	ln1 := echoServer(t)
+	p, err := NewProxy("127.0.0.1:0", ln1.Addr().String(), nil)
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer p.Close()
+
+	if _, err := exchange(t, p.Addr(), []byte("one")); err != nil {
+		t.Fatalf("exchange via target 1: %v", err)
+	}
+	ln1.Close() // old daemon dies
+	ln2 := echoServer(t)
+	defer ln2.Close()
+	p.SetTarget(ln2.Addr().String())
+	got, err := exchange(t, p.Addr(), []byte("two"))
+	if err != nil || string(got) != "two" {
+		t.Fatalf("exchange via new target: %q, %v", got, err)
+	}
+}
+
+func diffBytes(a, b []byte) int {
+	n := 0
+	for i := range a {
+		if i < len(b) && a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func firstDiff(a, b []byte) int {
+	for i := range a {
+		if i < len(b) && a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}

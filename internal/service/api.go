@@ -71,6 +71,12 @@ type SliceTarget struct {
 
 // SliceResponse is the body of a successful POST /v1/slice.
 type SliceResponse struct {
+	// RequestID is the correlation ID of this session: the caller's
+	// X-Request-ID if one was sent, else generated. It is echoed in the
+	// X-Request-ID response header and attached to the session's JSONL
+	// trace event, so a response can be joined against server-side
+	// traces.
+	RequestID string `json:"request_id"`
 	// ProgramFingerprint is the CFA structure hash (cfa
 	// ProgramFingerprint) as 16 hex digits — the key under which the
 	// service retains this program's warm state.
@@ -144,6 +150,8 @@ type CheckTarget struct {
 
 // CheckResponse is the body of a successful POST /v1/check.
 type CheckResponse struct {
+	// RequestID is the session's correlation ID (see SliceResponse).
+	RequestID          string `json:"request_id"`
 	ProgramFingerprint string `json:"program_fingerprint"`
 	// Verdict aggregates the targets: "bug" if any check found a
 	// feasible counterexample, else "undecided" if any check was
@@ -186,13 +194,17 @@ type ReuseStats struct {
 // service refuses with "undecided" rather than ever answering wrong.
 type ErrorResponse struct {
 	// Error is one of "bad_request", "invalid_program",
-	// "invalid_trace", "too_large", "overloaded", "internal", or
+	// "invalid_trace", "too_large", "overloaded", "draining",
+	// "unauthorized", "integrity", "internal", or
 	// "method_not_allowed".
 	Error   string `json:"error"`
 	Message string `json:"message"`
-	// Degraded, Verdict and ExitCode are set on load-shed (503)
-	// responses: verdict "undecided", exit code 4 — the same typed
-	// give-up a deadline expiry produces, never a wrong answer.
+	// RequestID correlates the failure with server-side traces (empty
+	// on errors raised before a session was admitted).
+	RequestID string `json:"request_id,omitempty"`
+	// Degraded, Verdict and ExitCode are set on load-shed and drain
+	// (503) responses: verdict "undecided", exit code 4 — the same
+	// typed give-up a deadline expiry produces, never a wrong answer.
 	Degraded bool   `json:"degraded,omitempty"`
 	Verdict  string `json:"verdict,omitempty"`
 	ExitCode int    `json:"exit_code,omitempty"`
@@ -200,9 +212,12 @@ type ErrorResponse struct {
 	RetryAfterMS int `json:"retry_after_ms,omitempty"`
 }
 
-// HealthResponse is the body of GET /v1/healthz.
+// HealthResponse is the body of GET /v1/healthz. While draining the
+// endpoint answers HTTP 503 with status "draining", so load balancers
+// stop routing to an instance that is finishing its in-flight work.
 type HealthResponse struct {
-	Status   string  `json:"status"` // always "ok" when the daemon can answer
+	Status   string  `json:"status"` // "ok", or "draining" during shutdown
+	Draining bool    `json:"draining,omitempty"`
 	UptimeMS float64 `json:"uptime_ms"`
 }
 
@@ -229,6 +244,29 @@ type StatsResponse struct {
 	InternedNodes   int    `json:"interned_nodes"`
 	InternEpoch     uint64 `json:"intern_epoch"`
 	InternCollected int64  `json:"intern_collected"`
+	// Draining reports that the server has stopped admitting sessions
+	// and is finishing in-flight work (SIGTERM handling).
+	Draining bool `json:"draining"`
+	// Snapshot describes the warm-state snapshot subsystem; nil when
+	// no snapshot path is configured and nothing was restored.
+	Snapshot *SnapshotStats `json:"snapshot,omitempty"`
+}
+
+// SnapshotStats reports the warm-state snapshot subsystem: what boot
+// restored and what the save loop has written (docs/DEPLOYMENT.md).
+type SnapshotStats struct {
+	// RestoredPrograms/Summaries/Verdicts count warm state accepted
+	// from the boot snapshot after verification; DroppedRecords counts
+	// records rejected by it (checksum, fingerprint, or structural
+	// mismatch — each costs a cache miss, never a wrong answer).
+	RestoredPrograms  int64 `json:"restored_programs"`
+	RestoredSummaries int64 `json:"restored_summaries"`
+	RestoredVerdicts  int64 `json:"restored_verdicts"`
+	DroppedRecords    int64 `json:"dropped_records"`
+	// Saves counts snapshot files written (periodic + shutdown);
+	// LastSaveBytes is the size of the newest one.
+	Saves         int64 `json:"saves"`
+	LastSaveBytes int64 `json:"last_save_bytes"`
 }
 
 // SolverCacheStats mirrors the shared smt cache counters on the wire.
@@ -247,6 +285,8 @@ const (
 	VerdictUndecided = "undecided"
 
 	ExitOK        = 0
+	ExitInternal  = 1
+	ExitUsage     = 2
 	ExitBug       = 3
 	ExitUndecided = 4
 )

@@ -1,11 +1,16 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/base64"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"time"
@@ -14,7 +19,28 @@ import (
 	"pathslice/internal/cfa"
 	"pathslice/internal/core"
 	"pathslice/internal/logic"
+	"pathslice/internal/obs"
 	"pathslice/internal/smt"
+)
+
+// Correlation and integrity headers (docs/API.md). Request IDs tie a
+// wire exchange to its JSONL trace events; the checksum headers give
+// end-to-end integrity over untrusted transports — a proxy or network
+// that flips bytes produces a typed, retryable failure instead of a
+// silently altered verdict.
+const (
+	// HeaderRequestID carries the per-session correlation ID. Clients
+	// may supply one (sanitized, truncated to maxRequestIDLen); the
+	// server generates one otherwise, and always echoes it.
+	HeaderRequestID = "X-Request-ID"
+	// HeaderContentSHA256, when a client sends it, is the hex SHA-256
+	// of the request body; a mismatch is rejected 400 "integrity".
+	HeaderContentSHA256 = "X-Content-SHA256"
+	// HeaderChecksumSHA256 is the hex SHA-256 of the response body,
+	// set on every JSON response for clients to verify.
+	HeaderChecksumSHA256 = "X-Checksum-SHA256"
+
+	maxRequestIDLen = 64
 )
 
 // Handler returns the API mux: POST /v1/slice, POST /v1/check,
@@ -34,20 +60,72 @@ func (s *Server) Handler() http.Handler {
 			writeError(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "method_not_allowed", Message: "use GET"})
 			return
 		}
-		writeJSON(w, http.StatusOK, HealthResponse{
-			Status:   "ok",
-			UptimeMS: float64(time.Since(s.start).Microseconds()) / 1000,
-		})
+		// healthz needs no auth token: load balancers and kubelets probe
+		// it, and it discloses only liveness.
+		uptime := float64(time.Since(s.start).Microseconds()) / 1000
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, HealthResponse{
+				Status: "draining", Draining: true, UptimeMS: uptime,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", UptimeMS: uptime})
 	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "method_not_allowed", Message: "use GET"})
 			return
 		}
+		if !s.authorize(w, r) {
+			return
+		}
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	return mux
 }
+
+// authorize enforces the bearer-token check when Config.AuthToken is
+// set. The comparison is constant-time; a failure is a typed 401 the
+// client maps to a non-retryable error.
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.AuthToken == "" {
+		return true
+	}
+	got := r.Header.Get("Authorization")
+	want := "Bearer " + s.cfg.AuthToken
+	if subtle.ConstantTimeCompare([]byte(got), []byte(want)) == 1 {
+		return true
+	}
+	mUnauthorized.Inc()
+	writeError(w, http.StatusUnauthorized, ErrorResponse{
+		Error: "unauthorized", Message: "missing or invalid bearer token",
+	})
+	return false
+}
+
+// requestID returns the session's correlation ID: the client's
+// X-Request-ID if it is clean printable ASCII (truncated to
+// maxRequestIDLen), or a fresh server-generated one.
+func (s *Server) requestID(r *http.Request) string {
+	id := r.Header.Get(HeaderRequestID)
+	ok := id != ""
+	for i := 0; ok && i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			ok = false
+		}
+	}
+	if ok {
+		if len(id) > maxRequestIDLen {
+			id = id[:maxRequestIDLen]
+		}
+		return id
+	}
+	return fmt.Sprintf("%08x-%06d", uint32(s.start.UnixNano()), s.reqSeq.Add(1))
+}
+
+// reqID reads the session's correlation ID back off the response
+// header session() installed; handlers use it to stamp responses.
+func reqID(w http.ResponseWriter) string { return w.Header().Get(HeaderRequestID) }
 
 // session wraps a slice/check handler with the service's admission
 // contract: bounded in-flight sessions (overload sheds with a typed
@@ -56,8 +134,29 @@ func (s *Server) Handler() http.Handler {
 // panics; this is the last resort that keeps one request from taking
 // the daemon down).
 func (s *Server) session(w http.ResponseWriter, r *http.Request, h func(http.ResponseWriter, *http.Request)) {
+	rid := s.requestID(r)
+	w.Header().Set(HeaderRequestID, rid)
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "method_not_allowed", Message: "use POST"})
+		return
+	}
+	if !s.authorize(w, r) {
+		return
+	}
+	if s.draining.Load() {
+		// Draining is the same sound refusal as overload, under its own
+		// typed kind so clients know to retry against a different
+		// replica rather than the same one.
+		s.shed.Add(1)
+		mDrainShed.Inc()
+		writeError(w, http.StatusServiceUnavailable, ErrorResponse{
+			Error:        "draining",
+			Message:      "server is draining; retry elsewhere",
+			Degraded:     true,
+			Verdict:      VerdictUndecided,
+			ExitCode:     ExitUndecided,
+			RetryAfterMS: 500,
+		})
 		return
 	}
 	if !s.tryAcquire() {
@@ -74,11 +173,23 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request, h func(http.Res
 		return
 	}
 	defer s.release()
+	// Registered after admission so Drain waits for admitted sessions
+	// only. A request that passed the draining check just as the flag
+	// flipped may slip past Drain's wait; cmd/slicerd's http.Server
+	// Shutdown (which tracks connections, not sessions) backstops that
+	// sliver.
+	s.sessions.Add(1)
+	defer s.sessions.Done()
 	s.requests.Add(1)
 	mRequests.Inc()
 	start := time.Now()
 	defer func() {
 		mRequestNS.ObserveDuration(time.Since(start))
+		obs.Event("service.request", map[string]any{
+			"request_id": rid,
+			"path":       r.URL.Path,
+			"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
+		})
 		if rec := recover(); rec != nil {
 			writeError(w, http.StatusInternalServerError, ErrorResponse{
 				Error: "internal", Message: fmt.Sprint(rec),
@@ -90,12 +201,15 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request, h func(http.Res
 
 // decode reads one strictly-validated JSON body. Unknown fields are
 // rejected so clients notice typos (and docs/API.md examples must
-// match the wire types exactly).
+// match the wire types exactly). When the client sent an
+// X-Content-SHA256 header, the raw bytes are verified against it
+// before any decoding: a body corrupted in transit is rejected with a
+// typed 400 "integrity" the client treats as retryable, closing the
+// request half of the end-to-end integrity loop.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge, ErrorResponse{
@@ -106,11 +220,32 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad_request", Message: err.Error()})
 		return false
 	}
+	if want := r.Header.Get(HeaderContentSHA256); want != "" {
+		sum := sha256.Sum256(raw)
+		got := hex.EncodeToString(sum[:])
+		if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+			mIntegrityRejects.Inc()
+			writeError(w, http.StatusBadRequest, ErrorResponse{
+				Error:   "integrity",
+				Message: fmt.Sprintf("request body hash %s does not match %s header", got, HeaderContentSHA256),
+			})
+			return false
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad_request", Message: err.Error()})
+		return false
+	}
 	return true
 }
 
-// requestCtx applies the per-request deadline: the client's
-// deadline_ms (clamped to MaxDeadline) or the server default.
+// requestCtx applies the per-request deadline — the client's
+// deadline_ms (clamped to MaxDeadline) or the server default — and
+// links the session to the drain context: when Drain gives up waiting,
+// cancelling drainCtx cancels every linked session, which then answers
+// degraded-but-sound through the PR3 deadline contract.
 func (s *Server) requestCtx(r *http.Request, deadlineMS int) (context.Context, context.CancelFunc) {
 	d := s.cfg.DefaultDeadline
 	if deadlineMS > 0 {
@@ -119,7 +254,9 @@ func (s *Server) requestCtx(r *http.Request, deadlineMS int) (context.Context, c
 	if d > s.cfg.MaxDeadline {
 		d = s.cfg.MaxDeadline
 	}
-	return context.WithTimeout(r.Context(), d)
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	stop := context.AfterFunc(s.drainCtx, cancel)
+	return ctx, func() { stop(); cancel() }
 }
 
 func (s *Server) checkSource(w http.ResponseWriter, src string) bool {
@@ -160,7 +297,7 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	sl := ps.slicer(slicerKey{Early: req.EarlyUnsatStop, Skip: req.SkipFunctions, Summaries: summaries})
 
 	cacheBefore := s.cache.Stats()
-	resp := SliceResponse{ProgramFingerprint: fingerprintHex(ps.fp)}
+	resp := SliceResponse{RequestID: reqID(w), ProgramFingerprint: fingerprintHex(ps.fp)}
 	resp.Reuse.ProgramCacheHit = progHit
 
 	if req.TraceB64 != "" {
@@ -384,7 +521,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// configuration (ROADMAP: gcc-scale item).
 	box := ps.checker(key, s.cache, core.Options{Summaries: true})
 
-	resp := CheckResponse{ProgramFingerprint: fingerprintHex(ps.fp)}
+	resp := CheckResponse{RequestID: reqID(w), ProgramFingerprint: fingerprintHex(ps.fp)}
 	resp.Reuse.ProgramCacheHit = progHit
 	cacheBefore := s.cache.Stats()
 
@@ -450,14 +587,32 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 // ---------------------------------------------------------------------------
 // JSON plumbing
 
+// writeJSON renders v and stamps the response with its body checksum
+// (X-Checksum-SHA256) so clients can detect transport corruption. The
+// body is buffered first — headers must precede it on the wire.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// Wire types marshal by construction; this is unreachable short
+		// of memory corruption, and a 500 beats a half-written body.
+		http.Error(w, "encoding failure", http.StatusInternalServerError)
+		return
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderChecksumSHA256, hex.EncodeToString(sum[:]))
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
 }
 
+// writeError writes a typed error body, stamping it with the session's
+// request ID (installed on the response header by session()) so error
+// responses correlate like successes do.
 func writeError(w http.ResponseWriter, status int, body ErrorResponse) {
+	if body.RequestID == "" {
+		body.RequestID = w.Header().Get(HeaderRequestID)
+	}
 	writeJSON(w, status, body)
 }

@@ -28,6 +28,7 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -57,6 +58,18 @@ var (
 	mPrograms        = obs.Default().Gauge("slicerd_programs")
 	mInternedNodes   = obs.Default().Gauge("slicerd_interned_nodes")
 	mRequestNS       = obs.Default().Histogram("slicerd_request_ns")
+
+	mDraining          = obs.Default().Gauge("slicerd_draining")
+	mDrainShed         = obs.Default().Counter("slicerd_drain_shed_total")
+	mSnapSaves         = obs.Default().Counter("slicerd_snapshot_saves_total")
+	mSnapSaveErrors    = obs.Default().Counter("slicerd_snapshot_save_errors_total")
+	mSnapBytes         = obs.Default().Gauge("slicerd_snapshot_bytes")
+	mSnapRestPrograms  = obs.Default().Counter("slicerd_snapshot_restored_programs_total")
+	mSnapRestSummaries = obs.Default().Counter("slicerd_snapshot_restored_summaries_total")
+	mSnapRestVerdicts  = obs.Default().Counter("slicerd_snapshot_restored_verdicts_total")
+	mSnapDropped       = obs.Default().Counter("slicerd_snapshot_dropped_total")
+	mUnauthorized      = obs.Default().Counter("slicerd_unauthorized_total")
+	mIntegrityRejects  = obs.Default().Counter("slicerd_integrity_rejects_total")
 )
 
 // Config tunes the daemon. Zero values take the defaults below; see
@@ -91,6 +104,17 @@ type Config struct {
 	// GCInterval is the epoch cadence of the background interner GC
 	// loop; 0 disables the loop (callers may drive GCNow themselves).
 	GCInterval time.Duration
+	// SnapshotPath, when set, enables warm-state snapshots: boot
+	// restores from the file (a missing/corrupt/stale file only costs
+	// misses), and SaveSnapshot writes to it atomically.
+	SnapshotPath string
+	// SnapshotInterval, with SnapshotPath set, starts a background loop
+	// that saves periodically; 0 means save only when the caller asks
+	// (cmd/slicerd saves on drain).
+	SnapshotInterval time.Duration
+	// AuthToken, when set, requires `Authorization: Bearer <token>` on
+	// every endpoint except /v1/healthz; failures get a typed 401.
+	AuthToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -137,15 +161,38 @@ type Server struct {
 	stopGC chan struct{}
 	gcDone chan struct{}
 
+	stopSnap chan struct{}
+	snapDone chan struct{}
+
+	// Drain state: draining flips once (no new admissions), sessions
+	// tracks in-flight work, and cancelling drainCtx force-degrades
+	// stragglers through the PR3 deadline contract — they answer
+	// soundly-degraded instead of being cut off mid-write.
+	draining    atomic.Bool
+	sessions    sync.WaitGroup
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+
 	requests        atomic.Int64
 	shed            atomic.Int64
 	degraded        atomic.Int64
 	internCollected atomic.Int64
+	reqSeq          atomic.Int64
+
+	snapRestoredPrograms  atomic.Int64
+	snapRestoredSummaries atomic.Int64
+	snapRestoredVerdicts  atomic.Int64
+	snapDropped           atomic.Int64
+	snapSaves             atomic.Int64
+	snapLastBytes         atomic.Int64
 }
 
 // New builds a Server and, when cfg.GCInterval > 0, starts its
-// background interner GC loop. The obs default registry is enabled so
-// the slicerd_* metrics accumulate.
+// background interner GC loop. With cfg.SnapshotPath set it restores
+// warm state from the snapshot file (restore failures only cost
+// misses) and, with cfg.SnapshotInterval > 0, starts the periodic
+// snapshot-save loop. The obs default registry is enabled so the
+// slicerd_* metrics accumulate.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	obs.Default().SetEnabled(true)
@@ -157,21 +204,93 @@ func New(cfg Config) *Server {
 		progs: make(map[string]*list.Element),
 		order: list.New(),
 	}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+	if cfg.SnapshotPath != "" {
+		// Restore never fails boot: every failure mode — absent file,
+		// version skew, corruption, fingerprint mismatch — degrades to
+		// a cold start for the affected records.
+		_, _ = s.RestoreSnapshot(cfg.SnapshotPath)
+	}
 	if cfg.GCInterval > 0 {
 		s.stopGC = make(chan struct{})
 		s.gcDone = make(chan struct{})
 		go s.gcLoop()
 	}
+	if cfg.SnapshotPath != "" && cfg.SnapshotInterval > 0 {
+		s.stopSnap = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapLoop()
+	}
 	return s
 }
 
-// Close stops the background GC loop; the server remains usable for
-// requests (only periodic collection stops).
+// Close stops the background GC and snapshot loops; the server remains
+// usable for requests (only the periodic work stops).
 func (s *Server) Close() {
 	if s.stopGC != nil {
 		close(s.stopGC)
 		<-s.gcDone
 		s.stopGC = nil
+	}
+	if s.stopSnap != nil {
+		close(s.stopSnap)
+		<-s.snapDone
+		s.stopSnap = nil
+	}
+}
+
+// Draining reports whether the server has stopped admitting sessions.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// StartDrain stops admitting new sessions. In-flight sessions keep
+// running; /v1/healthz flips to 503 "draining" so load balancers
+// route away. Idempotent.
+func (s *Server) StartDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		mDraining.Set(1)
+	}
+}
+
+// Drain performs the graceful-shutdown contract (docs/DEPLOYMENT.md):
+// stop admitting, wait up to timeout for in-flight sessions to finish,
+// then cancel the remainder — through the PR3 deadline threading they
+// come back degraded-but-sound (supersets, weakened verdicts) rather
+// than being cut off mid-answer. It returns true when every session
+// finished within the timeout without being force-degraded.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		s.sessions.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+	}
+	s.drainCancel()
+	// Cancelled sessions unwind at the next solver/walker poll; give
+	// them a bounded grace period so a wedged handler cannot hang
+	// shutdown forever.
+	select {
+	case <-done:
+	case <-time.After(timeout + 2*time.Second):
+	}
+	return false
+}
+
+func (s *Server) snapLoop() {
+	defer close(s.snapDone)
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSnap:
+			return
+		case <-t.C:
+			_ = s.SaveSnapshot(s.cfg.SnapshotPath)
+		}
 	}
 }
 
@@ -232,6 +351,7 @@ func (s *Server) release() {
 type programState struct {
 	key  string // source hash (cache key)
 	fp   uint64 // cfa structural fingerprint (reported on the wire)
+	src  string // exact source text (snapshots recompile from it)
 	prog *cfa.Program
 
 	mu       sync.Mutex
@@ -286,6 +406,7 @@ func (s *Server) program(src string) (*programState, bool, error) {
 	ps := &programState{
 		key:      key,
 		fp:       cfa.ProgramFingerprint(prog),
+		src:      src,
 		prog:     prog,
 		slicers:  make(map[slicerKey]*core.Slicer),
 		checkers: make(map[checkerKey]*checkerBox),
@@ -296,7 +417,14 @@ func (s *Server) program(src string) (*programState, bool, error) {
 		s.order.MoveToFront(el)
 		return el.Value.(*programState), true, nil
 	}
-	s.progs[key] = s.order.PushFront(ps)
+	s.insertProgramLocked(ps)
+	return ps, false, nil
+}
+
+// insertProgramLocked adds ps to the LRU (caller holds s.mu), evicting
+// the oldest entry past capacity.
+func (s *Server) insertProgramLocked(ps *programState) {
+	s.progs[ps.key] = s.order.PushFront(ps)
 	if s.order.Len() > s.cfg.MaxPrograms {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
@@ -304,7 +432,6 @@ func (s *Server) program(src string) (*programState, bool, error) {
 		mProgEvictions.Inc()
 	}
 	mPrograms.Set(int64(s.order.Len()))
-	return ps, false, nil
 }
 
 // slicer returns (building on first use) the program's slicer for the
@@ -373,7 +500,26 @@ func (s *Server) Stats() StatsResponse {
 		InternedNodes:   logic.InternedCount(),
 		InternEpoch:     logic.InternEpoch(),
 		InternCollected: s.internCollected.Load(),
+		Draining:        s.draining.Load(),
+		Snapshot:        s.snapshotStats(),
 	}
+}
+
+// snapshotStats reports the snapshot subsystem, or nil when it has
+// never been touched (no path configured, nothing restored).
+func (s *Server) snapshotStats() *SnapshotStats {
+	st := SnapshotStats{
+		RestoredPrograms:  s.snapRestoredPrograms.Load(),
+		RestoredSummaries: s.snapRestoredSummaries.Load(),
+		RestoredVerdicts:  s.snapRestoredVerdicts.Load(),
+		DroppedRecords:    s.snapDropped.Load(),
+		Saves:             s.snapSaves.Load(),
+		LastSaveBytes:     s.snapLastBytes.Load(),
+	}
+	if s.cfg.SnapshotPath == "" && st == (SnapshotStats{}) {
+		return nil
+	}
+	return &st
 }
 
 // fingerprintHex renders the CFA fingerprint the way the PSTRC header

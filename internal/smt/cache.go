@@ -144,6 +144,67 @@ func (c *Cache) SolveCtx(ctx context.Context, f logic.Formula, lim Limits) Resul
 	return r
 }
 
+// CacheEntry is one exported verdict: the canonical formula key and
+// whether the verdict was Sat (false means Unsat — Unknown is never
+// cached, so never exported). It is the wire/disk form slicerd's
+// warm-state snapshot uses.
+type CacheEntry struct {
+	Key string
+	Sat bool
+}
+
+// Export snapshots every cached verdict, most recently used first
+// within each shard. Safe to call concurrently with lookups.
+func (c *Cache) Export() []CacheEntry {
+	var out []CacheEntry
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for el := sh.order.Front(); el != nil; el = el.Next() {
+			ce := el.Value.(*cacheEntry)
+			out = append(out, CacheEntry{Key: ce.key, Sat: ce.st == StatusSat})
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Restore inserts exported verdicts back into the cache, returning how
+// many were accepted. Entries with empty keys are dropped and existing
+// entries are never overwritten, so restoring can add verdicts (future
+// hits) but never change one: a wrong or stale record costs at most a
+// miss-equivalent (an entry nothing will ever look up), never a wrong
+// answer for a formula the restored process actually queries — keys
+// are canonical serializations, so a key either matches the exact
+// formula it encodes or matches nothing.
+func (c *Cache) Restore(entries []CacheEntry) int {
+	restored := 0
+	for _, e := range entries {
+		if e.Key == "" {
+			continue
+		}
+		st := StatusUnsat
+		if e.Sat {
+			st = StatusSat
+		}
+		sh := c.shard(e.Key)
+		sh.mu.Lock()
+		if _, ok := sh.m[e.Key]; !ok {
+			sh.m[e.Key] = sh.order.PushFront(&cacheEntry{key: e.Key, st: st})
+			if sh.order.Len() > c.perShard {
+				oldest := sh.order.Back()
+				sh.order.Remove(oldest)
+				delete(sh.m, oldest.Value.(*cacheEntry).key)
+				c.evictions.Add(1)
+				mCacheEvictions.Inc()
+			}
+			restored++
+		}
+		sh.mu.Unlock()
+	}
+	return restored
+}
+
 // Stats snapshots the hit/miss/eviction counters and the current entry
 // count.
 func (c *Cache) Stats() CacheStats {

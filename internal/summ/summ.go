@@ -225,6 +225,71 @@ func (t *Table) Insert(sum *Summary, segHash, liveHash uint64) {
 	mMemoBytes.Set(t.bytes)
 }
 
+// Export snapshots every memoized summary. The returned summaries are
+// the table's own (immutable after Insert), so callers may serialize
+// them concurrently with live lookups; slicerd's warm-state snapshot
+// (internal/service) is the intended consumer.
+func (t *Table) Export() []*Summary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Summary, 0, 16)
+	for _, b := range t.entries {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// Restore validates and inserts a deserialized summary, recomputing
+// both key hashes and the TakenOffs fast-apply vector from scratch so
+// nothing stale rides in from the snapshot. It is the summary half of
+// the "a corrupt or stale snapshot can only cause misses" contract: a
+// record that fails any structural check is dropped (the caller counts
+// it), and an accepted record still goes through Lookup's element-wise
+// key verification like any live insert. The caller must have verified
+// the summary against the program it will be used with (slicerd checks
+// the CFA fingerprint and edge-ID range); Restore checks everything
+// internal to the record.
+func (t *Table) Restore(sum *Summary) bool {
+	if sum == nil || sum.Callee == "" || len(sum.EdgeIDs) == 0 {
+		return false
+	}
+	if len(sum.Dec) != len(sum.EdgeIDs) {
+		return false
+	}
+	for _, d := range sum.Dec {
+		if d > DecSkipChain {
+			return false
+		}
+	}
+	// The live context must be sorted and duplicate-free, exactly as
+	// Project emits it, or element-wise comparison against a live
+	// lookup could never match (and a forged order could).
+	for i := 1; i < len(sum.Live); i++ {
+		if !lvalLess(sum.Live[i-1], sum.Live[i]) {
+			return false
+		}
+	}
+	e := sum.Effects
+	if e.TakenAssign < 0 || e.TakenAssume < 0 || e.TakenCall < 0 ||
+		e.TakenReturn < 0 || e.SkippedFrames < 0 || e.SkippedGuardChains < 0 {
+		return false
+	}
+	// Rebuild TakenOffs from the decision vector instead of trusting
+	// the snapshot's copy: the two can then never disagree.
+	sum.TakenOffs = sum.TakenOffs[:0]
+	for off, d := range sum.Dec {
+		if d == DecTaken {
+			sum.TakenOffs = append(sum.TakenOffs, int32(off))
+		}
+	}
+	var segHash uint64
+	for _, id := range sum.EdgeIDs {
+		segHash = HashEdgeID(segHash, id)
+	}
+	t.Insert(sum, segHash, hashLvals(sum.Live))
+	return true
+}
+
 // Len returns the number of memoized contexts.
 func (t *Table) Len() int {
 	t.mu.Lock()
