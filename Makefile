@@ -9,9 +9,9 @@ GO ?= go
 
 RACE_PKGS = ./internal/cegar/ ./internal/client/ ./internal/core/ ./internal/dataflow/ ./internal/faults/ ./internal/logic/ ./internal/obs/ ./internal/service/ ./internal/smt/
 
-.PHONY: check build vet test race fuzz oracle docs-check serve-smoke chaos-smoke bench bench-json bench-diff experiments
+.PHONY: check build vet test race fuzz oracle docs-check serve-smoke chaos-smoke bench bench-json bench-diff farm experiments
 
-check: build vet test race fuzz oracle docs-check serve-smoke chaos-smoke bench-diff
+check: build vet test race fuzz oracle docs-check serve-smoke chaos-smoke bench-diff farm
 
 build:
 	$(GO) build ./...
@@ -71,7 +71,7 @@ bench:
 # corpus statistics). Not part of `make check` — it records numbers;
 # `make bench-diff` gates on them.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR8.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR9.json
 
 # Gate: compares the two newest checked-in BENCH_PR*.json artifacts and
 # fails on a >20% regression of any deterministic metric (wall times
@@ -79,6 +79,17 @@ bench-json:
 # losing its sublinear walked-edge curve. Part of `make check`.
 bench-diff:
 	$(GO) run ./cmd/benchdiff
+
+# Time-budgeted verification farm (docs/PERFORMANCE.md): a planted-
+# regression benchdiff self-test, then iterations of the oracle
+# campaign with the portfolio front-end on and both fuzz targets; with
+# a budget past ~90s each loop also regenerates BENCH_PR9.json in a
+# scratch workspace and benchdiff-gates it against the committed
+# baseline. `make farm FARMTIME=30m` for a soak; the default short
+# burst is part of `make check`.
+FARMTIME ?= 60s
+farm:
+	$(GO) run ./cmd/farm -time $(FARMTIME)
 
 experiments:
 	$(GO) run ./cmd/experiments

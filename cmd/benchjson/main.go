@@ -7,10 +7,12 @@
 // cold-vs-warm service round trip (cross-request reuse counters that
 // `make bench-diff` also gates on), the snapshot-restart comparison
 // (a snapshot-restored server's first request vs a cold server's,
-// also gated), and the oracle campaign's corpus
+// also gated), the portfolio/batch solving comparison (per-strategy
+// win table, batched-vs-serial wall ratio, verdict agreement — all
+// gated), and the oracle campaign's corpus
 // statistics (pairs checked, coverage fingerprints, brute-force
 // minimal-slice agreement). It backs `make bench-json`
-// (output: BENCH_PR8.json), giving performance and test-coverage work
+// (output: BENCH_PR9.json), giving performance and test-coverage work
 // a before/after artifact that diffs more honestly than eyeballing
 // `go test -bench` output. The host fingerprint lets cmd/benchdiff
 // skip wall-time comparisons across different machines while still
@@ -98,6 +100,20 @@ type output struct {
 	// requires the restored request to reuse programs, summaries, and
 	// verdicts, drop nothing, and beat the cold one.
 	SnapshotRestart *snapshotRestartRecord `json:"snapshot_restart"`
+	// Portfolio is the racing-front-end and batched-solving comparison
+	// over the guard-chain query corpus: the per-strategy win table,
+	// verdict agreement with the stateless reference, and the
+	// batched-vs-serial wall ratio. benchdiff requires zero
+	// divergences, a batch ratio of at least 1.5, and the portfolio no
+	// slower than the incremental engine alone beyond noise.
+	Portfolio *portfolioRecord `json:"portfolio"`
+}
+
+// portfolioRecord embeds the win-table comparison and nests the batch
+// run next to it.
+type portfolioRecord struct {
+	bench.PortfolioComparison
+	Batch *bench.BatchComparison `json:"batch"`
 }
 
 // hostFingerprint is intentionally coarse: same OS, architecture, CPU
@@ -131,7 +147,7 @@ func calibrate() float64 {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR8.json", "output path")
+	out := flag.String("out", "BENCH_PR9.json", "output path")
 	scale := flag.Float64("scale", 0.12, "workload scale for the Table 1 profiles")
 	guards := flag.Int("guards", 300, "guard-chain length for the early-unsat-stop comparison")
 	workers := flag.Int("workers", 1, "parallel cluster checks (1 keeps timings comparable)")
@@ -220,6 +236,19 @@ func main() {
 		}
 	}
 
+	// Portfolio and batch comparisons over the same guard-chain length
+	// as the early-stop benchmark, sampled every 12th assume so the
+	// corpus stays call-heavy (~26 queries of growing shared prefix).
+	pc, err := bench.BestPortfolioComparison(*guards, 12, *sweepReps)
+	if err != nil {
+		fatal(err)
+	}
+	bc, err := bench.BestBatchComparison(*guards, 12, *sweepReps)
+	if err != nil {
+		fatal(err)
+	}
+	o.Portfolio = &portfolioRecord{PortfolioComparison: *pc, Batch: bc}
+
 	o.ServiceWarm, err = runServiceWarm()
 	if err != nil {
 		fatal(err)
@@ -245,6 +274,11 @@ func main() {
 	if o.Oracle != nil {
 		fmt.Printf("  %s\n", o.Oracle.Summary())
 	}
+	pf := o.Portfolio
+	fmt.Printf("  portfolio: %d queries, wins icp/inc/scratch %d/%d/%d, %.1fms vs incremental-only %.1fms, %d divergences\n",
+		pf.Queries, pf.WinsICP, pf.WinsIncremental, pf.WinsScratch, pf.PortfolioMS, pf.IncrementalMS, pf.Divergences)
+	fmt.Printf("  batch: serial %.1fms -> batched %.1fms (%.1fx), %d divergences\n",
+		pf.Batch.SerialMS, pf.Batch.BatchedMS, pf.Batch.Ratio, pf.Batch.Divergences)
 	sw := o.ServiceWarm
 	fmt.Printf("  service warm: cold %.1fms -> warm %.1fms (%.1fx), %d solver-cache + %d post-memo hits\n",
 		sw.ColdMS, sw.WarmMS, sw.Speedup, sw.SolverCacheHits, sw.PostMemoHits)

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	pathslice [-long] [-unroll k] [-early] [-skipfns] [-summaries]
-//	          [-trace-file f [-stream]] [-deadline d] [-fault-* ...]
+//	          [-portfolio] [-portfolio-batch] [-trace-file f [-stream]]
+//	          [-deadline d] [-fault-* ...]
 //	          [-trace-out f] [-metrics-addr a] [-v] file.mc
 //
 // The candidate path is found by a data-free graph search (the kind of
@@ -61,6 +62,8 @@ func main() {
 	early := flag.Bool("early", false, "enable the early-unsat-stop optimization (§4.2)")
 	skip := flag.Bool("skipfns", false, "enable the function-skipping optimization (§4.2; loses completeness)")
 	summaries := flag.Bool("summaries", false, "memoize context-keyed callee frame summaries (gcc-scale traces; docs/PERFORMANCE.md)")
+	portfolio := flag.Bool("portfolio", false, "race solver strategies per feasibility query (incremental vs stateless vs interval prefilter; docs/PERFORMANCE.md)")
+	portfolioBatch := flag.Bool("portfolio-batch", false, "defer feasibility verdicts and decide all targets in one batched solver call (shared trace prefixes asserted once)")
 	traceFile := flag.String("trace-file", "", "record each candidate path to this binary trace file (.N suffix per extra target)")
 	stream := flag.Bool("stream", false, "slice by streaming from -trace-file (bounded resident frames) instead of from memory")
 	trace := flag.Bool("trace", false, "print the annotated backward pass (live sets and step locations, like Fig. 1(C))")
@@ -107,8 +110,13 @@ func main() {
 		SkipFunctions:  *skip,
 		Summaries:      *summaries,
 		RecordTrace:    *trace,
+		Portfolio:      *portfolio,
 	})
 	feasible, undecided := 0, 0
+	// -portfolio-batch defers the per-target feasibility verdicts and
+	// decides them all in one grouped solver call after the loop.
+	var batchTargets []*cfa.Loc
+	var batchSlices []cfa.Path
 	for ti, target := range locs {
 		var path cfa.Path
 		if *long {
@@ -179,17 +187,24 @@ func main() {
 			fmt.Printf("  verdict: INFEASIBLE (early stop after %d solver checks)\n", st.SolverChecks)
 			continue
 		}
+		if *portfolioBatch {
+			batchTargets = append(batchTargets, target)
+			batchSlices = append(batchSlices, res.Slice)
+			continue
+		}
 		fr, _ := slicer.CheckFeasibilityCtx(ctx, res.Slice)
-		switch fr.Status {
-		case smt.StatusSat:
-			fmt.Printf("  verdict: FEASIBLE — the error location is reachable (modulo termination)\n")
-			fmt.Printf("  witness state: %v\n", fr.Model)
-			feasible++
-		case smt.StatusUnsat:
-			fmt.Printf("  verdict: INFEASIBLE — this path (and its variants) cannot reach the target\n")
-		default:
-			fmt.Printf("  verdict: UNKNOWN (solver limits, deadline, or injected fault)\n")
-			undecided++
+		printVerdict(fr, &feasible, &undecided)
+	}
+	if len(batchSlices) > 0 {
+		ctx := context.Background()
+		if *deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *deadline)
+			defer cancel()
+		}
+		for i, fr := range slicer.CheckFeasibilityBatchCtx(ctx, batchSlices, nil, 1) {
+			fmt.Printf("%s:", batchTargets[i])
+			printVerdict(fr, &feasible, &undecided)
 		}
 	}
 	if *solverStats {
@@ -204,6 +219,24 @@ func main() {
 		os.Exit(exitUnsafe)
 	case undecided > 0:
 		os.Exit(exitTimeout)
+	}
+}
+
+// printVerdict renders one feasibility result and updates the exit-code
+// tallies (shared by the inline and the batched verdict paths).
+func printVerdict(fr smt.Result, feasible, undecided *int) {
+	switch fr.Status {
+	case smt.StatusSat:
+		fmt.Printf("  verdict: FEASIBLE — the error location is reachable (modulo termination)\n")
+		if fr.Model != nil {
+			fmt.Printf("  witness state: %v\n", fr.Model)
+		}
+		*feasible++
+	case smt.StatusUnsat:
+		fmt.Printf("  verdict: INFEASIBLE — this path (and its variants) cannot reach the target\n")
+	default:
+		fmt.Printf("  verdict: UNKNOWN (solver limits, deadline, or injected fault)\n")
+		*undecided++
 	}
 }
 

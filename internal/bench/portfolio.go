@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/core"
+	"pathslice/internal/logic"
+	"pathslice/internal/smt"
+	"pathslice/internal/wp"
+)
+
+// Portfolio micro-benchmarks (PR 9): the same feasibility-query corpus
+// run through (a) the racing portfolio front-end vs the incremental
+// engine alone, and (b) the batched group solver vs the serial
+// one-query-at-a-time route. Used by cmd/benchjson for the `portfolio`
+// section of BENCH_PR9.json, which `make bench-diff` gates on: zero
+// verdict divergences, the portfolio never slower than incremental-only
+// beyond noise, and the batched route at least 1.5x faster than serial
+// on the call-heavy sweep.
+
+// PortfolioComparison is the win-rate table plus the wall-time and
+// agreement numbers for the racing front-end over a mixed query corpus.
+type PortfolioComparison struct {
+	Queries int `json:"queries"`
+	// Decided counts queries where the stateless reference produced a
+	// definitive verdict; Divergences counts reference-decided queries
+	// where the portfolio disagreed or answered Unknown. Any nonzero
+	// value is a soundness bug, not a performance note.
+	Decided     int `json:"decided"`
+	Divergences int `json:"divergences"`
+	// Per-strategy win counts: which racer produced the verdict.
+	WinsICP         int `json:"wins_icp"`
+	WinsIncremental int `json:"wins_incremental"`
+	WinsScratch     int `json:"wins_scratch"`
+	// PortfolioMS is the corpus wall time through SolvePortfolioCtx;
+	// IncrementalMS is the same corpus through a fresh incremental
+	// solver per query (the strongest single strategy on this shape).
+	PortfolioMS   float64 `json:"portfolio_ms"`
+	IncrementalMS float64 `json:"incremental_ms"`
+}
+
+// BatchComparison is one serial-vs-batched run over the call-heavy
+// prefix-sharing corpus.
+type BatchComparison struct {
+	Queries     int     `json:"queries"`
+	Divergences int     `json:"divergences"`
+	SerialMS    float64 `json:"serial_ms"`
+	BatchedMS   float64 `json:"batched_ms"`
+	// Ratio is SerialMS / BatchedMS: how much the prefix-sharing trie
+	// walk buys over solving the same queries one at a time.
+	Ratio float64 `json:"ratio"`
+}
+
+// portfolioQueries builds the feasibility-query corpus from the
+// guard-chain error path (GuardChainSource): the backward prefix
+// conjunction at every stride-th taken assume, plus the full path. The
+// prefixes are satisfiable (each disequality alone is), the full path
+// is an interval contradiction (x > 1000 inside x < 500) — so the
+// corpus mixes Sat queries of growing size with an ICP-refutable Unsat,
+// and consecutive queries share long conjunct prefixes, exactly like
+// the slice targets the pipeline batches.
+func portfolioQueries(guards, stride int) ([]logic.Formula, error) {
+	prog, path, err := GuardChainSetup(guards)
+	if err != nil {
+		return nil, err
+	}
+	slicer := core.New(prog)
+	enc := wp.NewTraceEncoder(slicer.Prog, slicer.Alias, slicer.Addrs)
+	var fs []logic.Formula
+	var conj []logic.Formula
+	assumes := 0
+	for i := len(path) - 1; i >= 0; i-- {
+		op := path[i].Op
+		conj = append(conj, enc.EncodeOpBackward(op))
+		if op.Kind == cfa.OpAssume {
+			assumes++
+			if assumes%stride == 0 {
+				fs = append(fs, logic.MkAnd(append([]logic.Formula(nil), conj...)...))
+			}
+		}
+	}
+	fs = append(fs, logic.MkAnd(conj...))
+	return fs, nil
+}
+
+// ComparePortfolio runs the corpus through the racing portfolio and
+// through a fresh incremental solver per query, recording per-strategy
+// wins and checking every verdict against the stateless reference.
+func ComparePortfolio(guards, stride int) (*PortfolioComparison, error) {
+	fs, err := portfolioQueries(guards, stride)
+	if err != nil {
+		return nil, err
+	}
+	var lim smt.Limits
+	ctx := context.Background()
+
+	// Reference verdicts first, outside both timed sections.
+	refs := make([]smt.Status, len(fs))
+	for i, f := range fs {
+		refs[i] = smt.SolveCtx(ctx, f, lim).Status
+	}
+
+	cmp := &PortfolioComparison{Queries: len(fs)}
+	t0 := time.Now()
+	for i, f := range fs {
+		r, who := smt.SolvePortfolioDetail(ctx, f, lim)
+		switch who {
+		case smt.StrategyICP:
+			cmp.WinsICP++
+		case smt.StrategyIncremental:
+			cmp.WinsIncremental++
+		case smt.StrategyScratch:
+			cmp.WinsScratch++
+		}
+		if refs[i] == smt.StatusUnknown {
+			continue
+		}
+		cmp.Decided++
+		if r.Status != refs[i] {
+			cmp.Divergences++
+		}
+	}
+	cmp.PortfolioMS = float64(time.Since(t0).Microseconds()) / 1000
+
+	t1 := time.Now()
+	for _, f := range fs {
+		s := smt.NewSolverWithLimits(lim)
+		s.Assert(f)
+		s.CheckCtx(ctx)
+	}
+	cmp.IncrementalMS = float64(time.Since(t1).Microseconds()) / 1000
+	return cmp, nil
+}
+
+// CompareBatch times the call-heavy corpus through the serial
+// per-query portfolio route and through SolveBatchCtx, which shares
+// asserted prefixes across the group on one incremental solver. Both
+// routes run uncached so the comparison times solving, not lookups.
+func CompareBatch(guards, stride int) (*BatchComparison, error) {
+	fs, err := portfolioQueries(guards, stride)
+	if err != nil {
+		return nil, err
+	}
+	var lim smt.Limits
+	ctx := context.Background()
+
+	cmp := &BatchComparison{Queries: len(fs)}
+	t0 := time.Now()
+	serial := make([]smt.Result, len(fs))
+	for i, f := range fs {
+		serial[i] = smt.SolvePortfolioCtx(ctx, f, lim)
+	}
+	cmp.SerialMS = float64(time.Since(t0).Microseconds()) / 1000
+
+	t1 := time.Now()
+	batched := smt.SolveBatchCtx(ctx, fs, smt.BatchOptions{Lim: lim})
+	cmp.BatchedMS = float64(time.Since(t1).Microseconds()) / 1000
+
+	for i := range fs {
+		if serial[i].Status == smt.StatusUnknown || batched[i].Status == smt.StatusUnknown {
+			continue
+		}
+		if serial[i].Status != batched[i].Status {
+			cmp.Divergences++
+		}
+	}
+	if cmp.BatchedMS > 0 {
+		cmp.Ratio = cmp.SerialMS / cmp.BatchedMS
+	}
+	return cmp, nil
+}
+
+// BestPortfolioComparison runs ComparePortfolio reps times and keeps
+// the fastest timing of each side; the deterministic columns (queries,
+// wins, divergences) must agree across repetitions.
+func BestPortfolioComparison(guards, stride, reps int) (*PortfolioComparison, error) {
+	best, err := ComparePortfolio(guards, stride)
+	if err != nil {
+		return nil, err
+	}
+	for r := 1; r < reps; r++ {
+		again, err := ComparePortfolio(guards, stride)
+		if err != nil {
+			return nil, err
+		}
+		if again.Queries != best.Queries || again.Divergences != best.Divergences {
+			return nil, fmt.Errorf("bench: portfolio comparison not deterministic: %+v vs %+v", again, best)
+		}
+		if again.PortfolioMS < best.PortfolioMS {
+			best.PortfolioMS = again.PortfolioMS
+			best.WinsICP, best.WinsIncremental, best.WinsScratch =
+				again.WinsICP, again.WinsIncremental, again.WinsScratch
+		}
+		if again.IncrementalMS < best.IncrementalMS {
+			best.IncrementalMS = again.IncrementalMS
+		}
+	}
+	return best, nil
+}
+
+// BestBatchComparison is CompareBatch, best-of-reps per side.
+func BestBatchComparison(guards, stride, reps int) (*BatchComparison, error) {
+	best, err := CompareBatch(guards, stride)
+	if err != nil {
+		return nil, err
+	}
+	for r := 1; r < reps; r++ {
+		again, err := CompareBatch(guards, stride)
+		if err != nil {
+			return nil, err
+		}
+		if again.Queries != best.Queries || again.Divergences != best.Divergences {
+			return nil, fmt.Errorf("bench: batch comparison not deterministic: %+v vs %+v", again, best)
+		}
+		if again.SerialMS < best.SerialMS {
+			best.SerialMS = again.SerialMS
+		}
+		if again.BatchedMS < best.BatchedMS {
+			best.BatchedMS = again.BatchedMS
+		}
+	}
+	if best.BatchedMS > 0 {
+		best.Ratio = best.SerialMS / best.BatchedMS
+	}
+	return best, nil
+}

@@ -1,0 +1,42 @@
+package bench
+
+import "testing"
+
+// The portfolio micro-benchmarks back the BENCH_PR9.json `portfolio`
+// section; these tests pin their correctness properties (agreement,
+// corpus shape, batch advantage) at a small scale so `go test` stays
+// fast — the artifact run uses larger corpora.
+
+func TestComparePortfolioAgrees(t *testing.T) {
+	cmp, err := ComparePortfolio(60, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Divergences != 0 {
+		t.Fatalf("portfolio diverged from the stateless reference on %d/%d queries", cmp.Divergences, cmp.Decided)
+	}
+	if cmp.Decided == 0 {
+		t.Fatal("corpus degenerate: reference decided nothing")
+	}
+	if wins := cmp.WinsICP + cmp.WinsIncremental + cmp.WinsScratch; wins != cmp.Queries {
+		t.Fatalf("win table covers %d of %d queries — some query went Unknown", wins, cmp.Queries)
+	}
+}
+
+func TestCompareBatchAgreesAndShares(t *testing.T) {
+	cmp, err := CompareBatch(60, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Divergences != 0 {
+		t.Fatalf("batched route diverged from serial on %d/%d queries", cmp.Divergences, cmp.Queries)
+	}
+	if cmp.Queries < 10 {
+		t.Fatalf("corpus too small to be call-heavy: %d queries", cmp.Queries)
+	}
+	// The timing gate itself lives in benchdiff over the artifact run;
+	// here just require the batch not to be pathologically slower.
+	if cmp.Ratio != 0 && cmp.Ratio < 0.5 {
+		t.Fatalf("batched route %.2fx vs serial — prefix sharing is not engaging", cmp.Ratio)
+	}
+}

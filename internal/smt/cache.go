@@ -96,22 +96,44 @@ func (c *Cache) SolveWithLimits(f logic.Formula, lim Limits) Result {
 // StatusUnknown and is never stored, so a timeout can never poison the
 // cache with a wrong verdict.
 func (c *Cache) SolveCtx(ctx context.Context, f logic.Formula, lim Limits) Result {
+	return c.solveVia(ctx, f, lim, SolveCtx)
+}
+
+// SolvePortfolioCtx is SolveCtx with the portfolio front-end as the
+// decision procedure: same canonical keys, same lookup and store path,
+// so a portfolio-populated cache is interchangeable with a
+// SolveCtx-populated one.
+func (c *Cache) SolvePortfolioCtx(ctx context.Context, f logic.Formula, lim Limits) Result {
+	return c.solveVia(ctx, f, lim, SolvePortfolioCtx)
+}
+
+// solveVia is the shared cache path: canonical-key lookup, the
+// CacheEvict fault draw, one decision-procedure run on miss, and a
+// definitive-verdicts-only store.
+func (c *Cache) solveVia(ctx context.Context, f logic.Formula, lim Limits, solve func(context.Context, logic.Formula, Limits) Result) Result {
 	key := logic.Key(f)
-	sh := c.shard(key)
 	// Fault injection (docs/ROBUSTNESS.md): drop the entry before the
 	// lookup, forcing a re-solve through the concurrent-eviction path.
 	// Harmless for correctness — only Sat/Unsat verdicts are cached
 	// and re-solving rederives them.
 	if faults.Should(faults.CacheEvict) {
-		sh.mu.Lock()
-		if el, ok := sh.m[key]; ok {
-			sh.order.Remove(el)
-			delete(sh.m, key)
-			c.evictions.Add(1)
-			mCacheEvictions.Inc()
-		}
-		sh.mu.Unlock()
+		c.evict(key)
 	}
+	if st, ok := c.peek(key); ok {
+		return Result{Status: st}
+	}
+	r := solve(ctx, f, lim)
+	if r.Status != StatusUnknown {
+		c.store(key, r.Status)
+	}
+	return r
+}
+
+// peek looks key up, counting a hit or a miss. The batch solver uses it
+// to pre-filter batches so its hit/miss accounting matches the serial
+// path exactly.
+func (c *Cache) peek(key string) (Status, bool) {
+	sh := c.shard(key)
 	sh.mu.Lock()
 	if el, ok := sh.m[key]; ok {
 		sh.order.MoveToFront(el)
@@ -119,19 +141,21 @@ func (c *Cache) SolveCtx(ctx context.Context, f logic.Formula, lim Limits) Resul
 		sh.mu.Unlock()
 		c.hits.Add(1)
 		mCacheHits.Inc()
-		return Result{Status: st}
+		return st, true
 	}
 	sh.mu.Unlock()
-
 	c.misses.Add(1)
 	mCacheMisses.Inc()
-	r := SolveCtx(ctx, f, lim)
-	if r.Status == StatusUnknown {
-		return r
-	}
+	return StatusUnknown, false
+}
+
+// store inserts a definitive verdict (callers must not pass Unknown),
+// evicting the shard's LRU entry when over capacity.
+func (c *Cache) store(key string, st Status) {
+	sh := c.shard(key)
 	sh.mu.Lock()
 	if _, ok := sh.m[key]; !ok {
-		sh.m[key] = sh.order.PushFront(&cacheEntry{key: key, st: r.Status})
+		sh.m[key] = sh.order.PushFront(&cacheEntry{key: key, st: st})
 		if sh.order.Len() > c.perShard {
 			oldest := sh.order.Back()
 			sh.order.Remove(oldest)
@@ -141,7 +165,19 @@ func (c *Cache) SolveCtx(ctx context.Context, f logic.Formula, lim Limits) Resul
 		}
 	}
 	sh.mu.Unlock()
-	return r
+}
+
+// evict drops key if present (the CacheEvict fault path).
+func (c *Cache) evict(key string) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.m[key]; ok {
+		sh.order.Remove(el)
+		delete(sh.m, key)
+		c.evictions.Add(1)
+		mCacheEvictions.Inc()
+	}
+	sh.mu.Unlock()
 }
 
 // CacheEntry is one exported verdict: the canonical formula key and
@@ -236,4 +272,14 @@ func CachedSolveCtx(ctx context.Context, c *Cache, f logic.Formula, lim Limits) 
 		return SolveCtx(ctx, f, lim)
 	}
 	return c.SolveCtx(ctx, f, lim)
+}
+
+// CachedSolvePortfolioCtx is CachedSolveCtx with the portfolio
+// front-end as the decision procedure; a nil cache falls back to
+// SolvePortfolioCtx directly.
+func CachedSolvePortfolioCtx(ctx context.Context, c *Cache, f logic.Formula, lim Limits) Result {
+	if c == nil {
+		return SolvePortfolioCtx(ctx, f, lim)
+	}
+	return c.SolvePortfolioCtx(ctx, f, lim)
 }

@@ -46,8 +46,8 @@ func convertICPAtom(a LinAtom) (icpAtom, bool) {
 // incICP is the persistent propagation state.
 type incICP struct {
 	atoms  []icpAtom
-	byVar  map[string][]int     // var -> indices of atoms mentioning it
-	bounds map[string]interval  // missing = [-icpInf, icpInf]
+	byVar  map[string][]int    // var -> indices of atoms mentioning it
+	bounds map[string]interval // missing = [-icpInf, icpInf]
 }
 
 func newIncICP() *incICP {

@@ -1,0 +1,266 @@
+package smt
+
+import (
+	"context"
+	"time"
+
+	"pathslice/internal/logic"
+	"pathslice/internal/obs"
+)
+
+// Portfolio solving: no single strategy wins on every query shape the
+// pipeline produces. The warm incremental engine dominates long
+// conjunctive prefixes, the from-scratch case-splitting solver wins on
+// disjunctive structure (where the incremental engine would pay for a
+// conjunctive attempt and then fall back anyway), and a bare interval
+// propagation pass refutes many trace contradictions before either
+// engine has built a tableau. The Portfolio front-end races all three
+// per query — staggered, with the incremental engine launching first
+// and the prefilter and scratch engine joining only when it does not
+// settle promptly — and returns the first *sound* answer:
+//
+//   - Unknown never beats a definite verdict: a strategy that gives up
+//     (limits, cancellation, injected fault) just drops out of the
+//     race; the portfolio answers Unknown only when every strategy
+//     does.
+//   - Losers are cancelled through the shared context (the PR 3
+//     plumbing): the first definitive answer cancels the race context,
+//     the losing strategy unwinds at its next cancellation point, and
+//     SolvePortfolioCtx does not return until both racers have — no
+//     goroutine outlives the call.
+//   - Soundness needs no arbitration: every strategy is individually
+//     sound (Unsat exact, Sat model-validated), so whichever answers
+//     first answers correctly; the differential harness in
+//     portfolio_test.go re-proves agreement with the stateless solver.
+//
+// Cache semantics are preserved by construction: Cache.SolvePortfolioCtx
+// routes portfolio results through the same canonical logic.Key lookup
+// and only stores definitive verdicts, so a portfolio-populated cache
+// is indistinguishable from a SolveCtx-populated one.
+
+// Strategy names, as reported by SolvePortfolioDetail and counted by
+// the smt_portfolio_wins_*_total metrics.
+const (
+	StrategyIncremental = "incremental"
+	StrategyScratch     = "scratch"
+	StrategyICP         = "icp"
+)
+
+// Portfolio is the racing front-end over the solver strategies. The
+// zero value is ready to use; Cache, when set, is consulted before
+// racing and definitive verdicts are stored back under the same
+// canonical keys the rest of the pipeline uses.
+type Portfolio struct {
+	Cache *Cache
+	Lim   Limits
+}
+
+// SolveCtx decides f through the portfolio (and the cache, when one is
+// configured).
+func (p *Portfolio) SolveCtx(ctx context.Context, f logic.Formula) Result {
+	if p.Cache != nil {
+		return p.Cache.SolvePortfolioCtx(ctx, f, p.Lim)
+	}
+	return SolvePortfolioCtx(ctx, f, p.Lim)
+}
+
+// SolveBatchCtx decides the batch through the grouping/prefix-sharing
+// batch solver (batch.go), sharing the portfolio's cache and limits.
+func (p *Portfolio) SolveBatchCtx(ctx context.Context, fs []logic.Formula, workers int) []Result {
+	return SolveBatchCtx(ctx, fs, BatchOptions{Workers: workers, Cache: p.Cache, Lim: p.Lim})
+}
+
+// SolvePortfolioCtx decides satisfiability of f by racing the solver
+// strategies under ctx. The verdict contract matches SolveCtx exactly:
+// Unsat is exact, Sat carries a validated model, Unknown only on
+// limits, cancellation, or injected faults — and only when every
+// strategy degraded.
+func SolvePortfolioCtx(ctx context.Context, f logic.Formula, lim Limits) Result {
+	r, _ := SolvePortfolioDetail(ctx, f, lim)
+	return r
+}
+
+// SolvePortfolioDetail is SolvePortfolioCtx, also reporting which
+// strategy produced the verdict ("" when every strategy answered
+// Unknown). The benchmark suite uses it to build the win-rate table in
+// docs/PERFORMANCE.md.
+func SolvePortfolioDetail(ctx context.Context, f logic.Formula, lim Limits) (Result, string) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	lim = lim.withDefaults()
+	if lim.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lim.Deadline)
+		defer cancel()
+	}
+	// The race context carries the deadline; the strategies must not
+	// start their own timers on top of it.
+	slim := lim
+	slim.Deadline = 0
+
+	// The PR 3 degradation contract first: a cancelled or expired
+	// context answers Unknown before any strategy runs. The ICP
+	// prefilter could still soundly refute f here, but "an expired
+	// clock proves nothing" is the invariant every layer above relies
+	// on (docs/ROBUSTNESS.md), and the portfolio must not weaken it.
+	if ctx.Err() != nil {
+		mDeadlineExceeded.Inc()
+		return Result{Status: StatusUnknown}, ""
+	}
+
+	// The race is staggered, not simultaneous. The incremental engine
+	// is the favored racer on the query shapes the pipeline produces,
+	// and on a single core a simultaneous launch makes every easy query
+	// pay for every strategy — the prefilter's linearization alone
+	// costs about as much as a full incremental solve on a long trace
+	// conjunction. So the incremental engine launches alone; only when
+	// it has neither answered nor given up within the stagger window do
+	// the interval prefilter (synchronously — it is fast and cannot
+	// stall) and then the scratch engine join the race. Hard, stalled,
+	// and given-up queries still get all three strategies; easy ones
+	// cost exactly one engine. The channel is buffered so a loser can
+	// always deliver its answer and exit even after the winner has been
+	// chosen.
+	type answer struct {
+		r   Result
+		who string
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan answer, 2)
+	spawned := 1
+	go func() {
+		s := NewSolverWithLimits(slim)
+		s.Assert(f)
+		ch <- answer{s.CheckCtx(raceCtx), StrategyIncremental}
+	}()
+	scratch := func() {
+		ch <- answer{SolveCtx(raceCtx, f, slim), StrategyScratch}
+	}
+	stagger := time.NewTimer(portfolioStagger)
+	defer stagger.Stop()
+
+	var win answer
+	icpTried := false
+	// escalate runs once, when the favored engine proves slow or gives
+	// up: first the interval prefilter (a refutation is an exact Unsat
+	// and wins on the spot), then the scratch engine joins the race.
+	escalate := func() {
+		if !icpTried {
+			icpTried = true
+			if icpRefutes(f) && win.who == "" {
+				sp := obs.StartSpan(obs.PhaseSMT)
+				mSolves.Inc()
+				mUnsat.Inc()
+				sp.End()
+				win = answer{Result{Status: StatusUnsat}, StrategyICP}
+				cancel()
+				mPortfolioWins.Inc()
+				mPortfolioWinsICP.Inc()
+			}
+		}
+		if win.who == "" && spawned < 2 {
+			spawned = 2
+			go scratch()
+		}
+	}
+	for received := 0; received < spawned; {
+		select {
+		case a := <-ch:
+			received++
+			switch {
+			case a.r.Status != StatusUnknown && win.who == "":
+				win = a
+				// First definitive answer: cancel any loser and keep
+				// draining so no goroutine outlives this call.
+				cancel()
+				mPortfolioWins.Inc()
+				portfolioWinCounter(a.who).Inc()
+			case win.who != "":
+				// The race was already decided; this strategy lost.
+				mPortfolioCancelled.Inc()
+				portfolioCancelledCounter(a.who).Inc()
+			default:
+				escalate()
+			}
+		case <-stagger.C:
+			escalate()
+		}
+	}
+	if win.who != "" {
+		return win.r, win.who
+	}
+	return Result{Status: StatusUnknown}, ""
+}
+
+// portfolioStagger is the escalation delay: long enough that queries
+// the incremental engine settles immediately (the vast majority) never
+// pay for a second strategy, short enough to be noise against any
+// query hard enough to need the race.
+const portfolioStagger = 2 * time.Millisecond
+
+func portfolioWinCounter(who string) *obs.Counter {
+	switch who {
+	case StrategyIncremental:
+		return mPortfolioWinsIncremental
+	case StrategyICP:
+		return mPortfolioWinsICP
+	default:
+		return mPortfolioWinsScratch
+	}
+}
+
+func portfolioCancelledCounter(who string) *obs.Counter {
+	if who == StrategyIncremental {
+		return mPortfolioCancelledIncremental
+	}
+	return mPortfolioCancelledScratch
+}
+
+// icpRefutes runs the interval-only prefilter: it linearizes the
+// query's top-level conjuncts (skipping disjunctive structure and
+// deferred disequalities, which only make the conjunction harder to
+// satisfy) and propagates integer bounds. A true result is an exact
+// Unsat; false decides nothing.
+func icpRefutes(f logic.Formula) bool {
+	atoms, contradiction := conjunctiveAtoms(f)
+	if contradiction {
+		return true
+	}
+	if len(atoms) == 0 {
+		return false
+	}
+	return icpCheck(atoms, 0) == StatusUnsat
+}
+
+// conjunctiveAtoms collects the linear atoms of f's top-level
+// conjunction (after simplification and NNF), abstracting nonlinear
+// subterms exactly like the real engines do. A literal false conjunct
+// is reported separately — icpCheck propagates per variable, so a
+// variable-free contradiction would slip through it.
+func conjunctiveAtoms(f logic.Formula) ([]LinAtom, bool) {
+	lin := newLinearizer()
+	var atoms []LinAtom
+	contradiction := false
+	var walk func(g logic.Formula)
+	walk = func(g logic.Formula) {
+		switch g := g.(type) {
+		case logic.Bool:
+			if !g.V {
+				contradiction = true
+			}
+		case logic.And:
+			for _, h := range g.Fs {
+				walk(h)
+			}
+		case logic.Cmp:
+			r := lin.cmp(g)
+			if len(r.split) != 2 {
+				atoms = append(atoms, r.atoms...)
+			}
+		}
+	}
+	walk(logic.NNF(logic.Simplify(f)))
+	return atoms, contradiction
+}

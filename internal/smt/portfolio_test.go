@@ -1,0 +1,345 @@
+package smt
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"pathslice/internal/faults"
+	"pathslice/internal/logic"
+)
+
+// Portfolio test suite (ISSUE 9 satellites): differential parity with
+// the stateless solver (the PR 4 harness generator, >=1000 checks over
+// >=5 seeds), batch parity and cache population, goroutine-leak and
+// shared-cache races (make race covers this package), and the
+// stall-injection scenario where the interval prefilter must win past
+// hung engine strategies.
+
+// portfolioLim mirrors the differential harness limits: small enough
+// to exercise give-ups, large enough to decide most queries.
+var portfolioLim = Limits{MaxLeaves: 400, MaxBBDepth: 16, MaxModels: 8}
+
+// TestDifferentialPortfolioVsScratch: on randomly generated assertion
+// sets, the portfolio verdict must be bit-identical to the stateless
+// SolveCtx verdict whenever the latter decides — and the portfolio
+// must never answer Unknown where scratch decided (one of its racers
+// IS the scratch solver, and Unknown never beats a definite verdict).
+func TestDifferentialPortfolioVsScratch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness is slow")
+	}
+	const perSeed = 220
+	seeds := []int64{1, 2, 3, 4, 5}
+	total, decided := 0, 0
+	for _, seed := range seeds {
+		g := &diffGen{r: rand.New(rand.NewSource(seed))}
+		for seq := 0; seq < perSeed; seq++ {
+			n := 1 + g.r.Intn(6)
+			fs := make([]logic.Formula, n)
+			for i := range fs {
+				fs[i] = g.assertion()
+			}
+			f := logic.MkAnd(fs...)
+			total++
+			rs := SolveCtx(context.Background(), f, portfolioLim)
+			rp := SolvePortfolioCtx(context.Background(), f, portfolioLim)
+			if rs.Status == StatusUnknown {
+				continue
+			}
+			decided++
+			if rp.Status == StatusUnknown {
+				t.Fatalf("seed %d seq %d: portfolio Unknown where scratch decided %v\nf: %v",
+					seed, seq, rs.Status, f)
+			}
+			if rp.Status != rs.Status {
+				t.Fatalf("seed %d seq %d: portfolio %v vs scratch %v\nf: %v",
+					seed, seq, rp.Status, rs.Status, f)
+			}
+		}
+	}
+	if total < 1000 {
+		t.Fatalf("harness too small: only %d checks executed", total)
+	}
+	if decided == 0 {
+		t.Fatal("harness degenerate: no decided comparisons")
+	}
+	t.Logf("%d portfolio checks compared, %d decided by scratch", total, decided)
+}
+
+// TestPortfolioBatchParity: SolveBatchCtx must agree with per-query
+// SolveCtx on every scratch-decided query — across worker counts and
+// with or without a cache — and a second batched run over a populated
+// cache must be answered entirely from it.
+func TestPortfolioBatchParity(t *testing.T) {
+	g := &diffGen{r: rand.New(rand.NewSource(11))}
+	var fs []logic.Formula
+	for i := 0; i < 120; i++ {
+		n := 1 + g.r.Intn(6)
+		conj := make([]logic.Formula, n)
+		for j := range conj {
+			conj[j] = g.assertion()
+		}
+		fs = append(fs, logic.MkAnd(conj...))
+	}
+	ref := make([]Result, len(fs))
+	for i, f := range fs {
+		ref[i] = SolveCtx(context.Background(), f, portfolioLim)
+	}
+	for _, workers := range []int{1, 3} {
+		for _, withCache := range []bool{false, true} {
+			var cache *Cache
+			if withCache {
+				cache = NewCache(0)
+			}
+			opt := BatchOptions{Workers: workers, Cache: cache, Lim: portfolioLim}
+			got := SolveBatchCtx(context.Background(), fs, opt)
+			if len(got) != len(fs) {
+				t.Fatalf("workers=%d cache=%v: %d results for %d queries", workers, withCache, len(got), len(fs))
+			}
+			for i := range fs {
+				if ref[i].Status == StatusUnknown {
+					continue
+				}
+				if got[i].Status == StatusUnknown {
+					t.Fatalf("workers=%d cache=%v query %d: batch Unknown where scratch decided %v",
+						workers, withCache, i, ref[i].Status)
+				}
+				if got[i].Status != ref[i].Status {
+					t.Fatalf("workers=%d cache=%v query %d: batch %v vs scratch %v\nf: %v",
+						workers, withCache, i, got[i].Status, ref[i].Status, fs[i])
+				}
+			}
+			if !withCache {
+				continue
+			}
+			// The batch must have stored its definitive verdicts under
+			// the canonical keys: a re-run misses only on queries that
+			// stayed Unknown (Unknown is never cached).
+			unknowns := int64(0)
+			for i := range fs {
+				if got[i].Status == StatusUnknown {
+					unknowns++
+				}
+			}
+			before := cache.Stats()
+			again := SolveBatchCtx(context.Background(), fs, opt)
+			after := cache.Stats()
+			for i := range fs {
+				if got[i].Status != StatusUnknown && again[i].Status != got[i].Status {
+					t.Fatalf("rerun query %d flipped %v -> %v", i, got[i].Status, again[i].Status)
+				}
+			}
+			if misses := after.Misses - before.Misses; misses > unknowns {
+				t.Fatalf("rerun over a populated cache took %d misses, want <= %d (the Unknowns)",
+					misses, unknowns)
+			}
+			if after.Hits <= before.Hits {
+				t.Fatal("rerun over a populated cache recorded no hits")
+			}
+		}
+	}
+}
+
+// TestPortfolioCacheInterchangeable: a cache populated through the
+// portfolio front-end must serve the plain SolveCtx path (and vice
+// versa) — same canonical keys, same definitive-only storage.
+func TestPortfolioCacheInterchangeable(t *testing.T) {
+	cache := NewCache(0)
+	sat := eq(v("x"), c(7))
+	unsat := logic.MkAnd(eq(v("x"), c(1)), eq(v("x"), c(2)))
+
+	if st := CachedSolvePortfolioCtx(context.Background(), cache, sat, portfolioLim).Status; st != StatusSat {
+		t.Fatalf("portfolio solve: got %v, want Sat", st)
+	}
+	if st := CachedSolvePortfolioCtx(context.Background(), cache, unsat, portfolioLim).Status; st != StatusUnsat {
+		t.Fatalf("portfolio solve: got %v, want Unsat", st)
+	}
+	before := cache.Stats()
+	if st := CachedSolveCtx(context.Background(), cache, sat, portfolioLim).Status; st != StatusSat {
+		t.Fatalf("plain solve after portfolio population: got %v, want Sat", st)
+	}
+	if st := CachedSolveCtx(context.Background(), cache, unsat, portfolioLim).Status; st != StatusUnsat {
+		t.Fatalf("plain solve after portfolio population: got %v, want Unsat", st)
+	}
+	after := cache.Stats()
+	if after.Hits-before.Hits != 2 || after.Misses != before.Misses {
+		t.Fatalf("plain solves over a portfolio-populated cache: %d hits, %d misses (want 2 hits, 0 misses)",
+			after.Hits-before.Hits, after.Misses-before.Misses)
+	}
+}
+
+// TestPortfolioConcurrentSharedCache hammers one shared cache with
+// portfolio queries from many goroutines; every verdict must match the
+// serial reference. The race detector (make race) checks the locking;
+// Unknown is tolerated only where the reference also gave up.
+func TestPortfolioConcurrentSharedCache(t *testing.T) {
+	g := &diffGen{r: rand.New(rand.NewSource(23))}
+	var fs []logic.Formula
+	refs := make(map[int]Status)
+	for i := 0; i < 24; i++ {
+		f := logic.MkAnd(g.assertion(), g.assertion())
+		fs = append(fs, f)
+		refs[i] = SolveCtx(context.Background(), f, portfolioLim).Status
+	}
+	cache := NewCache(0)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(100 + w)))
+			for n := 0; n < 40; n++ {
+				i := r.Intn(len(fs))
+				st := CachedSolvePortfolioCtx(context.Background(), cache, fs[i], portfolioLim).Status
+				if st != StatusUnknown && refs[i] != StatusUnknown && st != refs[i] {
+					select {
+					case errs <- fmt.Sprintf("worker %d query %d: got %v, want %v", w, i, st, refs[i]):
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+}
+
+// TestPortfolioNoGoroutineLeak: after a burst of portfolio solves —
+// including races where one strategy loses and is cancelled — the
+// goroutine count must return to baseline. SolvePortfolioCtx drains
+// both racers before returning, so any leak here is a real one.
+func TestPortfolioNoGoroutineLeak(t *testing.T) {
+	g := &diffGen{r: rand.New(rand.NewSource(31))}
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		f := logic.MkAnd(g.assertion(), g.assertion(), g.assertion())
+		SolvePortfolioCtx(context.Background(), f, portfolioLim)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestPortfolioWinsPastStalledStrategies: with SolverStall injected at
+// rate 1.0 and a 10s stall, both engine strategies hang — but the
+// interval prefilter (which takes no fault draws: it is the cheap
+// redundant check the faults model stresses, not a solver call) must
+// still refute interval-contradictory queries within the deadline,
+// and fast.
+func TestPortfolioWinsPastStalledStrategies(t *testing.T) {
+	prev := faults.Install(faults.New(faults.Config{
+		Seed:  7,
+		Rates: map[faults.Kind]float64{faults.SolverStall: 1},
+		Stall: 10 * time.Second,
+	}))
+	defer faults.Install(prev)
+
+	// x <= 0 && x >= 1 && y = x+1: an interval contradiction.
+	f := logic.MkAnd(
+		le(v("x"), c(0)),
+		ge(v("x"), c(1)),
+		eq(v("y"), logic.Bin{Op: logic.OpAdd, X: v("x"), Y: c(1)}),
+	)
+	lim := portfolioLim
+	lim.Deadline = 2 * time.Second
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		r, who := SolvePortfolioDetail(context.Background(), f, lim)
+		if r.Status != StatusUnsat {
+			t.Fatalf("query %d: got %v (winner %q), want Unsat from the prefilter", i, r.Status, who)
+		}
+		if who != StrategyICP {
+			t.Fatalf("query %d: winner %q, want %q (engines are stalled)", i, who, StrategyICP)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("20 prefilter wins took %v — the stalled engines were on the critical path", elapsed)
+	}
+}
+
+// TestPortfolioStalledSatDecidesWithinDeadline: a satisfiable query the
+// prefilter cannot refute forces the race; with a short injected stall
+// on every engine draw, the portfolio must still decide well within
+// the deadline (the stall is concurrent across strategies, and a
+// stalled strategy resumes and answers).
+func TestPortfolioStalledSatDecidesWithinDeadline(t *testing.T) {
+	prev := faults.Install(faults.New(faults.Config{
+		Seed:  9,
+		Rates: map[faults.Kind]float64{faults.SolverStall: 1},
+		Stall: 150 * time.Millisecond,
+	}))
+	defer faults.Install(prev)
+
+	lim := portfolioLim
+	lim.Deadline = 5 * time.Second
+	const queries = 5
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		f := logic.MkAnd(eq(v("x"), c(int64(i))), le(v("y"), c(int64(i+3))))
+		if st := SolvePortfolioCtx(context.Background(), f, lim).Status; st != StatusSat {
+			t.Fatalf("query %d: got %v, want Sat within deadline despite stalls", i, st)
+		}
+	}
+	// Each query pays at most ~one stall window (strategies stall
+	// concurrently, not in sequence); 5 queries must come in far under
+	// 5 sequential stalls per query.
+	if elapsed := time.Since(start); elapsed > queries*400*time.Millisecond {
+		t.Fatalf("%d stalled-sat queries took %v — stalls compounded across strategies", queries, elapsed)
+	}
+}
+
+// TestPortfolioDeadlineProvesNothing: the PR 3 contract — an expired
+// context answers Unknown even when the prefilter could refute the
+// query synchronously.
+func TestPortfolioDeadlineProvesNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := logic.MkAnd(le(v("x"), c(0)), ge(v("x"), c(1)))
+	if st := SolvePortfolioCtx(ctx, f, portfolioLim).Status; st != StatusUnknown {
+		t.Fatalf("expired context: got %v, want Unknown", st)
+	}
+}
+
+// TestPortfolioBatchGrouping: support-disjoint queries must land in
+// separate groups; entangled ones share a group.
+func TestPortfolioBatchGrouping(t *testing.T) {
+	mk := func(f logic.Formula) *batchQuery { return &batchQuery{f: f} }
+	qs := []*batchQuery{
+		mk(eq(v("a"), c(1))),
+		mk(logic.MkAnd(eq(v("a"), c(2)), eq(v("b"), c(3)))), // entangles a,b
+		mk(eq(v("z"), c(4))),
+		mk(eq(v("b"), c(5))),
+		mk(logic.Bool(logic.True)), // variable-free: singleton group
+	}
+	groups := groupBySupport(qs)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3 ({a,b}, {z}, {})", len(groups))
+	}
+	sizes := map[int]int{}
+	for _, g := range groups {
+		sizes[len(g)]++
+	}
+	if sizes[3] != 1 || sizes[1] != 2 {
+		t.Fatalf("group sizes %v, want one group of 3 and two singletons", sizes)
+	}
+}
