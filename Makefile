@@ -7,7 +7,7 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/cegar/ ./internal/client/ ./internal/core/ ./internal/dataflow/ ./internal/faults/ ./internal/logic/ ./internal/obs/ ./internal/service/ ./internal/smt/
+RACE_PKGS = ./internal/cegar/ ./internal/cfa/ ./internal/client/ ./internal/core/ ./internal/dataflow/ ./internal/faults/ ./internal/interp/ ./internal/logic/ ./internal/obs/ ./internal/oracle/ ./internal/service/ ./internal/smt/
 
 .PHONY: check build vet test race fuzz oracle docs-check serve-smoke chaos-smoke bench bench-json bench-diff farm experiments
 
@@ -26,11 +26,15 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 # Short native-fuzzing smoke over the byte-input boundaries (the MiniC
-# parser and the smt linearizer); `make FUZZTIME=5m fuzz` digs deeper.
+# parser — sequential and threaded grammars — the smt linearizer, and
+# the PSTRC02 concurrent-trace decoder); `make FUZZTIME=5m fuzz` digs
+# deeper.
 FUZZTIME ?= 10s
 fuzz:
-	$(GO) test ./internal/lang/parser/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lang/parser/ -run '^$$' -fuzz 'FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lang/parser/ -run '^$$' -fuzz FuzzParseThreads -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/smt/ -run '^$$' -fuzz FuzzLinearize -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cfa/ -run '^$$' -fuzz FuzzConcurrentTrace -fuzztime $(FUZZTIME)
 
 # Differential/metamorphic oracle campaign over generated programs
 # (docs/TESTING.md): >=500 slicer verdicts cross-checked against the
@@ -71,7 +75,7 @@ bench:
 # corpus statistics). Not part of `make check` — it records numbers;
 # `make bench-diff` gates on them.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR9.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR10.json
 
 # Gate: compares the two newest checked-in BENCH_PR*.json artifacts and
 # fails on a >20% regression of any deterministic metric (wall times
@@ -83,7 +87,7 @@ bench-diff:
 # Time-budgeted verification farm (docs/PERFORMANCE.md): a planted-
 # regression benchdiff self-test, then iterations of the oracle
 # campaign with the portfolio front-end on and both fuzz targets; with
-# a budget past ~90s each loop also regenerates BENCH_PR9.json in a
+# a budget past ~90s each loop also regenerates BENCH_PR10.json in a
 # scratch workspace and benchdiff-gates it against the committed
 # baseline. `make farm FARMTIME=30m` for a soak; the default short
 # burst is part of `make check`.

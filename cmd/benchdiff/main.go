@@ -23,7 +23,10 @@
 // first request), and its portfolio invariants (portfolio: zero
 // verdict divergences, batched solving at least 1.5x faster than
 // serial, the racing front-end no slower than incremental-only beyond
-// noise). The early-unsat-stop speedup ratio carries its own tighter
+// noise), and its concurrency-twin invariants (concurrency: the
+// cross-thread walk visits at most 1.5x the serialized twin's edges,
+// on a trace with >= 2 threads and racy edges — docs/CONCURRENCY.md).
+// The early-unsat-stop speedup ratio carries its own tighter
 // gate (-max-speedup-drop): a slide from 8.0x to 6.6x stays inside the
 // generic 20% window but still fails the build.
 //
@@ -31,6 +34,7 @@
 //
 //	benchdiff [-dir .] [-old f] [-new f] [-max-regress 0.20] [-max-growth 1.8]
 //	          [-max-speedup-drop 0.15] [-min-batch-ratio 1.5] [-portfolio-noise 1.25]
+//	          [-max-walk-ratio 1.5]
 //
 // `make bench-diff` runs it over the checked-in artifacts; `make
 // check` includes it.
@@ -108,6 +112,15 @@ type artifact struct {
 			Ratio       float64 `json:"ratio"`
 		} `json:"batch"`
 	} `json:"portfolio"`
+	Concurrency *struct {
+		ThreadedEvents int     `json:"threaded_events"`
+		SerialEvents   int     `json:"serial_events"`
+		ThreadedWalked int     `json:"threaded_walked"`
+		SerialWalked   int     `json:"serial_walked"`
+		WalkRatio      float64 `json:"walk_ratio"`
+		Threads        int     `json:"threads"`
+		RacyEdges      int     `json:"racy_edges"`
+	} `json:"concurrency"`
 }
 
 // streamWindowFrames mirrors the PathReader block cache bound
@@ -130,6 +143,7 @@ func main() {
 	maxSpeedupDrop := flag.Float64("max-speedup-drop", 0.15, "allowed relative drop of the early-unsat-stop speedup ratio")
 	minBatchRatio := flag.Float64("min-batch-ratio", 1.5, "required batched-vs-serial wall advantage in the fresh artifact")
 	portfolioNoise := flag.Float64("portfolio-noise", 1.25, "allowed portfolio-vs-incremental wall ratio in the fresh artifact")
+	maxWalkRatio := flag.Float64("max-walk-ratio", 1.5, "allowed threaded-vs-serialized walked-edge ratio in the fresh artifact")
 	flag.Parse()
 
 	if *newPath == "" || *oldPath == "" {
@@ -150,6 +164,7 @@ func main() {
 	checkServiceWarm(*newPath, fresh)
 	checkSnapshotRestart(*newPath, fresh)
 	checkPortfolio(*newPath, fresh, *minBatchRatio, *portfolioNoise)
+	checkConcurrency(*newPath, fresh, *maxWalkRatio)
 
 	if *oldPath == "" {
 		fmt.Printf("note: no predecessor artifact, skipping regression comparison\n")
@@ -349,6 +364,38 @@ func checkPortfolio(path string, a *artifact, minBatchRatio, noise float64) {
 	} else {
 		fmt.Printf("batch: serial %.1fms -> batched %.1fms (%.2fx over %d queries)\n",
 			b.SerialMS, b.BatchedMS, b.Ratio, b.Queries)
+	}
+}
+
+// checkConcurrency enforces the fresh artifact's concurrency-twin
+// invariants (docs/CONCURRENCY.md): the recorded interleaving is
+// genuinely concurrent (>= 2 threads, racy edges present), and the
+// cross-thread walk visits at most maxWalkRatio times the edges of
+// the serialized twin's walk — above that, slicing over racy edges
+// stopped being a bounded-overhead extension of the sequential walk.
+func checkConcurrency(path string, a *artifact, maxWalkRatio float64) {
+	c := a.Concurrency
+	if c == nil {
+		fmt.Printf("note: %s has no concurrency section, skipping\n", path)
+		return
+	}
+	if c.Threads < 2 {
+		failf("%s: concurrency twin ran %d threads — the comparison is vacuous", path, c.Threads)
+	}
+	if c.RacyEdges == 0 {
+		failf("%s: concurrency twin produced no racy edges — the twin is not concurrent", path)
+	}
+	if c.SerialWalked == 0 || c.ThreadedWalked == 0 {
+		failf("%s: degenerate concurrency walk counts (threaded %d, serial %d)",
+			path, c.ThreadedWalked, c.SerialWalked)
+		return
+	}
+	if c.WalkRatio > maxWalkRatio {
+		failf("%s: cross-thread slicing walked %.2fx the serialized twin's edges (%d vs %d, allowed %.2fx)",
+			path, c.WalkRatio, c.ThreadedWalked, c.SerialWalked, maxWalkRatio)
+	} else {
+		fmt.Printf("concurrency: %d threads, %d racy edges, walked %d vs serialized %d (%.2fx <= %.2fx)\n",
+			c.Threads, c.RacyEdges, c.ThreadedWalked, c.SerialWalked, c.WalkRatio, maxWalkRatio)
 	}
 }
 

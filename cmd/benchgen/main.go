@@ -9,10 +9,19 @@
 // `pathslice -long -summaries -trace-file t.pstrc -stream` to
 // reproduce the BENCH_PR6.json regime by hand.
 //
+// With -threads it emits the concurrency twin pair
+// (bench.ConcTwinSource): the same worker workload once with
+// spawn/join and once serialized, the subject of the BENCH_PR10.json
+// `concurrency` section whose walked-edge ratio `make bench-diff`
+// gates at 1.5x (docs/CONCURRENCY.md). -workers and -bodyops shape
+// it; record an interleaving with `minirun -conc -conc-trace-out` and
+// slice it with `pathslice -conc-trace`.
+//
 // Usage:
 //
 //	benchgen [-scale f] [-list] [-o dir] [name]
 //	benchgen -callheavy [-chains n] [-depth n] [-bodyops n] [-o dir]
+//	benchgen -threads [-workers n] [-bodyops n] [-o dir]
 package main
 
 import (
@@ -32,8 +41,32 @@ func main() {
 	callHeavy := flag.Bool("callheavy", false, "emit the gcc-class call-heavy summary-sweep subject")
 	chains := flag.Int("chains", bench.DefaultGccConfig().Chains, "call-heavy: distinct call chains per loop iteration")
 	depth := flag.Int("depth", bench.DefaultGccConfig().Depth, "call-heavy: nested functions per chain")
-	bodyOps := flag.Int("bodyops", bench.DefaultGccConfig().BodyOps, "call-heavy: straight-line ops per leaf body")
+	bodyOps := flag.Int("bodyops", bench.DefaultGccConfig().BodyOps, "call-heavy/threads: straight-line ops per body")
+	threads := flag.Bool("threads", false, "emit the concurrency twin pair (threaded + serialized)")
+	workers := flag.Int("workers", bench.DefaultConcTwinConfig().Workers, "threads: worker procedures per twin")
 	flag.Parse()
+
+	if *threads {
+		cfg := bench.ConcTwinConfig{Workers: *workers, BodyOps: *bodyOps}
+		twins := []struct {
+			name     string
+			threaded bool
+		}{{"threaded", true}, {"serialized", false}}
+		for _, tw := range twins {
+			src := bench.ConcTwinSource(cfg, tw.threaded)
+			if *outDir == "" {
+				fmt.Printf("// ===== %s =====\n%s", tw.name, src)
+				continue
+			}
+			path := filepath.Join(*outDir, tw.name+".mc")
+			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "benchgen:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		return
+	}
 
 	if *callHeavy {
 		src := bench.CallHeavySource(bench.CallHeavyConfig{Chains: *chains, Depth: *depth, BodyOps: *bodyOps})

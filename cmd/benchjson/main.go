@@ -9,10 +9,12 @@
 // (a snapshot-restored server's first request vs a cold server's,
 // also gated), the portfolio/batch solving comparison (per-strategy
 // win table, batched-vs-serial wall ratio, verdict agreement — all
-// gated), and the oracle campaign's corpus
-// statistics (pairs checked, coverage fingerprints, brute-force
-// minimal-slice agreement). It backs `make bench-json`
-// (output: BENCH_PR9.json), giving performance and test-coverage work
+// gated), the concurrency twin comparison (threaded vs serialized
+// walked edges — the cross-thread slicing overhead `make bench-diff`
+// gates at 1.5x; docs/CONCURRENCY.md), and the oracle campaign's
+// corpus statistics (pairs checked, coverage fingerprints,
+// brute-force minimal-slice agreement). It backs `make bench-json`
+// (output: BENCH_PR10.json), giving performance and test-coverage work
 // a before/after artifact that diffs more honestly than eyeballing
 // `go test -bench` output. The host fingerprint lets cmd/benchdiff
 // skip wall-time comparisons across different machines while still
@@ -107,6 +109,13 @@ type output struct {
 	// divergences, a batch ratio of at least 1.5, and the portfolio no
 	// slower than the incremental engine alone beyond noise.
 	Portfolio *portfolioRecord `json:"portfolio"`
+	// Concurrency is the twin comparison: one worker workload sliced
+	// as a recorded multi-thread interleaving and as its serialized
+	// equivalent (docs/CONCURRENCY.md). benchdiff requires the
+	// cross-thread walk to visit at most 1.5x the serialized twin's
+	// edges, on a genuinely concurrent trace (>= 2 threads, racy
+	// edges present).
+	Concurrency *bench.ConcComparison `json:"concurrency"`
 }
 
 // portfolioRecord embeds the win-table comparison and nests the batch
@@ -147,7 +156,7 @@ func calibrate() float64 {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR9.json", "output path")
+	out := flag.String("out", "BENCH_PR10.json", "output path")
 	scale := flag.Float64("scale", 0.12, "workload scale for the Table 1 profiles")
 	guards := flag.Int("guards", 300, "guard-chain length for the early-unsat-stop comparison")
 	workers := flag.Int("workers", 1, "parallel cluster checks (1 keeps timings comparable)")
@@ -249,6 +258,11 @@ func main() {
 	}
 	o.Portfolio = &portfolioRecord{PortfolioComparison: *pc, Batch: bc}
 
+	o.Concurrency, err = bench.CompareConcTwin(bench.DefaultConcTwinConfig(), *sweepReps)
+	if err != nil {
+		fatal(err)
+	}
+
 	o.ServiceWarm, err = runServiceWarm()
 	if err != nil {
 		fatal(err)
@@ -279,6 +293,9 @@ func main() {
 		pf.Queries, pf.WinsICP, pf.WinsIncremental, pf.WinsScratch, pf.PortfolioMS, pf.IncrementalMS, pf.Divergences)
 	fmt.Printf("  batch: serial %.1fms -> batched %.1fms (%.1fx), %d divergences\n",
 		pf.Batch.SerialMS, pf.Batch.BatchedMS, pf.Batch.Ratio, pf.Batch.Divergences)
+	cc := o.Concurrency
+	fmt.Printf("  concurrency: %d threads, %d racy edges, walked %d vs serialized %d (%.2fx)\n",
+		cc.Threads, cc.RacyEdges, cc.ThreadedWalked, cc.SerialWalked, cc.WalkRatio)
 	sw := o.ServiceWarm
 	fmt.Printf("  service warm: cold %.1fms -> warm %.1fms (%.1fx), %d solver-cache + %d post-memo hits\n",
 		sw.ColdMS, sw.WarmMS, sw.Speedup, sw.SolverCacheHits, sw.PostMemoHits)

@@ -16,6 +16,7 @@ import (
 var apiTypes = map[string]func() any{
 	"SliceRequest":  func() any { return new(service.SliceRequest) },
 	"SliceResponse": func() any { return new(service.SliceResponse) },
+	"SliceTarget":   func() any { return new(service.SliceTarget) },
 	"CheckRequest":  func() any { return new(service.CheckRequest) },
 	"CheckResponse": func() any { return new(service.CheckResponse) },
 	"ErrorResponse": func() any { return new(service.ErrorResponse) },

@@ -6,7 +6,9 @@
 //     skipped);
 //   - stale code references: backticked `pkg.Ident` mentions, where
 //     pkg is one of this module's packages, naming an exported
-//     identifier the package no longer declares;
+//     identifier the package no longer declares (test files count,
+//     so fuzz targets may be referenced; `foo_test` external test
+//     packages attribute to foo);
 //   - drifted API examples: in files that use <!-- doccheck: Type -->
 //     markers (docs/API.md), every ```json fence must carry one and
 //     must strict-decode — unknown fields rejected, exactly like a
@@ -175,14 +177,17 @@ func collectExported(root string) (map[string]map[string]bool, error) {
 			}
 			return nil
 		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+		if !strings.HasSuffix(path, ".go") {
 			return nil
 		}
 		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
 		if err != nil {
 			return fmt.Errorf("parse %s: %w", path, err)
 		}
-		name := f.Name.Name
+		// Test files count too — docs reference fuzz targets and test
+		// helpers by name; external test packages attribute to the
+		// package under test.
+		name := strings.TrimSuffix(f.Name.Name, "_test")
 		if name == "main" {
 			return nil
 		}

@@ -2,7 +2,7 @@
 // that keeps hammering the solver pipeline for as long as you give it
 // — the differential/metamorphic oracle campaign with the portfolio
 // front-end on, both native fuzz targets, and the benchmark suite,
-// with every fresh BENCH_PR9.json gated by benchdiff against the
+// with every fresh BENCH_PR10.json gated by benchdiff against the
 // checked-in baseline. `make farm` runs it; `make check` includes a
 // short burst (FARMTIME=60s).
 //
@@ -16,9 +16,10 @@
 //  1. Oracle: a fresh campaign (seed = iteration number, so every
 //     iteration explores new programs) with Portfolio on — any
 //     Theorem-1 violation fails the farm.
-//  2. Fuzz: FuzzParse and FuzzLinearize for -fuzztime each.
+//  2. Fuzz: FuzzParse and FuzzLinearize for -fuzztime each (the
+//     threaded-syntax and PSTRC02 fuzzers stay on `make fuzz`).
 //  3. Bench: when at least -bench-min budget remains, cmd/benchjson
-//     writes a fresh BENCH_PR9.json into the workspace (next to a copy
+//     writes a fresh BENCH_PR10.json into the workspace (next to a copy
 //     of the checked-in artifacts) and cmd/benchdiff gates it — the
 //     regression thresholds are the same ones `make bench-diff`
 //     enforces on the committed artifacts.
@@ -91,7 +92,7 @@ func main() {
 		if err := oraclePhase(iter, *oracleSeeds, remaining); err != nil {
 			fatal(err)
 		}
-		if err := fuzzPhase("./internal/lang/parser/", "FuzzParse", *fuzztime); err != nil {
+		if err := fuzzPhase("./internal/lang/parser/", "FuzzParse$", *fuzztime); err != nil {
 			fatal(err)
 		}
 		if err := fuzzPhase("./internal/smt/", "FuzzLinearize", *fuzztime); err != nil {
@@ -164,7 +165,7 @@ func benchPhase(wd string) error {
 		return cmd.Run()
 	}
 	if err := run("run", "./cmd/benchjson",
-		"-out", filepath.Join(wd, "BENCH_PR9.json"), "-oracle-seeds", "0", "-sweep-reps", "3"); err != nil {
+		"-out", filepath.Join(wd, "BENCH_PR10.json"), "-oracle-seeds", "0", "-sweep-reps", "3"); err != nil {
 		return fmt.Errorf("benchjson: %w", err)
 	}
 	if err := run("run", "./cmd/benchdiff", "-dir", wd); err != nil {

@@ -5,9 +5,15 @@
 // Usage:
 //
 //	minirun [-set g=3 -set h=-1] [-in 1,0,42] [-steps n] [-path] file.mc
+//	minirun -conc [-sched-seed n] [-conc-trace-out f.pstrc] file.mc
 //
 // -set assigns initial values to globals (default 0); -in supplies the
 // values nondet() returns, in order (then 0s).
+//
+// -conc runs a multi-threaded program under the seeded random
+// scheduler (docs/CONCURRENCY.md); -sched-seed picks the interleaving
+// and -conc-trace-out records it as a PSTRC02 trace file that
+// `pathslice -conc-trace` and the slicerd trace upload accept.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pathslice/internal/cfa"
 	"pathslice/internal/compile"
 	"pathslice/internal/interp"
 	"pathslice/internal/wp"
@@ -34,6 +41,9 @@ func main() {
 	inputs := flag.String("in", "", "comma-separated nondet() values")
 	steps := flag.Int("steps", 1000000, "step budget")
 	showPath := flag.Bool("path", false, "print the executed path")
+	conc := flag.Bool("conc", false, "run under the seeded random thread scheduler")
+	schedSeed := flag.Uint64("sched-seed", 0, "scheduler seed for -conc; equal seeds replay equal interleavings")
+	concOut := flag.String("conc-trace-out", "", "with -conc, record the interleaving to this PSTRC02 trace file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: minirun [flags] file.mc")
@@ -73,6 +83,14 @@ func main() {
 			ins = append(ins, v)
 		}
 	}
+	if *concOut != "" && !*conc {
+		fatal(fmt.Errorf("-conc-trace-out requires -conc"))
+	}
+	if *conc {
+		runConc(prog, st, ins, *steps, *schedSeed, *concOut, *showPath)
+		printGlobals(prog, st)
+		return
+	}
 	res := interp.Run(prog, st, &interp.SliceInputs{Vals: ins},
 		interp.RunOptions{MaxSteps: *steps, RecordPath: *showPath})
 	switch {
@@ -85,7 +103,48 @@ func main() {
 	default:
 		fmt.Printf("step budget (%d) exhausted\n", *steps)
 	}
-	// Final global values, sorted.
+	printGlobals(prog, st)
+	if *showPath {
+		fmt.Printf("--- executed path (%d edges) ---\n%s", len(res.Path), res.Path)
+	}
+}
+
+// runConc executes prog under the seeded random scheduler and
+// optionally records the interleaving as a PSTRC02 trace.
+func runConc(prog *cfa.Program, st *interp.State, ins []int64, steps int, seed uint64, out string, showPath bool) {
+	res := interp.ConcRun(prog, st, &interp.SliceInputs{Vals: ins}, interp.ConcRunOptions{
+		MaxSteps:    steps,
+		RecordTrace: out != "" || showPath,
+		Seed:        seed,
+	})
+	switch {
+	case res.ReachedError:
+		fmt.Printf("REACHED ERROR at %s (thread %d) after %d steps [sched-seed %d]\n",
+			res.ErrorLoc, res.ErrorTID, res.Steps, seed)
+	case res.ExitNormally:
+		fmt.Printf("all threads exited normally after %d steps [sched-seed %d]\n", res.Steps, seed)
+	case res.Stuck:
+		fmt.Printf("stuck after %d steps (deadlock, blocked assume, or invalid memory access) [sched-seed %d]\n",
+			res.Steps, seed)
+	default:
+		fmt.Printf("step budget (%d) exhausted [sched-seed %d]\n", steps, seed)
+	}
+	if showPath {
+		fmt.Printf("--- executed interleaving (%d events) ---\n", len(res.Trace))
+		for _, ev := range res.Trace {
+			fmt.Printf("t%d %s\n", ev.TID, ev.Edge)
+		}
+	}
+	if out != "" {
+		if err := cfa.WriteConcTraceFile(out, prog, res.Trace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d-event trace to %s\n", len(res.Trace), out)
+	}
+}
+
+// printGlobals dumps the final global values, sorted by name.
+func printGlobals(prog *cfa.Program, st *interp.State) {
 	var names []string
 	for name := range prog.Types {
 		if prog.IsGlobal(name) {
@@ -95,9 +154,6 @@ func main() {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Printf("  %s = %d\n", name, st.Get(name))
-	}
-	if *showPath {
-		fmt.Printf("--- executed path (%d edges) ---\n%s", len(res.Path), res.Path)
 	}
 }
 

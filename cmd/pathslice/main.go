@@ -5,8 +5,12 @@
 //
 //	pathslice [-long] [-unroll k] [-early] [-skipfns] [-summaries]
 //	          [-portfolio] [-portfolio-batch] [-trace-file f [-stream]]
-//	          [-deadline d] [-fault-* ...]
+//	          [-conc-trace f] [-deadline d] [-fault-* ...]
 //	          [-trace-out f] [-metrics-addr a] [-v] file.mc
+//
+// -conc-trace slices a recorded multi-threaded PSTRC02 interleaving of
+// file.mc with the two-phase concurrent walk (docs/CONCURRENCY.md)
+// instead of searching the CFA for a candidate path.
 //
 // The candidate path is found by a data-free graph search (the kind of
 // possibly-infeasible counterexample an imprecise static analysis
@@ -37,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pathslice/internal/cfa"
 	"pathslice/internal/compile"
@@ -65,6 +70,7 @@ func main() {
 	portfolio := flag.Bool("portfolio", false, "race solver strategies per feasibility query (incremental vs stateless vs interval prefilter; docs/PERFORMANCE.md)")
 	portfolioBatch := flag.Bool("portfolio-batch", false, "defer feasibility verdicts and decide all targets in one batched solver call (shared trace prefixes asserted once)")
 	traceFile := flag.String("trace-file", "", "record each candidate path to this binary trace file (.N suffix per extra target)")
+	concTrace := flag.String("conc-trace", "", "slice a recorded multi-threaded PSTRC02 trace of file.mc (docs/CONCURRENCY.md) instead of searching for a path")
 	stream := flag.Bool("stream", false, "slice by streaming from -trace-file (bounded resident frames) instead of from memory")
 	trace := flag.Bool("trace", false, "print the annotated backward pass (live sets and step locations, like Fig. 1(C))")
 	traceOut := flag.String("trace-out", "", "write a JSONL trace event log to this file (\"-\" for stderr) and print the per-phase table")
@@ -113,6 +119,19 @@ func main() {
 		Portfolio:      *portfolio,
 	})
 	feasible, undecided := 0, 0
+	if *concTrace != "" {
+		runConcTrace(slicer, prog, *concTrace, *deadline, *verbose, &feasible, &undecided)
+		if err := shutdown(); err != nil {
+			fatal(err)
+		}
+		switch {
+		case feasible > 0:
+			os.Exit(exitUnsafe)
+		case undecided > 0:
+			os.Exit(exitTimeout)
+		}
+		return
+	}
 	// -portfolio-batch defers the per-target feasibility verdicts and
 	// decides them all in one grouped solver call after the loop.
 	var batchTargets []*cfa.Loc
@@ -220,6 +239,41 @@ func main() {
 	case undecided > 0:
 		os.Exit(exitTimeout)
 	}
+}
+
+// runConcTrace slices one recorded multi-threaded trace with the
+// two-phase concurrent walk and reports the racy-edge structure plus
+// the recorded interleaving's feasibility verdict.
+func runConcTrace(slicer *core.Slicer, prog *cfa.Program, file string, deadline time.Duration, verbose bool, feasible, undecided *int) {
+	tr, err := cfa.ReadConcTraceFile(file, prog)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	res, err := slicer.ConcSliceCtx(ctx, tr)
+	if err != nil {
+		fatal(err)
+	}
+	if res.Degraded {
+		fmt.Printf("%s: DEGRADED slice (deadline expiry; superset, still sound)\n", file)
+	}
+	st := res.Stats
+	fmt.Printf("%s: %d threads, trace %d events -> slice %d events, %.2f%%\n",
+		file, st.Threads, st.InputEdges, st.SliceEdges, 100*st.Ratio())
+	fmt.Printf("  %d racy edges cut %d instruction regions; %d frames, %d whole threads skipped\n",
+		st.RacyEdges, st.Regions, st.SkippedFrames, st.SkippedThreads)
+	if verbose {
+		fmt.Printf("--- trace ---\n%s--- slice ---\n%s", tr, res.Slice)
+	}
+	fr, _ := slicer.CheckConcFeasibility(res.Slice)
+	// The verdict speaks only for the recorded interleaving; an Unsat
+	// here does not rule out other legal reorderings.
+	printVerdict(fr, feasible, undecided)
 }
 
 // printVerdict renders one feasibility result and updates the exit-code

@@ -282,6 +282,22 @@ func (b *builder) buildStmt(s ast.Stmt, entry, exit *Loc) {
 		errLoc.IsError = true
 		b.prog.newEdge(entry, errLoc, Op{Kind: OpAssume, Pred: negate(pred)})
 		b.prog.newEdge(entry, exit, Op{Kind: OpAssume, Pred: pred})
+	case *ast.SpawnStmt:
+		// spawn f(a, b) lowers like a call — argument transfers through
+		// f::$argN — but the control edge is OpSpawn: the spawner falls
+		// through to exit while the new thread runs f's body.
+		callee := s.Call.Callee
+		cur := entry
+		for i, a := range s.Call.Args {
+			next := b.prog.newLoc(b.fn, s.PosInfo.Line)
+			b.prog.newEdge(cur, next, Op{Kind: OpAssign,
+				LHS: Lvalue{Var: ArgVar(callee, i)},
+				RHS: b.qualifyExpr(a)})
+			cur = next
+		}
+		b.prog.newEdge(cur, exit, Op{Kind: OpSpawn, Callee: callee})
+	case *ast.JoinStmt:
+		b.prog.newEdge(entry, exit, Op{Kind: OpJoin})
 	case *ast.ErrorStmt:
 		errLoc := b.prog.newLoc(b.fn, s.PosInfo.Line)
 		errLoc.IsError = true

@@ -36,12 +36,17 @@ func (l Lvalue) String() string {
 // OpKind classifies CFA edge operations.
 type OpKind int
 
-// The four operation kinds of the paper (§3.1, §4).
+// The four operation kinds of the paper (§3.1, §4), plus the two
+// thread operations of the concurrent extension (docs/CONCURRENCY.md):
+// OpSpawn starts the callee on a fresh thread, OpJoin blocks until
+// every thread spawned by the current thread has terminated.
 const (
 	OpAssign OpKind = iota
 	OpAssume
 	OpCall
 	OpReturn
+	OpSpawn
+	OpJoin
 )
 
 // String names the operation kind.
@@ -55,6 +60,10 @@ func (k OpKind) String() string {
 		return "call"
 	case OpReturn:
 		return "return"
+	case OpSpawn:
+		return "spawn"
+	case OpJoin:
+		return "join"
 	}
 	return "?"
 }
@@ -66,6 +75,9 @@ func (k OpKind) String() string {
 //   - OpAssume: Pred must evaluate to true (nonzero) to pass.
 //   - OpCall: transfer of control to Callee's entry location.
 //   - OpReturn: transfer back to the successor of the matching call.
+//   - OpSpawn: start Callee on a fresh thread; control continues to the
+//     edge's destination while the new thread runs Callee's body.
+//   - OpJoin: block until all threads spawned by this thread terminate.
 type Op struct {
 	Kind   OpKind
 	LHS    Lvalue   // OpAssign
@@ -85,6 +97,10 @@ func (op Op) String() string {
 		return op.Callee + "()"
 	case OpReturn:
 		return "return"
+	case OpSpawn:
+		return "spawn " + op.Callee + "()"
+	case OpJoin:
+		return "join"
 	}
 	return "?"
 }

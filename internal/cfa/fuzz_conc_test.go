@@ -1,0 +1,79 @@
+package cfa_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"pathslice/internal/cfa"
+	"pathslice/internal/compile"
+	"pathslice/internal/interp"
+	"pathslice/internal/wp"
+)
+
+const fuzzConcProg = `
+int g;
+int done;
+void wrk() {
+  g = 42;
+  done = 1;
+}
+void main() {
+  spawn wrk();
+  join;
+  if (done == 1) {
+    if (g == 42) { error; }
+  }
+}
+`
+
+// FuzzConcurrentTrace feeds arbitrary bytes to the PSTRC02 decoder.
+// The contract (docs/ROBUSTNESS.md): DecodeConcTrace never panics on
+// any input; every malformation — bad magic, a PSTRC01 header (version
+// mismatch in either direction), wrong fingerprint, truncated or
+// out-of-range records, structurally invalid event sequences — is a
+// typed *TraceFormatError; and a successful decode yields a trace that
+// re-validates and re-encodes to the same bytes.
+func FuzzConcurrentTrace(f *testing.F) {
+	prog := compile.MustSource(fuzzConcProg)
+
+	// A genuine recorded trace as the prime seed.
+	var genuine []byte
+	for seed := uint64(0); seed < 64; seed++ {
+		st := interp.NewState(prog, wp.NewAddrMap(prog))
+		r := interp.ConcRun(prog, st, interp.ZeroInputs{}, interp.ConcRunOptions{RecordTrace: true, Seed: seed})
+		if r.ReachedError {
+			genuine = cfa.AppendConcTrace(nil, prog, r.Trace)
+			break
+		}
+	}
+	if genuine == nil {
+		f.Fatal("no error interleaving found for the fuzz fixture")
+	}
+	f.Add(genuine)
+	f.Add([]byte{})
+	f.Add([]byte("PSTRC02\n"))
+	f.Add([]byte("PSTRC01\n01234567")) // v1 header at the v2 decoder
+	f.Add(append([]byte("PSTRC02\n"), genuine[8:]...))
+	f.Add(genuine[:len(genuine)-3]) // truncated record
+	corrupt := append([]byte(nil), genuine...)
+	binary.LittleEndian.PutUint32(corrupt[16:], 1<<20) // absurd thread ID
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := cfa.DecodeConcTrace(data, prog)
+		if err != nil {
+			var tfe *cfa.TraceFormatError
+			if !errors.As(err, &tfe) {
+				t.Fatalf("non-typed decode error %T: %v", err, err)
+			}
+			return
+		}
+		if verr := tr.Validate(prog); verr != nil {
+			t.Fatalf("decoded trace does not re-validate: %v", verr)
+		}
+		if got := cfa.AppendConcTrace(nil, prog, tr); string(got) != string(data) {
+			t.Fatalf("re-encode is not byte-identical: %d vs %d bytes", len(got), len(data))
+		}
+	})
+}

@@ -239,6 +239,9 @@ func newPathReader(f *os.File, name string, prog *Program) (*PathReader, error) 
 		return nil, err
 	}
 	if string(hdr[:8]) != traceMagic {
+		if string(hdr[:8]) == concTraceMagic {
+			return nil, badf(0, "version 2 (concurrent) trace; decode it with ReadConcTraceFile")
+		}
 		return nil, badf(0, "bad magic %q", hdr[:8])
 	}
 	if fp := binary.LittleEndian.Uint64(hdr[8:]); fp != ProgramFingerprint(prog) {

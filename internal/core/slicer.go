@@ -143,6 +143,19 @@ const (
 	// Only meaningful with Options.Summaries; the oracle campaign's
 	// summary-differential pillar must catch it.
 	UnsoundStaleSummaries
+	// UnsoundDropRacyEdges makes the concurrent walker (ConcSlice)
+	// ignore conflicting-access racy edges: no cross-thread live-set
+	// transfer happens, so a write in one thread that feeds a read in
+	// another is dropped from the slice. The concurrent oracle campaign
+	// must catch it. Sequential slicing is unaffected.
+	UnsoundDropRacyEdges
+	// UnsoundStaleThreadLiveSet makes the concurrent walker reuse the
+	// live-set snapshot captured at the first cross-thread merge from a
+	// given thread for every later merge from that thread, missing
+	// demands that accumulate as its backward walk proceeds. The
+	// concurrent oracle campaign must catch it. Sequential slicing is
+	// unaffected.
+	UnsoundStaleThreadLiveSet
 )
 
 // TracePoint is the slicer's state when it considered one path edge:
@@ -166,6 +179,7 @@ type Stats struct {
 	SliceBlocks int
 
 	TakenAssign, TakenAssume, TakenCall, TakenReturn int
+	TakenSpawn, TakenJoin                            int // concurrent traces only
 	SkippedFrames                                    int // frames skipped at an untaken return
 	SkippedGuardChains                               int // §4.2 function-skipping jumps
 	SolverChecks                                     int
@@ -579,6 +593,10 @@ func (w *walker) countTaken(k cfa.OpKind) {
 		w.res.Stats.TakenCall++
 	case cfa.OpReturn:
 		w.res.Stats.TakenReturn++
+	case cfa.OpSpawn:
+		w.res.Stats.TakenSpawn++
+	case cfa.OpJoin:
+		w.res.Stats.TakenJoin++
 	}
 }
 
@@ -921,6 +939,10 @@ func (s *Slicer) take(op cfa.Op, e *cfa.Edge, live cfa.LvalSet, pcStep *cfa.Loc)
 		// Take (and hence analyze the call body) only if the callee
 		// may modify a live lvalue.
 		return s.Mods.ModsAny(e.Src.Fn.Name, live), false
+	case cfa.OpSpawn, cfa.OpJoin:
+		// Thread operations are always kept: a slice must preserve the
+		// thread structure of its trace (docs/CONCURRENCY.md).
+		return true, false
 	}
 	return false, false
 }

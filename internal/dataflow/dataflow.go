@@ -132,7 +132,10 @@ func (info *Info) analyzeFn(fn *cfa.CFA) *fnInfo {
 			for _, v := range info.alias.WrittenVars(e.Op.LHS) {
 				w[v] = struct{}{}
 			}
-		case cfa.OpCall:
+		case cfa.OpCall, cfa.OpSpawn:
+			// The spawned thread's writes may land anywhere after the
+			// spawn point, so the spawn edge conservatively carries the
+			// callee's whole mod set, like a call edge.
 			for v := range info.mods.ModsVarSet(e.Op.Callee) {
 				w[v] = struct{}{}
 			}

@@ -398,6 +398,11 @@ func (ins *instrumenter) rewriteStmt(fn *ast.FuncDecl, s ast.Stmt) []ast.Stmt {
 		return []ast.Stmt{s}
 	case *ast.ExprStmt:
 		return ins.rewriteCallStmt(fn, s)
+	case *ast.SpawnStmt:
+		// File handles crossing a spawn behave like call arguments: the
+		// child thread's parameters get the same shadow-state extras.
+		ins.appendStateArgs(fn, s.Call)
+		return []ast.Stmt{s}
 	case *ast.AssignStmt:
 		return ins.rewriteAssign(fn, s, s.LHS, s.RHS, s.Deref)
 	case *ast.DeclStmt:

@@ -182,6 +182,10 @@ func callOf(s ast.Stmt) *ast.CallExpr {
 	switch s := s.(type) {
 	case *ast.ExprStmt:
 		return s.Call
+	case *ast.SpawnStmt:
+		// A spawned call passes locks to the child thread exactly like a
+		// plain call, so lock-ness propagates through it unchanged.
+		return s.Call
 	case *ast.AssignStmt:
 		if c, ok := s.RHS.(*ast.CallExpr); ok {
 			return c
@@ -270,8 +274,35 @@ func (li *lockInstrumenter) rewriteStmt(fn *ast.FuncDecl, s ast.Stmt) []ast.Stmt
 		li.rewriteBlock(fn, s.Body)
 	case *ast.ExprStmt:
 		return li.rewriteCall(fn, s)
+	case *ast.SpawnStmt:
+		li.threadLockArgs(fn, s.Call)
 	}
 	return []ast.Stmt{s}
+}
+
+// threadLockArgs appends the shadow lock-state arguments to a user
+// call whose callee has lock parameters (shared by plain and spawned
+// call sites).
+func (li *lockInstrumenter) threadLockArgs(fn *ast.FuncDecl, call *ast.CallExpr) {
+	lp := li.lockParam[call.Callee]
+	if lp == nil {
+		return
+	}
+	idxs := make([]int, 0, len(lp))
+	for i := range lp {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		if i >= len(call.Args) {
+			continue
+		}
+		if id, ok := call.Args[i].(*ast.Ident); ok && li.lockVars[li.qual(fn, id.Name)] {
+			call.Args = append(call.Args, &ast.Ident{Name: lkVar(id.Name)})
+		} else {
+			call.Args = append(call.Args, &ast.Nondet{PosInfo: call.PosInfo})
+		}
+	}
 }
 
 // rewriteCall lowers lock/unlock and threads state args on user calls.
@@ -302,23 +333,7 @@ func (li *lockInstrumenter) rewriteCall(fn *ast.FuncDecl, s *ast.ExprStmt) []ast
 		return []ast.Stmt{&ast.SkipStmt{PosInfo: pos}}
 	}
 	// User call: append lock-state arguments.
-	if lp := li.lockParam[call.Callee]; lp != nil {
-		idxs := make([]int, 0, len(lp))
-		for i := range lp {
-			idxs = append(idxs, i)
-		}
-		sort.Ints(idxs)
-		for _, i := range idxs {
-			if i >= len(call.Args) {
-				continue
-			}
-			if id, ok := call.Args[i].(*ast.Ident); ok && li.lockVars[li.qual(fn, id.Name)] {
-				call.Args = append(call.Args, &ast.Ident{Name: lkVar(id.Name)})
-			} else {
-				call.Args = append(call.Args, &ast.Nondet{PosInfo: call.PosInfo})
-			}
-		}
-	}
+	li.threadLockArgs(fn, call)
 	return []ast.Stmt{s}
 }
 

@@ -1,0 +1,172 @@
+// Concurrent execution: a deterministic seeded scheduler that runs a
+// CFA program with spawn/join threads over one shared State, recording
+// the interleaving as a cfa.ConcTrace (docs/CONCURRENCY.md).
+//
+// Threads share all memory — including locals and the $arg/$ret
+// transfer variables, which are semantically global (§4) — so a single
+// State is the whole machine state and replaying a recorded trace is
+// just ExecTrace over its total-order operation sequence.
+
+package interp
+
+import (
+	"pathslice/internal/cfa"
+)
+
+// ConcRunResult describes a bounded concurrent run.
+type ConcRunResult struct {
+	ReachedError bool
+	ErrorLoc     *cfa.Loc
+	ErrorTID     int // thread that reached the error location
+	Steps        int
+	ExitNormally bool // every thread ran to completion
+	Stuck        bool
+	Trace        cfa.ConcTrace // the executed interleaving (when recording)
+}
+
+// ConcRunOptions configures ConcRun.
+type ConcRunOptions struct {
+	MaxSteps    int    // default 100000
+	RecordTrace bool   // keep the executed interleaving
+	Seed        uint64 // scheduler seed; equal seeds replay equal interleavings
+}
+
+// schedRNG is a splitmix64 generator: tiny, deterministic, and good
+// enough to diversify interleavings across seeds.
+type schedRNG struct{ s uint64 }
+
+func (r *schedRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *schedRNG) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// concThread is one thread's control state during ConcRun.
+type concThread struct {
+	loc      *cfa.Loc
+	stack    []*cfa.Edge // open call edges; Dst is the resume location
+	done     bool
+	children []int
+}
+
+// ConcRun executes the program from main's entry on thread 0, picking
+// at every step a uniformly random runnable thread (seeded, so runs
+// are reproducible) and advancing it by one edge with the same
+// first-executable-out-edge rule as Run. OpSpawn edges start the
+// callee on a fresh thread — the k-th spawn creates thread k, matching
+// cfa.ConcTrace's positional thread IDs — and a thread whose next edge
+// is OpJoin is not runnable until every thread it spawned is done. The
+// run stops when any thread reaches an error location, when all
+// threads terminate, on the step bound, or when no thread can move.
+func ConcRun(prog *cfa.Program, st *State, in Inputs, opts ConcRunOptions) ConcRunResult {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 100000
+	}
+	rng := &schedRNG{s: opts.Seed}
+	var res ConcRunResult
+	threads := []*concThread{{loc: prog.Funcs[prog.Main].Entry}}
+
+	// runnable reports whether thread t can take a step right now.
+	runnable := func(t *concThread) bool {
+		if t.done || len(t.loc.Out) == 0 {
+			return false
+		}
+		if e := t.loc.Out[0]; e.Op.Kind == cfa.OpJoin {
+			for _, c := range t.children {
+				if !threads[c].done {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	for res.Steps < opts.MaxSteps {
+		var ready []int
+		allDone := true
+		for tid, t := range threads {
+			if t.done {
+				continue
+			}
+			allDone = false
+			if t.loc.IsError {
+				res.ReachedError = true
+				res.ErrorLoc = t.loc
+				res.ErrorTID = tid
+				return res
+			}
+			if runnable(t) {
+				ready = append(ready, tid)
+			}
+		}
+		if allDone {
+			res.ExitNormally = true
+			return res
+		}
+		if len(ready) == 0 {
+			// A thread at a dead-end non-error location, or a join cycle:
+			// nothing can move.
+			res.Stuck = true
+			return res
+		}
+		tid := ready[rng.intn(len(ready))]
+		t := threads[tid]
+
+		var chosen *cfa.Edge
+		for _, e := range t.loc.Out {
+			if e.Op.Kind == cfa.OpAssume {
+				ok, err := st.ExecOp(e.Op, in)
+				if err != nil {
+					continue // stuck on this edge; try another
+				}
+				if ok {
+					chosen = e
+					break
+				}
+				continue
+			}
+			ok, err := st.ExecOp(e.Op, in)
+			if err != nil || !ok {
+				res.Stuck = true
+				return res
+			}
+			chosen = e
+			break
+		}
+		if chosen == nil {
+			// All assumes false: the thread halts the machine, as in Run.
+			res.Stuck = true
+			return res
+		}
+		res.Steps++
+		if opts.RecordTrace {
+			res.Trace = append(res.Trace, cfa.ConcEvent{TID: tid, Edge: chosen})
+		}
+		switch chosen.Op.Kind {
+		case cfa.OpCall:
+			t.stack = append(t.stack, chosen)
+			t.loc = prog.Funcs[chosen.Op.Callee].Entry
+		case cfa.OpReturn:
+			if len(t.stack) == 0 {
+				t.done = true
+			} else {
+				t.loc = t.stack[len(t.stack)-1].Dst
+				t.stack = t.stack[:len(t.stack)-1]
+			}
+		case cfa.OpSpawn:
+			child := len(threads)
+			threads = append(threads, &concThread{loc: prog.Funcs[chosen.Op.Callee].Entry})
+			t.children = append(t.children, child)
+			t.loc = chosen.Dst
+		default:
+			t.loc = chosen.Dst
+		}
+	}
+	return res
+}

@@ -187,6 +187,20 @@ type AssertStmt struct {
 	PosInfo token.Position
 }
 
+// SpawnStmt starts the call running on a fresh thread: `spawn f(args);`.
+// The callee must be a void procedure; the spawned thread runs
+// concurrently with the spawner until the spawner executes `join;`.
+type SpawnStmt struct {
+	Call    *CallExpr
+	PosInfo token.Position
+}
+
+// JoinStmt blocks the current thread until every thread it has spawned
+// so far has terminated: `join;`.
+type JoinStmt struct {
+	PosInfo token.Position
+}
+
 // ErrorStmt marks the target (error) location: `error;`.
 type ErrorStmt struct {
 	PosInfo token.Position
@@ -214,6 +228,8 @@ func (s *BreakStmt) Pos() token.Position    { return s.PosInfo }
 func (s *ContinueStmt) Pos() token.Position { return s.PosInfo }
 func (s *AssumeStmt) Pos() token.Position   { return s.PosInfo }
 func (s *AssertStmt) Pos() token.Position   { return s.PosInfo }
+func (s *SpawnStmt) Pos() token.Position    { return s.PosInfo }
+func (s *JoinStmt) Pos() token.Position     { return s.PosInfo }
 func (s *ErrorStmt) Pos() token.Position    { return s.PosInfo }
 func (s *SkipStmt) Pos() token.Position     { return s.PosInfo }
 func (s *BlockStmt) Pos() token.Position    { return s.PosInfo }
@@ -229,6 +245,8 @@ func (*BreakStmt) stmtNode()    {}
 func (*ContinueStmt) stmtNode() {}
 func (*AssumeStmt) stmtNode()   {}
 func (*AssertStmt) stmtNode()   {}
+func (*SpawnStmt) stmtNode()    {}
+func (*JoinStmt) stmtNode()     {}
 func (*ErrorStmt) stmtNode()    {}
 func (*SkipStmt) stmtNode()     {}
 func (*BlockStmt) stmtNode()    {}

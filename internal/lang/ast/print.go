@@ -147,6 +147,12 @@ func printStmt(b *strings.Builder, s Stmt, depth int) {
 		b.WriteString("assert(")
 		b.WriteString(ExprString(s.Pred))
 		b.WriteString(");\n")
+	case *SpawnStmt:
+		b.WriteString("spawn ")
+		b.WriteString(ExprString(s.Call))
+		b.WriteString(";\n")
+	case *JoinStmt:
+		b.WriteString("join;\n")
 	case *ErrorStmt:
 		b.WriteString("error;\n")
 	case *SkipStmt:

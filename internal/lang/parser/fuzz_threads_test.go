@@ -1,0 +1,34 @@
+package parser
+
+import "testing"
+
+// FuzzParseThreads is FuzzParse's concurrency sibling: arbitrary bytes
+// biased toward spawn/join shapes. Same contract — the parser never
+// panics, and never both succeeds and returns a nil program.
+func FuzzParseThreads(f *testing.F) {
+	seeds := []string{
+		"void w() { } void main() { spawn w(); join; }",
+		"int g; void w() { g = 1; } void main() { spawn w(); spawn w(); join; if (g > 0) { error; } }",
+		"void w(int a) { } void main() { spawn w(nondet()); join; }",
+		"void main() { spawn main(); join; }",
+		"void main() { join; }",
+		"void main() { spawn; }",
+		"void main() { spawn w(; join }",
+		"void main() { spawn w() }",
+		"int main() { int spawn; spawn = 1; return spawn; }",
+		"void w() { join; } void main() { spawn w(); }",
+		"void main() { if (1) { spawn w(); } else { join; } }",
+		"void main() { while (0) { spawn w(); join; } }",
+		"spawn join",
+		"\x00spawn\xffjoin",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("Parse returned nil program with nil error")
+		}
+	})
+}

@@ -325,6 +325,20 @@ func (p *parser) parseStmt() ast.Stmt {
 		p.expect(token.RPAREN)
 		p.expect(token.SEMI)
 		return &ast.AssertStmt{Pred: pred, PosInfo: t.Pos}
+	case token.KWSPAWN:
+		p.next()
+		if p.cur().Kind != token.IDENT || p.peek().Kind != token.LPAREN {
+			p.errorf(p.cur().Pos, "expected call after spawn, found %s", p.cur())
+			p.sync()
+			return &ast.SkipStmt{PosInfo: t.Pos}
+		}
+		call := p.parseCall()
+		p.expect(token.SEMI)
+		return &ast.SpawnStmt{Call: call, PosInfo: t.Pos}
+	case token.KWJOIN:
+		p.next()
+		p.expect(token.SEMI)
+		return &ast.JoinStmt{PosInfo: t.Pos}
 	case token.KWERROR:
 		p.next()
 		p.expect(token.SEMI)

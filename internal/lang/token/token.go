@@ -63,6 +63,8 @@ const (
 	KWERROR    // error
 	KWSKIP     // skip
 	KWNONDET   // nondet
+	KWSPAWN    // spawn
+	KWJOIN     // join
 	KWGOTO     // goto (reserved, rejected by the parser)
 
 	numKinds
@@ -109,6 +111,8 @@ var kindNames = [...]string{
 	KWERROR:    "error",
 	KWSKIP:     "skip",
 	KWNONDET:   "nondet",
+	KWSPAWN:    "spawn",
+	KWJOIN:     "join",
 	KWGOTO:     "goto",
 }
 
@@ -136,6 +140,8 @@ var keywords = map[string]Kind{
 	"error":    KWERROR,
 	"skip":     KWSKIP,
 	"nondet":   KWNONDET,
+	"spawn":    KWSPAWN,
+	"join":     KWJOIN,
 	"goto":     KWGOTO,
 }
 

@@ -212,6 +212,12 @@ func (c *checker) checkStmt(s ast.Stmt) {
 	case *ast.AssertStmt:
 		c.checkCond(s.Pred)
 		c.cur.HasErr = true
+	case *ast.SpawnStmt:
+		if got := c.checkCall(s.Call); got != ast.TypeVoid {
+			c.errorf(s.PosInfo, "spawned function %s must be void (its result would be lost)", s.Call.Callee)
+		}
+	case *ast.JoinStmt:
+		// Always legal; a join with no outstanding spawns is a no-op.
 	case *ast.ErrorStmt:
 		c.cur.HasErr = true
 	case *ast.BreakStmt, *ast.ContinueStmt, *ast.SkipStmt:

@@ -36,7 +36,10 @@ func Analyze(prog *cfa.Program, al *alias.Info) *Info {
 				for _, v := range al.WrittenVars(e.Op.LHS) {
 					set[v] = struct{}{}
 				}
-			case cfa.OpCall:
+			case cfa.OpCall, cfa.OpSpawn:
+				// A spawned thread runs concurrently with the rest of the
+				// spawner's frame, so its writes are attributed to the
+				// spawner exactly like a called function's.
 				for v := range in.mods[e.Op.Callee] {
 					set[v] = struct{}{}
 				}

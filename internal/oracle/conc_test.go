@@ -1,0 +1,161 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pathslice/internal/core"
+)
+
+func TestRenderConcCompiles(t *testing.T) {
+	specs := StarterConcSpecs()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		specs = append(specs, RandomConcSpec(rng))
+	}
+	for _, spec := range specs {
+		prog, err := CompileConc(spec)
+		if err != nil {
+			t.Fatalf("%s: %v\nsource:\n%s", ConcSpecString(spec), err, RenderConc(spec))
+		}
+		if len(prog.ErrorLocs()) == 0 {
+			t.Fatalf("%s: no error locations", ConcSpecString(spec))
+		}
+	}
+}
+
+func TestCollectConcTracesFindsErrors(t *testing.T) {
+	for _, spec := range StarterConcSpecs() {
+		prog, err := CompileConc(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", ConcSpecString(spec), err)
+		}
+		ref := core.New(prog)
+		traces, seeds := CollectConcTraces(prog, ref, 64, 3)
+		if len(traces) == 0 {
+			t.Fatalf("%s: no error interleaving in 64 scheduler seeds\nsource:\n%s",
+				ConcSpecString(spec), RenderConc(spec))
+		}
+		for i, tr := range traces {
+			if err := tr.Validate(prog); err != nil {
+				t.Fatalf("%s seed %d: invalid recorded trace: %v", ConcSpecString(spec), seeds[i], err)
+			}
+		}
+	}
+}
+
+func TestCheckConcTraceSoundStarters(t *testing.T) {
+	for _, spec := range StarterConcSpecs() {
+		prog, err := CompileConc(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", ConcSpecString(spec), err)
+		}
+		ref := core.New(prog)
+		traces, _ := CollectConcTraces(prog, ref, 64, 3)
+		for _, tr := range traces {
+			rep := CheckConcTrace(prog, tr, core.Options{}, CheckOptions{})
+			for _, v := range rep.Violations {
+				t.Errorf("%s: %s: %s", ConcSpecString(spec), v.Kind, v.Detail)
+			}
+		}
+	}
+}
+
+// TestCommutablePairsRefusesRacy is the generator self-test promised in
+// the package doc: no proposed swap may cross a racy edge, and the
+// refusal must be load-bearing — at least one adjacent cross-thread
+// pair in the sweep is racy-adjacent and therefore rejected.
+func TestCommutablePairsRefusesRacy(t *testing.T) {
+	rejected := 0
+	for _, spec := range StarterConcSpecs() {
+		prog, err := CompileConc(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", ConcSpecString(spec), err)
+		}
+		ref := core.New(prog)
+		traces, _ := CollectConcTraces(prog, ref, 64, 3)
+		for _, tr := range traces {
+			racyAdj := map[int]bool{}
+			for _, re := range ref.RacyEdges(tr) {
+				if re.To == re.From+1 {
+					racyAdj[re.From] = true
+				}
+			}
+			proposed := map[int]bool{}
+			for _, i := range CommutablePairs(ref, tr) {
+				proposed[i] = true
+				if racyAdj[i] {
+					t.Fatalf("%s: CommutablePairs proposed swap at %d across a racy edge", ConcSpecString(spec), i)
+				}
+				if tr[i].TID == tr[i+1].TID {
+					t.Fatalf("%s: CommutablePairs proposed a same-thread swap at %d", ConcSpecString(spec), i)
+				}
+			}
+			for i := range racyAdj {
+				if i > 0 && tr[i].TID != tr[i+1].TID && !proposed[i] {
+					rejected++
+				}
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no cross-thread racy-adjacent pair was ever rejected; the refusal clause is inert")
+	}
+}
+
+func TestCheckConcCommuteStarters(t *testing.T) {
+	checked := 0
+	for _, spec := range StarterConcSpecs() {
+		prog, err := CompileConc(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", ConcSpecString(spec), err)
+		}
+		ref := core.New(prog)
+		traces, _ := CollectConcTraces(prog, ref, 64, 2)
+		for _, tr := range traces {
+			rep, n := CheckConcCommute(prog, tr, core.Options{})
+			checked += n
+			for _, v := range rep.Violations {
+				t.Errorf("%s: %s: %s", ConcSpecString(spec), v.Kind, v.Detail)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no commutable pair was ever checked; the pillar is inert")
+	}
+}
+
+func TestRunConcSmall(t *testing.T) {
+	stats := RunConc(ConcConfig{Pairs: 30, Budget: 60 * time.Second, Seed: 2})
+	t.Log(stats.Summary())
+	if stats.Pairs < 30 {
+		t.Fatalf("campaign judged only %d pairs", stats.Pairs)
+	}
+	for _, v := range stats.Violations {
+		t.Errorf("%s: %s (%s)", v.Kind, v.Detail, v.Spec)
+	}
+	if stats.RacyEdges == 0 || stats.Reorderings == 0 {
+		t.Fatalf("campaign exercised no racy edges (%d) or reorderings (%d)",
+			stats.RacyEdges, stats.Reorderings)
+	}
+}
+
+func TestRunConcCatchesPlantedBugs(t *testing.T) {
+	modes := map[string]core.UnsoundMode{
+		"DropRacyEdges":      core.UnsoundDropRacyEdges,
+		"StaleThreadLiveSet": core.UnsoundStaleThreadLiveSet,
+	}
+	for name, mode := range modes {
+		mode := mode
+		t.Run(name, func(t *testing.T) {
+			stats := RunConc(ConcConfig{Pairs: 60, Budget: 90 * time.Second, Seed: 2, Unsound: mode})
+			if len(stats.Violations) == 0 {
+				t.Fatalf("planted %v survived %d pairs undetected", mode, stats.Pairs)
+			}
+			t.Logf("%v: %d violations in %d pairs; first: %s: %s",
+				mode, len(stats.Violations), stats.Pairs,
+				stats.Violations[0].Kind, stats.Violations[0].Detail)
+		})
+	}
+}

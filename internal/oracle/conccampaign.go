@@ -1,0 +1,171 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pathslice/internal/core"
+	"pathslice/internal/obs"
+)
+
+// ConcConfig drives a concurrent campaign: generated multi-threaded
+// programs, scheduler-seed sweeps for error interleavings, and the
+// extended judge on every distinct trace found.
+type ConcConfig struct {
+	// Pairs is the minimum number of program/trace pairs to judge
+	// (default 300); the campaign keeps drawing specs until it is met
+	// or the Budget runs out.
+	Pairs int
+	// Budget is the wall-clock cap (default 60s).
+	Budget time.Duration
+	// Seed makes the campaign deterministic (default 1).
+	Seed int64
+	// Unsound plants a deliberately broken concurrent walk — the
+	// campaign's self-test that it would catch a real regression.
+	Unsound core.UnsoundMode
+	// SchedSeeds is how many scheduler seeds to sweep per program
+	// hunting error interleavings (default 64); TracesPerProgram caps
+	// how many distinct interleavings each program contributes
+	// (default 3).
+	SchedSeeds       int
+	TracesPerProgram int
+	// CommuteEvery runs the commute metamorphic pillar on every Nth
+	// program (default 2; 0 disables it).
+	CommuteEvery int
+	Check        CheckOptions
+}
+
+func (c ConcConfig) withDefaults() ConcConfig {
+	if c.Pairs <= 0 {
+		c.Pairs = 300
+	}
+	if c.Budget <= 0 {
+		c.Budget = 60 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.SchedSeeds <= 0 {
+		c.SchedSeeds = 64
+	}
+	if c.TracesPerProgram <= 0 {
+		c.TracesPerProgram = 3
+	}
+	if c.CommuteEvery == 0 {
+		c.CommuteEvery = 2
+	}
+	return c
+}
+
+// ConcStats summarizes a concurrent campaign.
+type ConcStats struct {
+	Specs        int           `json:"specs"`
+	Programs     int           `json:"programs"`
+	Traces       int           `json:"traces"`
+	Pairs        int           `json:"pairs"`
+	Reorderings  int           `json:"reorderings"`
+	CommutePairs int           `json:"commute_pairs"`
+	RacyEdges    int           `json:"racy_edges"`
+	Regions      int           `json:"regions"`
+	Inconclusive int           `json:"inconclusive"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	Violations   []Violation   `json:"-"`
+}
+
+// Summary renders the stats as a one-paragraph report.
+func (s *ConcStats) Summary() string {
+	return fmt.Sprintf(
+		"conc oracle: %d specs, %d programs, %d traces, %d pairs "+
+			"(%d commute), %d reorderings replayed, %d racy edges / %d regions, "+
+			"%d violations, %d inconclusive, %.1fs",
+		s.Specs, s.Programs, s.Traces, s.Pairs, s.CommutePairs,
+		s.Reorderings, s.RacyEdges, s.Regions,
+		len(s.Violations), s.Inconclusive, s.Elapsed.Seconds())
+}
+
+// RunConc executes a concurrent campaign. Determinism mirrors Run: the
+// same config judges the same pairs in the same order, the Budget only
+// truncates the tail.
+func RunConc(cfg ConcConfig) *ConcStats {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	stats := &ConcStats{}
+	reg := obs.Default()
+	wasEnabled := reg.Enabled()
+	reg.SetEnabled(true)
+	defer reg.SetEnabled(wasEnabled)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	queue := StarterConcSpecs()
+	for stats.Pairs < cfg.Pairs {
+		if time.Since(start) > cfg.Budget {
+			break
+		}
+		var spec ConcSpec
+		if len(queue) > 0 {
+			spec, queue = queue[0], queue[1:]
+		} else {
+			spec = RandomConcSpec(rng)
+		}
+		stats.Specs++
+		runConcSpec(spec, cfg, stats)
+	}
+	stats.Elapsed = time.Since(start)
+	return stats
+}
+
+func runConcSpec(spec ConcSpec, cfg ConcConfig, stats *ConcStats) {
+	prog, err := CompileConc(spec)
+	if err != nil {
+		stats.Violations = append(stats.Violations, Violation{
+			Kind: "generator", Detail: fmt.Sprintf("spec does not compile: %v", err),
+			Spec: ConcSpecString(spec),
+		})
+		return
+	}
+	stats.Programs++
+	ref := core.New(prog)
+
+	traces, _ := CollectConcTraces(prog, ref, cfg.SchedSeeds, cfg.TracesPerProgram)
+	if len(traces) == 0 {
+		// Every generated shape reaches error under some schedule (the
+		// guards compare the snoops against the worker's constants, and
+		// the all-ones nondet feed opens every prologue guard); a spec
+		// with no error interleaving in the sweep means the generator
+		// or scheduler regressed.
+		stats.Violations = append(stats.Violations, Violation{
+			Kind: "generator", Detail: "no error interleaving found in the scheduler sweep",
+			Spec: ConcSpecString(spec),
+		})
+		return
+	}
+
+	sopts := core.Options{Unsound: cfg.Unsound}
+	for _, tr := range traces {
+		stats.Traces++
+		rep := CheckConcTrace(prog, tr, sopts, cfg.Check)
+		stats.Pairs++
+		stats.Reorderings += rep.Reorderings
+		stats.Inconclusive += len(rep.Inconclusive)
+		if rep.Res != nil {
+			stats.RacyEdges += rep.Res.Stats.RacyEdges
+			stats.Regions += rep.Res.Stats.Regions
+		}
+		for _, v := range rep.Violations {
+			v.Spec = ConcSpecString(spec)
+			stats.Violations = append(stats.Violations, v)
+		}
+	}
+
+	if cfg.CommuteEvery > 0 && stats.Specs%cfg.CommuteEvery == 0 {
+		rep, checked := CheckConcCommute(prog, traces[0], sopts)
+		stats.Pairs += checked
+		stats.CommutePairs += checked
+		stats.Inconclusive += len(rep.Inconclusive)
+		for _, v := range rep.Violations {
+			v.Spec = ConcSpecString(spec)
+			stats.Violations = append(stats.Violations, v)
+		}
+	}
+}

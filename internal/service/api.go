@@ -11,10 +11,14 @@ package service
 type SliceRequest struct {
 	// Source is the MiniC program text (required).
 	Source string `json:"source"`
-	// TraceB64, when set, is a base64-encoded PSTRC trace file
-	// (cfa.WriteTraceFile) recorded against Source. The service slices
-	// exactly that trace, streaming it with a bounded frame window,
-	// instead of searching the CFA for candidate paths per target.
+	// TraceB64, when set, is a base64-encoded PSTRC trace file recorded
+	// against Source — sequential PSTRC01 (cfa.WriteTraceFile) or
+	// multi-threaded PSTRC02 (cfa.WriteConcTraceFile). The service
+	// slices exactly that trace instead of searching the CFA for
+	// candidate paths per target: a sequential trace streams with a
+	// bounded frame window; a concurrent trace runs the two-phase
+	// cross-thread walk (docs/CONCURRENCY.md) and reports its
+	// racy-edge structure.
 	TraceB64 string `json:"trace_b64,omitempty"`
 	// Long asks for loop-unrolling candidate paths (the DFS-model-
 	// checker shape); Unroll bounds the unrolling (default 3).
@@ -69,6 +73,14 @@ type SliceTarget struct {
 	// across requests for the same program.
 	SummaryHits   int `json:"summary_hits"`
 	SummaryMisses int `json:"summary_misses"`
+	// Threads/RacyEdges/Regions describe a concurrent (PSTRC02) trace's
+	// cross-thread structure: thread count, happens-before racy edges,
+	// and the instruction regions they cut the total order into. Zero
+	// for sequential requests. For concurrent traces the feasibility
+	// verdict speaks only for the recorded interleaving.
+	Threads   int `json:"threads,omitempty"`
+	RacyEdges int `json:"racy_edges,omitempty"`
+	Regions   int `json:"regions,omitempty"`
 	// Witness is a satisfying initial state when the slice is feasible
 	// and the verdict was solved fresh (cache hits carry no model).
 	Witness map[string]int64 `json:"witness,omitempty"`

@@ -412,6 +412,9 @@ func (s *Server) sliceTrace(ctx context.Context, req *SliceRequest, ps *programS
 	if err != nil {
 		return nil, &httpError{http.StatusBadRequest, ErrorResponse{Error: "bad_request", Message: "trace_b64: " + err.Error()}}
 	}
+	if cfa.IsConcTraceImage(raw) {
+		return s.sliceConcTrace(ctx, req, ps, sl, raw)
+	}
 	tmp, err := os.CreateTemp("", "slicerd-*.pstrc")
 	if err != nil {
 		return nil, &httpError{http.StatusInternalServerError, ErrorResponse{Error: "internal", Message: err.Error()}}
@@ -442,6 +445,58 @@ func (s *Server) sliceTrace(ctx context.Context, req *SliceRequest, ps *programS
 		target = last.Dst.String()
 	}
 	return s.sliceTarget(ctx, sl, target, res, req.IncludeSlice), nil
+}
+
+// sliceConcTrace slices an uploaded multi-threaded PSTRC02 trace with
+// the two-phase concurrent walk (docs/CONCURRENCY.md). The feasibility
+// verdict covers the recorded interleaving only, so early-unsat
+// shortcuts never apply here.
+func (s *Server) sliceConcTrace(ctx context.Context, req *SliceRequest, ps *programState, sl *core.Slicer, raw []byte) (*SliceTarget, *httpError) {
+	tr, err := cfa.DecodeConcTrace(raw, ps.prog)
+	if err != nil {
+		var tfe *cfa.TraceFormatError
+		if errors.As(err, &tfe) {
+			return nil, &httpError{http.StatusUnprocessableEntity, ErrorResponse{Error: "invalid_trace", Message: err.Error()}}
+		}
+		return nil, &httpError{http.StatusInternalServerError, ErrorResponse{Error: "internal", Message: err.Error()}}
+	}
+	res, err := sl.ConcSliceCtx(ctx, tr)
+	if err != nil {
+		return nil, &httpError{http.StatusUnprocessableEntity, ErrorResponse{Error: "invalid_trace", Message: err.Error()}}
+	}
+	target := "?"
+	if len(tr) > 0 {
+		target = tr[len(tr)-1].Edge.Dst.String()
+	}
+	st := res.Stats
+	t := &SliceTarget{
+		Target:       target,
+		Degraded:     res.Degraded,
+		InputEdges:   st.InputEdges,
+		SliceEdges:   st.SliceEdges,
+		InputBlocks:  st.InputBlocks,
+		SliceBlocks:  st.SliceBlocks,
+		RatioPercent: 100 * st.Ratio(),
+		Threads:      st.Threads,
+		RacyEdges:    st.RacyEdges,
+		Regions:      st.Regions,
+	}
+	if req.IncludeSlice {
+		for _, ev := range res.Slice {
+			t.Slice = append(t.Slice, fmt.Sprintf("t%d %s", ev.TID, ev.Edge))
+		}
+	}
+	fr, _ := sl.CheckConcFeasibility(res.Slice)
+	switch fr.Status {
+	case smt.StatusSat:
+		t.Feasibility = "feasible"
+		t.Witness = fr.Model
+	case smt.StatusUnsat:
+		t.Feasibility = "infeasible"
+	default:
+		t.Feasibility = "unknown"
+	}
+	return t, nil
 }
 
 // finishSlice aggregates verdict, exit code, degradation, and the

@@ -19,7 +19,9 @@ import (
 	"pathslice/internal/compile"
 	"pathslice/internal/core"
 	"pathslice/internal/faults"
+	"pathslice/internal/interp"
 	"pathslice/internal/smt"
+	"pathslice/internal/wp"
 )
 
 // srcBug has one feasible error path; srcSafe needs one refinement to
@@ -516,5 +518,65 @@ func TestHealthAndStats(t *testing.T) {
 	resp.Body.Close()
 	if st.Requests < 1 || st.Programs != 1 || st.MaxInflight == 0 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestConcTraceUpload: a multi-threaded PSTRC02 trace uploaded as
+// base64 routes to the two-phase concurrent walk, reports its
+// racy-edge structure, and matches the in-process ConcSlice verdict.
+func TestConcTraceUpload(t *testing.T) {
+	const srcConc = `
+int g;
+int done;
+void wrk() {
+  g = 42;
+  done = 1;
+}
+void main() {
+  spawn wrk();
+  join;
+  if (done == 1) {
+    if (g == 42) { error; }
+  }
+}
+`
+	prog := compile.MustSource(srcConc)
+	var tr cfa.ConcTrace
+	for seed := uint64(0); seed < 64; seed++ {
+		st := interp.NewState(prog, wp.NewAddrMap(prog))
+		r := interp.ConcRun(prog, st, interp.ZeroInputs{}, interp.ConcRunOptions{RecordTrace: true, Seed: seed})
+		if r.ReachedError {
+			tr = r.Trace
+			break
+		}
+	}
+	if tr == nil {
+		t.Fatal("no error interleaving found")
+	}
+
+	_, ts := newTestServer(t, Config{})
+	got := postSlice(t, ts, SliceRequest{
+		Source:       srcConc,
+		TraceB64:     base64.StdEncoding.EncodeToString(cfa.AppendConcTrace(nil, prog, tr)),
+		IncludeSlice: true,
+	})
+	if len(got.Targets) != 1 {
+		t.Fatalf("targets = %d, want 1", len(got.Targets))
+	}
+	tg := got.Targets[0]
+	if tg.Threads < 2 || tg.RacyEdges == 0 || tg.Regions == 0 {
+		t.Fatalf("concurrent structure missing from response: %+v", tg)
+	}
+	if got.Verdict != VerdictBug {
+		t.Fatalf("verdict = %q, want bug (the recorded interleaving reaches error)", got.Verdict)
+	}
+
+	want, err := core.New(prog).ConcSlice(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.SliceEdges != want.Stats.SliceEdges || tg.RacyEdges != want.Stats.RacyEdges {
+		t.Fatalf("service/in-process divergence: got %d edges %d racy, want %d/%d",
+			tg.SliceEdges, tg.RacyEdges, want.Stats.SliceEdges, want.Stats.RacyEdges)
 	}
 }
